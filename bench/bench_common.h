@@ -1,0 +1,113 @@
+// Shared configuration for the table/figure harnesses.
+//
+// Scale knobs (environment):
+//   ROLP_BENCH_SECONDS   measured seconds per run cell (default varies)
+//   ROLP_BENCH_WARMUP    warmup seconds excluded from stats (default 2)
+//   ROLP_BENCH_HEAP_MB   heap per VM (default 96; the paper used 6 GB)
+//   ROLP_BENCH_THREADS   mutator threads (default 1)
+// The paper ran 30-minute workloads on a 16 GB Xeon; these defaults scale the
+// same workloads to seconds on a laptop while preserving the shapes.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/env.h"
+#include "src/util/table_printer.h"
+#include "src/workloads/dacapo.h"
+#include "src/workloads/driver.h"
+#include "src/workloads/graph.h"
+#include "src/workloads/kvstore.h"
+#include "src/workloads/textindex.h"
+
+namespace rolp {
+
+struct BenchConfig {
+  double seconds;
+  double warmup;
+  size_t heap_mb;
+  int threads;
+
+  static BenchConfig FromEnv(double default_seconds) {
+    BenchConfig cfg;
+    cfg.seconds = EnvDouble("ROLP_BENCH_SECONDS", default_seconds);
+    cfg.warmup = EnvDouble("ROLP_BENCH_WARMUP", default_seconds * 0.45);
+    cfg.heap_mb = static_cast<size_t>(EnvInt64("ROLP_BENCH_HEAP_MB", 96));
+    cfg.threads = static_cast<int>(EnvInt64("ROLP_BENCH_THREADS", 1));
+    if (cfg.warmup >= cfg.seconds) {
+      cfg.warmup = cfg.seconds / 3.0;
+    }
+    return cfg;
+  }
+};
+
+inline VmConfig MakeVmConfig(GcKind gc, const BenchConfig& bench) {
+  VmConfig cfg;
+  cfg.heap_mb = bench.heap_mb;
+  cfg.gc = gc;
+  // Scaled-down heaps need a smaller young fraction so that middle-lived data
+  // spans several collections, as it does at production scale.
+  cfg.young_fraction = 0.10;
+  cfg.jit.hot_threshold = 100;
+  cfg.rolp.inference_period = 16;  // the paper's every-16-GC-cycles inference
+  return cfg;
+}
+
+// The six big-data workload cells of Table 1 / Figs. 8-9.
+inline const std::vector<std::string>& BigDataWorkloadNames() {
+  static const std::vector<std::string> kNames = {
+      "cassandra-wi", "cassandra-rw", "cassandra-ri", "lucene", "graphchi-cc", "graphchi-pr",
+  };
+  return kNames;
+}
+
+inline std::unique_ptr<Workload> MakeBigDataWorkload(const std::string& name, uint64_t seed) {
+  if (name.rfind("cassandra-", 0) == 0) {
+    KvStoreOptions kv;
+    kv.seed = seed;
+    kv.num_keys = static_cast<uint64_t>(EnvInt64("ROLP_BENCH_KV_KEYS", 40000));
+    kv.memtable_flush_rows = 24000;
+    if (name == "cassandra-wi") {
+      kv.write_fraction = 0.75;
+    } else if (name == "cassandra-rw") {
+      kv.write_fraction = 0.50;
+    } else {
+      kv.write_fraction = 0.25;
+    }
+    return std::make_unique<KvStoreWorkload>(kv);
+  }
+  if (name == "lucene") {
+    TextIndexOptions ti;
+    ti.seed = seed;
+    return std::make_unique<TextIndexWorkload>(ti);
+  }
+  if (name == "graphchi-cc" || name == "graphchi-pr") {
+    GraphOptions go;
+    go.seed = seed;
+    go.algo = name == "graphchi-cc" ? GraphAlgo::kConnectedComponents : GraphAlgo::kPageRank;
+    go.vertices = static_cast<uint64_t>(EnvInt64("ROLP_BENCH_GRAPH_VERTICES", 60000));
+    return std::make_unique<GraphWorkload>(go);
+  }
+  std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+  std::abort();
+}
+
+inline DriverOptions MakeDriverOptions(const BenchConfig& bench) {
+  DriverOptions opt;
+  opt.threads = bench.threads;
+  opt.duration_s = bench.seconds;
+  opt.warmup_s = bench.warmup;
+  return opt;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("(reproduces %s; shapes comparable, absolute numbers scaled)\n\n", paper_ref);
+}
+
+}  // namespace rolp
+
+#endif  // BENCH_BENCH_COMMON_H_

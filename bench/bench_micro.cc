@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark) for the mechanisms underpinning the
+// paper's overhead arguments (section 3.2.4):
+//   * mark-word context install vs. a side-table install (the design
+//     ablation of section 3.2.2),
+//   * OLD-table allocation recording (unsynchronized increments),
+//   * the fast vs. slow call-site branch (thread-stack-state update),
+//   * the young-allocation fast path.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "src/gc/regional_collector.h"
+#include "src/heap/heap.h"
+#include "src/rolp/old_table.h"
+#include "src/runtime/frame.h"
+#include "src/runtime/vm.h"
+
+namespace rolp {
+namespace {
+
+void BM_MarkWordContextInstall(benchmark::State& state) {
+  uint64_t mark = 0;
+  uint32_t ctx = 0;
+  for (auto _ : state) {
+    mark = markword::SetContext(mark, ctx++);
+    benchmark::DoNotOptimize(mark);
+  }
+}
+BENCHMARK(BM_MarkWordContextInstall);
+
+void BM_SideTableContextInstall(benchmark::State& state) {
+  // The alternative design: store object -> context in a side hash map.
+  std::unordered_map<uint64_t, uint32_t> side;
+  uint64_t addr = 0;
+  uint32_t ctx = 0;
+  for (auto _ : state) {
+    side[addr] = ctx++;
+    addr += 64;
+    if (side.size() > 100000) {
+      side.clear();
+    }
+  }
+}
+BENCHMARK(BM_SideTableContextInstall);
+
+void BM_OldTableRecordAllocation(benchmark::State& state) {
+  OldTable table(1 << 16);
+  uint32_t ctx = 0;
+  for (auto _ : state) {
+    table.RecordAllocation(ctx & 0x3FF);  // 1024 hot contexts
+    ctx++;
+  }
+}
+BENCHMARK(BM_OldTableRecordAllocation);
+
+void BM_OldTableContains(benchmark::State& state) {
+  OldTable table(1 << 16);
+  for (uint32_t c = 0; c < 1024; c++) {
+    table.RecordAllocation(c);
+  }
+  uint32_t ctx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Contains(ctx & 0x3FF));
+    ctx++;
+  }
+}
+BENCHMARK(BM_OldTableContains);
+
+struct VmFixture {
+  VmFixture(ProfilingLevel level, bool track) {
+    VmConfig cfg;
+    cfg.heap_mb = 64;
+    cfg.gc = GcKind::kRolp;
+    cfg.jit.hot_threshold = 1;
+    cfg.jit.level = level;
+    vm = std::make_unique<VM>(cfg);
+    thread = vm->AttachThread();
+    cls = vm->heap().classes().RegisterInstance("Bench", 24, {});
+    MethodId caller = vm->jit().RegisterMethod("bench.A::f", 200);
+    MethodId callee = vm->jit().RegisterMethod("bench.B::g", 200);
+    site = vm->jit().RegisterAllocSite(caller);
+    cs = vm->jit().RegisterCallSite(caller, callee);
+    vm->jit().CompileAll();
+    if (track && vm->jit().NumProfilableCallSites() > 0) {
+      vm->jit().SetCallSiteTracking(0, true);
+    }
+  }
+  ~VmFixture() { vm->DetachThread(thread); }
+
+  std::unique_ptr<VM> vm;
+  RuntimeThread* thread;
+  ClassId cls;
+  uint32_t site;
+  uint32_t cs;
+};
+
+void BM_CallSiteFastBranch(benchmark::State& state) {
+  VmFixture f(ProfilingLevel::kFastCall, false);
+  for (auto _ : state) {
+    MethodFrame frame(*f.thread, f.cs);
+    benchmark::DoNotOptimize(f.thread->tss());
+  }
+}
+BENCHMARK(BM_CallSiteFastBranch);
+
+void BM_CallSiteSlowBranch(benchmark::State& state) {
+  VmFixture f(ProfilingLevel::kSlowCall, true);
+  for (auto _ : state) {
+    MethodFrame frame(*f.thread, f.cs);
+    benchmark::DoNotOptimize(f.thread->tss());
+  }
+}
+BENCHMARK(BM_CallSiteSlowBranch);
+
+void BM_AllocUnprofiled(benchmark::State& state) {
+  VmFixture f(ProfilingLevel::kNoCallProfiling, false);
+  HandleScope scope(*f.thread);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.thread->AllocateInstance(RuntimeThread::kNoSite, f.cls));
+  }
+}
+BENCHMARK(BM_AllocUnprofiled);
+
+void BM_AllocProfiled(benchmark::State& state) {
+  VmFixture f(ProfilingLevel::kReal, false);
+  HandleScope scope(*f.thread);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.thread->AllocateInstance(f.site, f.cls));
+  }
+}
+BENCHMARK(BM_AllocProfiled);
+
+}  // namespace
+}  // namespace rolp
+
+BENCHMARK_MAIN();

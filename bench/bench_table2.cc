@@ -1,0 +1,40 @@
+// Table 2: DaCapo-like suite under ROLP — per-benchmark heap size, number of
+// profiled method calls (PMC) and allocation sites (PAS), conflicts found,
+// and the conflict-resolution throughput overhead estimate at P=20%.
+#include "bench/bench_common.h"
+
+using namespace rolp;
+
+int main() {
+  BenchConfig bench = BenchConfig::FromEnv(/*default_seconds=*/4.0);
+  PrintHeader("Table 2 — DaCapo profiling and conflicts (ROLP)", "paper Table 2");
+
+  TablePrinter table({"Workload", "HS", "PMC", "PAS", "CF(#)", "CF ovh(P=20%)"});
+  for (const DacapoSpec& spec : DacapoSuite()) {
+    DacapoWorkload workload(spec);
+    BenchConfig cell = bench;
+    cell.heap_mb = spec.heap_mb;
+    VmConfig vm = MakeVmConfig(GcKind::kRolp, cell);
+    vm.jit.hot_threshold = 50;
+    vm.rolp.inference_period = 8;  // more inferences in a short run
+    RunResult r = RunWorkload(vm, workload, MakeDriverOptions(cell));
+    // Conflict-resolution overhead estimate: fraction of call sites tracked
+    // while a P=20% trial is active, scaled by the per-call slow-branch cost
+    // relative to total work (the paper reports <= 1.8%).
+    double trial_fraction =
+        r.profilable_call_sites == 0
+            ? 0.0
+            : 0.2 * static_cast<double>(r.profilable_call_sites) /
+                  static_cast<double>(r.total_call_sites);
+    char heap[16];
+    std::snprintf(heap, sizeof(heap), "%zuMB", spec.heap_mb);
+    table.AddRow({spec.name, heap, TablePrinter::Fmt(r.instrumented_call_sites),
+                  TablePrinter::Fmt(r.profiled_alloc_sites),
+                  TablePrinter::Fmt(r.conflicts), TablePrinter::FmtPct(trial_fraction, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape (paper): PMC/PAS proportional to code size (hundreds to\n"
+      "thousands); conflicts rare (0-6, concentrated in pmd/tomcat/tradesoap).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// A latency-sensitive key-value service (the paper's Cassandra scenario):
+// runs the LSM-style store under a chosen collector and prints the GC pause
+// profile an SLA owner would look at.
+//
+//   ./kvstore_service [g1|cms|zgc|ng2c|rolp] [seconds]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/workloads/driver.h"
+#include "src/workloads/kvstore.h"
+
+using namespace rolp;
+
+int main(int argc, char** argv) {
+  std::string gc_name = argc > 1 ? argv[1] : "rolp";
+  double seconds = argc > 2 ? std::atof(argv[2]) : 10.0;
+
+  VmConfig config;
+  std::string error;
+  if (!VmConfig::ParseFlags({"-Xmx96m", "-XX:GC=" + gc_name}, &config, &error)) {
+    std::fprintf(stderr, "%s\nusage: %s [g1|cms|zgc|ng2c|rolp] [seconds]\n", error.c_str(),
+                 argv[0]);
+    return 1;
+  }
+  config.young_fraction = 0.10;
+  config.jit.hot_threshold = 100;
+
+  KvStoreOptions options;
+  options.write_fraction = 0.75;  // the paper's write-intensive YCSB mix
+  options.memtable_flush_rows = 24000;
+  KvStoreWorkload workload(options);
+
+  DriverOptions run;
+  run.duration_s = seconds;
+  run.warmup_s = seconds * 0.4;
+
+  std::printf("running %s for %.0fs under %s (warmup %.0fs excluded)...\n",
+              workload.name().c_str(), seconds, gc_name.c_str(), run.warmup_s);
+  RunResult r = RunWorkload(config, workload, run);
+
+  std::printf("\nthroughput: %.0f ops/s over %.1fs (%llu ops)\n", r.throughput, r.measured_s,
+              static_cast<unsigned long long>(r.ops));
+  std::printf("memtable flushes: %llu, compactions: %llu\n",
+              static_cast<unsigned long long>(workload.flushes()),
+              static_cast<unsigned long long>(workload.compactions()));
+  std::printf("\nGC pause profile (%zu pauses):\n", r.pauses.size());
+  for (double p : {50.0, 90.0, 99.0, 99.9, 100.0}) {
+    std::printf("  p%-6.1f %8.2f ms\n", p, r.PausePercentileMs(p));
+  }
+  std::printf("  total   %8.2f ms stopped (%.2f%% of run)\n", r.TotalPauseMs(),
+              r.TotalPauseMs() / (r.measured_s * 10.0));
+  std::printf("max heap used: %.1f MB\n", static_cast<double>(r.max_used_bytes) / 1048576.0);
+  if (r.first_decision_cycle > 0) {
+    std::printf("ROLP learned its first lifetime decisions at GC cycle %llu\n",
+                static_cast<unsigned long long>(r.first_decision_cycle));
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Memory-leak detection — the additional ROLP use-case the paper mentions in
+// section 2.2: "detecting memory leaks in applications by reporting object
+// lifetime statistics per allocation context."
+//
+// The app below has a deliberate leak (an ever-growing list fed by one
+// allocation site). The detector reads the profiler's per-context lifetime
+// estimates plus the live age-15 census and flags contexts whose objects
+// reach the maximum age in ever-growing numbers.
+//
+//   ./leak_detector
+#include <cstdio>
+#include <vector>
+
+#include "src/runtime/thread.h"
+#include "src/runtime/vm.h"
+
+using namespace rolp;
+
+int main() {
+  VmConfig config;
+  VmConfig::ParseFlags({"-Xmx64m", "-XX:+UseROLP"}, &config, nullptr);
+  config.jit.hot_threshold = 50;
+  config.rolp.inference_period = 8;
+  // Keep survivor tracking on: the leak census depends on it.
+  config.rolp.auto_survivor_tracking = false;
+  config.young_fraction = 0.10;
+
+  VM vm(config);
+  RuntimeThread* thread = vm.AttachThread();
+
+  ClassId node_cls = vm.heap().classes().RegisterInstance("app.EventLog$Node", 24, {0});
+  MethodId leaky = vm.jit().RegisterMethod("app.EventLog::append", 100);
+  MethodId healthy = vm.jit().RegisterMethod("app.RequestParser::parse", 100);
+  uint32_t leak_site = vm.jit().RegisterAllocSite(leaky);
+  uint32_t ok_site = vm.jit().RegisterAllocSite(healthy);
+  vm.jit().CompileAll();
+
+  // The leak: every operation appends to a list nobody ever trims.
+  HandleScope scope(*thread);
+  Local leak_head = thread->NewLocal(nullptr);
+  std::printf("running an application with a hidden leak...\n");
+  for (int op = 0; op < 200000; op++) {
+    Object* node = thread->AllocateInstance(leak_site, node_cls);
+    thread->StoreField(node, 0, leak_head.get());
+    leak_head.set(node);  // grows forever
+    // Healthy allocations: parsed requests that die immediately.
+    thread->AllocateInstance(ok_site, node_cls);
+    thread->AllocateDataArray(RuntimeThread::kNoSite, 2048);
+  }
+
+  // The report the paper hints at: per-allocation-context lifetime census.
+  std::printf("\n--- per-context lifetime report ---\n");
+  uint16_t leak_id = vm.jit().alloc_site(leak_site).site_id.load();
+  uint16_t ok_id = vm.jit().alloc_site(ok_site).site_id.load();
+  vm.profiler()->old_table().ForEachRow(
+      [&](uint32_t ctx, const std::array<uint64_t, 16>& counts) {
+        uint64_t total = 0;
+        for (uint64_t c : counts) {
+          total += c;
+        }
+        if (total < 64) {
+          return;
+        }
+        uint16_t site = static_cast<uint16_t>(markword::ContextSite(ctx));
+        const char* name = site == leak_id   ? "app.EventLog::append"
+                           : site == ok_id   ? "app.RequestParser::parse"
+                                             : "(other)";
+        double max_age_share =
+            static_cast<double>(counts[15]) / static_cast<double>(total);
+        int gen = vm.profiler()->TargetGen(ctx);
+        // Healthy sites estimate young/low gens; a deep and still-climbing
+        // estimate means objects that never die.
+        bool suspect = gen >= 5 || max_age_share > 0.3;
+        std::printf("site %-28s estimated-gen=%-2d objects=%-8llu at-max-age=%.0f%%%s\n",
+                    name, gen, static_cast<unsigned long long>(total),
+                    100.0 * max_age_share, suspect ? "   <-- LEAK SUSPECT" : "");
+      });
+  std::printf(
+      "\nA context whose objects pile up at the maximum age and whose estimate\n"
+      "keeps climbing is allocating objects that never die: a leak.\n");
+
+  vm.DetachThread(thread);
+  return 0;
+}

@@ -1,0 +1,527 @@
+#include "src/gc/cms_collector.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/gc/mark_compact.h"
+#include "src/util/clock.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+namespace {
+constexpr int kMaxAllocationAttempts = 16;
+constexpr size_t kConcurrentWorkPerRefill = 256 * 1024;  // bytes of marking per TLAB refill
+}  // namespace
+
+CmsCollector::CmsCollector(Heap* heap, const GcConfig& config, SafepointManager* safepoints)
+    : Collector(heap, config, safepoints),
+      bitmap_(heap->regions().heap_base(), heap->regions().committed_bytes()) {
+  size_t total = heap->regions().num_regions();
+  eden_target_ = config_.young_regions != 0
+                     ? config_.young_regions
+                     : static_cast<size_t>(static_cast<double>(total) *
+                                           heap->config().young_fraction);
+  if (eden_target_ < 1) {
+    eden_target_ = 1;
+  }
+  heap->SetBarrierSet(std::make_unique<CmsBarrierSet>(&heap->regions(), this));
+}
+
+double CmsCollector::TenuredOccupancy() const {
+  auto usage = const_cast<Heap*>(heap_)->regions().ComputeUsage();
+  size_t tenured = usage.old_regions + usage.humongous_regions;
+  return static_cast<double>(tenured) / static_cast<double>(heap_->regions().num_regions());
+}
+
+char* CmsCollector::AllocateOld(size_t bytes, size_t* actual) {
+  char* p = old_space_.Allocate(bytes, actual);
+  if (p != nullptr) {
+    return p;
+  }
+  Region* fresh = heap_->regions().AllocateRegion(RegionKind::kOld);
+  if (fresh == nullptr) {
+    return nullptr;
+  }
+  old_space_.AddRegion(fresh);
+  return old_space_.Allocate(bytes, actual);
+}
+
+Region* CmsCollector::RefillTlab(MutatorContext* ctx) {
+  for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+    if (phase_.load(std::memory_order_relaxed) != Phase::kIdle) {
+      ConcurrentWork(kConcurrentWorkPerRefill);
+    }
+    if (eden_in_use_.load(std::memory_order_relaxed) < eden_target_) {
+      Region* r = heap_->regions().AllocateRegion(RegionKind::kEden);
+      if (r != nullptr) {
+        eden_in_use_.fetch_add(1, std::memory_order_relaxed);
+        ctx->tlab.Release();
+        ctx->tlab.Install(r);
+        return r;
+      }
+      TryCollect(ctx, /*force_full=*/attempt >= 2);
+      continue;
+    }
+    TryCollect(ctx, /*force_full=*/false);
+  }
+  return nullptr;
+}
+
+Object* CmsCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
+  if (heap_->IsHumongousSize(req.total_bytes)) {
+    for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+      Region* head = heap_->regions().AllocateHumongous(req.total_bytes);
+      if (head != nullptr) {
+        Object* obj = heap_->InitializeObject(head->begin(), req.cls, req.total_bytes,
+                                              req.array_length, req.context);
+        if (phase_.load(std::memory_order_relaxed) != Phase::kIdle) {
+          bitmap_.Mark(obj);  // allocate black during a cycle
+        }
+        return obj;
+      }
+      TryCollect(ctx, /*force_full=*/attempt >= 1);
+    }
+    return nullptr;
+  }
+  // CMS has no dynamic generations; every non-humongous allocation is young.
+  for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+    char* mem = ctx->tlab.Allocate(req.total_bytes);
+    if (mem != nullptr) {
+      return heap_->InitializeObject(mem, req.cls, req.total_bytes, req.array_length,
+                                     req.context);
+    }
+    if (RefillTlab(ctx) == nullptr) {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+bool CmsCollector::TryCollect(MutatorContext* ctx, bool force_full) {
+  if (!safepoints_->BeginOperation(ctx)) {
+    return false;
+  }
+  if (force_full) {
+    DoFull(NowNs());
+  } else {
+    DoYoung(ctx);
+  }
+  safepoints_->EndOperation(ctx);
+  return true;
+}
+
+void CmsCollector::PreparePause() {
+  safepoints_->ForEachThread([](MutatorContext* t) { t->tlab.Release(); });
+  eden_in_use_.store(0, std::memory_order_relaxed);
+}
+
+void CmsCollector::DoYoung(MutatorContext* ctx) {
+  uint64_t t0 = NowNs();
+  PreparePause();
+  RegionManager& regions = heap_->regions();
+  bool cycle_active = phase_.load(std::memory_order_relaxed) != Phase::kIdle;
+
+  std::vector<Region*> cset;
+  regions.ForEachRegion([&](Region* r) {
+    if (r->IsYoung()) {
+      r->set_in_cset(true);
+      cset.push_back(r);
+    }
+  });
+
+  // Single-threaded scavenge with the usual CAS-free forwarding (one worker).
+  Region* survivor_buf = nullptr;
+  std::vector<Object*> scan_stack;
+  std::vector<std::pair<Object*, uint64_t>> preserved;  // self-forwarded marks
+  bool failed = false;
+  uint64_t copied = 0;
+  uint64_t promoted = 0;
+  bool survivor_tracking = profiler_ != nullptr && profiler_->SurvivorTrackingEnabled();
+
+  auto evacuate = [&](Object* obj) -> Object* {
+    uint64_t m = obj->LoadMark();
+    if (markword::IsForwarded(m)) {
+      return markword::ForwardedPtr(m);
+    }
+    uint32_t new_age = markword::Age(m) + 1;
+    if (new_age > markword::kMaxAge) {
+      new_age = markword::kMaxAge;
+    }
+    size_t size = obj->size_bytes;
+    char* to = nullptr;
+    size_t actual = size;
+    bool promote = new_age >= config_.tenuring_threshold;
+    if (!promote) {
+      if (survivor_buf != nullptr) {
+        to = survivor_buf->BumpAlloc(size);
+      }
+      if (to == nullptr) {
+        survivor_buf = regions.AllocateRegion(RegionKind::kSurvivor);
+        to = survivor_buf != nullptr ? survivor_buf->BumpAlloc(size) : nullptr;
+      }
+      if (to == nullptr) {
+        promote = true;  // no survivor space: tenure early
+      }
+    }
+    if (promote && to == nullptr) {
+      to = AllocateOld(size, &actual);
+    }
+    if (to == nullptr) {
+      // Promotion failure (fragmentation or exhaustion): self-forward.
+      preserved.emplace_back(obj, m);
+      obj->StoreMark(markword::EncodeForwarded(obj));
+      failed = true;
+      scan_stack.push_back(obj);
+      return obj;
+    }
+    std::memcpy(to, obj, size);
+    Object* copy = reinterpret_cast<Object*>(to);
+    copy->size_bytes = static_cast<uint32_t>(actual);  // may absorb a free sliver
+    copy->StoreMark(markword::SetAge(m, new_age));
+    obj->StoreMark(markword::EncodeForwarded(copy));
+    copied += size;
+    if (promote) {
+      promoted += size;
+    }
+    if (cycle_active) {
+      if (promote) {
+        // Promoted objects enter the old space mid-cycle: allocate black and
+        // re-queue so their fields get traced.
+        bitmap_.Mark(copy);
+        gray_queue_.push_back(copy);
+      } else if (bitmap_.IsMarked(obj)) {
+        bitmap_.Mark(copy);
+      }
+    }
+    if (survivor_tracking && profiler_ != nullptr) {
+      profiler_->OnSurvivor(0, m);
+    }
+    scan_stack.push_back(copy);
+    return copy;
+  };
+
+  auto process_slot = [&](std::atomic<Object*>* slot, Region* src_region) {
+    Object* v = slot->load(std::memory_order_relaxed);
+    if (v == nullptr) {
+      return;
+    }
+    Region* vr = regions.RegionFor(v);
+    if (vr->in_cset()) {
+      v = evacuate(v);
+      slot->store(v, std::memory_order_relaxed);
+      vr = regions.RegionFor(v);
+    }
+    if (src_region != nullptr && vr != src_region &&
+        !(src_region->IsYoung() && vr->IsYoung())) {
+      vr->RemsetAddRegion(src_region->index());
+    }
+  };
+
+  // Roots.
+  heap_->roots().ForEach([&](std::atomic<Object*>* slot) { process_slot(slot, nullptr); });
+  safepoints_->ForEachThread([&](MutatorContext* t) {
+    for (auto& slot : t->local_roots) {
+      process_slot(&slot, nullptr);
+    }
+  });
+  // Remembered-set sources.
+  std::vector<bool> seen(regions.num_regions(), false);
+  for (Region* r : cset) {
+    r->ForEachRemsetRegion([&](uint32_t idx) {
+      if (seen[idx]) {
+        return;
+      }
+      seen[idx] = true;
+      Region* s = &regions.region(idx);
+      if (s->IsFree() || s->in_cset() || s->kind() == RegionKind::kHumongousCont) {
+        return;
+      }
+      s->ForEachObject([&](Object* obj) {
+        heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) { process_slot(slot, s); });
+      });
+    });
+  }
+  // Transitive closure.
+  while (!scan_stack.empty()) {
+    Object* obj = scan_stack.back();
+    scan_stack.pop_back();
+    Region* obj_region = regions.RegionFor(obj);
+    heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) { process_slot(slot, obj_region); });
+  }
+
+  // The concurrent cycle's worklists may reference moved objects.
+  if (cycle_active) {
+    RemapMarkStructures();
+  }
+  for (auto& [obj, mark] : preserved) {
+    obj->StoreMark(mark);
+  }
+  for (Region* r : cset) {
+    bool has_failures = false;
+    for (auto& [obj, mark] : preserved) {
+      if (regions.RegionFor(obj) == r) {
+        has_failures = true;
+        break;
+      }
+    }
+    if (has_failures) {
+      r->set_in_cset(false);
+      r->set_kind(RegionKind::kOld);
+      r->set_live_bytes(r->used());
+    } else {
+      bitmap_.ClearRange(r->begin(), r->end());
+      regions.FreeRegion(r);
+    }
+  }
+
+  metrics_.AddBytesCopied(copied);
+  metrics_.AddBytesPromoted(promoted);
+  metrics_.IncrementGcCycles();
+  heap_->UpdateMaxUsedBytes();
+  uint64_t t1 = NowNs();
+  metrics_.RecordPause({t0, t1 - t0, PauseKind::kYoung, copied});
+  if (profiler_ != nullptr) {
+    profiler_->OnGcEnd({metrics_.GcCycles(), t1 - t0, PauseKind::kYoung});
+  }
+
+  if (failed) {
+    ROLP_LOG_INFO("cms promotion failure; full compaction");
+    DoFull(NowNs());
+    return;
+  }
+
+  // Concurrent-cycle transitions (still inside the pause).
+  Phase phase = phase_.load(std::memory_order_relaxed);
+  if (phase == Phase::kIdle && TenuredOccupancy() >= config_.cms_trigger_occupancy) {
+    MaybeStartCycleLocked();
+  } else if (phase == Phase::kSweepPending) {
+    RemarkAndSweep(NowNs());
+  }
+}
+
+void CmsCollector::MaybeStartCycleLocked() {
+  // Initial mark (piggybacked on the young pause): clear marks, reset old
+  // live accounting, gray all roots.
+  bitmap_.ClearAll();
+  heap_->regions().ForEachRegion([](Region* r) {
+    if (!r->IsFree()) {
+      r->set_live_bytes(0);
+    }
+  });
+  std::lock_guard<SpinLock> guard(gray_lock_);
+  heap_->roots().ForEach([&](std::atomic<Object*>* slot) {
+    Object* v = slot->load(std::memory_order_relaxed);
+    if (v != nullptr) {
+      gray_queue_.push_back(v);
+    }
+  });
+  safepoints_->ForEachThread([&](MutatorContext* t) {
+    for (auto& slot : t->local_roots) {
+      Object* v = slot.load(std::memory_order_relaxed);
+      if (v != nullptr) {
+        gray_queue_.push_back(v);
+      }
+    }
+  });
+  phase_.store(Phase::kMarking, std::memory_order_release);
+}
+
+void CmsCollector::ConcurrentWork(size_t budget_bytes) {
+  if (!work_lock_.try_lock()) {
+    return;
+  }
+  uint64_t t0 = NowNs();
+  size_t traced = 0;
+  while (traced < budget_bytes && phase_.load(std::memory_order_relaxed) == Phase::kMarking) {
+    if (mark_stack_.empty()) {
+      std::lock_guard<SpinLock> guard(gray_lock_);
+      if (gray_queue_.empty()) {
+        // Tentatively done; the remark pause will confirm.
+        phase_.store(Phase::kSweepPending, std::memory_order_release);
+        break;
+      }
+      for (Object* obj : gray_queue_) {
+        if (bitmap_.Mark(obj)) {
+          heap_->regions().RegionFor(obj)->AddLiveBytes(obj->size_bytes);
+          mark_stack_.push_back(obj);
+        }
+      }
+      gray_queue_.clear();
+      continue;
+    }
+    Object* obj = mark_stack_.back();
+    mark_stack_.pop_back();
+    traced += obj->size_bytes;
+    heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+      Object* v = slot->load(std::memory_order_relaxed);
+      if (v != nullptr && bitmap_.Mark(v)) {
+        heap_->regions().RegionFor(v)->AddLiveBytes(v->size_bytes);
+        mark_stack_.push_back(v);
+      }
+    });
+  }
+  metrics_.AddConcurrentWorkNs(NowNs() - t0);
+  work_lock_.unlock();
+}
+
+void CmsCollector::RemapMarkStructures() {
+  // Runs inside the young pause, before collection-set regions are freed:
+  // forwarded entries follow their objects; unforwarded entries still inside
+  // the collection set are dead young objects and are dropped (incremental-
+  // update marking does not need to trace from dead sources).
+  RegionManager& regions = heap_->regions();
+  auto remap = [&](std::vector<Object*>& vec) {
+    size_t out = 0;
+    for (Object* obj : vec) {
+      uint64_t m = obj->LoadMark();
+      if (markword::IsForwarded(m)) {
+        Object* to = markword::ForwardedPtr(m);
+        if (to != obj) {
+          vec[out++] = to;
+          continue;
+        }
+        // Self-forwarded (evacuation failure): stays in place, keep it.
+        vec[out++] = obj;
+        continue;
+      }
+      if (regions.RegionFor(obj)->in_cset()) {
+        continue;  // dead young object; drop
+      }
+      vec[out++] = obj;
+    }
+    vec.resize(out);
+  };
+  std::lock_guard<SpinLock> guard(gray_lock_);
+  remap(gray_queue_);
+  remap(mark_stack_);
+}
+
+void CmsCollector::RemarkAndSweep(uint64_t t0) {
+  // Final remark: rescan roots, drain everything (world is stopped).
+  {
+    std::lock_guard<SpinLock> guard(gray_lock_);
+    heap_->roots().ForEach([&](std::atomic<Object*>* slot) {
+      Object* v = slot->load(std::memory_order_relaxed);
+      if (v != nullptr) {
+        gray_queue_.push_back(v);
+      }
+    });
+    safepoints_->ForEachThread([&](MutatorContext* t) {
+      for (auto& slot : t->local_roots) {
+        Object* v = slot.load(std::memory_order_relaxed);
+        if (v != nullptr) {
+          gray_queue_.push_back(v);
+        }
+      }
+    });
+  }
+  phase_.store(Phase::kMarking, std::memory_order_relaxed);
+  while (phase_.load(std::memory_order_relaxed) == Phase::kMarking) {
+    ConcurrentWork(SIZE_MAX / 2);
+  }
+
+  // Sweep: rebuild the free lists from the marks; fully dead regions are
+  // returned whole.
+  RegionManager& regions = heap_->regions();
+  old_space_.Clear();
+  std::vector<Region*> to_free;
+  regions.ForEachRegion([&](Region* r) {
+    if (r->kind() == RegionKind::kHumongous) {
+      Object* head = reinterpret_cast<Object*>(r->begin());
+      if (!bitmap_.IsMarked(head)) {
+        to_free.push_back(r);
+      }
+      return;
+    }
+    if (r->kind() != RegionKind::kOld) {
+      return;
+    }
+    bool any_live = false;
+    char* run_start = nullptr;
+    std::vector<std::pair<char*, size_t>> runs;
+    char* p = r->begin();
+    char* top = r->top();
+    while (p < top) {
+      Object* obj = reinterpret_cast<Object*>(p);
+      size_t size = obj->size_bytes;
+      bool live = obj->class_id != kFreeBlockClassId && bitmap_.IsMarked(obj);
+      if (live) {
+        any_live = true;
+        if (run_start != nullptr) {
+          runs.emplace_back(run_start, static_cast<size_t>(p - run_start));
+          run_start = nullptr;
+        }
+      } else if (run_start == nullptr) {
+        run_start = p;
+      }
+      p += size;
+    }
+    if (run_start != nullptr) {
+      runs.emplace_back(run_start, static_cast<size_t>(p - run_start));
+    }
+    // The tail beyond top (only possible for former bump regions converted to
+    // old after an evacuation failure) stays unusable until a full GC.
+    if (!any_live) {
+      to_free.push_back(r);
+      return;
+    }
+    for (auto& [start, bytes] : runs) {
+      if (bytes >= FreeListSpace::kMinBlock) {
+        old_space_.AddFreeBlock(start, bytes);
+      } else if (bytes > 0) {
+        // Sliver: format it so walks stay valid, but do not link it.
+        FreeListSpace::FormatFreeBlock(start, bytes);
+      }
+    }
+  });
+  for (Region* r : to_free) {
+    bitmap_.ClearRange(r->begin(),
+                       r->kind() == RegionKind::kHumongous
+                           ? r->begin() + static_cast<size_t>(r->humongous_span()) *
+                                              regions.region_bytes()
+                           : r->end());
+    regions.FreeRegion(r);
+  }
+  phase_.store(Phase::kIdle, std::memory_order_release);
+  heap_->UpdateMaxUsedBytes();
+  uint64_t t1 = NowNs();
+  metrics_.RecordPause({t0, t1 - t0, PauseKind::kCmsRemark, 0});
+  metrics_.IncrementGcCycles();
+  if (profiler_ != nullptr) {
+    profiler_->OnGcEnd({metrics_.GcCycles(), t1 - t0, PauseKind::kCmsRemark});
+  }
+}
+
+void CmsCollector::DoFull(uint64_t t0) {
+  PreparePause();
+  // Abandon any in-flight concurrent cycle; compaction recomputes liveness.
+  {
+    std::lock_guard<SpinLock> guard(gray_lock_);
+    gray_queue_.clear();
+  }
+  mark_stack_.clear();
+  phase_.store(Phase::kIdle, std::memory_order_relaxed);
+  old_space_.Clear();
+
+  MarkCompact compactor(heap_, &bitmap_);
+  uint64_t moved = compactor.Collect(safepoints_, workers_.get());
+  full_gcs_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.AddBytesCopied(moved);
+  metrics_.IncrementGcCycles();
+  heap_->UpdateMaxUsedBytes();
+  uint64_t t1 = NowNs();
+  metrics_.RecordPause({t0, t1 - t0, PauseKind::kFull, moved});
+  if (profiler_ != nullptr) {
+    profiler_->OnGcEnd({metrics_.GcCycles(), t1 - t0, PauseKind::kFull});
+  }
+}
+
+void CmsCollector::CollectFull(MutatorContext* ctx) {
+  while (!safepoints_->BeginOperation(ctx)) {
+  }
+  DoFull(NowNs());
+  safepoints_->EndOperation(ctx);
+}
+
+}  // namespace rolp

@@ -1,0 +1,99 @@
+// CMS-like collector: copying young scavenges that promote into a free-list
+// old space, a mostly-concurrent old-space mark (initial mark piggybacked on
+// a young pause, marking slices driven from the allocation path, an
+// incremental-update write barrier feeding a gray queue), a stop-the-world
+// remark+sweep pause, and a full mark-compact fallback when promotion fails
+// due to fragmentation — the paper's CMS long-tail source.
+#ifndef SRC_GC_CMS_COLLECTOR_H_
+#define SRC_GC_CMS_COLLECTOR_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/gc/collector.h"
+#include "src/gc/free_list_space.h"
+#include "src/gc/mark_bitmap.h"
+
+namespace rolp {
+
+class CmsCollector : public Collector {
+ public:
+  CmsCollector(Heap* heap, const GcConfig& config, SafepointManager* safepoints);
+
+  const char* name() const override { return "cms"; }
+
+  Object* AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
+  Region* RefillTlab(MutatorContext* ctx) override;
+  void CollectFull(MutatorContext* ctx) override;
+
+  // Exposed for tests.
+  enum class Phase { kIdle, kMarking, kSweepPending };
+  Phase phase() const { return phase_.load(std::memory_order_relaxed); }
+  FreeListSpace& old_space() { return old_space_; }
+  uint64_t full_gcs() const { return full_gcs_.load(std::memory_order_relaxed); }
+
+  // Write-barrier hook (installed via CmsBarrierSet).
+  void MarkingBarrier(Object* value) {
+    if (phase_.load(std::memory_order_relaxed) == Phase::kMarking && value != nullptr) {
+      std::lock_guard<SpinLock> guard(gray_lock_);
+      gray_queue_.push_back(value);
+    }
+  }
+
+ private:
+  friend class CmsBarrierSet;
+
+  bool TryCollect(MutatorContext* ctx, bool force_full);
+  void DoYoung(MutatorContext* ctx);
+  void DoFull(uint64_t t0);
+  void PreparePause();
+
+  // Promotion target: free-list old space; grows by claiming regions.
+  char* AllocateOld(size_t bytes, size_t* actual);
+
+  // Concurrent cycle pieces.
+  void MaybeStartCycleLocked();   // world stopped: initial root scan
+  void ConcurrentWork(size_t budget_bytes);  // mutator-driven slices
+  void RemarkAndSweep(uint64_t t0);          // world stopped
+  void RemapMarkStructures();     // after young evacuation moved objects
+
+  double TenuredOccupancy() const;
+
+  size_t eden_target_;
+  std::atomic<size_t> eden_in_use_{0};
+
+  FreeListSpace old_space_;
+  MarkBitmap bitmap_;
+
+  std::atomic<Phase> phase_{Phase::kIdle};
+  SpinLock gray_lock_;
+  std::vector<Object*> gray_queue_;   // write-barrier + root grays
+  SpinLock work_lock_;                // serializes concurrent marking slices
+  std::vector<Object*> mark_stack_;   // owned by the marking worker
+  std::atomic<uint64_t> full_gcs_{0};
+};
+
+// Barrier set for CMS: region-coarse remembered sets plus the marking
+// (incremental update) barrier.
+class CmsBarrierSet : public BarrierSet {
+ public:
+  CmsBarrierSet(RegionManager* regions, CmsCollector* cms)
+      : remset_(regions), cms_(cms) {}
+
+  void StoreBarrier(Object* src, std::atomic<Object*>* slot, Object* value) override {
+    remset_.StoreBarrier(src, slot, value);
+    cms_->MarkingBarrier(value);
+  }
+  Object* LoadBarrier(std::atomic<Object*>* slot) override {
+    return slot->load(std::memory_order_relaxed);
+  }
+  bool needs_load_barrier() const override { return false; }
+
+ private:
+  RemsetBarrierSet remset_;
+  CmsCollector* cms_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_CMS_COLLECTOR_H_

@@ -1,0 +1,10 @@
+#include "src/gc/collector.h"
+
+namespace rolp {
+
+Collector::Collector(Heap* heap, const GcConfig& config, SafepointManager* safepoints)
+    : heap_(heap), config_(config), safepoints_(safepoints) {
+  workers_ = std::make_unique<WorkerPool>(config_.num_workers);
+}
+
+}  // namespace rolp

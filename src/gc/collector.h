@@ -1,0 +1,70 @@
+// Abstract collector interface. The runtime's allocation fast path is a TLAB
+// bump; everything else (TLAB refill, pretenured allocation, humongous
+// allocation, GC triggering) funnels into AllocateSlow.
+#ifndef SRC_GC_COLLECTOR_H_
+#define SRC_GC_COLLECTOR_H_
+
+#include <memory>
+
+#include "src/gc/gc_config.h"
+#include "src/gc/gc_metrics.h"
+#include "src/gc/profiler_hooks.h"
+#include "src/gc/thread_context.h"
+#include "src/gc/worker_pool.h"
+#include "src/heap/heap.h"
+
+namespace rolp {
+
+struct AllocRequest {
+  ClassId cls = 0;
+  size_t total_bytes = 0;    // header + payload, aligned
+  uint64_t array_length = 0; // for array classes
+  uint32_t context = 0;      // allocation context to install (0 = unprofiled)
+  // 0 = young, 1..14 = NG2C dynamic generation, 15 = old (pretenured).
+  uint8_t target_gen = kYoungGen;
+};
+
+class Collector {
+ public:
+  Collector(Heap* heap, const GcConfig& config, SafepointManager* safepoints);
+  virtual ~Collector() = default;
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Allocates and initializes an object when the TLAB fast path cannot. May
+  // stop the world. Returns nullptr only on genuine out-of-memory.
+  virtual Object* AllocateSlow(MutatorContext* ctx, const AllocRequest& req) = 0;
+
+  // Hands the mutator a fresh eden region for its TLAB, possibly collecting
+  // first. Returns nullptr on out-of-memory.
+  virtual Region* RefillTlab(MutatorContext* ctx) = 0;
+
+  // Forces a full collection (tests, examples, leak reports).
+  virtual void CollectFull(MutatorContext* ctx) = 0;
+
+  // Called when a mutator thread exits; releases its TLAB region back.
+  virtual void OnMutatorExit(MutatorContext* ctx) { ctx->tlab.Release(); }
+
+  GcMetrics& metrics() { return metrics_; }
+  const GcConfig& config() const { return config_; }
+  Heap& heap() { return *heap_; }
+  SafepointManager& safepoints() { return *safepoints_; }
+
+  void set_profiler(ProfilerHooks* profiler) { profiler_ = profiler; }
+  ProfilerHooks* profiler() const { return profiler_; }
+
+ protected:
+  Heap* heap_;
+  GcConfig config_;
+  SafepointManager* safepoints_;
+  GcMetrics metrics_;
+  ProfilerHooks* profiler_ = nullptr;
+  std::unique_ptr<WorkerPool> workers_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_COLLECTOR_H_

@@ -1,0 +1,166 @@
+#include "src/gc/evacuation.h"
+
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace rolp {
+
+EvacuationTask::EvacuationTask(Heap* heap, const GcConfig* config, ProfilerHooks* profiler,
+                               bool survivor_tracking)
+    : heap_(heap),
+      config_(config),
+      profiler_(profiler),
+      survivor_tracking_(survivor_tracking) {}
+
+char* EvacuationTask::Worker::AllocInDest(int space, size_t bytes) {
+  Region* r = dest_[space];
+  if (r != nullptr) {
+    char* p = r->BumpAlloc(bytes);
+    if (p != nullptr) {
+      return p;
+    }
+  }
+  RegionKind kind = space == kDestSurvivor ? RegionKind::kSurvivor : RegionKind::kOld;
+  Region* fresh = task_->heap_->regions().AllocateRegion(kind);
+  if (fresh == nullptr) {
+    return nullptr;
+  }
+  dest_[space] = fresh;
+  return fresh->BumpAlloc(bytes);
+}
+
+Object* EvacuationTask::Worker::EvacuateOrForward(Object* obj) {
+  Heap* heap = task_->heap_;
+  while (true) {
+    uint64_t m = obj->mark.load(std::memory_order_acquire);
+    if (markword::IsForwarded(m)) {
+      return markword::ForwardedPtr(m);
+    }
+    Region* from = heap->regions().RegionFor(obj);
+    bool young_src = from->IsYoung();
+    uint64_t new_mark = m;
+    int space = kDestOld;
+    if (young_src) {
+      uint32_t new_age = markword::Age(m) + 1;
+      if (new_age > markword::kMaxAge) {
+        new_age = markword::kMaxAge;
+      }
+      new_mark = markword::SetAge(m, new_age);
+      space = new_age < task_->config_->tenuring_threshold ? kDestSurvivor : kDestOld;
+    }
+    size_t size = obj->size_bytes;
+    char* to = AllocInDest(space, size);
+    if (to == nullptr) {
+      // To-space exhaustion: self-forward in place, preserve the mark.
+      uint64_t self = markword::EncodeForwarded(obj);
+      if (obj->mark.compare_exchange_strong(m, self, std::memory_order_acq_rel)) {
+        task_->failed_.store(true, std::memory_order_relaxed);
+        preserved_marks_.emplace_back(obj, m);
+        scan_stack_.push_back(obj);  // its referents still need evacuation
+        return obj;
+      }
+      continue;  // lost the race; retry (winner forwarded it)
+    }
+    std::memcpy(to, obj, size);
+    Object* copy = reinterpret_cast<Object*>(to);
+    copy->StoreMark(new_mark);
+    if (obj->mark.compare_exchange_strong(m, markword::EncodeForwarded(copy),
+                                          std::memory_order_acq_rel)) {
+      objects_copied_++;
+      bytes_copied_ += size;
+      if (space == kDestOld) {
+        bytes_promoted_ += size;
+      }
+      if (young_src && task_->survivor_tracking_ && task_->profiler_ != nullptr) {
+        // Report the pre-aging mark: the profiler extracts context and age
+        // (paper section 3.3) and discards biased-locked objects itself.
+        task_->profiler_->OnSurvivor(worker_id_, m);
+      }
+      scan_stack_.push_back(copy);
+      return copy;
+    }
+    // Lost the forwarding race: undo our private bump and use the winner's.
+    dest_[space]->UndoBumpAlloc(to, size);
+  }
+}
+
+void EvacuationTask::Worker::ScanObject(Object* obj) {
+  Heap* heap = task_->heap_;
+  RegionManager& regions = heap->regions();
+  Region* obj_region = regions.RegionFor(obj);
+  heap->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+    Object* v = slot->load(std::memory_order_relaxed);
+    if (v == nullptr) {
+      return;
+    }
+    Region* vr = regions.RegionFor(v);
+    if (vr->in_cset()) {
+      v = EvacuateOrForward(v);
+      slot->store(v, std::memory_order_relaxed);
+      vr = regions.RegionFor(v);
+    }
+    // Maintain remembered sets for the object's (possibly new) location.
+    if (vr != obj_region && !(obj_region->IsYoung() && vr->IsYoung())) {
+      vr->RemsetAddRegion(obj_region->index());
+    }
+  });
+}
+
+void EvacuationTask::Worker::ProcessRootSlot(std::atomic<Object*>* slot, Region* src_region) {
+  Object* v = slot->load(std::memory_order_relaxed);
+  if (v == nullptr) {
+    return;
+  }
+  RegionManager& regions = task_->heap_->regions();
+  Region* vr = regions.RegionFor(v);
+  if (vr->in_cset()) {
+    v = EvacuateOrForward(v);
+    slot->store(v, std::memory_order_relaxed);
+    vr = regions.RegionFor(v);
+  }
+  if (src_region != nullptr && vr != src_region &&
+      !(src_region->IsYoung() && vr->IsYoung())) {
+    vr->RemsetAddRegion(src_region->index());
+  }
+}
+
+void EvacuationTask::Worker::Drain() {
+  while (!scan_stack_.empty()) {
+    Object* obj = scan_stack_.back();
+    scan_stack_.pop_back();
+    ScanObject(obj);
+  }
+}
+
+void EvacuationTask::Worker::Finish() {
+  for (Region*& r : dest_) {
+    if (r != nullptr && r->used() == 0) {
+      task_->heap_->regions().FreeRegion(r);
+    }
+    r = nullptr;
+  }
+}
+
+std::vector<Region*> EvacuationTask::RestoreSelfForwarded(std::vector<Worker>& workers) {
+  std::vector<Region*> failed_regions;
+  for (Worker& w : workers) {
+    for (auto& [obj, mark] : w.preserved_marks_) {
+      obj->StoreMark(mark);
+      Region* r = heap_->regions().RegionFor(obj);
+      bool seen = false;
+      for (Region* fr : failed_regions) {
+        if (fr == r) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        failed_regions.push_back(r);
+      }
+    }
+  }
+  return failed_regions;
+}
+
+}  // namespace rolp

@@ -1,0 +1,86 @@
+// Parallel evacuation: copies live objects out of the collection set using
+// CAS-installed forwarding pointers (HotSpot-style). Workers own private
+// destination buffers (whole regions), so losing a forwarding race can undo
+// the copy bump. Evacuation failure (to-space exhaustion) self-forwards the
+// object in place and preserves its mark for restoration after the pause.
+#ifndef SRC_GC_EVACUATION_H_
+#define SRC_GC_EVACUATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/gc/gc_config.h"
+#include "src/gc/profiler_hooks.h"
+#include "src/heap/heap.h"
+
+namespace rolp {
+
+class EvacuationTask {
+ public:
+  EvacuationTask(Heap* heap, const GcConfig* config, ProfilerHooks* profiler,
+                 bool survivor_tracking);
+
+  // Per-worker evacuation context. Not thread-safe; one per GC worker.
+  class Worker {
+   public:
+    Worker(EvacuationTask* task, uint32_t worker_id) : task_(task), worker_id_(worker_id) {}
+
+    // Evacuates the target of a root slot if it is in the collection set.
+    // src_region: region containing the slot (nullptr for global/thread
+    // roots); used to maintain remembered sets on updated references.
+    void ProcessRootSlot(std::atomic<Object*>* slot, Region* src_region);
+
+    // Drains this worker's scan stack, evacuating transitively.
+    void Drain();
+
+    // Retires destination buffers; called once after Drain.
+    void Finish();
+
+    uint64_t bytes_copied() const { return bytes_copied_; }
+    uint64_t objects_copied() const { return objects_copied_; }
+    uint64_t bytes_promoted() const { return bytes_promoted_; }
+
+   private:
+    friend class EvacuationTask;
+
+    enum DestSpace : int { kDestSurvivor = 0, kDestOld = 1, kNumDestSpaces = 2 };
+
+    Object* EvacuateOrForward(Object* obj);
+    char* AllocInDest(int space, size_t bytes);
+    void ScanObject(Object* obj);
+
+    EvacuationTask* task_;
+    uint32_t worker_id_;
+    Region* dest_[kNumDestSpaces] = {nullptr, nullptr};
+    std::vector<Object*> scan_stack_;
+    // Marks of self-forwarded objects, restored after the pause.
+    std::vector<std::pair<Object*, uint64_t>> preserved_marks_;
+    uint64_t bytes_copied_ = 0;
+    uint64_t objects_copied_ = 0;
+    uint64_t bytes_promoted_ = 0;
+  };
+
+  Worker MakeWorker(uint32_t worker_id) { return Worker(this, worker_id); }
+
+  // Whether any worker hit to-space exhaustion.
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  // After all workers finished: restores self-forwarded marks. Returns the
+  // set of regions that contain self-forwarded (in-place) survivors.
+  // Workers must be passed in; their preserved lists live in them.
+  std::vector<Region*> RestoreSelfForwarded(std::vector<Worker>& workers);
+
+  Heap* heap() { return heap_; }
+
+ private:
+  Heap* heap_;
+  const GcConfig* config_;
+  ProfilerHooks* profiler_;
+  bool survivor_tracking_;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_EVACUATION_H_

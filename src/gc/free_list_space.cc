@@ -1,0 +1,136 @@
+#include "src/gc/free_list_space.h"
+
+#include <bit>
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace rolp {
+
+void FreeListSpace::FormatFreeBlock(char* p, size_t bytes) {
+  ROLP_DCHECK(bytes >= kMinBlock);
+  ROLP_DCHECK(bytes % kObjectAlignment == 0);
+  Object* block = reinterpret_cast<Object*>(p);
+  block->StoreMark(0);
+  block->class_id = kFreeBlockClassId;
+  block->size_bytes = static_cast<uint32_t>(bytes);
+}
+
+size_t FreeListSpace::LargeBinFor(size_t bytes) {
+  // Bin by floor(log2(bytes / kSmallMax)); clamps into the last bin.
+  size_t ratio = bytes / kSmallMax;
+  size_t bin = static_cast<size_t>(std::bit_width(ratio)) - 1;
+  return bin < kLargeBins ? bin : kLargeBins - 1;
+}
+
+void FreeListSpace::Link(char* block, size_t bytes) {
+  if (bytes <= kSmallMax) {
+    size_t bin = SmallBinFor(bytes);
+    NextOf(block) = small_bins_[bin];
+    small_bins_[bin] = block;
+  } else {
+    size_t bin = LargeBinFor(bytes);
+    NextOf(block) = large_bins_[bin];
+    large_bins_[bin] = block;
+  }
+  free_bytes_ += bytes;
+}
+
+void FreeListSpace::AddFreeBlock(char* p, size_t bytes) {
+  FormatFreeBlock(p, bytes);
+  std::lock_guard<SpinLock> guard(lock_);
+  Link(p, bytes);
+}
+
+void FreeListSpace::AddRegion(Region* region) {
+  region->set_top(region->end());  // the whole region is block-formatted
+  AddFreeBlock(region->begin(), region->capacity());
+}
+
+char* FreeListSpace::PopFit(size_t bytes) {
+  // Exact/ascending small bins first.
+  if (bytes <= kSmallMax) {
+    for (size_t bin = SmallBinFor(bytes); bin < kSmallBins; bin++) {
+      if (small_bins_[bin] != nullptr) {
+        char* block = small_bins_[bin];
+        small_bins_[bin] = NextOf(block);
+        free_bytes_ -= SizeOf(block);
+        return block;
+      }
+    }
+  }
+  // Large bins: first-fit scan within a bin, ascending bins.
+  size_t start = bytes <= kSmallMax ? 0 : LargeBinFor(bytes);
+  for (size_t bin = start; bin < kLargeBins; bin++) {
+    char* prev = nullptr;
+    char* block = large_bins_[bin];
+    while (block != nullptr) {
+      if (SizeOf(block) >= bytes) {
+        if (prev == nullptr) {
+          large_bins_[bin] = NextOf(block);
+        } else {
+          NextOf(prev) = NextOf(block);
+        }
+        free_bytes_ -= SizeOf(block);
+        return block;
+      }
+      prev = block;
+      block = NextOf(block);
+    }
+  }
+  return nullptr;
+}
+
+char* FreeListSpace::Allocate(size_t bytes, size_t* actual_bytes) {
+  ROLP_DCHECK(bytes % kObjectAlignment == 0);
+  if (bytes < kMinBlock) {
+    bytes = kMinBlock;
+  }
+  std::lock_guard<SpinLock> guard(lock_);
+  char* block = PopFit(bytes);
+  if (block == nullptr) {
+    return nullptr;
+  }
+  size_t block_size = SizeOf(block);
+  size_t remainder = block_size - bytes;
+  if (remainder >= kMinBlock) {
+    FormatFreeBlock(block + bytes, remainder);
+    Link(block + bytes, remainder);
+    *actual_bytes = bytes;
+  } else {
+    // Absorb the sliver into the allocation to keep the region walkable.
+    *actual_bytes = block_size;
+  }
+  return block;
+}
+
+void FreeListSpace::Clear() {
+  std::lock_guard<SpinLock> guard(lock_);
+  small_bins_.fill(nullptr);
+  large_bins_.fill(nullptr);
+  free_bytes_ = 0;
+}
+
+size_t FreeListSpace::largest_free_block() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  size_t best = 0;
+  for (char* block : small_bins_) {
+    while (block != nullptr) {
+      if (SizeOf(block) > best) {
+        best = SizeOf(block);
+      }
+      block = NextOf(block);
+    }
+  }
+  for (char* block : large_bins_) {
+    while (block != nullptr) {
+      if (SizeOf(block) > best) {
+        best = SizeOf(block);
+      }
+      block = NextOf(block);
+    }
+  }
+  return best;
+}
+
+}  // namespace rolp

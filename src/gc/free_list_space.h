@@ -1,0 +1,75 @@
+// Segregated-fit free-list allocator over heap regions — the CMS old
+// generation. Blocks inside a region are either real objects or free blocks
+// (kFreeBlockClassId headers), keeping every region walkable. Allocation
+// splits blocks; coalescing happens during sweep, which rebuilds the lists
+// from the mark bitmap.
+//
+// Fragmentation is this space's defining failure mode: free_bytes() can be
+// large while no block fits a promotion, forcing the full-compaction fallback
+// that produces CMS's long-tail pauses (paper section 2.2 / Fig. 8).
+#ifndef SRC_GC_FREE_LIST_SPACE_H_
+#define SRC_GC_FREE_LIST_SPACE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/heap/region.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+class FreeListSpace {
+ public:
+  // Minimum carveable block: header + one pointer for the list link.
+  static constexpr size_t kMinBlock = 24;
+
+  FreeListSpace() = default;
+
+  // Writes a free-block header over [p, p+bytes) and links it.
+  void AddFreeBlock(char* p, size_t bytes);
+
+  // Registers a fresh empty region as one whole free block.
+  void AddRegion(Region* region);
+
+  // Allocates a block of exactly `bytes` (8-aligned). If the best-fit block
+  // leaves a remainder smaller than kMinBlock, the allocation absorbs it and
+  // *actual_bytes reports the grown size. Returns nullptr if nothing fits.
+  char* Allocate(size_t bytes, size_t* actual_bytes);
+
+  // Drops all free lists (used before a sweep rebuild or after compaction).
+  void Clear();
+
+  size_t free_bytes() const { return free_bytes_; }
+  size_t largest_free_block() const;
+
+  // Writes a free-block pseudo-header (static so sweeps can format blocks
+  // before deciding whether to link them).
+  static void FormatFreeBlock(char* p, size_t bytes);
+
+ private:
+  static constexpr size_t kSmallMax = 1024;
+  static constexpr size_t kSmallBins = (kSmallMax - kMinBlock) / 8 + 1;
+  static constexpr size_t kLargeBins = 16;  // by power of two above kSmallMax
+
+  static size_t SmallBinFor(size_t bytes) { return (bytes - kMinBlock) / 8; }
+  static size_t LargeBinFor(size_t bytes);
+
+  // Free-block link lives in the first payload word.
+  static char*& NextOf(char* block) { return *reinterpret_cast<char**>(block + 16); }
+  static size_t SizeOf(char* block) {
+    return reinterpret_cast<Object*>(block)->size_bytes;
+  }
+
+  void Link(char* block, size_t bytes);
+  char* PopFit(size_t bytes);
+
+  mutable SpinLock lock_;
+  std::array<char*, kSmallBins> small_bins_ = {};
+  std::array<char*, kLargeBins> large_bins_ = {};
+  size_t free_bytes_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_FREE_LIST_SPACE_H_

@@ -1,0 +1,85 @@
+#include "src/gc/gc_metrics.h"
+
+namespace rolp {
+
+const char* PauseKindName(PauseKind kind) {
+  switch (kind) {
+    case PauseKind::kYoung:
+      return "young";
+    case PauseKind::kMixed:
+      return "mixed";
+    case PauseKind::kFull:
+      return "full";
+    case PauseKind::kCmsRemark:
+      return "cms-remark";
+    case PauseKind::kCmsSweep:
+      return "cms-sweep";
+    case PauseKind::kZMark:
+      return "z-mark";
+    case PauseKind::kZRemark:
+      return "z-remark";
+    case PauseKind::kZRelocateStart:
+      return "z-relocate-start";
+  }
+  return "?";
+}
+
+void GcMetrics::RecordPause(const PauseRecord& record) {
+  std::lock_guard<SpinLock> guard(lock_);
+  pauses_.push_back(record);
+  pause_hist_.Record(record.duration_ns);
+}
+
+std::vector<PauseRecord> GcMetrics::Pauses() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return pauses_;
+}
+
+uint64_t GcMetrics::PauseCount() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return pauses_.size();
+}
+
+uint64_t GcMetrics::TotalPauseNs() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  uint64_t total = 0;
+  for (const auto& p : pauses_) {
+    total += p.duration_ns;
+  }
+  return total;
+}
+
+uint64_t GcMetrics::MaxPauseNs() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return pause_hist_.Max();
+}
+
+uint64_t GcMetrics::PausePercentileNs(double p) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return pause_hist_.Percentile(p);
+}
+
+double GcMetrics::RecentMeanPauseNs(size_t n) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  if (pauses_.empty() || n == 0) {
+    return 0.0;
+  }
+  size_t count = n < pauses_.size() ? n : pauses_.size();
+  uint64_t sum = 0;
+  for (size_t i = pauses_.size() - count; i < pauses_.size(); i++) {
+    sum += pauses_[i].duration_ns;
+  }
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+void GcMetrics::Reset() {
+  std::lock_guard<SpinLock> guard(lock_);
+  pauses_.clear();
+  pause_hist_.Reset();
+  gc_cycles_.store(0, std::memory_order_relaxed);
+  bytes_copied_.store(0, std::memory_order_relaxed);
+  bytes_promoted_.store(0, std::memory_order_relaxed);
+  concurrent_work_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rolp

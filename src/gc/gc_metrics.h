@@ -1,0 +1,79 @@
+// Pause-time and GC-work accounting. Every stop-the-world window is recorded
+// here; the benchmark harnesses read pauses back to build the paper's
+// percentile (Fig. 8), interval (Fig. 9), and warmup (Fig. 10) plots.
+#ifndef SRC_GC_GC_METRICS_H_
+#define SRC_GC_GC_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/util/histogram.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+enum class PauseKind : uint8_t {
+  kYoung,
+  kMixed,
+  kFull,
+  kCmsRemark,
+  kCmsSweep,
+  kZMark,
+  kZRemark,
+  kZRelocateStart,
+};
+
+const char* PauseKindName(PauseKind kind);
+
+struct PauseRecord {
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  PauseKind kind = PauseKind::kYoung;
+  uint64_t bytes_copied = 0;
+};
+
+class GcMetrics {
+ public:
+  void RecordPause(const PauseRecord& record);
+
+  // Snapshot of all pauses so far (copy; cheap at bench scale).
+  std::vector<PauseRecord> Pauses() const;
+
+  uint64_t PauseCount() const;
+  uint64_t TotalPauseNs() const;
+  uint64_t MaxPauseNs() const;
+  // Value such that p% of pauses are <= it (log-bucketed approximation).
+  uint64_t PausePercentileNs(double p) const;
+  // Mean duration of the most recent n pauses.
+  double RecentMeanPauseNs(size_t n) const;
+
+  // Completed GC cycles: the profiler's unit of time (paper section 3).
+  uint64_t GcCycles() const { return gc_cycles_.load(std::memory_order_relaxed); }
+  void IncrementGcCycles() { gc_cycles_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Work counters.
+  void AddBytesCopied(uint64_t n) { bytes_copied_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t BytesCopied() const { return bytes_copied_.load(std::memory_order_relaxed); }
+  void AddBytesPromoted(uint64_t n) { bytes_promoted_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t BytesPromoted() const { return bytes_promoted_.load(std::memory_order_relaxed); }
+  void AddConcurrentWorkNs(uint64_t n) {
+    concurrent_work_ns_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t ConcurrentWorkNs() const { return concurrent_work_ns_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  mutable SpinLock lock_;
+  std::vector<PauseRecord> pauses_;
+  LogHistogram pause_hist_;
+  std::atomic<uint64_t> gc_cycles_{0};
+  std::atomic<uint64_t> bytes_copied_{0};
+  std::atomic<uint64_t> bytes_promoted_{0};
+  std::atomic<uint64_t> concurrent_work_ns_{0};
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_GC_METRICS_H_

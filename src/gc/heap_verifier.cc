@@ -1,0 +1,156 @@
+#include "src/gc/heap_verifier.h"
+
+#include <cstdio>
+
+namespace rolp {
+
+namespace {
+
+std::string Fmt(const char* fmt, const void* a, const void* b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+std::string HeapVerifier::Report::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "verified %llu objects / %llu refs in %llu regions: %s (%zu errors)",
+                static_cast<unsigned long long>(objects_walked),
+                static_cast<unsigned long long>(refs_checked),
+                static_cast<unsigned long long>(regions_walked), ok() ? "OK" : "CORRUPT",
+                errors.size());
+  return buf;
+}
+
+bool HeapVerifier::PlausibleObject(Object* obj, Report* report, const char* what) {
+  if (reinterpret_cast<uintptr_t>(obj) % kObjectAlignment != 0) {
+    report->errors.push_back(Fmt("misaligned %p (%s)", obj, what));
+    return false;
+  }
+  if (!heap_->regions().Contains(obj)) {
+    report->errors.push_back(Fmt("outside heap: %p (%s)", obj, what));
+    return false;
+  }
+  Region* r = heap_->regions().RegionFor(obj);
+  if (r->IsFree()) {
+    report->errors.push_back(Fmt("in free region: %p (%s)", obj, what));
+    return false;
+  }
+  if (obj->size_bytes < kObjectHeaderSize && obj->class_id != kFreeBlockClassId) {
+    report->errors.push_back(Fmt("tiny size at %p (%s)", obj, what));
+    return false;
+  }
+  if (obj->class_id != kFreeBlockClassId &&
+      obj->class_id >= heap_->classes().NumClasses()) {
+    report->errors.push_back(Fmt("unknown class at %p (%s)", obj, what));
+    return false;
+  }
+  return true;
+}
+
+void HeapVerifier::VerifyObjectRefs(Object* obj, Region* region, Report* report) {
+  heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+    Object* v = slot->load(std::memory_order_relaxed);
+    if (v == nullptr) {
+      return;
+    }
+    report->refs_checked++;
+    if (!PlausibleObject(v, report, "field target")) {
+      return;
+    }
+    if (markword::IsForwarded(v->LoadMark())) {
+      report->errors.push_back(Fmt("field %p -> forwarded object %p", slot, v));
+      return;
+    }
+    if (check_remsets_) {
+      Region* vr = heap_->regions().RegionFor(v);
+      if (vr != region && !(region->IsYoung() && vr->IsYoung())) {
+        // The barrier records the head region for humongous sources; accept
+        // either the exact region or any region of the same humongous span.
+        if (!vr->RemsetContainsRegion(region->index())) {
+          report->errors.push_back(
+              Fmt("missing remset entry for edge %p -> %p", obj, v));
+        }
+      }
+    }
+  });
+}
+
+void HeapVerifier::VerifyRegion(Region* region, Report* report) {
+  report->regions_walked++;
+  char* p = region->begin();
+  char* top = region->top();
+  char* limit = region->kind() == RegionKind::kHumongous
+                    ? region->begin() + static_cast<size_t>(region->humongous_span()) *
+                                            region->capacity()
+                    : region->end();
+  if (top < region->begin() || (region->kind() != RegionKind::kHumongous && top > limit)) {
+    report->errors.push_back(Fmt("region %p has top out of bounds %p", region->begin(), top));
+    return;
+  }
+  while (p < top) {
+    Object* obj = reinterpret_cast<Object*>(p);
+    if (!PlausibleObject(obj, report, "walk")) {
+      return;  // cannot continue walking this region
+    }
+    size_t size = obj->size_bytes;
+    if (size % kObjectAlignment != 0 || p + size > top) {
+      report->errors.push_back(Fmt("object %p overruns region top %p", obj, top));
+      return;
+    }
+    if (obj->class_id != kFreeBlockClassId) {
+      report->objects_walked++;
+      if (markword::IsForwarded(obj->LoadMark())) {
+        report->errors.push_back(Fmt("stale forwarded object %p (region %p)", obj,
+                                     region->begin()));
+      } else {
+        VerifyObjectRefs(obj, region, report);
+      }
+    }
+    p += size;
+  }
+}
+
+HeapVerifier::Report HeapVerifier::Verify() {
+  Report report;
+  RegionManager& regions = heap_->regions();
+  regions.ForEachRegion([&](Region* r) {
+    if (r->IsFree() || r->kind() == RegionKind::kHumongousCont) {
+      return;
+    }
+    VerifyRegion(r, &report);
+  });
+  // Roots point at plausible, unforwarded objects.
+  heap_->roots().ForEach([&](std::atomic<Object*>* slot) {
+    Object* v = slot->load(std::memory_order_relaxed);
+    if (v == nullptr) {
+      return;
+    }
+    report.refs_checked++;
+    if (PlausibleObject(v, &report, "global root") &&
+        markword::IsForwarded(v->LoadMark())) {
+      report.errors.push_back(Fmt("global root %p -> forwarded %p", slot, v));
+    }
+  });
+  if (safepoints_ != nullptr) {
+    safepoints_->ForEachThread([&](MutatorContext* ctx) {
+      for (auto& slot : ctx->local_roots) {
+        Object* v = slot.load(std::memory_order_relaxed);
+        if (v == nullptr) {
+          continue;
+        }
+        report.refs_checked++;
+        if (PlausibleObject(v, &report, "local root") &&
+            markword::IsForwarded(v->LoadMark())) {
+          report.errors.push_back(Fmt("local root %p -> forwarded %p", &slot, v));
+        }
+      }
+    });
+  }
+  return report;
+}
+
+}  // namespace rolp

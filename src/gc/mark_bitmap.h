@@ -1,0 +1,74 @@
+// Side mark bitmap: one bit per 8 heap bytes, covering the whole reservation.
+// Marking is an atomic test-and-set so parallel markers claim objects safely.
+#ifndef SRC_GC_MARK_BITMAP_H_
+#define SRC_GC_MARK_BITMAP_H_
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+
+#include "src/heap/object.h"
+#include "src/util/check.h"
+
+namespace rolp {
+
+class MarkBitmap {
+ public:
+  MarkBitmap(const char* heap_base, size_t heap_bytes) : base_(heap_base) {
+    num_words_ = (heap_bytes / kObjectAlignment + 63) / 64;
+    bits_ = std::make_unique<std::atomic<uint64_t>[]>(num_words_);
+    ClearAll();
+  }
+
+  // Returns true if this call marked the object (false if already marked).
+  bool Mark(const Object* obj) {
+    size_t bit = BitIndexFor(obj);
+    std::atomic<uint64_t>& word = bits_[bit / 64];
+    uint64_t mask = 1ULL << (bit % 64);
+    if ((word.load(std::memory_order_relaxed) & mask) != 0) {
+      return false;
+    }
+    return (word.fetch_or(mask, std::memory_order_relaxed) & mask) == 0;
+  }
+
+  bool IsMarked(const Object* obj) const {
+    size_t bit = BitIndexFor(obj);
+    return (bits_[bit / 64].load(std::memory_order_relaxed) & (1ULL << (bit % 64))) != 0;
+  }
+
+  void Clear(const Object* obj) {
+    size_t bit = BitIndexFor(obj);
+    bits_[bit / 64].fetch_and(~(1ULL << (bit % 64)), std::memory_order_relaxed);
+  }
+
+  void ClearAll() {
+    std::memset(reinterpret_cast<void*>(bits_.get()), 0,
+                num_words_ * sizeof(std::atomic<uint64_t>));
+  }
+
+  // Clears all bits covering [begin, end). Both bounds must be 512-byte
+  // aligned relative to the heap base in practice (region boundaries), so the
+  // word-granular memset below is exact.
+  void ClearRange(const char* begin, const char* end) {
+    size_t first_bit = static_cast<size_t>(begin - base_) / kObjectAlignment;
+    size_t last_bit = static_cast<size_t>(end - base_) / kObjectAlignment;
+    ROLP_DCHECK(first_bit % 64 == 0 && last_bit % 64 == 0);
+    std::memset(reinterpret_cast<void*>(bits_.get() + first_bit / 64), 0,
+                (last_bit - first_bit) / 64 * sizeof(std::atomic<uint64_t>));
+  }
+
+ private:
+  size_t BitIndexFor(const Object* obj) const {
+    const char* p = reinterpret_cast<const char*>(obj);
+    ROLP_DCHECK(p >= base_);
+    return static_cast<size_t>(p - base_) / kObjectAlignment;
+  }
+
+  const char* base_;
+  size_t num_words_;
+  std::unique_ptr<std::atomic<uint64_t>[]> bits_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_MARK_BITMAP_H_

@@ -1,0 +1,164 @@
+#include "src/gc/mark_compact.h"
+
+#include <cstring>
+
+#include "src/util/log.h"
+
+namespace rolp {
+
+uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers) {
+  RegionManager& regions = heap_->regions();
+
+  // Phase 1: mark.
+  Marker marker(heap_, bitmap_);
+  marker.MarkFromRoots(safepoints, workers);
+
+  // Free dead humongous objects; collect the compactable region sequence in
+  // address order.
+  std::vector<Region*> sequence;
+  regions.ForEachRegion([&](Region* r) {
+    if (r->kind() == RegionKind::kHumongous && r->live_bytes() == 0) {
+      regions.FreeRegion(r);
+      return;
+    }
+    if (r->IsFree() || r->IsHumongous()) {
+      return;
+    }
+    sequence.push_back(r);
+  });
+
+  // Phase 2: compute forwarding addresses. Destination cursor walks the same
+  // region sequence; objects never move to a higher address.
+  struct Cursor {
+    size_t region_idx = 0;
+    char* p = nullptr;
+  };
+  Cursor dest;
+  std::vector<char*> new_tops(sequence.size(), nullptr);
+  for (size_t i = 0; i < sequence.size(); i++) {
+    new_tops[i] = sequence[i]->begin();
+  }
+  if (!sequence.empty()) {
+    dest.p = sequence[0]->begin();
+  }
+  std::vector<std::pair<Object*, uint64_t>> preserved;  // original marks, in move order
+  auto advance_dest = [&](size_t bytes) -> char* {
+    while (true) {
+      Region* dr = sequence[dest.region_idx];
+      if (static_cast<size_t>(dr->end() - dest.p) >= bytes) {
+        char* at = dest.p;
+        dest.p += bytes;
+        new_tops[dest.region_idx] = dest.p;
+        return at;
+      }
+      dest.region_idx++;
+      ROLP_CHECK(dest.region_idx < sequence.size());
+      dest.p = sequence[dest.region_idx]->begin();
+    }
+  };
+  for (Region* r : sequence) {
+    r->ForEachObject([&](Object* obj) {
+      if (!bitmap_->IsMarked(obj)) {
+        return;
+      }
+      char* to = advance_dest(obj->size_bytes);
+      preserved.emplace_back(obj, obj->LoadMark());
+      obj->StoreMark(markword::EncodeForwarded(reinterpret_cast<Object*>(to)));
+    });
+  }
+  // Phase 3: update references (roots + all live objects' fields).
+  auto fix_slot = [&](std::atomic<Object*>* slot) {
+    Object* v = slot->load(std::memory_order_relaxed);
+    if (v == nullptr) {
+      return;
+    }
+    uint64_t m = v->LoadMark();
+    if (markword::IsForwarded(m)) {
+      slot->store(markword::ForwardedPtr(m), std::memory_order_relaxed);
+    }
+  };
+  heap_->roots().ForEach(fix_slot);
+  safepoints->ForEachThread([&](MutatorContext* ctx) {
+    for (auto& slot : ctx->local_roots) {
+      fix_slot(&slot);
+    }
+  });
+  // Live objects: compacted ones are exactly `preserved`; humongous live
+  // objects are walked separately.
+  for (auto& [obj, mark] : preserved) {
+    // Iterate fields using the original object location (class info comes
+    // from non-mark header words, still intact).
+    heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) { fix_slot(slot); });
+  }
+  regions.ForEachRegion([&](Region* r) {
+    if (r->kind() == RegionKind::kHumongous && r->live_bytes() > 0) {
+      r->ForEachObject([&](Object* obj) {
+        heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) { fix_slot(slot); });
+      });
+    }
+  });
+
+  // Phase 4: move objects and restore marks. `preserved` is in source-walk
+  // order, which equals destination order, so memmove is always safe.
+  uint64_t moved_bytes = 0;
+  for (auto& [obj, mark] : preserved) {
+    Object* to = markword::ForwardedPtr(obj->LoadMark());
+    size_t size = obj->size_bytes;
+    if (to != obj) {
+      std::memmove(to, obj, size);
+      moved_bytes += size;
+    }
+    to->StoreMark(mark);
+  }
+
+  // Phase 5: fix region metadata. Compacted regions become old; empty tails
+  // are freed. Every surviving region gets its remembered set rebuilt.
+  std::vector<Region*> occupied;
+  for (size_t i = 0; i < sequence.size(); i++) {
+    Region* r = sequence[i];
+    r->set_top(new_tops[i]);
+    if (r->used() == 0) {
+      regions.FreeRegion(r);
+    } else {
+      r->set_kind(RegionKind::kOld);
+      r->set_gen(0);
+      r->set_in_cset(false);
+      r->set_live_bytes(r->used());
+      occupied.push_back(r);
+    }
+  }
+  regions.ForEachRegion([&](Region* r) {
+    if (r->kind() == RegionKind::kHumongous && r->live_bytes() > 0) {
+      occupied.push_back(r);
+    }
+  });
+
+  RebuildRemsets(occupied);
+  bitmap_->ClearAll();
+  return moved_bytes;
+}
+
+void MarkCompact::RebuildRemsets(const std::vector<Region*>& occupied) {
+  RegionManager& regions = heap_->regions();
+  regions.ForEachRegion([](Region* r) { r->ClearRemset(); });
+  for (Region* src : occupied) {
+    uint32_t src_index = src->index();
+    src->ForEachObject([&](Object* obj) {
+      heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+        Object* v = slot->load(std::memory_order_relaxed);
+        if (v == nullptr) {
+          return;
+        }
+        Region* vr = regions.RegionFor(v);
+        if (vr == src) {
+          return;
+        }
+        // Post-compaction there are no young regions; record all cross-region
+        // edges.
+        vr->RemsetAddRegion(src_index);
+      });
+    });
+  }
+}
+
+}  // namespace rolp

@@ -1,0 +1,39 @@
+// Stop-the-world sliding mark-compact (Lisp-2). Fallback for evacuation
+// failure, humongous allocation failure, and CMS promotion failure. Compacts
+// all non-humongous regions in address order; dead humongous objects are
+// freed, live ones stay in place. Everything surviving a full collection is
+// tenured into the old generation (dynamic generations collapse).
+#ifndef SRC_GC_MARK_COMPACT_H_
+#define SRC_GC_MARK_COMPACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gc/mark_bitmap.h"
+#include "src/gc/marking.h"
+#include "src/gc/thread_context.h"
+#include "src/gc/worker_pool.h"
+#include "src/heap/heap.h"
+
+namespace rolp {
+
+class MarkCompact {
+ public:
+  MarkCompact(Heap* heap, MarkBitmap* bitmap) : heap_(heap), bitmap_(bitmap) {}
+
+  // Runs the full collection. World must be stopped; TLABs must be released.
+  // Returns bytes moved.
+  uint64_t Collect(SafepointManager* safepoints, WorkerPool* workers);
+
+ private:
+  // Rebuilds every region's remembered set from the post-compaction object
+  // graph (coarse entries only exist for live cross-region references).
+  void RebuildRemsets(const std::vector<Region*>& occupied);
+
+  Heap* heap_;
+  MarkBitmap* bitmap_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_MARK_COMPACT_H_

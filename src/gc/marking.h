@@ -1,0 +1,45 @@
+// Stop-the-world parallel marking. Fills the mark bitmap and per-region live
+// byte counts. Used by mixed collections (to pick the collection set), by the
+// full-compaction fallback, and by the CMS final accounting.
+#ifndef SRC_GC_MARKING_H_
+#define SRC_GC_MARKING_H_
+
+#include <vector>
+
+#include "src/gc/mark_bitmap.h"
+#include "src/gc/thread_context.h"
+#include "src/gc/worker_pool.h"
+#include "src/heap/heap.h"
+
+namespace rolp {
+
+class Marker {
+ public:
+  Marker(Heap* heap, MarkBitmap* bitmap) : heap_(heap), bitmap_(bitmap) {}
+
+  // Must run while the world is stopped. Clears the bitmap and all region
+  // live counts, then traces from global roots and every registered thread's
+  // local roots. Humongous objects are marked on their head region.
+  void MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers);
+
+  // Marks a single object and traces everything reachable from it
+  // (single-threaded; used for incremental building blocks and tests).
+  void MarkAndTrace(Object* obj);
+
+  uint64_t marked_objects() const { return marked_objects_; }
+  uint64_t marked_bytes() const { return marked_bytes_; }
+
+ private:
+  void TraceWorklist(std::vector<Object*>* stack);
+  // Marks obj if unmarked; pushes to stack. Accounts live bytes.
+  void Visit(Object* obj, std::vector<Object*>* stack);
+
+  Heap* heap_;
+  MarkBitmap* bitmap_;
+  uint64_t marked_objects_ = 0;
+  uint64_t marked_bytes_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_MARKING_H_

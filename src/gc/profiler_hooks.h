@@ -1,0 +1,42 @@
+// Interface through which collectors report events to the ROLP profiler.
+// The gc library only knows this abstract interface; the profiler in
+// src/rolp implements it, and the runtime wires the two together.
+#ifndef SRC_GC_PROFILER_HOOKS_H_
+#define SRC_GC_PROFILER_HOOKS_H_
+
+#include <cstdint>
+
+#include "src/gc/gc_metrics.h"
+
+namespace rolp {
+
+struct GcEndInfo {
+  uint64_t gc_cycle = 0;      // completed GC cycles so far
+  uint64_t pause_ns = 0;
+  PauseKind kind = PauseKind::kYoung;
+};
+
+class ProfilerHooks {
+ public:
+  virtual ~ProfilerHooks() = default;
+
+  // True when survivor processing should feed the Object Lifetime
+  // Distribution table (paper section 7.4: this can be shut off dynamically).
+  virtual bool SurvivorTrackingEnabled() const = 0;
+
+  // Called (world stopped) for every object copied by GC worker `worker_id`.
+  // `old_mark` is the object's mark word before aging.
+  virtual void OnSurvivor(uint32_t worker_id, uint64_t old_mark) = 0;
+
+  // Called (world stopped) at the end of every pause, after private survivor
+  // tables have been merged. Drives the every-16-cycles inference.
+  virtual void OnGcEnd(const GcEndInfo& info) = 0;
+
+  // Fragmentation feedback (paper section 6): live ratio of a dynamic
+  // generation observed during marking. Low ratios demote contexts.
+  virtual void OnGenFragmentation(uint8_t gen, double live_ratio) = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_PROFILER_HOOKS_H_

@@ -1,0 +1,67 @@
+// Regional generational collector.
+//
+// With dynamic generations disabled this is the G1 baseline: TLAB young
+// allocation, stop-the-world young evacuation with aging/tenuring, mixed
+// collections (mark + evacuate the emptiest tenured regions) once tenured
+// occupancy crosses a threshold, and a sliding mark-compact full-GC fallback.
+//
+// With dynamic generations enabled this is NG2C (paper section 7.1): the old
+// space is subdivided into 14 dynamic generations plus the old generation
+// proper, and allocation requests may target any of them directly
+// (pretenuring). Requests carry the target generation chosen either by
+// workload annotations (NG2C mode) or by the ROLP profiler (ROLP mode).
+#ifndef SRC_GC_REGIONAL_COLLECTOR_H_
+#define SRC_GC_REGIONAL_COLLECTOR_H_
+
+#include <array>
+#include <atomic>
+
+#include "src/gc/collector.h"
+#include "src/gc/mark_bitmap.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+class RegionalCollector : public Collector {
+ public:
+  RegionalCollector(Heap* heap, const GcConfig& config, SafepointManager* safepoints);
+
+  const char* name() const override { return config_.use_dynamic_gens ? "ng2c" : "g1"; }
+
+  Object* AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
+  Region* RefillTlab(MutatorContext* ctx) override;
+  void CollectFull(MutatorContext* ctx) override;
+
+  // Exposed for tests.
+  size_t eden_target_regions() const { return eden_target_; }
+  size_t eden_regions_in_use() const { return eden_in_use_.load(std::memory_order_relaxed); }
+
+ private:
+  // Stops the world and collects. Returns false if another thread's collection
+  // ran instead (caller should retry its allocation).
+  bool TryCollect(MutatorContext* ctx, bool force_full);
+
+  // The following run with the world stopped.
+  void DoYoungOrMixed(MutatorContext* ctx);
+  void DoFull(uint64_t t0);
+  void PreparePause();
+
+  Object* AllocatePretenured(MutatorContext* ctx, const AllocRequest& req);
+  Object* AllocateHumongousObject(MutatorContext* ctx, const AllocRequest& req);
+
+  // Fraction of heap regions holding tenured data (old + gens + humongous).
+  double TenuredOccupancy() const;
+
+  bool dynamic_gens_;
+  size_t eden_target_;
+  std::atomic<size_t> eden_in_use_{0};
+
+  SpinLock gen_lock_;
+  std::array<Region*, 16> gen_current_ = {};  // slot g: current region of gen g (15 = old)
+
+  MarkBitmap bitmap_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_REGIONAL_COLLECTOR_H_

@@ -1,0 +1,59 @@
+#include "src/gc/worker_pool.h"
+
+#include "src/util/check.h"
+
+namespace rolp {
+
+WorkerPool::WorkerPool(uint32_t num_workers) {
+  ROLP_CHECK(num_workers >= 1);
+  threads_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; w++) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::RunTask(const std::function<void(uint32_t)>& task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ROLP_CHECK(task_ == nullptr);
+  task_ = &task;
+  remaining_ = static_cast<uint32_t>(threads_.size());
+  generation_++;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(uint32_t worker_id) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(uint32_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(worker_id);
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      remaining_--;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace rolp

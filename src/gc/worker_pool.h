@@ -1,0 +1,44 @@
+// Persistent pool of GC worker threads. Work is dispatched as "run fn(w) on
+// every worker"; phases partition their inputs by worker id.
+#ifndef SRC_GC_WORKER_POOL_H_
+#define SRC_GC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rolp {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(uint32_t num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Runs task(worker_id) on all workers and blocks until every invocation
+  // returns. Must not be called re-entrantly.
+  void RunTask(const std::function<void(uint32_t)>& task);
+
+  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+
+ private:
+  void WorkerLoop(uint32_t worker_id);
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(uint32_t)>* task_ = nullptr;
+  uint64_t generation_ = 0;
+  uint32_t remaining_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_WORKER_POOL_H_

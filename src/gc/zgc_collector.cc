@@ -1,0 +1,579 @@
+#include "src/gc/zgc_collector.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "src/gc/mark_compact.h"
+#include "src/util/clock.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+namespace {
+constexpr int kMaxAllocationAttempts = 32;
+}  // namespace
+
+ZgcCollector::ZgcCollector(Heap* heap, const GcConfig& config, SafepointManager* safepoints)
+    : Collector(heap, config, safepoints),
+      bitmap_(heap->regions().heap_base(), heap->regions().committed_bytes()) {
+  heap->SetBarrierSet(std::make_unique<ZBarrierSet>(this));
+}
+
+double ZgcCollector::Occupancy() const {
+  RegionManager& regions = const_cast<Heap*>(heap_)->regions();
+  return 1.0 - static_cast<double>(regions.free_regions()) /
+                   static_cast<double>(regions.num_regions());
+}
+
+char* ZgcCollector::AllocToSpace(size_t bytes) {
+  std::lock_guard<SpinLock> guard(to_space_lock_);
+  if (to_space_region_ != nullptr) {
+    char* p = to_space_region_->AtomicBumpAlloc(bytes);
+    if (p != nullptr) {
+      return p;
+    }
+  }
+  Region* fresh = heap_->regions().AllocateRegion(RegionKind::kOld);
+  if (fresh == nullptr) {
+    return nullptr;
+  }
+  to_space_region_ = fresh;
+  return fresh->AtomicBumpAlloc(bytes);
+}
+
+Object* ZgcCollector::Relocate(Object* obj) {
+  while (true) {
+    uint64_t m = obj->mark.load(std::memory_order_acquire);
+    if (markword::IsForwarded(m)) {
+      return markword::ForwardedPtr(m);
+    }
+    size_t size = obj->size_bytes;
+    char* to = AllocToSpace(size);
+    if (to == nullptr) {
+      // Relocation stall: leave the object in place; FinishCycle will keep
+      // its region alive.
+      return obj;
+    }
+    std::memcpy(to, obj, size);
+    Object* copy = reinterpret_cast<Object*>(to);
+    copy->StoreMark(m);
+    if (obj->mark.compare_exchange_strong(m, markword::EncodeForwarded(copy),
+                                          std::memory_order_acq_rel)) {
+      relocated_bytes_.fetch_add(size, std::memory_order_relaxed);
+      metrics_.AddBytesCopied(size);
+      return copy;
+    }
+    // Lost the race; the duplicate copy in to-space stays as (walkable) dead
+    // data and is reclaimed next cycle.
+  }
+}
+
+Object* ZgcCollector::LoadBarrier(std::atomic<Object*>* slot) {
+  Object* v = slot->load(std::memory_order_acquire);
+  if (v == nullptr) {
+    return nullptr;
+  }
+  Phase phase = phase_.load(std::memory_order_acquire);
+  if (phase == Phase::kRelocating || phase == Phase::kRemapping) {
+    Region* r = heap_->regions().RegionFor(v);
+    if (r->in_cset()) {
+      Object* healed = Relocate(v);
+      if (healed != v) {
+        slot->compare_exchange_strong(v, healed, std::memory_order_acq_rel);
+      }
+      return healed;
+    }
+  }
+  return v;
+}
+
+Region* ZgcCollector::RefillTlab(MutatorContext* ctx) {
+  for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+    Phase phase = phase_.load(std::memory_order_relaxed);
+    if (phase != Phase::kIdle) {
+      // Pacing: marking/relocation/remap progress proportional to allocation.
+      ConcurrentWork(ctx, static_cast<size_t>(config_.z_work_per_alloc_byte *
+                                              static_cast<double>(
+                                                  heap_->regions().region_bytes())));
+    } else if (Occupancy() >= config_.z_trigger_occupancy) {
+      StartCycle(ctx);
+    }
+    Region* r = heap_->regions().AllocateRegion(RegionKind::kOld);
+    if (r != nullptr) {
+      ctx->tlab.Release();
+      ctx->tlab.Install(r);
+      heap_->UpdateMaxUsedBytes();
+      return r;
+    }
+    if (phase_.load(std::memory_order_relaxed) == Phase::kIdle) {
+      // Out of memory with no cycle to wait for: allocation-stall fallback.
+      DoFull(ctx);
+    }
+    // Otherwise loop: each iteration pushes the concurrent cycle forward.
+  }
+  return nullptr;
+}
+
+Object* ZgcCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
+  if (heap_->IsHumongousSize(req.total_bytes)) {
+    for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+      Region* head = heap_->regions().AllocateHumongous(req.total_bytes);
+      if (head != nullptr) {
+        Object* obj = heap_->InitializeObject(head->begin(), req.cls, req.total_bytes,
+                                              req.array_length, req.context);
+        if (phase_.load(std::memory_order_relaxed) == Phase::kMarking) {
+          bitmap_.Mark(obj);
+        }
+        return obj;
+      }
+      if (phase_.load(std::memory_order_relaxed) != Phase::kIdle) {
+        ConcurrentWork(ctx, heap_->regions().region_bytes() * 4);
+      } else {
+        DoFull(ctx);
+      }
+    }
+    return nullptr;
+  }
+  for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+    char* mem = ctx->tlab.Allocate(req.total_bytes);
+    if (mem != nullptr) {
+      Object* obj =
+          heap_->InitializeObject(mem, req.cls, req.total_bytes, req.array_length, req.context);
+      if (phase_.load(std::memory_order_relaxed) == Phase::kMarking) {
+        bitmap_.Mark(obj);  // allocate black during marking
+      }
+      return obj;
+    }
+    if (RefillTlab(ctx) == nullptr) {
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+bool ZgcCollector::StartCycle(MutatorContext* ctx) {
+  if (!safepoints_->BeginOperation(ctx)) {
+    return false;
+  }
+  if (phase_.load(std::memory_order_relaxed) != Phase::kIdle) {
+    safepoints_->EndOperation(ctx);
+    return false;
+  }
+  uint64_t t0 = NowNs();
+  bitmap_.ClearAll();
+  heap_->regions().ForEachRegion([](Region* r) {
+    if (!r->IsFree()) {
+      r->set_live_bytes(0);
+    }
+  });
+  {
+    std::lock_guard<SpinLock> guard(gray_lock_);
+    heap_->roots().ForEach([&](std::atomic<Object*>* slot) {
+      Object* v = slot->load(std::memory_order_relaxed);
+      if (v != nullptr) {
+        gray_queue_.push_back(v);
+      }
+    });
+    safepoints_->ForEachThread([&](MutatorContext* t) {
+      for (auto& slot : t->local_roots) {
+        Object* v = slot.load(std::memory_order_relaxed);
+        if (v != nullptr) {
+          gray_queue_.push_back(v);
+        }
+      }
+    });
+  }
+  phase_.store(Phase::kMarking, std::memory_order_release);
+  uint64_t t1 = NowNs();
+  metrics_.RecordPause({t0, t1 - t0, PauseKind::kZMark, 0});
+  metrics_.IncrementGcCycles();
+  safepoints_->EndOperation(ctx);
+  return true;
+}
+
+void ZgcCollector::MarkSlice(size_t budget_bytes) {
+  size_t traced = 0;
+  while (traced < budget_bytes) {
+    if (mark_stack_.empty()) {
+      std::lock_guard<SpinLock> guard(gray_lock_);
+      if (gray_queue_.empty()) {
+        return;
+      }
+      for (Object* obj : gray_queue_) {
+        if (bitmap_.Mark(obj)) {
+          heap_->regions().RegionFor(obj)->AddLiveBytes(obj->size_bytes);
+          mark_stack_.push_back(obj);
+        }
+      }
+      gray_queue_.clear();
+      continue;
+    }
+    Object* obj = mark_stack_.back();
+    mark_stack_.pop_back();
+    traced += obj->size_bytes;
+    heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+      Object* v = slot->load(std::memory_order_relaxed);
+      if (v != nullptr && bitmap_.Mark(v)) {
+        heap_->regions().RegionFor(v)->AddLiveBytes(v->size_bytes);
+        mark_stack_.push_back(v);
+      }
+    });
+  }
+}
+
+void ZgcCollector::ConcurrentWork(MutatorContext* ctx, size_t budget_bytes) {
+  if (!work_lock_.try_lock()) {
+    return;
+  }
+  uint64_t t0 = NowNs();
+  Phase phase = phase_.load(std::memory_order_relaxed);
+  switch (phase) {
+    case Phase::kIdle:
+      break;
+    case Phase::kMarking: {
+      MarkSlice(budget_bytes);
+      bool done;
+      {
+        std::lock_guard<SpinLock> guard(gray_lock_);
+        done = mark_stack_.empty() && gray_queue_.empty();
+      }
+      if (done) {
+        work_lock_.unlock();
+        metrics_.AddConcurrentWorkNs(NowNs() - t0);
+        RemarkAndSelect(ctx);
+        return;
+      }
+      break;
+    }
+    case Phase::kRelocating:
+      RelocateSlice(budget_bytes);
+      break;
+    case Phase::kRemapping:
+      RemapSlice(budget_bytes);
+      if (phase_.load(std::memory_order_relaxed) == Phase::kRemapping &&
+          remap_cursor_ >= remap_snapshot_.size()) {
+        work_lock_.unlock();
+        metrics_.AddConcurrentWorkNs(NowNs() - t0);
+        FinishCycle(ctx);
+        return;
+      }
+      break;
+  }
+  metrics_.AddConcurrentWorkNs(NowNs() - t0);
+  work_lock_.unlock();
+}
+
+bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
+  if (!safepoints_->BeginOperation(ctx)) {
+    return false;
+  }
+  if (phase_.load(std::memory_order_relaxed) != Phase::kMarking) {
+    safepoints_->EndOperation(ctx);
+    return false;
+  }
+  uint64_t t0 = NowNs();
+  // Remark: rescan roots, drain to completion.
+  {
+    std::lock_guard<SpinLock> guard(gray_lock_);
+    heap_->roots().ForEach([&](std::atomic<Object*>* slot) {
+      Object* v = slot->load(std::memory_order_relaxed);
+      if (v != nullptr) {
+        gray_queue_.push_back(v);
+      }
+    });
+    safepoints_->ForEachThread([&](MutatorContext* t) {
+      for (auto& slot : t->local_roots) {
+        Object* v = slot.load(std::memory_order_relaxed);
+        if (v != nullptr) {
+          gray_queue_.push_back(v);
+        }
+      }
+    });
+  }
+  while (true) {
+    MarkSlice(SIZE_MAX / 2);
+    std::lock_guard<SpinLock> guard(gray_lock_);
+    if (mark_stack_.empty() && gray_queue_.empty()) {
+      break;
+    }
+  }
+
+  RegionManager& regions = heap_->regions();
+  // Reclaim dead humongous objects.
+  std::vector<Region*> dead_humongous;
+  regions.ForEachRegion([&](Region* r) {
+    if (r->kind() == RegionKind::kHumongous &&
+        !bitmap_.IsMarked(reinterpret_cast<Object*>(r->begin()))) {
+      dead_humongous.push_back(r);
+    }
+  });
+  for (Region* r : dead_humongous) {
+    bitmap_.ClearRange(r->begin(), r->begin() + static_cast<size_t>(r->humongous_span()) *
+                                                    regions.region_bytes());
+    regions.FreeRegion(r);
+  }
+
+  // Select the relocation set: sparse regions, excluding allocation buffers.
+  relocation_set_.clear();
+  std::vector<Region*> excluded;
+  safepoints_->ForEachThread([&](MutatorContext* t) {
+    if (t->tlab.HasRegion()) {
+      excluded.push_back(t->tlab.region());
+    }
+  });
+  {
+    std::lock_guard<SpinLock> guard(to_space_lock_);
+    if (to_space_region_ != nullptr) {
+      excluded.push_back(to_space_region_);
+    }
+  }
+  regions.ForEachRegion([&](Region* r) {
+    if (r->kind() != RegionKind::kOld || r->used() == 0) {
+      return;
+    }
+    if (r->LiveRatio() > config_.z_relocate_live_ratio_max) {
+      return;
+    }
+    for (Region* ex : excluded) {
+      if (ex == r) {
+        return;
+      }
+    }
+    relocation_set_.push_back(r);
+  });
+  // Cap the set so to-space demand stays within free memory.
+  size_t free_bytes = regions.free_regions() * regions.region_bytes();
+  size_t budget = free_bytes / 2;
+  size_t planned = 0;
+  size_t keep = 0;
+  for (Region* r : relocation_set_) {
+    if (planned + r->live_bytes() > budget) {
+      break;
+    }
+    planned += r->live_bytes();
+    keep++;
+  }
+  relocation_set_.resize(keep);
+
+  for (Region* r : relocation_set_) {
+    r->set_in_cset(true);
+  }
+  relocate_cursor_ = 0;
+  relocate_scan_ = relocation_set_.empty() ? nullptr : relocation_set_[0]->begin();
+  remap_cursor_ = 0;
+  // Freeze allocation buffers: regions created from here on are remapped in
+  // the final pause instead of concurrently (see remap_snapshot_).
+  safepoints_->ForEachThread([](MutatorContext* t) { t->tlab.Release(); });
+  {
+    std::lock_guard<SpinLock> guard(to_space_lock_);
+    to_space_region_ = nullptr;
+  }
+  remap_snapshot_.clear();
+  regions.ForEachRegion([&](Region* r) {
+    if (!r->IsFree() && !r->in_cset() && r->kind() != RegionKind::kHumongousCont) {
+      remap_snapshot_.push_back(r->index());
+    }
+  });
+
+  if (relocation_set_.empty()) {
+    phase_.store(Phase::kIdle, std::memory_order_release);
+    cycles_completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    phase_.store(Phase::kRelocating, std::memory_order_release);
+    // Eager root healing: after this pause no mutator-visible reference may
+    // point at a not-yet-relocated collection-set object.
+    auto heal_root = [&](std::atomic<Object*>* slot) {
+      Object* v = slot->load(std::memory_order_relaxed);
+      if (v == nullptr) {
+        return;
+      }
+      if (regions.RegionFor(v)->in_cset()) {
+        slot->store(Relocate(v), std::memory_order_relaxed);
+      }
+    };
+    heap_->roots().ForEach(heal_root);
+    safepoints_->ForEachThread([&](MutatorContext* t) {
+      for (auto& slot : t->local_roots) {
+        heal_root(&slot);
+      }
+    });
+  }
+
+  heap_->UpdateMaxUsedBytes();
+  uint64_t t1 = NowNs();
+  metrics_.RecordPause({t0, t1 - t0, PauseKind::kZRemark, 0});
+  metrics_.IncrementGcCycles();
+  safepoints_->EndOperation(ctx);
+  return true;
+}
+
+void ZgcCollector::RelocateSlice(size_t budget_bytes) {
+  size_t done = 0;
+  while (done < budget_bytes && relocate_cursor_ < relocation_set_.size()) {
+    Region* r = relocation_set_[relocate_cursor_];
+    char* top = r->top();
+    if (relocate_scan_ == nullptr) {
+      relocate_scan_ = r->begin();
+    }
+    if (relocate_scan_ >= top) {
+      relocate_cursor_++;
+      relocate_scan_ = relocate_cursor_ < relocation_set_.size()
+                           ? relocation_set_[relocate_cursor_]->begin()
+                           : nullptr;
+      continue;
+    }
+    Object* obj = reinterpret_cast<Object*>(relocate_scan_);
+    relocate_scan_ += obj->size_bytes;
+    done += obj->size_bytes;
+    if (bitmap_.IsMarked(obj)) {
+      Relocate(obj);
+    }
+  }
+  if (relocate_cursor_ >= relocation_set_.size()) {
+    remap_cursor_ = 0;
+    phase_.store(Phase::kRemapping, std::memory_order_release);
+  }
+}
+
+void ZgcCollector::RemapSlice(size_t budget_bytes) {
+  RegionManager& regions = heap_->regions();
+  size_t done = 0;
+  while (done < budget_bytes && remap_cursor_ < remap_snapshot_.size()) {
+    Region* r = &regions.region(remap_snapshot_[remap_cursor_]);
+    remap_cursor_++;
+    if (r->IsFree() || r->in_cset() || r->kind() == RegionKind::kHumongousCont) {
+      continue;
+    }
+    r->ForEachObject([&](Object* obj) {
+      done += obj->size_bytes;
+      if (!bitmap_.IsMarked(obj)) {
+        return;  // dead (or freshly allocated, which never holds stale refs)
+      }
+      heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+        Object* v = slot->load(std::memory_order_relaxed);
+        if (v == nullptr) {
+          return;
+        }
+        if (regions.RegionFor(v)->in_cset()) {
+          Object* healed = Relocate(v);
+          slot->compare_exchange_strong(v, healed, std::memory_order_acq_rel);
+        }
+      });
+    });
+  }
+}
+
+void ZgcCollector::FinishCycle(MutatorContext* ctx) {
+  if (!safepoints_->BeginOperation(ctx)) {
+    return;
+  }
+  if (phase_.load(std::memory_order_relaxed) != Phase::kRemapping) {
+    safepoints_->EndOperation(ctx);
+    return;
+  }
+  uint64_t t0 = NowNs();
+  RegionManager& regions = heap_->regions();
+  // Remap regions created after the relocate-start pause (fresh TLABs and
+  // to-space); their tops are stable now that the world is stopped. Objects
+  // in them may still hold references copied verbatim from the collection
+  // set.
+  std::vector<bool> in_snapshot(regions.num_regions(), false);
+  for (uint32_t idx : remap_snapshot_) {
+    in_snapshot[idx] = true;
+  }
+  regions.ForEachRegion([&](Region* r) {
+    if (r->IsFree() || r->in_cset() || in_snapshot[r->index()] ||
+        r->kind() == RegionKind::kHumongousCont) {
+      return;
+    }
+    r->ForEachObject([&](Object* obj) {
+      heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+        Object* v = slot->load(std::memory_order_relaxed);
+        if (v != nullptr && regions.RegionFor(v)->in_cset()) {
+          slot->store(Relocate(v), std::memory_order_relaxed);
+        }
+      });
+    });
+  });
+  // Heal roots one final time (cheap; usually no-ops).
+  auto heal_root = [&](std::atomic<Object*>* slot) {
+    Object* v = slot->load(std::memory_order_relaxed);
+    if (v != nullptr && regions.RegionFor(v)->in_cset()) {
+      slot->store(Relocate(v), std::memory_order_relaxed);
+    }
+  };
+  heap_->roots().ForEach(heal_root);
+  safepoints_->ForEachThread([&](MutatorContext* t) {
+    for (auto& slot : t->local_roots) {
+      heal_root(&slot);
+    }
+  });
+
+  for (Region* r : relocation_set_) {
+    bool fully_evacuated = true;
+    r->ForEachObject([&](Object* obj) {
+      if (bitmap_.IsMarked(obj) && !markword::IsForwarded(obj->LoadMark())) {
+        // Relocation stall left it behind; try once more.
+        Object* moved = Relocate(obj);
+        if (moved == obj) {
+          fully_evacuated = false;
+        }
+      }
+    });
+    if (fully_evacuated) {
+      bitmap_.ClearRange(r->begin(), r->end());
+      regions.FreeRegion(r);
+    } else {
+      r->set_in_cset(false);  // stays as a normal old region
+    }
+  }
+  relocation_set_.clear();
+  phase_.store(Phase::kIdle, std::memory_order_release);
+  cycles_completed_.fetch_add(1, std::memory_order_relaxed);
+  heap_->UpdateMaxUsedBytes();
+  uint64_t t1 = NowNs();
+  metrics_.RecordPause({t0, t1 - t0, PauseKind::kZRelocateStart, 0});
+  metrics_.IncrementGcCycles();
+  safepoints_->EndOperation(ctx);
+}
+
+void ZgcCollector::DoFull(MutatorContext* ctx) {
+  if (!safepoints_->BeginOperation(ctx)) {
+    return;
+  }
+  uint64_t t0 = NowNs();
+  safepoints_->ForEachThread([](MutatorContext* t) { t->tlab.Release(); });
+  {
+    std::lock_guard<SpinLock> guard(gray_lock_);
+    gray_queue_.clear();
+  }
+  mark_stack_.clear();
+  for (Region* r : relocation_set_) {
+    r->set_in_cset(false);
+  }
+  relocation_set_.clear();
+  {
+    std::lock_guard<SpinLock> guard(to_space_lock_);
+    to_space_region_ = nullptr;
+  }
+  phase_.store(Phase::kIdle, std::memory_order_release);
+
+  MarkCompact compactor(heap_, &bitmap_);
+  uint64_t moved = compactor.Collect(safepoints_, workers_.get());
+  metrics_.AddBytesCopied(moved);
+  metrics_.IncrementGcCycles();
+  heap_->UpdateMaxUsedBytes();
+  uint64_t t1 = NowNs();
+  metrics_.RecordPause({t0, t1 - t0, PauseKind::kFull, moved});
+  safepoints_->EndOperation(ctx);
+}
+
+void ZgcCollector::CollectFull(MutatorContext* ctx) {
+  // Finish any in-flight cycle deterministically, then compact.
+  for (int i = 0; i < 1000 && phase_.load(std::memory_order_relaxed) != Phase::kIdle; i++) {
+    ConcurrentWork(ctx, SIZE_MAX / 4);
+  }
+  DoFull(ctx);
+}
+
+}  // namespace rolp

@@ -1,0 +1,61 @@
+#include "src/heap/class_registry.h"
+
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace rolp {
+
+ClassRegistry::ClassRegistry() {
+  ref_array_class_ = RegisterRefArray("Object[]");
+  data_array_class_ = RegisterDataArray("byte[]");
+}
+
+ClassId ClassRegistry::RegisterInstance(const std::string& name, uint32_t payload_size,
+                                        std::vector<uint32_t> ref_offsets) {
+  ROLP_CHECK(payload_size % kObjectAlignment == 0);
+  for (uint32_t off : ref_offsets) {
+    ROLP_CHECK(off % sizeof(Object*) == 0);
+    ROLP_CHECK(off + sizeof(Object*) <= payload_size);
+  }
+  ClassInfo info;
+  info.name = name;
+  info.kind = ClassKind::kInstance;
+  info.payload_size = payload_size;
+  info.ref_offsets = std::move(ref_offsets);
+  return RegisterLocked(std::move(info));
+}
+
+ClassId ClassRegistry::RegisterRefArray(const std::string& name) {
+  ClassInfo info;
+  info.name = name;
+  info.kind = ClassKind::kRefArray;
+  return RegisterLocked(std::move(info));
+}
+
+ClassId ClassRegistry::RegisterDataArray(const std::string& name) {
+  ClassInfo info;
+  info.name = name;
+  info.kind = ClassKind::kDataArray;
+  return RegisterLocked(std::move(info));
+}
+
+ClassId ClassRegistry::RegisterLocked(ClassInfo info) {
+  std::lock_guard<SpinLock> guard(lock_);
+  info.id = static_cast<ClassId>(classes_.size());
+  classes_.push_back(std::move(info));
+  return classes_.back().id;
+}
+
+const ClassInfo& ClassRegistry::Get(ClassId id) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  ROLP_CHECK(id < classes_.size());
+  return classes_[id];
+}
+
+size_t ClassRegistry::NumClasses() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return classes_.size();
+}
+
+}  // namespace rolp

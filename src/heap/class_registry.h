@@ -1,0 +1,62 @@
+// Class descriptors: the GC needs to know, for every object, which payload
+// offsets hold references. Workloads register their classes at startup.
+#ifndef SRC_HEAP_CLASS_REGISTRY_H_
+#define SRC_HEAP_CLASS_REGISTRY_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/heap/object.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+enum class ClassKind : uint8_t {
+  kInstance,   // fixed payload size, explicit reference offsets
+  kRefArray,   // variable length array of references
+  kDataArray,  // variable length array of raw bytes (no references)
+};
+
+struct ClassInfo {
+  ClassId id = 0;
+  std::string name;
+  ClassKind kind = ClassKind::kInstance;
+  uint32_t payload_size = 0;             // kInstance only
+  std::vector<uint32_t> ref_offsets;     // kInstance only, payload byte offsets
+};
+
+class ClassRegistry {
+ public:
+  ClassRegistry();
+
+  // Registers a fixed-size instance class. ref_offsets are payload byte
+  // offsets of reference fields; each must be 8-aligned and within
+  // payload_size.
+  ClassId RegisterInstance(const std::string& name, uint32_t payload_size,
+                           std::vector<uint32_t> ref_offsets);
+
+  ClassId RegisterRefArray(const std::string& name);
+  ClassId RegisterDataArray(const std::string& name);
+
+  const ClassInfo& Get(ClassId id) const;
+  size_t NumClasses() const;
+
+  // Pre-registered array classes available on every heap.
+  ClassId ref_array_class() const { return ref_array_class_; }
+  ClassId data_array_class() const { return data_array_class_; }
+
+ private:
+  ClassId RegisterLocked(ClassInfo info);
+
+  mutable SpinLock lock_;
+  // Deque: Get() hands out references that must stay valid across later
+  // registrations.
+  std::deque<ClassInfo> classes_;
+  ClassId ref_array_class_;
+  ClassId data_array_class_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_HEAP_CLASS_REGISTRY_H_

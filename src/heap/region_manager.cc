@@ -1,0 +1,177 @@
+#include "src/heap/region_manager.h"
+
+#include <sys/mman.h>
+
+#include <bit>
+#include <cstring>
+#include <mutex>
+
+#include "src/util/check.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+const char* RegionKindName(RegionKind kind) {
+  switch (kind) {
+    case RegionKind::kFree:
+      return "free";
+    case RegionKind::kEden:
+      return "eden";
+    case RegionKind::kSurvivor:
+      return "survivor";
+    case RegionKind::kOld:
+      return "old";
+    case RegionKind::kGen:
+      return "gen";
+    case RegionKind::kHumongous:
+      return "humongous";
+    case RegionKind::kHumongousCont:
+      return "humongous-cont";
+  }
+  return "?";
+}
+
+RegionManager::RegionManager(size_t heap_bytes, size_t region_bytes)
+    : region_bytes_(region_bytes) {
+  ROLP_CHECK(std::has_single_bit(region_bytes));
+  ROLP_CHECK(region_bytes >= 64 * 1024);
+  num_regions_ = (heap_bytes + region_bytes - 1) / region_bytes;
+  ROLP_CHECK(num_regions_ >= 4);
+
+  void* mem = mmap(nullptr, num_regions_ * region_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  ROLP_CHECK_MSG(mem != MAP_FAILED, "heap reservation failed");
+  base_ = static_cast<char*>(mem);
+
+  regions_ = std::make_unique<Region[]>(num_regions_);
+  free_list_.reserve(num_regions_);
+  // Push in reverse so regions are handed out in ascending address order.
+  for (size_t i = num_regions_; i > 0; i--) {
+    size_t idx = i - 1;
+    regions_[idx].Init(static_cast<uint32_t>(idx), base_ + idx * region_bytes_,
+                       base_ + (idx + 1) * region_bytes_, static_cast<uint32_t>(num_regions_));
+    free_list_.push_back(static_cast<uint32_t>(idx));
+  }
+}
+
+RegionManager::~RegionManager() {
+  if (base_ != nullptr) {
+    munmap(base_, num_regions_ * region_bytes_);
+  }
+}
+
+Region* RegionManager::AllocateRegion(RegionKind kind, uint8_t gen) {
+  ROLP_CHECK(kind != RegionKind::kFree && kind != RegionKind::kHumongousCont);
+  std::lock_guard<SpinLock> guard(lock_);
+  if (free_list_.empty()) {
+    return nullptr;
+  }
+  Region* r = &regions_[free_list_.back()];
+  free_list_.pop_back();
+  ROLP_DCHECK(r->IsFree());
+  r->set_kind(kind);
+  r->set_gen(gen);
+  return r;
+}
+
+Region* RegionManager::AllocateHumongous(size_t object_bytes) {
+  size_t needed = (object_bytes + region_bytes_ - 1) / region_bytes_;
+  std::lock_guard<SpinLock> guard(lock_);
+  // Find a run of `needed` contiguous free regions (first fit).
+  size_t run = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < num_regions_; i++) {
+    if (regions_[i].IsFree()) {
+      if (run == 0) {
+        start = i;
+      }
+      run++;
+      if (run == needed) {
+        for (size_t j = start; j < start + needed; j++) {
+          regions_[j].set_kind(j == start ? RegionKind::kHumongous : RegionKind::kHumongousCont);
+          // Remove from the free list.
+          for (size_t k = 0; k < free_list_.size(); k++) {
+            if (free_list_[k] == j) {
+              free_list_[k] = free_list_.back();
+              free_list_.pop_back();
+              break;
+            }
+          }
+        }
+        Region* head = &regions_[start];
+        head->set_humongous_span(static_cast<uint32_t>(needed));
+        head->set_top(head->begin() + object_bytes);
+        return head;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return nullptr;
+}
+
+void RegionManager::FreeRegion(Region* region) {
+  std::lock_guard<SpinLock> guard(lock_);
+  size_t span = 1;
+  if (region->kind() == RegionKind::kHumongous) {
+    span = region->humongous_span();
+  }
+  ROLP_CHECK(region->kind() != RegionKind::kHumongousCont);
+  uint32_t first = region->index();
+  for (size_t j = 0; j < span; j++) {
+    Region* r = &regions_[first + j];
+    ROLP_DCHECK(!r->IsFree());
+    r->Reset();
+    free_list_.push_back(r->index());
+  }
+}
+
+Region* RegionManager::RegionFor(const void* p) {
+  ROLP_DCHECK(Contains(p));
+  size_t idx = static_cast<size_t>(static_cast<const char*>(p) - base_) / region_bytes_;
+  return &regions_[idx];
+}
+
+const Region* RegionManager::RegionFor(const void* p) const {
+  return const_cast<RegionManager*>(this)->RegionFor(p);
+}
+
+size_t RegionManager::free_regions() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return free_list_.size();
+}
+
+RegionManager::Usage RegionManager::ComputeUsage() const {
+  Usage u;
+  for (size_t i = 0; i < num_regions_; i++) {
+    const Region& r = regions_[i];
+    switch (r.kind()) {
+      case RegionKind::kFree:
+        break;
+      case RegionKind::kEden:
+        u.eden_regions++;
+        u.used_bytes += r.used();
+        break;
+      case RegionKind::kSurvivor:
+        u.survivor_regions++;
+        u.used_bytes += r.used();
+        break;
+      case RegionKind::kOld:
+        u.old_regions++;
+        u.used_bytes += r.used();
+        break;
+      case RegionKind::kGen:
+        u.gen_regions++;
+        u.used_bytes += r.used();
+        break;
+      case RegionKind::kHumongous:
+      case RegionKind::kHumongousCont:
+        u.humongous_regions++;
+        u.used_bytes += r.used();
+        break;
+    }
+  }
+  return u;
+}
+
+}  // namespace rolp

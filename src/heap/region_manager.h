@@ -1,0 +1,78 @@
+// Reserves the heap with one mmap call and manages the region table.
+#ifndef SRC_HEAP_REGION_MANAGER_H_
+#define SRC_HEAP_REGION_MANAGER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/heap/region.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+class RegionManager {
+ public:
+  // heap_bytes rounded up to a multiple of region_bytes; region_bytes must be
+  // a power of two.
+  RegionManager(size_t heap_bytes, size_t region_bytes);
+  ~RegionManager();
+
+  RegionManager(const RegionManager&) = delete;
+  RegionManager& operator=(const RegionManager&) = delete;
+
+  // Takes a free region and transitions it to the given kind. Returns nullptr
+  // if the heap is exhausted.
+  Region* AllocateRegion(RegionKind kind, uint8_t gen = 0);
+
+  // Allocates ceil(bytes / region_size) contiguous regions for one humongous
+  // object. Returns the head region or nullptr.
+  Region* AllocateHumongous(size_t object_bytes);
+
+  // Returns a region (and its humongous continuations) to the free pool.
+  void FreeRegion(Region* region);
+
+  Region* RegionFor(const void* p);
+  const Region* RegionFor(const void* p) const;
+  bool Contains(const void* p) const {
+    return p >= base_ && p < base_ + num_regions_ * region_bytes_;
+  }
+
+  const char* heap_base() const { return base_; }
+  size_t region_bytes() const { return region_bytes_; }
+  size_t num_regions() const { return num_regions_; }
+  size_t free_regions() const;
+  size_t committed_bytes() const { return num_regions_ * region_bytes_; }
+
+  Region& region(size_t i) { return regions_[i]; }
+
+  template <typename Fn>
+  void ForEachRegion(Fn&& fn) {
+    for (size_t i = 0; i < num_regions_; i++) {
+      fn(&regions_[i]);
+    }
+  }
+
+  // Count of non-free regions of each kind, and bytes used in them.
+  struct Usage {
+    size_t eden_regions = 0;
+    size_t survivor_regions = 0;
+    size_t old_regions = 0;
+    size_t gen_regions = 0;
+    size_t humongous_regions = 0;
+    size_t used_bytes = 0;
+  };
+  Usage ComputeUsage() const;
+
+ private:
+  char* base_ = nullptr;
+  size_t region_bytes_ = 0;
+  size_t num_regions_ = 0;
+  std::unique_ptr<Region[]> regions_;
+  mutable SpinLock lock_;
+  std::vector<uint32_t> free_list_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_HEAP_REGION_MANAGER_H_

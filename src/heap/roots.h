@@ -1,0 +1,101 @@
+// GC roots. Global roots are registered slots (GlobalRef below); per-thread
+// local roots live in the runtime's thread state and are exposed to the GC at
+// safepoints.
+#ifndef SRC_HEAP_ROOTS_H_
+#define SRC_HEAP_ROOTS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/heap/object.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+class GlobalRoots {
+ public:
+  void Add(std::atomic<Object*>* slot) {
+    std::lock_guard<SpinLock> guard(lock_);
+    slots_.push_back(slot);
+  }
+
+  void Remove(std::atomic<Object*>* slot) {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (size_t i = 0; i < slots_.size(); i++) {
+      if (slots_[i] == slot) {
+        slots_[i] = slots_.back();
+        slots_.pop_back();
+        return;
+      }
+    }
+  }
+
+  // Called at safepoints only (no locking needed against mutators, but cheap
+  // enough to lock anyway).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (auto* slot : slots_) {
+      fn(slot);
+    }
+  }
+
+  size_t Count() const {
+    std::lock_guard<SpinLock> guard(lock_);
+    return slots_.size();
+  }
+
+ private:
+  mutable SpinLock lock_;
+  std::vector<std::atomic<Object*>*> slots_;
+};
+
+// RAII global root: a stable slot registered with the heap's root set for the
+// lifetime of this object. Movable, not copyable.
+class GlobalRef {
+ public:
+  GlobalRef() = default;
+  GlobalRef(GlobalRoots* roots, Object* initial) : roots_(roots) {
+    cell_ = std::make_unique<std::atomic<Object*>>(initial);
+    roots_->Add(cell_.get());
+  }
+  ~GlobalRef() { ReleaseSlot(); }
+
+  GlobalRef(GlobalRef&& other) noexcept { *this = std::move(other); }
+  GlobalRef& operator=(GlobalRef&& other) noexcept {
+    if (this != &other) {
+      ReleaseSlot();
+      roots_ = other.roots_;
+      cell_ = std::move(other.cell_);
+      other.roots_ = nullptr;
+    }
+    return *this;
+  }
+  GlobalRef(const GlobalRef&) = delete;
+  GlobalRef& operator=(const GlobalRef&) = delete;
+
+  Object* get() const { return cell_ == nullptr ? nullptr : cell_->load(std::memory_order_relaxed); }
+  void set(Object* obj) { cell_->store(obj, std::memory_order_relaxed); }
+  bool valid() const { return cell_ != nullptr; }
+  // The underlying root slot; reads that must stay valid under a concurrent
+  // collector go through Heap::LoadRef on this slot.
+  std::atomic<Object*>* slot() const { return cell_.get(); }
+
+ private:
+  void ReleaseSlot() {
+    if (cell_ != nullptr && roots_ != nullptr) {
+      roots_->Remove(cell_.get());
+    }
+    cell_.reset();
+    roots_ = nullptr;
+  }
+
+  GlobalRoots* roots_ = nullptr;
+  std::unique_ptr<std::atomic<Object*>> cell_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_HEAP_ROOTS_H_

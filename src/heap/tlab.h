@@ -1,0 +1,36 @@
+// Thread-local allocation buffer. Each mutator owns at most one eden region
+// at a time and bump-allocates from it without synchronization.
+#ifndef SRC_HEAP_TLAB_H_
+#define SRC_HEAP_TLAB_H_
+
+#include "src/heap/region.h"
+
+namespace rolp {
+
+class Tlab {
+ public:
+  Tlab() = default;
+
+  bool HasRegion() const { return region_ != nullptr; }
+  Region* region() const { return region_; }
+
+  // Installs a fresh eden region as the current buffer.
+  void Install(Region* region) { region_ = region; }
+
+  // Detaches the current region (it stays an eden region, owned by the heap).
+  void Release() { region_ = nullptr; }
+
+  char* Allocate(size_t bytes) {
+    if (region_ == nullptr) {
+      return nullptr;
+    }
+    return region_->BumpAlloc(bytes);
+  }
+
+ private:
+  Region* region_ = nullptr;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_HEAP_TLAB_H_

@@ -1,0 +1,185 @@
+#include "src/rolp/conflict_resolver.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+ConflictResolver::ConflictResolver(CallSiteControl* control, double p_fraction, uint64_t seed)
+    : control_(control), p_(p_fraction), rng_(seed) {
+  ROLP_CHECK(p_fraction > 0.0 && p_fraction <= 1.0);
+}
+
+void ConflictResolver::EnableSet(const std::vector<size_t>& sites, bool enabled) {
+  for (size_t s : sites) {
+    control_->SetCallSiteTracking(s, enabled);
+    if (enabled) {
+      enabled_.insert(s);
+    } else {
+      enabled_.erase(s);
+    }
+  }
+}
+
+std::vector<size_t> ConflictResolver::PickTrialSet() {
+  size_t total = control_->NumProfilableCallSites();
+  std::vector<size_t> untried;
+  untried.reserve(total);
+  for (size_t i = 0; i < total; i++) {
+    if (tried_.find(i) == tried_.end()) {
+      untried.push_back(i);
+    }
+  }
+  if (untried.empty()) {
+    return {};
+  }
+  size_t want = static_cast<size_t>(p_ * static_cast<double>(total));
+  if (want < 1) {
+    want = 1;
+  }
+  if (want > untried.size()) {
+    want = untried.size();
+  }
+  // Partial Fisher-Yates over the untried pool.
+  for (size_t i = 0; i < want; i++) {
+    size_t j = i + static_cast<size_t>(rng_.NextBounded(untried.size() - i));
+    std::swap(untried[i], untried[j]);
+  }
+  untried.resize(want);
+  for (size_t s : untried) {
+    tried_.insert(s);
+  }
+  return untried;
+}
+
+uint64_t ConflictResolver::WorstCaseRounds() const {
+  size_t total = control_->NumProfilableCallSites();
+  if (total == 0) {
+    return 0;
+  }
+  size_t per_round = static_cast<size_t>(p_ * static_cast<double>(total));
+  if (per_round < 1) {
+    per_round = 1;
+  }
+  return (total + per_round - 1) / per_round;
+}
+
+void ConflictResolver::OnInference(const std::vector<uint32_t>& conflicted_sites) {
+  bool conflicted = !conflicted_sites.empty();
+  if (conflicted) {
+    saw_conflict_ever_ = true;
+  }
+
+  switch (phase_) {
+    case Phase::kIdle:
+    case Phase::kDone:
+    case Phase::kExhausted:
+      if (conflicted && phase_ != Phase::kExhausted) {
+        conflicts_detected_ += conflicted_sites.size();
+        if (phase_ == Phase::kDone) {
+          // A fresh conflict after a completed resolution (e.g. workload
+          // change): all sites are candidates again, minus what is already
+          // tracking.
+          tried_.clear();
+          for (size_t s : enabled_) {
+            tried_.insert(s);
+          }
+        }
+        trial_ = PickTrialSet();
+        if (trial_.empty()) {
+          phase_ = Phase::kExhausted;
+          return;
+        }
+        EnableSet(trial_, true);
+        trial_rounds_++;
+        phase_ = Phase::kTrying;
+      }
+      return;
+
+    case Phase::kTrying:
+      if (conflicted) {
+        // This subset did not contain S; disable it and try the next one.
+        EnableSet(trial_, false);
+        trial_ = PickTrialSet();
+        if (trial_.empty()) {
+          ROLP_LOG_INFO("conflict resolver exhausted all call sites");
+          phase_ = Phase::kExhausted;
+          return;
+        }
+        EnableSet(trial_, true);
+        trial_rounds_++;
+        return;
+      }
+      // Resolved: S is contained in the trial; start narrowing.
+      phase_ = Phase::kNarrowing;
+      trying_second_half_ = false;
+      narrow_disabled_.clear();
+      [[fallthrough]];
+
+    case Phase::kNarrowing:
+      // Delta-debugging over the candidate set C (= trial_):
+      //   split C into A (front) and B (back); run with B disabled.
+      //   resolved     -> C := A, recurse
+      //   conflicted   -> run with A disabled instead.
+      //     resolved   -> C := B, recurse
+      //     conflicted -> S spans both halves; keep C and stop.
+      if (conflicted) {
+        if (!trying_second_half_ && !narrow_disabled_.empty()) {
+          // A alone was insufficient; try B alone.
+          std::vector<size_t> front(trial_.begin(),
+                                    trial_.end() - static_cast<long>(narrow_disabled_.size()));
+          EnableSet(narrow_disabled_, true);
+          EnableSet(front, false);
+          std::swap(front, narrow_disabled_);
+          trying_second_half_ = true;
+          return;
+        }
+        // Both halves needed (or conflict with full C somehow): restore C.
+        EnableSet(narrow_disabled_, true);
+        narrow_disabled_.clear();
+        conflicts_resolved_++;
+        phase_ = Phase::kDone;
+        return;
+      }
+      // Resolved with the current enabled half: it becomes the candidate set.
+      if (!narrow_disabled_.empty()) {
+        std::vector<size_t> kept;
+        if (trying_second_half_) {
+          // kept = currently enabled half = trial_ minus narrow_disabled_.
+          for (size_t s : trial_) {
+            bool disabled = false;
+            for (size_t d : narrow_disabled_) {
+              if (d == s) {
+                disabled = true;
+                break;
+              }
+            }
+            if (!disabled) {
+              kept.push_back(s);
+            }
+          }
+        } else {
+          kept.assign(trial_.begin(),
+                      trial_.end() - static_cast<long>(narrow_disabled_.size()));
+        }
+        trial_ = std::move(kept);
+        narrow_disabled_.clear();
+        trying_second_half_ = false;
+      }
+      if (trial_.size() <= 1) {
+        conflicts_resolved_++;
+        phase_ = Phase::kDone;
+        return;
+      }
+      // Disable the back half of C and test.
+      narrow_disabled_.assign(trial_.begin() + static_cast<long>(trial_.size() / 2),
+                              trial_.end());
+      EnableSet(narrow_disabled_, false);
+      trying_second_half_ = false;
+      return;
+  }
+}
+
+}  // namespace rolp

@@ -1,0 +1,74 @@
+// Allocation-context conflict resolution — paper section 5.
+//
+// When lifetime inference finds a multi-peak curve (one allocation site, call
+// paths with different lifetimes), the resolver incrementally enables
+// thread-stack-state tracking on randomly chosen subsets of P% of the
+// profilable (jitted, non-inlined) call sites until the conflict disappears,
+// then narrows the enabled set by halving to approach the minimal
+// distinguishing set S.
+#ifndef SRC_ROLP_CONFLICT_RESOLVER_H_
+#define SRC_ROLP_CONFLICT_RESOLVER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace rolp {
+
+// Implemented by the runtime's JIT engine: exposes the population of call
+// sites whose stack-state tracking can be toggled (the fast/slow profiling
+// branch of paper section 3.2.4).
+class CallSiteControl {
+ public:
+  virtual ~CallSiteControl() = default;
+  virtual size_t NumProfilableCallSites() const = 0;
+  virtual void SetCallSiteTracking(size_t index, bool enabled) = 0;
+  virtual bool CallSiteTracking(size_t index) const = 0;
+};
+
+class ConflictResolver {
+ public:
+  ConflictResolver(CallSiteControl* control, double p_fraction, uint64_t seed = 0x5eed);
+
+  // Called once per inference (every 16 GC cycles) with the allocation sites
+  // currently exhibiting conflicts. Drives the enable/narrow state machine.
+  void OnInference(const std::vector<uint32_t>& conflicted_sites);
+
+  // --- Introspection -------------------------------------------------------
+  enum class Phase { kIdle, kTrying, kNarrowing, kDone, kExhausted };
+  Phase phase() const { return phase_; }
+  uint64_t conflicts_detected() const { return conflicts_detected_; }
+  uint64_t conflicts_resolved() const { return conflicts_resolved_; }
+  uint64_t trial_rounds() const { return trial_rounds_; }
+  size_t tracked_call_sites() const { return enabled_.size(); }
+  double p_fraction() const { return p_; }
+
+  // Worst-case rounds to resolution for the current population (paper: total
+  // call sites / P picks, each pick validated after one inference period).
+  uint64_t WorstCaseRounds() const;
+
+ private:
+  void EnableSet(const std::vector<size_t>& sites, bool enabled);
+  std::vector<size_t> PickTrialSet();
+
+  CallSiteControl* control_;
+  double p_;
+  Random rng_;
+
+  Phase phase_ = Phase::kIdle;
+  std::unordered_set<size_t> tried_;
+  std::vector<size_t> trial_;             // candidate set C (currently narrowing)
+  std::vector<size_t> narrow_disabled_;   // half of C currently disabled
+  bool trying_second_half_ = false;       // delta-debugging state
+  std::unordered_set<size_t> enabled_;   // currently tracking
+  uint64_t conflicts_detected_ = 0;
+  uint64_t conflicts_resolved_ = 0;
+  uint64_t trial_rounds_ = 0;
+  bool saw_conflict_ever_ = false;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_ROLP_CONFLICT_RESOLVER_H_

@@ -1,0 +1,75 @@
+#include "src/rolp/curve_analysis.h"
+
+namespace rolp {
+
+CurveResult CurveAnalysis::Analyze(const std::array<uint64_t, 16>& counts) {
+  CurveResult result;
+  for (uint64_t c : counts) {
+    result.total += c;
+  }
+  if (result.total < kMinSamples) {
+    return result;
+  }
+
+  // Light 1-2-1 smoothing dampens single-bucket noise without shifting peaks.
+  double smooth[16];
+  for (int i = 0; i < 16; i++) {
+    double left = i > 0 ? static_cast<double>(counts[i - 1]) : static_cast<double>(counts[i]);
+    double right = i < 15 ? static_cast<double>(counts[i + 1]) : static_cast<double>(counts[i]);
+    smooth[i] = (left + 2.0 * static_cast<double>(counts[i]) + right) / 4.0;
+  }
+
+  double floor = kMinPeakFraction * static_cast<double>(result.total);
+  if (floor < 2.0) {
+    floor = 2.0;
+  }
+
+  // Local maxima above the floor (plateaus count once, at their left edge).
+  std::vector<int> maxima;
+  for (int i = 0; i < 16; i++) {
+    if (smooth[i] < floor) {
+      continue;
+    }
+    bool left_ok = i == 0 || smooth[i] > smooth[i - 1];
+    bool right_ok = i == 15 || smooth[i] >= smooth[i + 1];
+    if (left_ok && right_ok) {
+      maxima.push_back(i);
+    }
+  }
+  if (maxima.empty()) {
+    return result;
+  }
+
+  // Merge maxima that are not separated by a deep enough valley: keep the
+  // higher one (paper: distinct triangles must be clearly separated).
+  std::vector<int> peaks;
+  peaks.push_back(maxima[0]);
+  for (size_t m = 1; m < maxima.size(); m++) {
+    int prev = peaks.back();
+    int cur = maxima[m];
+    double valley = smooth[prev];
+    for (int i = prev; i <= cur; i++) {
+      if (smooth[i] < valley) {
+        valley = smooth[i];
+      }
+    }
+    double smaller = smooth[prev] < smooth[cur] ? smooth[prev] : smooth[cur];
+    if (valley <= kValleyFraction * smaller) {
+      peaks.push_back(cur);
+    } else if (smooth[cur] > smooth[prev]) {
+      peaks.back() = cur;  // same triangle; keep the taller summit
+    }
+  }
+
+  result.peaks = peaks;
+  int best = peaks[0];
+  for (int p : peaks) {
+    if (smooth[p] > smooth[best]) {
+      best = p;
+    }
+  }
+  result.dominant_peak = best;
+  return result;
+}
+
+}  // namespace rolp

@@ -1,0 +1,46 @@
+// Object-lifetime curve analysis — paper section 4.
+//
+// Each OLD-table row is a histogram of object counts by age. The paper
+// observes these curves are near-triangular with a single peak at the age
+// where most objects die; the peak's age is the estimated lifetime. Multiple
+// separated peaks mean an allocation-context conflict: the same allocation
+// site reached through call paths producing different lifetimes.
+#ifndef SRC_ROLP_CURVE_ANALYSIS_H_
+#define SRC_ROLP_CURVE_ANALYSIS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rolp {
+
+struct CurveResult {
+  // Ages of detected peaks, ascending. Empty if the row has too few samples.
+  std::vector<int> peaks;
+  uint64_t total = 0;
+
+  bool HasSignal() const { return !peaks.empty(); }
+  bool IsConflict() const { return peaks.size() >= 2; }
+  // Estimated lifetime: the age of the dominant (highest) peak.
+  int EstimatedLifetime() const { return peaks.empty() ? 0 : dominant_peak; }
+
+  int dominant_peak = 0;
+};
+
+class CurveAnalysis {
+ public:
+  // Minimum samples in a row before we trust it at all.
+  static constexpr uint64_t kMinSamples = 16;
+  // A peak must hold at least this fraction of the row total.
+  static constexpr double kMinPeakFraction = 0.05;
+  // Two maxima are distinct peaks only if the valley between them drops below
+  // this fraction of the smaller maximum.
+  static constexpr double kValleyFraction = 0.5;
+
+  static CurveResult Analyze(const std::array<uint64_t, 16>& counts);
+};
+
+}  // namespace rolp
+
+#endif  // SRC_ROLP_CURVE_ANALYSIS_H_

@@ -1,0 +1,155 @@
+#include "src/rolp/old_table.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace rolp {
+
+namespace {
+
+size_t NextPow2(size_t n) { return std::bit_ceil(n); }
+
+size_t HashContext(uint32_t context) { return static_cast<size_t>(Mix64(context)); }
+
+}  // namespace
+
+OldTable::OldTable(size_t entries) {
+  nominal_entries_ = entries;
+  capacity_ = NextPow2(entries);
+  entries_ = std::make_unique<Entry[]>(capacity_);
+}
+
+OldTable::Entry* OldTable::FindEntry(uint32_t context, bool insert) {
+  uint32_t key = EncodeKey(context);
+  size_t mask = capacity_ - 1;
+  size_t idx = HashContext(context) & mask;
+  // Linear probing; cap the probe length so a pathologically full table
+  // degrades to dropped samples instead of an unbounded scan.
+  size_t max_probes = capacity_ < 4096 ? capacity_ : 4096;
+  for (size_t probe = 0; probe < max_probes; probe++) {
+    Entry& e = entries_[(idx + probe) & mask];
+    uint32_t k = e.key.load(std::memory_order_acquire);
+    if (k == key) {
+      return &e;
+    }
+    if (k == kEmptyKey) {
+      if (!insert) {
+        return nullptr;
+      }
+      uint32_t expected = kEmptyKey;
+      if (e.key.compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
+        occupied_approx_.fetch_add(1, std::memory_order_relaxed);
+        return &e;
+      }
+      if (expected == key) {
+        return &e;  // another thread inserted the same context
+      }
+      // Slot stolen by a different context; keep probing.
+    }
+  }
+  return nullptr;
+}
+
+void OldTable::RecordAllocation(uint32_t context) {
+  // Keep load factor sane: drop samples rather than overfilling (insertions
+  // only happen here; growth happens at safepoints).
+  if (occupied_approx_.load(std::memory_order_relaxed) > capacity_ - capacity_ / 8) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Entry* e = FindEntry(context, /*insert=*/true);
+  if (e == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  e->counts[0].fetch_add(1, std::memory_order_relaxed);
+}
+
+bool OldTable::Contains(uint32_t context) const {
+  return FindEntryConst(context) != nullptr;
+}
+
+void OldTable::RecordSurvivor(uint32_t context, uint32_t age, uint32_t count) {
+  Entry* e = FindEntry(context, /*insert=*/false);
+  if (e == nullptr) {
+    return;
+  }
+  if (age >= static_cast<uint32_t>(kAges)) {
+    age = kAges - 1;
+  }
+  // Decrement age bucket (saturating at zero: unsynchronized allocation-side
+  // increments mean counts can drift), increment age+1.
+  uint32_t cur = e->counts[age].load(std::memory_order_relaxed);
+  while (cur > 0 &&
+         !e->counts[age].compare_exchange_weak(cur, cur >= count ? cur - count : 0,
+                                               std::memory_order_relaxed)) {
+  }
+  uint32_t next = age + 1 < static_cast<uint32_t>(kAges) ? age + 1 : kAges - 1;
+  e->counts[next].fetch_add(count, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, OldTable::kAges> OldTable::Row(uint32_t context) const {
+  std::array<uint64_t, kAges> out = {};
+  const Entry* e = FindEntryConst(context);
+  if (e != nullptr) {
+    for (int a = 0; a < kAges; a++) {
+      out[a] = e->counts[a].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void OldTable::ClearCounts() {
+  for (size_t i = 0; i < capacity_; i++) {
+    if (entries_[i].key.load(std::memory_order_relaxed) == kEmptyKey) {
+      continue;
+    }
+    for (int a = 0; a < kAges; a++) {
+      entries_[i].counts[a].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void OldTable::GrowForConflict() {
+  size_t new_nominal = nominal_entries_ + kInitialEntries;
+  size_t new_capacity = NextPow2(new_nominal);
+  grow_count_++;
+  nominal_entries_ = new_nominal;
+  if (new_capacity == capacity_) {
+    return;  // still fits in the current power-of-two backing array
+  }
+  auto fresh = std::make_unique<Entry[]>(new_capacity);
+  // Rehash (safepoint only; no concurrent access).
+  size_t mask = new_capacity - 1;
+  for (size_t i = 0; i < capacity_; i++) {
+    uint32_t key = entries_[i].key.load(std::memory_order_relaxed);
+    if (key == kEmptyKey) {
+      continue;
+    }
+    size_t idx = HashContext(DecodeKey(key)) & mask;
+    while (fresh[idx].key.load(std::memory_order_relaxed) != kEmptyKey) {
+      idx = (idx + 1) & mask;
+    }
+    fresh[idx].key.store(key, std::memory_order_relaxed);
+    for (int a = 0; a < kAges; a++) {
+      fresh[idx].counts[a].store(entries_[i].counts[a].load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+    }
+  }
+  entries_ = std::move(fresh);
+  capacity_ = new_capacity;
+}
+
+size_t OldTable::occupied() const {
+  size_t n = 0;
+  for (size_t i = 0; i < capacity_; i++) {
+    if (entries_[i].key.load(std::memory_order_relaxed) != kEmptyKey) {
+      n++;
+    }
+  }
+  return n;
+}
+
+}  // namespace rolp

@@ -1,0 +1,112 @@
+// Object Lifetime Distribution (OLD) table — paper sections 3.3, 7.5, 7.6.
+//
+// Maps a 32-bit allocation context to 16 per-age object counters. Mutators
+// increment the age-0 counter at allocation time with no locking (relaxed
+// atomics — the C++-legal rendering of HotSpot's deliberately unsynchronized
+// increments). GC workers never touch this table directly: they accumulate
+// survivor updates in private tables that the profiler merges while the world
+// is stopped (paper section 7.6).
+//
+// The table is open-addressing with linear probing. It starts with 2^16
+// entries (one per possible allocation-site id, ~4.5 MB) and grows by 2^16
+// entries per detected conflict (paper section 7.5). Growth only happens at
+// safepoints (inference time), when no mutator is running.
+#ifndef SRC_ROLP_OLD_TABLE_H_
+#define SRC_ROLP_OLD_TABLE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rolp {
+
+class OldTable {
+ public:
+  static constexpr int kAges = 16;
+  static constexpr size_t kInitialEntries = 1u << 16;
+
+  explicit OldTable(size_t entries = kInitialEntries);
+
+  // --- Mutator path (unsynchronized, safe for concurrent callers) ---------
+  // Increments the age-0 count for this context, inserting the row if absent.
+  // Drops the sample (and counts it) if the table is critically full.
+  void RecordAllocation(uint32_t context);
+
+  // True if the context has a row (paper: survivors whose header context is
+  // not present are discarded).
+  bool Contains(uint32_t context) const;
+
+  // --- Safepoint-only paths ------------------------------------------------
+  // Applies one survivor: one object of `age` moved to `age+1` (saturating).
+  void RecordSurvivor(uint32_t context, uint32_t age, uint32_t count);
+
+  // Reads a row's counters (zeros if absent).
+  std::array<uint64_t, kAges> Row(uint32_t context) const;
+
+  // Iterates occupied rows: fn(context, counts).
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; i++) {
+      uint32_t key = entries_[i].key.load(std::memory_order_acquire);
+      if (key == kEmptyKey) {
+        continue;
+      }
+      std::array<uint64_t, kAges> counts;
+      for (int a = 0; a < kAges; a++) {
+        counts[a] = entries_[i].counts[a].load(std::memory_order_relaxed);
+      }
+      fn(DecodeKey(key), counts);
+    }
+  }
+
+  // Zeroes all counters, keeping rows (paper section 4: the table is cleared
+  // after each inference to ensure freshness).
+  void ClearCounts();
+
+  // Grows capacity by 2^16 entries (rounded up to a power of two internally).
+  // Safepoint only.
+  void GrowForConflict();
+
+  size_t capacity() const { return capacity_; }
+  size_t occupied() const;
+  // Memory footprint as the paper reports it: 4 bytes * 16 columns for each
+  // of the 2^16 * (1 + #conflicts) nominal entries (section 7.5).
+  size_t PaperMemoryBytes() const { return nominal_entries_ * 4 * kAges; }
+  // Actual allocated footprint of the backing array.
+  size_t ActualMemoryBytes() const { return capacity_ * sizeof(Entry); }
+  uint64_t dropped_samples() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t grow_count() const { return grow_count_; }
+
+ private:
+  struct Entry {
+    std::atomic<uint32_t> key{0};
+    std::atomic<uint32_t> counts[kAges] = {};
+  };
+
+  static constexpr uint32_t kEmptyKey = 0;
+  // Context 0 would collide with the empty sentinel; encode key = context + 1
+  // (contexts are 32-bit but site 0xFFFF/tss 0xFFFF together never produce
+  // UINT32_MAX in practice; the encoding saturates safely regardless).
+  static uint32_t EncodeKey(uint32_t context) { return context + 1; }
+  static uint32_t DecodeKey(uint32_t key) { return key - 1; }
+
+  // Returns the entry for the context, inserting if requested. nullptr when
+  // absent (or table too full to insert).
+  Entry* FindEntry(uint32_t context, bool insert);
+  const Entry* FindEntryConst(uint32_t context) const {
+    return const_cast<OldTable*>(this)->FindEntry(context, false);
+  }
+
+  size_t capacity_;       // power of two
+  size_t nominal_entries_;  // what the paper-accounting reports (2^16 * (1+N))
+  std::unique_ptr<Entry[]> entries_;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<size_t> occupied_approx_{0};
+  size_t grow_count_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_ROLP_OLD_TABLE_H_

@@ -1,0 +1,33 @@
+#include "src/rolp/package_filter.h"
+
+namespace rolp {
+
+bool PackageFilter::PrefixMatches(std::string_view name, const std::string& prefix) {
+  if (name.size() < prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  if (name.size() == prefix.size()) {
+    return true;
+  }
+  char next = name[prefix.size()];
+  return next == '.' || next == ':';
+}
+
+bool PackageFilter::ShouldProfile(std::string_view qualified_method_name) const {
+  for (const std::string& ex : excludes_) {
+    if (PrefixMatches(qualified_method_name, ex)) {
+      return false;
+    }
+  }
+  if (includes_.empty()) {
+    return true;
+  }
+  for (const std::string& in : includes_) {
+    if (PrefixMatches(qualified_method_name, in)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rolp

@@ -1,0 +1,37 @@
+// Package filters — paper section 7.3. Large applications bound profiling
+// overhead by naming the packages that manage application data; only methods
+// whose qualified name falls under an included package get profiling code.
+#ifndef SRC_ROLP_PACKAGE_FILTER_H_
+#define SRC_ROLP_PACKAGE_FILTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rolp {
+
+class PackageFilter {
+ public:
+  // Empty include list = profile everything (minus excludes).
+  void Include(std::string package_prefix) { includes_.push_back(std::move(package_prefix)); }
+  void Exclude(std::string package_prefix) { excludes_.push_back(std::move(package_prefix)); }
+
+  // Matches fully-qualified method names such as
+  // "cassandra.db.Memtable::put". A prefix matches a whole package-path
+  // component boundary: "cassandra.db" matches "cassandra.db.X::m" but not
+  // "cassandra.dbx.X::m".
+  bool ShouldProfile(std::string_view qualified_method_name) const;
+
+  bool empty() const { return includes_.empty() && excludes_.empty(); }
+  const std::vector<std::string>& includes() const { return includes_; }
+
+ private:
+  static bool PrefixMatches(std::string_view name, const std::string& prefix);
+
+  std::vector<std::string> includes_;
+  std::vector<std::string> excludes_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_ROLP_PACKAGE_FILTER_H_

@@ -1,0 +1,229 @@
+#include "src/rolp/profiler.h"
+
+#include "src/heap/object.h"
+#include "src/util/check.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+Profiler::Profiler(const RolpConfig& config)
+    : config_(config), old_table_(config.old_table_entries) {
+  worker_tables_.resize(config.max_gc_workers);
+  auto initial = std::make_unique<DecisionMap>();
+  decisions_.store(initial.get(), std::memory_order_release);
+  decision_history_.push_back(std::move(initial));
+}
+
+Profiler::~Profiler() = default;
+
+void Profiler::SetCallSiteControl(CallSiteControl* control) {
+  callsites_ = control;
+  if (control != nullptr) {
+    resolver_ = std::make_unique<ConflictResolver>(control, config_.conflict_p, config_.seed);
+  }
+}
+
+void Profiler::OnSurvivor(uint32_t worker_id, uint64_t old_mark) {
+  ROLP_DCHECK(worker_id < worker_tables_.size());
+  // Paper section 3.2.2: a biased-locked object's upper header bits hold a
+  // thread pointer, not an allocation context; discard it.
+  if (markword::IsBiased(old_mark)) {
+    survivors_skipped_biased_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  uint32_t context = markword::Context(old_mark);
+  if (context == 0) {
+    return;  // allocated by unprofiled (cold) code
+  }
+  // Paper section 3.3: contexts not present in the OLD table are discarded —
+  // they may be residue of a revoked biased lock or of cleared profiling.
+  if (!old_table_.Contains(context)) {
+    return;
+  }
+  uint32_t age = markword::Age(old_mark);
+  worker_tables_[worker_id][context][age]++;
+  survivors_seen_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::MergeWorkerTables() {
+  for (WorkerTable& table : worker_tables_) {
+    for (auto& [context, by_age] : table) {
+      for (uint32_t age = 0; age < 16; age++) {
+        if (by_age[age] > 0) {
+          old_table_.RecordSurvivor(context, age, by_age[age]);
+        }
+      }
+    }
+    table.clear();
+  }
+}
+
+void Profiler::OnGcEnd(const GcEndInfo& info) {
+  MergeWorkerTables();
+
+  // Pause EMA drives the survivor-tracking re-enable heuristic.
+  double pause = static_cast<double>(info.pause_ns);
+  recent_pause_ema_ns_ =
+      recent_pause_ema_ns_ == 0.0 ? pause : 0.8 * recent_pause_ema_ns_ + 0.2 * pause;
+
+  if (config_.inference_period != 0 && info.gc_cycle % config_.inference_period == 0) {
+    RunInference();
+    if (first_decision_cycle_ == 0 &&
+        !decisions_.load(std::memory_order_relaxed)->empty()) {
+      first_decision_cycle_ = info.gc_cycle;
+    }
+  }
+
+  if (config_.auto_survivor_tracking && !survivor_tracking_.load(std::memory_order_relaxed)) {
+    // Paper section 7.4: re-enable survivor tracking if average pauses
+    // regressed more than the threshold over the last tracked value.
+    if (last_tracking_avg_pause_ns_ > 0.0 &&
+        recent_pause_ema_ns_ >
+            last_tracking_avg_pause_ns_ * (1.0 + config_.pause_regression_threshold)) {
+      survivor_tracking_.store(true, std::memory_order_relaxed);
+      tracking_toggles_++;
+      ROLP_LOG_INFO("survivor tracking re-enabled (pause regression)");
+    }
+  }
+}
+
+void Profiler::RunInferenceNow() { RunInference(); }
+
+void Profiler::RunInference() {
+  inferences_++;
+
+  const DecisionMap* current = decisions_.load(std::memory_order_relaxed);
+  auto next = std::make_unique<DecisionMap>(*current);
+
+  std::vector<uint32_t> conflicted_sites;
+  old_table_.ForEachRow([&](uint32_t context, const std::array<uint64_t, 16>& counts) {
+    // Contexts that already pretenure produce no young-survivor signal (their
+    // objects never pass through the young generation again), so their rows
+    // degenerate to an age-0 spike. Paper section 6: curves can only raise an
+    // estimate; lowering happens through the fragmentation feedback
+    // (OnGenFragmentation), never by re-reading a starved curve.
+    auto existing = next->find(context);
+    CurveResult curve = CurveAnalysis::Analyze(counts);
+    if (!curve.HasSignal()) {
+      return;
+    }
+    if (existing == next->end() && curve.IsConflict()) {
+      conflicted_sites.push_back(markword::ContextSite(context));
+      return;  // no decision from an ambiguous curve
+    }
+    int lifetime = curve.EstimatedLifetime();
+    uint8_t gen;
+    if (lifetime == 0) {
+      gen = 0;  // dies young: keep in young generation
+    } else if (lifetime >= 15) {
+      gen = 15;  // effectively immortal: old generation
+    } else {
+      gen = static_cast<uint8_t>(lifetime);
+      if (gen > config_.max_gen) {
+        gen = config_.max_gen;
+      }
+    }
+    if (existing != next->end()) {
+      if (gen > existing->second) {
+        existing->second = gen;  // lifetime increased (section 6, case 1)
+      }
+      return;
+    }
+    if (gen > 0) {
+      (*next)[context] = gen;
+    }
+  });
+
+  if (LogEnabled(LogLevel::kInfo)) {
+    uint64_t rows = 0;
+    uint64_t with_signal = 0;
+    old_table_.ForEachRow([&](uint32_t ctx, const std::array<uint64_t, 16>& counts) {
+      rows++;
+      CurveResult c = CurveAnalysis::Analyze(counts);
+      if (c.HasSignal()) {
+        with_signal++;
+        ROLP_LOG_INFO(
+            "inference %llu: ctx site=%u tss=%u peak=%d conflict=%d total=%llu "
+            "[%llu %llu %llu %llu %llu %llu %llu %llu]",
+            (unsigned long long)inferences_, markword::ContextSite(ctx),
+            markword::ContextTss(ctx), c.EstimatedLifetime(), c.IsConflict() ? 1 : 0,
+            (unsigned long long)c.total, (unsigned long long)counts[0],
+            (unsigned long long)counts[1], (unsigned long long)counts[2],
+            (unsigned long long)counts[3], (unsigned long long)counts[4],
+            (unsigned long long)counts[5], (unsigned long long)counts[6],
+            (unsigned long long)counts[7]);
+      }
+    });
+    ROLP_LOG_INFO("inference %llu: rows=%llu signal=%llu conflicts=%zu decisions=%zu",
+                  (unsigned long long)inferences_, (unsigned long long)rows,
+                  (unsigned long long)with_signal, conflicted_sites.size(), next->size());
+  }
+  conflicts_total_ += conflicted_sites.size();
+  if (!conflicted_sites.empty()) {
+    old_table_.GrowForConflict();
+  }
+  if (resolver_ != nullptr) {
+    resolver_->OnInference(conflicted_sites);
+  }
+
+  bool changed = *next != *current;
+  DecisionMap* next_raw = next.get();
+  decision_history_.push_back(std::move(next));
+  decisions_.store(next_raw, std::memory_order_release);
+  // Retire old maps occasionally; safe because this runs at a safepoint with
+  // no concurrent readers.
+  if (decision_history_.size() > 4) {
+    decision_history_.erase(decision_history_.begin(),
+                            decision_history_.end() - 2);
+  }
+
+  // Survivor-tracking shut-off (paper section 7.4): disable when the workload
+  // is stable, i.e. two consecutive inferences produced identical decisions.
+  if (config_.auto_survivor_tracking) {
+    if (!changed && !decisions_changed_since_last_inference_ &&
+        survivor_tracking_.load(std::memory_order_relaxed)) {
+      last_tracking_avg_pause_ns_ = recent_pause_ema_ns_;
+      survivor_tracking_.store(false, std::memory_order_relaxed);
+      tracking_toggles_++;
+      ROLP_LOG_INFO("survivor tracking shut off (stable decisions)");
+    }
+    decisions_changed_since_last_inference_ = changed;
+  }
+
+  // Freshness: clear all counters for the next window (paper section 4).
+  old_table_.ClearCounts();
+}
+
+void Profiler::OnGenFragmentation(uint8_t gen, double live_ratio) {
+  // Paper section 6: when a dynamic generation shows fragmentation (few live
+  // bytes pinning unreclaimable regions), the lifetime of contexts
+  // allocating into it was overestimated; demote them by one. The ratio is
+  // computed over pinned (live) regions only; fully-dead regions are the
+  // success case.
+  if (live_ratio >= 0.25 || gen == 0) {
+    return;
+  }
+  const DecisionMap* current = decisions_.load(std::memory_order_relaxed);
+  auto next = std::make_unique<DecisionMap>();
+  bool changed = false;
+  for (const auto& [context, g] : *current) {
+    if (g == gen) {
+      if (g > 1) {
+        (*next)[context] = static_cast<uint8_t>(g - 1);
+      }
+      // g == 1 demotes to young: drop the entry entirely.
+      changed = true;
+    } else {
+      (*next)[context] = g;
+    }
+  }
+  if (!changed) {
+    return;
+  }
+  DecisionMap* next_raw = next.get();
+  decision_history_.push_back(std::move(next));
+  decisions_.store(next_raw, std::memory_order_release);
+  decisions_changed_since_last_inference_ = true;
+}
+
+}  // namespace rolp

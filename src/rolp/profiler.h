@@ -1,0 +1,134 @@
+// The ROLP profiler facade.
+//
+// Mutator side (called by the runtime's allocation path):
+//   * RecordAllocation(context): OLD-table age-0 increment
+//   * TargetGen(context): decision lookup feeding NG2C pretenuring
+//
+// Collector side (ProfilerHooks, all called with the world stopped):
+//   * OnSurvivor: per-GC-worker private table updates (paper section 7.6)
+//   * OnGcEnd: private-table merge + every-16-cycles lifetime inference
+//     (section 4), conflict resolution (section 5), survivor-tracking
+//     shut-off (section 7.4)
+//   * OnGenFragmentation: estimated-lifetime demotion (section 6)
+#ifndef SRC_ROLP_PROFILER_H_
+#define SRC_ROLP_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gc/profiler_hooks.h"
+#include "src/rolp/conflict_resolver.h"
+#include "src/rolp/curve_analysis.h"
+#include "src/rolp/old_table.h"
+#include "src/rolp/package_filter.h"
+
+namespace rolp {
+
+struct RolpConfig {
+  // Run inference every this many GC cycles (paper: 16, the max object age).
+  uint32_t inference_period = 16;
+  // P: fraction of profilable call sites enabled per conflict-resolution
+  // round (paper recommends <= 0.20).
+  double conflict_p = 0.20;
+  // Dynamically shut off survivor tracking when decisions are stable
+  // (paper section 7.4).
+  bool auto_survivor_tracking = true;
+  // Re-enable survivor tracking when the average pause regresses by more
+  // than this fraction over the last value seen while tracking was active.
+  double pause_regression_threshold = 0.10;
+  size_t old_table_entries = OldTable::kInitialEntries;
+  uint32_t max_gc_workers = 16;
+  // Dynamic generations span 1..14; estimated ages clamp into this range
+  // (age 15 maps to the old generation).
+  uint8_t max_gen = 14;
+  uint64_t seed = 0x5eed;
+};
+
+class Profiler : public ProfilerHooks {
+ public:
+  explicit Profiler(const RolpConfig& config);
+  ~Profiler() override;
+
+  // The runtime's JIT engine registers itself so the conflict resolver can
+  // toggle call-site tracking. May be null (e.g. unit tests).
+  void SetCallSiteControl(CallSiteControl* control);
+
+  // --- Mutator-side API ----------------------------------------------------
+  void RecordAllocation(uint32_t context) { old_table_.RecordAllocation(context); }
+
+  // Estimated target generation for an allocation context: 0 = young,
+  // 1..14 = dynamic generation, 15 = old.
+  uint8_t TargetGen(uint32_t context) const {
+    const DecisionMap* d = decisions_.load(std::memory_order_acquire);
+    auto it = d->find(context);
+    return it == d->end() ? 0 : it->second;
+  }
+
+  // --- ProfilerHooks (world stopped) ---------------------------------------
+  bool SurvivorTrackingEnabled() const override {
+    return survivor_tracking_.load(std::memory_order_relaxed);
+  }
+  void OnSurvivor(uint32_t worker_id, uint64_t old_mark) override;
+  void OnGcEnd(const GcEndInfo& info) override;
+  void OnGenFragmentation(uint8_t gen, double live_ratio) override;
+
+  // --- Introspection (tables, benches, tests) ------------------------------
+  OldTable& old_table() { return old_table_; }
+  const RolpConfig& config() const { return config_; }
+  ConflictResolver* resolver() { return resolver_.get(); }
+  uint64_t inferences_run() const { return inferences_; }
+  uint64_t conflicts_total() const { return conflicts_total_; }
+  uint64_t decisions_count() const {
+    return decisions_.load(std::memory_order_acquire)->size();
+  }
+  uint64_t survivors_seen() const { return survivors_seen_.load(std::memory_order_relaxed); }
+  uint64_t survivors_skipped_biased() const {
+    return survivors_skipped_biased_.load(std::memory_order_relaxed);
+  }
+  uint64_t survivor_tracking_toggles() const { return tracking_toggles_; }
+  // First GC cycle at which a non-empty decision set existed (warmup metric,
+  // Fig. 10); 0 if never.
+  uint64_t first_decision_cycle() const { return first_decision_cycle_; }
+  std::unordered_map<uint32_t, uint8_t> DecisionsSnapshot() const {
+    return *decisions_.load(std::memory_order_acquire);
+  }
+  // Force one inference now (tests).
+  void RunInferenceNow();
+
+ private:
+  using DecisionMap = std::unordered_map<uint32_t, uint8_t>;
+  // worker -> context -> survivor counts by (pre-increment) age
+  using WorkerTable = std::unordered_map<uint32_t, std::array<uint32_t, 16>>;
+
+  void MergeWorkerTables();
+  void RunInference();
+
+  RolpConfig config_;
+  OldTable old_table_;
+  std::unique_ptr<ConflictResolver> resolver_;
+  CallSiteControl* callsites_ = nullptr;
+
+  std::vector<WorkerTable> worker_tables_;
+
+  std::atomic<DecisionMap*> decisions_;
+  std::vector<std::unique_ptr<DecisionMap>> decision_history_;  // owns maps
+
+  std::atomic<bool> survivor_tracking_{true};
+  double last_tracking_avg_pause_ns_ = 0.0;
+  double recent_pause_ema_ns_ = 0.0;
+  bool decisions_changed_since_last_inference_ = true;
+
+  uint64_t inferences_ = 0;
+  uint64_t conflicts_total_ = 0;
+  uint64_t tracking_toggles_ = 0;
+  uint64_t first_decision_cycle_ = 0;
+  std::atomic<uint64_t> survivors_seen_{0};
+  std::atomic<uint64_t> survivors_skipped_biased_{0};
+};
+
+}  // namespace rolp
+
+#endif  // SRC_ROLP_PROFILER_H_

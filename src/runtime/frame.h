@@ -1,0 +1,75 @@
+// RAII method frame — the runtime rendering of the profiling code ROLP
+// installs around call sites (paper section 3.2.4, Fig. 3).
+//
+// Entry: bump the callee's invocation counter (JIT heat), then execute the
+// fast/slow profiling branch — load the call site's hash; if non-zero, add it
+// to the thread stack state. Exit: subtract the same value. Destruction
+// during exception unwinding is exactly the paper's section 7.2.2 fix-up
+// hook: the stack state stays consistent even when a callee throws through
+// this frame, and the event is counted.
+#ifndef SRC_RUNTIME_FRAME_H_
+#define SRC_RUNTIME_FRAME_H_
+
+#include <exception>
+
+#include "src/runtime/jit.h"
+#include "src/runtime/thread.h"
+#include "src/runtime/vm.h"
+
+namespace rolp {
+
+class MethodFrame {
+ public:
+  MethodFrame(RuntimeThread& thread, uint32_t call_site_index)
+      : thread_(thread), uncaught_at_entry_(std::uncaught_exceptions()) {
+    JitEngine& jit = thread.vm().jit();
+    CallSite& cs = jit.call_site(call_site_index);
+    jit.OnInvocation(cs.callee);
+    if (jit.call_profiling_active() && cs.instrumented) {
+      // The fast/slow branch: a single load + test; the add only runs while
+      // conflict resolution (or the slow-call level) has tracking enabled.
+      uint16_t h = cs.tss_hash.load(std::memory_order_relaxed);
+      if (h != 0) {
+        thread_.AddTss(h);
+        applied_ = h;
+      }
+    }
+    thread_.frame_stack().push_back({call_site_index, applied_});
+    thread_.MaybeInjectOsrCorruption();
+    thread_.Poll();
+  }
+
+  ~MethodFrame() {
+    thread_.frame_stack().pop_back();
+    if (applied_ != 0) {
+      thread_.SubTss(applied_);
+      if (std::uncaught_exceptions() > uncaught_at_entry_) {
+        // Unwinding through this frame: the JVM-rethrow-hook analogue.
+        thread_.CountExceptionFixup();
+      }
+    }
+  }
+
+  MethodFrame(const MethodFrame&) = delete;
+  MethodFrame& operator=(const MethodFrame&) = delete;
+
+ private:
+  RuntimeThread& thread_;
+  uint16_t applied_ = 0;
+  int uncaught_at_entry_;
+};
+
+// Exception type thrown by guest (workload) code; unwinds through
+// MethodFrames, which keep the thread stack state consistent.
+class GuestException : public std::exception {
+ public:
+  explicit GuestException(const char* what) : what_(what) {}
+  const char* what() const noexcept override { return what_; }
+
+ private:
+  const char* what_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_RUNTIME_FRAME_H_

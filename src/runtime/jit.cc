@@ -1,0 +1,216 @@
+#include "src/runtime/jit.h"
+
+#include <mutex>
+
+#include "src/util/check.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+JitEngine::JitEngine(const JitConfig& config, PackageFilter filter)
+    : config_(config), filter_(std::move(filter)), rng_(config.seed) {}
+
+MethodId JitEngine::RegisterMethod(const std::string& name, uint32_t bytecode_size) {
+  std::lock_guard<SpinLock> guard(lock_);
+  MethodInfo& m = methods_.emplace_back();
+  m.id = static_cast<MethodId>(methods_.size() - 1);
+  m.name = name;
+  m.bytecode_size = bytecode_size;
+  return m.id;
+}
+
+uint32_t JitEngine::RegisterAllocSite(MethodId method, uint8_t ng2c_hint) {
+  std::lock_guard<SpinLock> guard(lock_);
+  ROLP_CHECK(method < methods_.size());
+  AllocSiteInfo& s = alloc_sites_.emplace_back();
+  s.index = static_cast<uint32_t>(alloc_sites_.size() - 1);
+  s.method = method;
+  s.ng2c_hint = ng2c_hint;
+  methods_[method].alloc_sites.push_back(s.index);
+  return s.index;
+}
+
+uint32_t JitEngine::RegisterCallSite(MethodId caller, MethodId callee) {
+  std::lock_guard<SpinLock> guard(lock_);
+  ROLP_CHECK(caller < methods_.size() && callee < methods_.size());
+  CallSite& c = call_sites_.emplace_back();
+  c.index = static_cast<uint32_t>(call_sites_.size() - 1);
+  c.caller = caller;
+  c.callee = callee;
+  methods_[caller].call_sites.push_back(c.index);
+  return c.index;
+}
+
+uint16_t JitEngine::NextSiteId() {
+  // 16-bit identifiers; when exhausted, further sites stay unprofiled.
+  if (next_site_id_ == 0) {
+    return 0;
+  }
+  uint16_t id = next_site_id_;
+  next_site_id_ = next_site_id_ == 0xFFFF ? 0 : next_site_id_ + 1;
+  return id;
+}
+
+uint16_t JitEngine::NextCallHash() {
+  // Unique non-zero 16-bit additive hash per call site (paper's "unique
+  // method call identifier"). Random draws keep sums of subsets spread out,
+  // which is what keeps thread-stack-state collisions rare (section 3.2.1).
+  uint16_t h = 0;
+  while (h == 0) {
+    h = static_cast<uint16_t>(rng_.NextU64());
+  }
+  return h;
+}
+
+void JitEngine::Compile(MethodId method_id) {
+  std::lock_guard<SpinLock> guard(lock_);
+  MethodInfo& m = methods_[method_id];
+  if (m.jitted.load(std::memory_order_relaxed)) {
+    return;
+  }
+  m.filter_pass = filter_.ShouldProfile(m.name);
+  m.jitted.store(true, std::memory_order_release);
+
+  // Allocation sites become profiled (get header ids) when their method is
+  // compiled and the filter admits it.
+  if (m.filter_pass) {
+    for (uint32_t si : m.alloc_sites) {
+      AllocSiteInfo& s = alloc_sites_[si];
+      if (s.site_id.load(std::memory_order_relaxed) == 0) {
+        s.site_id.store(NextSiteId(), std::memory_order_release);
+      }
+    }
+  }
+
+  // Outgoing call sites: inline small callees (never profiled); instrument
+  // the rest if call profiling is on and the filter admits the caller.
+  for (uint32_t ci : m.call_sites) {
+    CallSite& c = call_sites_[ci];
+    MethodInfo& callee = methods_[c.callee];
+    if (callee.bytecode_size <= config_.inline_max_bytecode) {
+      c.inlined = true;
+      continue;
+    }
+    if (!call_profiling_active() || !m.filter_pass) {
+      continue;
+    }
+    if (!c.instrumented) {
+      c.instrumented = true;
+      c.assigned_hash = NextCallHash();
+      profilable_.push_back(ci);
+      if (config_.level == ProfilingLevel::kSlowCall) {
+        c.tss_hash.store(c.assigned_hash, std::memory_order_release);
+      }
+    }
+  }
+}
+
+void JitEngine::CompileAll() {
+  size_t n;
+  {
+    std::lock_guard<SpinLock> guard(lock_);
+    n = methods_.size();
+  }
+  for (MethodId id = 0; id < n; id++) {
+    Compile(id);
+  }
+}
+
+size_t JitEngine::NumProfilableCallSites() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return profilable_.size();
+}
+
+void JitEngine::SetCallSiteTracking(size_t index, bool enabled) {
+  std::lock_guard<SpinLock> guard(lock_);
+  ROLP_CHECK(index < profilable_.size());
+  CallSite& c = call_sites_[profilable_[index]];
+  if (config_.level == ProfilingLevel::kFastCall && enabled) {
+    return;  // Fig. 6 fast-call level: the slow branch is never taken
+  }
+  c.tss_hash.store(enabled ? c.assigned_hash : 0, std::memory_order_release);
+}
+
+bool JitEngine::CallSiteTracking(size_t index) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  ROLP_CHECK(index < profilable_.size());
+  return call_sites_[profilable_[index]].tss_hash.load(std::memory_order_relaxed) != 0;
+}
+
+size_t JitEngine::num_methods() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return methods_.size();
+}
+
+size_t JitEngine::num_alloc_sites() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return alloc_sites_.size();
+}
+
+size_t JitEngine::num_call_sites() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return call_sites_.size();
+}
+
+size_t JitEngine::profiled_alloc_sites() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  size_t n = 0;
+  for (const auto& s : alloc_sites_) {
+    if (s.site_id.load(std::memory_order_relaxed) != 0) {
+      n++;
+    }
+  }
+  return n;
+}
+
+size_t JitEngine::tracked_call_sites() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  size_t n = 0;
+  for (const auto& c : call_sites_) {
+    if (c.tss_hash.load(std::memory_order_relaxed) != 0) {
+      n++;
+    }
+  }
+  return n;
+}
+
+size_t JitEngine::instrumented_call_sites() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  size_t n = 0;
+  for (const auto& c : call_sites_) {
+    n += c.instrumented ? 1 : 0;
+  }
+  return n;
+}
+
+size_t JitEngine::inlined_call_sites() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  size_t n = 0;
+  for (const auto& c : call_sites_) {
+    n += c.inlined ? 1 : 0;
+  }
+  return n;
+}
+
+size_t JitEngine::jitted_methods() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  size_t n = 0;
+  for (const auto& m : methods_) {
+    n += m.jitted.load(std::memory_order_relaxed) ? 1 : 0;
+  }
+  return n;
+}
+
+double JitEngine::pas_fraction() const {
+  size_t total = num_alloc_sites();
+  return total == 0 ? 0.0
+                    : static_cast<double>(profiled_alloc_sites()) / static_cast<double>(total);
+}
+
+double JitEngine::pmc_fraction() const {
+  size_t total = num_call_sites();
+  return total == 0 ? 0.0
+                    : static_cast<double>(tracked_call_sites()) / static_cast<double>(total);
+}
+
+}  // namespace rolp

@@ -1,0 +1,107 @@
+// Invocation-counter JIT model — paper section 3.2.
+//
+// Methods start "interpreted" (cold, unprofiled). Once a method's invocation
+// count crosses the hot threshold it is "compiled": its allocation sites get
+// 16-bit site ids (if the package filter admits the method) and its outgoing
+// call sites get the fast/slow profiling branch, except calls to small
+// callees, which are inlined and never profiled (section 7.2.1).
+//
+// The JIT engine also implements CallSiteControl, so the ROLP conflict
+// resolver can toggle thread-stack-state tracking per call site, and exposes
+// the four profiling levels of Fig. 6.
+#ifndef SRC_RUNTIME_JIT_H_
+#define SRC_RUNTIME_JIT_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/rolp/conflict_resolver.h"
+#include "src/rolp/package_filter.h"
+#include "src/runtime/method.h"
+#include "src/util/random.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+// Fig. 6 profiling levels.
+enum class ProfilingLevel {
+  kNoCallProfiling,  // allocation-site profiling only
+  kFastCall,         // call sites instrumented, all falling through the fast branch
+  kReal,             // tracking enabled on demand by conflict resolution
+  kSlowCall,         // worst case: every instrumented call site tracks
+};
+
+struct JitConfig {
+  uint64_t hot_threshold = 1000;  // invocations before a method is compiled
+  uint32_t inline_max_bytecode = 32;
+  ProfilingLevel level = ProfilingLevel::kReal;
+  uint64_t seed = 0x5eed;
+};
+
+class JitEngine : public CallSiteControl {
+ public:
+  JitEngine(const JitConfig& config, PackageFilter filter);
+
+  // --- Registration (workload setup) ---------------------------------------
+  MethodId RegisterMethod(const std::string& name, uint32_t bytecode_size);
+  uint32_t RegisterAllocSite(MethodId method, uint8_t ng2c_hint = 0);
+  uint32_t RegisterCallSite(MethodId caller, MethodId callee);
+
+  // --- Hot path -------------------------------------------------------------
+  // Called on every method invocation; compiles at the hot threshold.
+  void OnInvocation(MethodId method) {
+    MethodInfo& m = methods_[method];
+    uint64_t n = m.invocations.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n == config_.hot_threshold) {
+      Compile(method);
+    }
+  }
+
+  bool call_profiling_active() const {
+    return config_.level != ProfilingLevel::kNoCallProfiling;
+  }
+
+  MethodInfo& method(MethodId id) { return methods_[id]; }
+  AllocSiteInfo& alloc_site(uint32_t index) { return alloc_sites_[index]; }
+  CallSite& call_site(uint32_t index) { return call_sites_[index]; }
+
+  // Forces compilation (tests, workload warmup shortcuts).
+  void Compile(MethodId method);
+  void CompileAll();
+
+  // --- CallSiteControl (conflict resolver interface) ------------------------
+  // The profilable population is the instrumented, non-inlined call sites.
+  size_t NumProfilableCallSites() const override;
+  void SetCallSiteTracking(size_t index, bool enabled) override;
+  bool CallSiteTracking(size_t index) const override;
+
+  // --- Metrics (Tables 1 and 2) ---------------------------------------------
+  size_t num_methods() const;
+  size_t num_alloc_sites() const;
+  size_t num_call_sites() const;
+  size_t profiled_alloc_sites() const;   // sites with a header id (PAS count)
+  size_t tracked_call_sites() const;     // sites currently on the slow branch
+  size_t instrumented_call_sites() const;
+  size_t inlined_call_sites() const;
+  size_t jitted_methods() const;
+  double pas_fraction() const;           // PAS as the paper reports it
+  double pmc_fraction() const;           // PMC as the paper reports it
+
+ private:
+  uint16_t NextSiteId();
+  uint16_t NextCallHash();
+
+  JitConfig config_;
+  PackageFilter filter_;
+  mutable SpinLock lock_;  // registration + compile
+  std::deque<MethodInfo> methods_;
+  std::deque<AllocSiteInfo> alloc_sites_;
+  std::deque<CallSite> call_sites_;
+  std::vector<uint32_t> profilable_;  // call-site indices exposed to the resolver
+  uint16_t next_site_id_ = 1;
+  Random rng_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_RUNTIME_JIT_H_

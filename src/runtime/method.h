@@ -1,0 +1,60 @@
+// Method, call-site, and allocation-site metadata — the runtime's analogue of
+// HotSpot's method/bytecode structures at the granularity ROLP cares about.
+//
+// A "method" has a qualified name (package filters match it), a bytecode size
+// (drives inlining), an invocation counter (drives JIT compilation), and owns
+// allocation sites and outgoing call sites. Call sites carry the fast/slow
+// profiling branch of paper section 3.2.4: a 16-bit hash that is zero while
+// tracking is off (fast branch: test + jump) and non-zero while the thread
+// stack state is being updated (slow branch: add on entry, sub on exit).
+#ifndef SRC_RUNTIME_METHOD_H_
+#define SRC_RUNTIME_METHOD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rolp {
+
+using MethodId = uint32_t;
+
+struct MethodInfo {
+  MethodId id = 0;
+  std::string name;          // "package.Class::method"
+  uint32_t bytecode_size = 0;
+
+  std::atomic<uint64_t> invocations{0};
+  std::atomic<bool> jitted{false};
+  bool filter_pass = false;  // package filter verdict, decided at JIT time
+
+  std::vector<uint32_t> alloc_sites;  // AllocSiteInfo ids owned by this method
+  std::vector<uint32_t> call_sites;   // outgoing CallSite ids
+};
+
+struct AllocSiteInfo {
+  uint32_t index = 0;        // dense registry index
+  MethodId method = 0;
+  // 16-bit header site id; 0 until the owning method is jitted and passes the
+  // package filter (paper: identifiers are created when profiling code is
+  // installed during JIT).
+  std::atomic<uint16_t> site_id{0};
+  // Oracle lifetime annotation used in NG2C mode (0 = young, 1..15).
+  uint8_t ng2c_hint = 0;
+};
+
+struct CallSite {
+  uint32_t index = 0;
+  MethodId caller = 0;
+  MethodId callee = 0;
+  bool inlined = false;      // decided when the caller is jitted; never profiled
+  bool instrumented = false; // profiling branch emitted into the caller's code
+  uint16_t assigned_hash = 0;  // unique non-zero value used when tracking
+  // The live knob: non-zero while this call site updates the thread stack
+  // state (the slow branch). Mirrors assigned_hash or 0.
+  std::atomic<uint16_t> tss_hash{0};
+};
+
+}  // namespace rolp
+
+#endif  // SRC_RUNTIME_METHOD_H_

@@ -1,0 +1,154 @@
+#include "src/runtime/thread.h"
+
+#include "src/runtime/vm.h"
+#include "src/util/check.h"
+
+namespace rolp {
+
+RuntimeThread::RuntimeThread(VM* vm, uint32_t thread_id)
+    : vm_(vm), rng_(vm->config().seed ^ (0x9e3779b97f4a7c15ULL * thread_id)) {
+  gc_ctx_.thread_id = thread_id;
+  osr_rate_ = vm->config().osr_corruption_rate;
+}
+
+Object* RuntimeThread::Allocate(uint32_t alloc_site, ClassId cls, size_t total_bytes,
+                                uint64_t array_length) {
+  uint32_t context = 0;
+  uint8_t gen = kYoungGen;
+  if (alloc_site != kNoSite) {
+    AllocSiteInfo& site = vm_->jit().alloc_site(alloc_site);
+    uint16_t sid = site.site_id.load(std::memory_order_acquire);
+    if (sid != 0) {
+      // Hot, profiled allocation: install (site, thread stack state) in the
+      // header and feed the OLD table (paper section 3.2.1).
+      context = markword::MakeContext(sid, tss_);
+      Profiler* profiler = vm_->profiler();
+      if (profiler != nullptr) {
+        profiler->RecordAllocation(context);
+        gen = profiler->TargetGen(context);
+      }
+    }
+    if (vm_->config().gc == GcKind::kNg2c) {
+      // NG2C mode: the hand-placed annotation decides the generation.
+      gen = site.ng2c_hint;
+    }
+  }
+  allocations_++;
+  Heap& heap = vm_->heap();
+  if (gen == kYoungGen && !heap.IsHumongousSize(total_bytes)) {
+    char* mem = gc_ctx_.tlab.Allocate(total_bytes);
+    if (mem != nullptr) {
+      return heap.InitializeObject(mem, cls, total_bytes, array_length, context);
+    }
+  }
+  AllocRequest req;
+  req.cls = cls;
+  req.total_bytes = total_bytes;
+  req.array_length = array_length;
+  req.context = context;
+  req.target_gen = gen;
+  return vm_->collector().AllocateSlow(&gc_ctx_, req);
+}
+
+Object* RuntimeThread::AllocateInstance(uint32_t alloc_site, ClassId cls) {
+  return Allocate(alloc_site, cls, vm_->heap().InstanceAllocSize(cls), 0);
+}
+
+Object* RuntimeThread::AllocateRefArray(uint32_t alloc_site, uint64_t length) {
+  return Allocate(alloc_site, vm_->heap().classes().ref_array_class(),
+                  vm_->heap().RefArrayAllocSize(length), length);
+}
+
+Object* RuntimeThread::AllocateDataArray(uint32_t alloc_site, uint64_t length) {
+  return Allocate(alloc_site, vm_->heap().classes().data_array_class(),
+                  vm_->heap().DataArrayAllocSize(length), length);
+}
+
+Local RuntimeThread::NewLocal(Object* obj) {
+  gc_ctx_.local_roots.emplace_back(obj);
+  return Local(this, gc_ctx_.local_roots.size() - 1);
+}
+
+void RuntimeThread::TruncateLocals(size_t depth) {
+  while (gc_ctx_.local_roots.size() > depth) {
+    gc_ctx_.local_roots.pop_back();
+  }
+}
+
+Object* RuntimeThread::LoadField(Object* obj, uint32_t offset) {
+  return vm_->heap().LoadRef(obj->RefSlotAt(offset));
+}
+
+void RuntimeThread::StoreField(Object* obj, uint32_t offset, Object* value) {
+  vm_->heap().StoreRef(obj, obj->RefSlotAt(offset), value);
+}
+
+Object* RuntimeThread::LoadElem(Object* arr, uint64_t index) {
+  return vm_->heap().LoadRef(arr->RefArraySlot(index));
+}
+
+void RuntimeThread::StoreElem(Object* arr, uint64_t index, Object* value) {
+  vm_->heap().StoreRef(arr, arr->RefArraySlot(index), value);
+}
+
+uint16_t RuntimeThread::ExpectedTss() const {
+  uint16_t expected = 0;
+  for (const FrameRecord& f : frame_stack_) {
+    expected = static_cast<uint16_t>(expected + f.applied_hash);
+  }
+  return expected;
+}
+
+bool RuntimeThread::VerifyAndRepairTss() {
+  uint16_t expected = ExpectedTss();
+  if (tss_ == expected) {
+    return false;
+  }
+  tss_ = expected;
+  osr_repaired_++;
+  return true;
+}
+
+void RuntimeThread::MaybeInjectOsrCorruption() {
+  if (osr_rate_ <= 0.0) {
+    return;
+  }
+  if (rng_.NextBool(osr_rate_)) {
+    // An OSR transition replaced interpreted frames with compiled ones (or
+    // vice versa) without running the stack-state update.
+    tss_ = static_cast<uint16_t>(tss_ + static_cast<uint16_t>(rng_.NextU64() | 1));
+    osr_injected_++;
+  }
+}
+
+void RuntimeThread::BiasLock(Object* obj) {
+  // Paper section 3.2.2: biased locking writes the owner thread id over the
+  // upper 32 header bits, destroying any allocation context stored there.
+  uint64_t m = obj->LoadMark();
+  obj->StoreMark(markword::SetBiased(m, gc_ctx_.thread_id));
+}
+
+void RuntimeThread::BiasUnlock(Object* obj) {
+  uint64_t m = obj->LoadMark();
+  ROLP_DCHECK(markword::IsBiased(m));
+  obj->StoreMark(markword::ClearBiased(m));
+}
+
+void RuntimeThread::Poll() { vm_->safepoints().Poll(&gc_ctx_); }
+
+Object* Local::get() const {
+  ROLP_DCHECK(thread_ != nullptr);
+  return thread_->vm().heap().LoadRef(&thread_->gc_context().local_roots[index_]);
+}
+
+void Local::set(Object* obj) {
+  ROLP_DCHECK(thread_ != nullptr);
+  thread_->gc_context().local_roots[index_].store(obj, std::memory_order_relaxed);
+}
+
+HandleScope::HandleScope(RuntimeThread& thread)
+    : thread_(thread), base_(thread.local_depth()) {}
+
+HandleScope::~HandleScope() { thread_.TruncateLocals(base_); }
+
+}  // namespace rolp

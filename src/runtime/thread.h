@@ -1,0 +1,131 @@
+// Mutator thread state: TLAB + local handle roots (via the embedded
+// MutatorContext), the 16-bit thread stack state (paper section 3.2.1), the
+// frame stack used for OSR verification (section 7.2.3), and the allocation
+// entry points that install allocation contexts and consult the profiler /
+// NG2C annotations for the target generation.
+#ifndef SRC_RUNTIME_THREAD_H_
+#define SRC_RUNTIME_THREAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gc/collector.h"
+#include "src/runtime/method.h"
+#include "src/util/random.h"
+
+namespace rolp {
+
+class VM;
+class RuntimeThread;
+
+// A handle to a heap object, rooted in the owning thread's local root set.
+// Reads go through the heap's load barrier so they stay valid under the
+// concurrent (Z) collector.
+class Local {
+ public:
+  Local() = default;
+  Local(RuntimeThread* thread, size_t index) : thread_(thread), index_(index) {}
+
+  Object* get() const;
+  void set(Object* obj);
+  bool valid() const { return thread_ != nullptr; }
+
+ private:
+  RuntimeThread* thread_ = nullptr;
+  size_t index_ = 0;
+};
+
+// RAII scope: local handles created inside are released on exit (LIFO).
+class HandleScope {
+ public:
+  explicit HandleScope(RuntimeThread& thread);
+  ~HandleScope();
+  HandleScope(const HandleScope&) = delete;
+  HandleScope& operator=(const HandleScope&) = delete;
+
+ private:
+  RuntimeThread& thread_;
+  size_t base_;
+};
+
+class RuntimeThread {
+ public:
+  static constexpr uint32_t kNoSite = UINT32_MAX;
+
+  RuntimeThread(VM* vm, uint32_t thread_id);
+
+  VM& vm() { return *vm_; }
+  uint32_t thread_id() const { return gc_ctx_.thread_id; }
+  MutatorContext& gc_context() { return gc_ctx_; }
+
+  // --- Allocation -----------------------------------------------------------
+  // alloc_site: an index from JitEngine::RegisterAllocSite, or kNoSite for
+  // unprofiled (cold/VM-internal) allocations.
+  Object* AllocateInstance(uint32_t alloc_site, ClassId cls);
+  Object* AllocateRefArray(uint32_t alloc_site, uint64_t length);
+  Object* AllocateDataArray(uint32_t alloc_site, uint64_t length);
+
+  // --- Handles --------------------------------------------------------------
+  Local NewLocal(Object* obj);
+  size_t local_depth() const { return gc_ctx_.local_roots.size(); }
+  void TruncateLocals(size_t depth);
+
+  // --- Field access (barriered) ----------------------------------------------
+  Object* LoadField(Object* obj, uint32_t offset);
+  void StoreField(Object* obj, uint32_t offset, Object* value);
+  Object* LoadElem(Object* arr, uint64_t index);
+  void StoreElem(Object* arr, uint64_t index, Object* value);
+
+  // --- Thread stack state (manipulated by MethodFrame) -----------------------
+  uint16_t tss() const { return tss_; }
+  void AddTss(uint16_t h) { tss_ = static_cast<uint16_t>(tss_ + h); }
+  void SubTss(uint16_t h) { tss_ = static_cast<uint16_t>(tss_ - h); }
+
+  struct FrameRecord {
+    uint32_t call_site = 0;
+    uint16_t applied_hash = 0;
+  };
+  std::vector<FrameRecord>& frame_stack() { return frame_stack_; }
+
+  // Computes the stack state implied by the frame stack (used by the GC-end
+  // verification, paper section 7.2.3).
+  uint16_t ExpectedTss() const;
+  // Repairs tss_ from the frame stack; returns true if it was corrupted.
+  bool VerifyAndRepairTss();
+
+  // Fault injection modelling OSR transitions that skip profiling code.
+  void MaybeInjectOsrCorruption();
+
+  // --- Biased locking (paper section 3.2.2) ----------------------------------
+  void BiasLock(Object* obj);
+  void BiasUnlock(Object* obj);
+
+  void Poll();
+
+  // Counters.
+  uint64_t exception_fixups() const { return exception_fixups_; }
+  void CountExceptionFixup() { exception_fixups_++; }
+  uint64_t osr_injected() const { return osr_injected_; }
+  uint64_t osr_repaired() const { return osr_repaired_; }
+  uint64_t allocations() const { return allocations_; }
+  Random& rng() { return rng_; }
+
+ private:
+  friend class VM;
+  Object* Allocate(uint32_t alloc_site, ClassId cls, size_t total_bytes, uint64_t array_length);
+
+  VM* vm_;
+  MutatorContext gc_ctx_;
+  uint16_t tss_ = 0;
+  std::vector<FrameRecord> frame_stack_;
+  Random rng_;
+  double osr_rate_ = 0.0;
+  uint64_t exception_fixups_ = 0;
+  uint64_t osr_injected_ = 0;
+  uint64_t osr_repaired_ = 0;
+  uint64_t allocations_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_RUNTIME_THREAD_H_

@@ -1,0 +1,264 @@
+#include "src/runtime/vm.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "src/gc/cms_collector.h"
+#include "src/gc/regional_collector.h"
+#include "src/gc/zgc_collector.h"
+#include "src/runtime/thread.h"
+#include "src/util/check.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+const char* GcKindName(GcKind kind) {
+  switch (kind) {
+    case GcKind::kG1:
+      return "g1";
+    case GcKind::kCms:
+      return "cms";
+    case GcKind::kZgc:
+      return "zgc";
+    case GcKind::kNg2c:
+      return "ng2c";
+    case GcKind::kRolp:
+      return "rolp";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ParseGcName(const std::string& name, GcKind* out) {
+  if (name == "g1") {
+    *out = GcKind::kG1;
+  } else if (name == "cms") {
+    *out = GcKind::kCms;
+  } else if (name == "zgc") {
+    *out = GcKind::kZgc;
+  } else if (name == "ng2c") {
+    *out = GcKind::kNg2c;
+  } else if (name == "rolp") {
+    *out = GcKind::kRolp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool VmConfig::ParseFlags(const std::vector<std::string>& flags, VmConfig* out,
+                          std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+  for (const std::string& flag : flags) {
+    if (flag.rfind("-Xmx", 0) == 0) {
+      std::string v = flag.substr(4);
+      size_t mult = 1;
+      if (!v.empty() && (v.back() == 'm' || v.back() == 'M')) {
+        v.pop_back();
+      } else if (!v.empty() && (v.back() == 'g' || v.back() == 'G')) {
+        v.pop_back();
+        mult = 1024;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || n <= 0) {
+        return fail("bad heap size: " + flag);
+      }
+      out->heap_mb = static_cast<size_t>(n) * mult;
+    } else if (flag == "-XX:+UseROLP") {
+      out->gc = GcKind::kRolp;
+    } else if (flag.rfind("-XX:GC=", 0) == 0) {
+      if (!ParseGcName(flag.substr(7), &out->gc)) {
+        return fail("unknown collector: " + flag);
+      }
+    } else if (flag.rfind("-XX:ROLPFilter=", 0) == 0) {
+      std::string list = flag.substr(15);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        if (comma > pos) {
+          out->filter.Include(list.substr(pos, comma - pos));
+        }
+        pos = comma + 1;
+      }
+    } else if (flag.rfind("-XX:MaxTenuringThreshold=", 0) == 0) {
+      out->gc_config.tenuring_threshold =
+          static_cast<uint32_t>(std::strtoul(flag.substr(25).c_str(), nullptr, 10));
+    } else if (flag.rfind("-XX:ROLPConflictP=", 0) == 0) {
+      double pct = std::strtod(flag.substr(18).c_str(), nullptr);
+      if (pct <= 0.0 || pct > 100.0) {
+        return fail("bad conflict P: " + flag);
+      }
+      out->rolp.conflict_p = pct / 100.0;
+    } else if (flag.rfind("-XX:ParallelGCThreads=", 0) == 0) {
+      uint32_t n = static_cast<uint32_t>(std::strtoul(flag.substr(22).c_str(), nullptr, 10));
+      if (n == 0) {
+        return fail("bad worker count: " + flag);
+      }
+      out->gc_config.num_workers = n;
+    } else {
+      return fail("unknown flag: " + flag);
+    }
+  }
+  return true;
+}
+
+VM::VM(const VmConfig& config) : config_(config) {
+  HeapConfig hc;
+  hc.heap_bytes = config_.heap_mb * 1024 * 1024;
+  hc.region_bytes = config_.region_kb * 1024;
+  hc.young_fraction = config_.young_fraction;
+  hc.tenuring_threshold = config_.gc_config.tenuring_threshold;
+  heap_ = std::make_unique<Heap>(hc);
+
+  jit_ = std::make_unique<JitEngine>(config_.jit, config_.filter);
+
+  GcConfig gcfg = config_.gc_config;
+  switch (config_.gc) {
+    case GcKind::kG1:
+      gcfg.use_dynamic_gens = false;
+      collector_ = std::make_unique<RegionalCollector>(heap_.get(), gcfg, &safepoints_);
+      break;
+    case GcKind::kNg2c:
+      gcfg.use_dynamic_gens = true;
+      collector_ = std::make_unique<RegionalCollector>(heap_.get(), gcfg, &safepoints_);
+      break;
+    case GcKind::kRolp: {
+      gcfg.use_dynamic_gens = true;
+      collector_ = std::make_unique<RegionalCollector>(heap_.get(), gcfg, &safepoints_);
+      RolpConfig rc = config_.rolp;
+      rc.max_gc_workers = gcfg.num_workers > rc.max_gc_workers ? gcfg.num_workers
+                                                               : rc.max_gc_workers;
+      profiler_ = std::make_unique<Profiler>(rc);
+      profiler_->SetCallSiteControl(jit_.get());
+      break;
+    }
+    case GcKind::kCms:
+      collector_ = std::make_unique<CmsCollector>(heap_.get(), gcfg, &safepoints_);
+      break;
+    case GcKind::kZgc:
+      collector_ = std::make_unique<ZgcCollector>(heap_.get(), gcfg, &safepoints_);
+      break;
+  }
+  collector_->set_profiler(this);
+}
+
+VM::~VM() {
+  // Threads must be detached by their owners before the VM dies.
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  ROLP_CHECK(threads_.empty());
+}
+
+RuntimeThread* VM::AttachThread() {
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  auto owned = std::make_unique<RuntimeThread>(this, next_thread_id_++);
+  RuntimeThread* t = owned.get();
+  all_threads_.push_back(std::move(owned));
+  threads_.push_back(t);
+  safepoints_.RegisterThread(&t->gc_context());
+  return t;
+}
+
+void VM::DetachThread(RuntimeThread* thread) {
+  collector_->OnMutatorExit(&thread->gc_context());
+  safepoints_.UnregisterThread(&thread->gc_context());
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  for (size_t i = 0; i < threads_.size(); i++) {
+    if (threads_[i] == thread) {
+      threads_[i] = threads_.back();
+      threads_.pop_back();
+      break;
+    }
+  }
+}
+
+GlobalRef VM::NewGlobalRoot(Object* initial) { return GlobalRef(&heap_->roots(), initial); }
+
+Object* VM::LoadGlobal(const GlobalRef& ref) {
+  if (!ref.valid()) {
+    return nullptr;
+  }
+  // Route through the barrier so the read heals under the concurrent
+  // collector.
+  return heap_->LoadRef(ref.slot());
+}
+
+bool VM::SurvivorTrackingEnabled() const {
+  return profiler_ != nullptr && profiler_->SurvivorTrackingEnabled();
+}
+
+void VM::OnSurvivor(uint32_t worker_id, uint64_t old_mark) {
+  if (profiler_ != nullptr) {
+    profiler_->OnSurvivor(worker_id, old_mark);
+  }
+}
+
+void VM::OnGcEnd(const GcEndInfo& info) {
+  // Paper section 7.2.3: at the end of each GC cycle, while the world is
+  // still stopped, verify every thread's stack state against its frame stack
+  // and repair OSR-induced corruption.
+  {
+    std::lock_guard<SpinLock> guard(threads_lock_);
+    for (RuntimeThread* t : threads_) {
+      t->VerifyAndRepairTss();
+    }
+  }
+  if (profiler_ != nullptr) {
+    profiler_->OnGcEnd(info);
+  }
+}
+
+void VM::OnGenFragmentation(uint8_t gen, double live_ratio) {
+  if (profiler_ != nullptr) {
+    profiler_->OnGenFragmentation(gen, live_ratio);
+  }
+}
+
+uint64_t VM::total_exception_fixups() const {
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  uint64_t n = 0;
+  for (const auto& t : all_threads_) {
+    n += t->exception_fixups();
+  }
+  return n;
+}
+
+uint64_t VM::total_osr_injected() const {
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  uint64_t n = 0;
+  for (const auto& t : all_threads_) {
+    n += t->osr_injected();
+  }
+  return n;
+}
+
+uint64_t VM::total_osr_repaired() const {
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  uint64_t n = 0;
+  for (const auto& t : all_threads_) {
+    n += t->osr_repaired();
+  }
+  return n;
+}
+
+uint64_t VM::total_allocations() const {
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  uint64_t n = 0;
+  for (const auto& t : all_threads_) {
+    n += t->allocations();
+  }
+  return n;
+}
+
+}  // namespace rolp

@@ -1,0 +1,46 @@
+// Assertion macros used throughout the runtime.
+//
+// ROLP_CHECK is always on (release included): invariants whose violation means
+// heap corruption. ROLP_DCHECK compiles out in NDEBUG builds and is used for
+// hot-path checks (object alignment, header sanity, table indices).
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rolp {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rolp
+
+#define ROLP_CHECK(expr)                                \
+  do {                                                  \
+    if (__builtin_expect(!(expr), 0)) {                 \
+      ::rolp::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                   \
+  } while (0)
+
+#define ROLP_CHECK_MSG(expr, msg)                              \
+  do {                                                         \
+    if (__builtin_expect(!(expr), 0)) {                        \
+      ::rolp::CheckFailed(__FILE__, __LINE__, #expr ": " msg); \
+    }                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define ROLP_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define ROLP_DCHECK(expr) ROLP_CHECK(expr)
+#endif
+
+#define ROLP_UNREACHABLE() ::rolp::CheckFailed(__FILE__, __LINE__, "unreachable")
+
+#endif  // SRC_UTIL_CHECK_H_

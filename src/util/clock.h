@@ -1,0 +1,37 @@
+// Monotonic clock helpers. All pause and throughput measurements in the
+// repository use NowNs() so they share one time base.
+#ifndef SRC_UTIL_CLOCK_H_
+#define SRC_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rolp {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+inline uint64_t MsToNs(double ms) { return static_cast<uint64_t>(ms * 1e6); }
+
+// Scoped stopwatch: adds elapsed nanoseconds to *sink on destruction.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(uint64_t* sink) : sink_(sink), start_(NowNs()) {}
+  ~ScopedTimerNs() { *sink_ += NowNs() - start_; }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_CLOCK_H_

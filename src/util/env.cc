@@ -1,0 +1,51 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rolp {
+
+int64_t EnvInt64(const char* name, int64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) {
+    return default_value;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) {
+    return default_value;
+  }
+  return parsed;
+}
+
+bool EnvBool(const char* name, bool default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 || std::strcmp(v, "yes") == 0 ||
+         std::strcmp(v, "on") == 0;
+}
+
+std::string EnvString(const char* name, const std::string& default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return default_value;
+  }
+  return v;
+}
+
+}  // namespace rolp

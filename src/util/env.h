@@ -1,0 +1,19 @@
+// Environment-variable configuration helpers. Bench binaries use these to
+// expose scale knobs (ROLP_BENCH_SECONDS, ROLP_BENCH_HEAP_MB, ...) without
+// argument parsing.
+#ifndef SRC_UTIL_ENV_H_
+#define SRC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rolp {
+
+int64_t EnvInt64(const char* name, int64_t default_value);
+double EnvDouble(const char* name, double default_value);
+bool EnvBool(const char* name, bool default_value);
+std::string EnvString(const char* name, const std::string& default_value);
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_ENV_H_

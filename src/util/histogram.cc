@@ -1,0 +1,142 @@
+#include "src/util/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace rolp {
+
+LogHistogram::LogHistogram() : buckets_(static_cast<size_t>(kMagnitudes) * kSubBuckets, 0) {}
+
+size_t LogHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);  // magnitude 0: exact
+  }
+  int msb = 63 - std::countl_zero(value);
+  int magnitude = msb - kSubBucketBits + 1;
+  if (magnitude >= kMagnitudes - 1) {
+    magnitude = kMagnitudes - 1;
+  }
+  uint64_t sub = (value >> magnitude) & (kSubBuckets - 1);
+  return static_cast<size_t>(magnitude) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+uint64_t LogHistogram::BucketUpperBound(size_t index) {
+  size_t magnitude = index / kSubBuckets;
+  uint64_t sub = index % kSubBuckets;
+  if (magnitude == 0) {
+    return sub;
+  }
+  // sub already contains the magnitude's leading bit (it is the top of the 5
+  // bits kept), so the bucket covers [sub << magnitude, (sub+1) << magnitude).
+  return ((sub + 1) << magnitude) - 1;
+}
+
+void LogHistogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void LogHistogram::RecordN(uint64_t value, uint64_t count) {
+  buckets_[BucketIndex(value)] += count;
+  total_count_ += count;
+  total_sum_ += value * count;
+  if (value > max_) {
+    max_ = value;
+  }
+  if (value < min_) {
+    min_ = value;
+  }
+}
+
+uint64_t LogHistogram::Percentile(double p) const {
+  if (total_count_ == 0) {
+    return 0;
+  }
+  ROLP_CHECK(p >= 0.0 && p <= 100.0);
+  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total_count_) + 0.5);
+  if (target == 0) {
+    target = 1;
+  }
+  if (target > total_count_) {
+    target = total_count_;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      uint64_t ub = BucketUpperBound(i);
+      return ub > max_ ? max_ : ub;
+    }
+  }
+  return max_;
+}
+
+double LogHistogram::Mean() const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_sum_) / static_cast<double>(total_count_);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  ROLP_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_count_ += other.total_count_;
+  total_sum_ += other.total_sum_;
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  if (other.min_ < min_) {
+    min_ = other.min_;
+  }
+}
+
+void LogHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_count_ = 0;
+  total_sum_ = 0;
+  max_ = 0;
+  min_ = UINT64_MAX;
+}
+
+LinearHistogram::LinearHistogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  ROLP_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); i++) {
+    ROLP_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void LinearHistogram::Record(uint64_t value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value >= bounds_[i]) {
+    i++;
+  }
+  counts_[i]++;
+  total_++;
+}
+
+std::string LinearHistogram::BucketLabel(size_t i) const {
+  char buf[64];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "[0,%llu)", static_cast<unsigned long long>(bounds_[0]));
+  } else if (i == bounds_.size()) {
+    std::snprintf(buf, sizeof(buf), "[%llu,inf)",
+                  static_cast<unsigned long long>(bounds_[bounds_.size() - 1]));
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%llu,%llu)", static_cast<unsigned long long>(bounds_[i - 1]),
+                  static_cast<unsigned long long>(bounds_[i]));
+  }
+  return buf;
+}
+
+void LinearHistogram::Merge(const LinearHistogram& other) {
+  ROLP_CHECK(bounds_ == other.bounds_);
+  for (size_t i = 0; i < counts_.size(); i++) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+}  // namespace rolp

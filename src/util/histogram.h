@@ -1,0 +1,77 @@
+// Histograms for pause-time and latency recording.
+//
+// LogHistogram is an HDR-style log-bucketed histogram: values are bucketed by
+// power-of-two magnitude with kSubBuckets linear sub-buckets per magnitude,
+// giving a bounded relative error (~1/kSubBuckets) at any scale. Recording is
+// lock-free-ish (plain increments); callers that record from multiple threads
+// should use one histogram per thread and Merge().
+//
+// LinearHistogram buckets values into fixed caller-supplied intervals; used
+// for the Fig. 9 pause-count-per-interval plots.
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rolp {
+
+class LogHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets => ~3% relative error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMagnitudes = 50;    // covers values up to ~2^49
+
+  LogHistogram();
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  // Value at the given percentile p in [0, 100]. Returns an upper bound of the
+  // bucket containing the percentile. Returns 0 for an empty histogram.
+  uint64_t Percentile(double p) const;
+
+  uint64_t Count() const { return total_count_; }
+  uint64_t Max() const { return max_; }
+  uint64_t Min() const { return total_count_ == 0 ? 0 : min_; }
+  double Mean() const;
+
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+ private:
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t total_count_ = 0;
+  uint64_t total_sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = UINT64_MAX;
+};
+
+class LinearHistogram {
+ public:
+  // Buckets: [0,b0), [b0,b1), ..., [bn-1, inf). bounds must be increasing.
+  explicit LinearHistogram(std::vector<uint64_t> bounds);
+
+  void Record(uint64_t value);
+
+  size_t NumBuckets() const { return counts_.size(); }
+  uint64_t BucketCount(size_t i) const { return counts_[i]; }
+  // Human-readable label for bucket i, e.g. "[10,20)".
+  std::string BucketLabel(size_t i) const;
+  uint64_t Count() const { return total_; }
+
+  void Merge(const LinearHistogram& other);
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

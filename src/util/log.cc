@@ -1,0 +1,74 @@
+#include "src/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rolp {
+
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  if (s == nullptr) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(s, "error") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(s, "warn") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(s, "info") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(s, "debug") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(s, "trace") == 0) {
+    return LogLevel::kTrace;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{-1};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(ParseLevel(std::getenv("ROLP_LOG")));
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+void LogImpl(LogLevel level, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[rolp:%s] %s\n", LevelTag(level), buf);
+}
+
+}  // namespace rolp

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Level is read once from the ROLP_LOG environment
+// variable ("error", "warn", "info", "debug", "trace"); default is "warn" so
+// benchmarks stay quiet.
+#ifndef SRC_UTIL_LOG_H_
+#define SRC_UTIL_LOG_H_
+
+#include <cstdarg>
+
+namespace rolp {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+// Current level; initialized lazily from ROLP_LOG.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// printf-style logging to stderr, prefixed with the level tag.
+void LogImpl(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+inline bool LogEnabled(LogLevel level) { return static_cast<int>(level) <= static_cast<int>(GetLogLevel()); }
+
+}  // namespace rolp
+
+#define ROLP_LOG(level, ...)                        \
+  do {                                              \
+    if (::rolp::LogEnabled(level)) {                \
+      ::rolp::LogImpl(level, __VA_ARGS__);          \
+    }                                               \
+  } while (0)
+
+#define ROLP_LOG_ERROR(...) ROLP_LOG(::rolp::LogLevel::kError, __VA_ARGS__)
+#define ROLP_LOG_WARN(...) ROLP_LOG(::rolp::LogLevel::kWarn, __VA_ARGS__)
+#define ROLP_LOG_INFO(...) ROLP_LOG(::rolp::LogLevel::kInfo, __VA_ARGS__)
+#define ROLP_LOG_DEBUG(...) ROLP_LOG(::rolp::LogLevel::kDebug, __VA_ARGS__)
+#define ROLP_LOG_TRACE(...) ROLP_LOG(::rolp::LogLevel::kTrace, __VA_ARGS__)
+
+#endif  // SRC_UTIL_LOG_H_

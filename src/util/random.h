@@ -1,0 +1,105 @@
+// Deterministic pseudo-random generators used by workloads and the conflict
+// resolver. All generators are seedable so experiments are reproducible.
+#ifndef SRC_UTIL_RANDOM_H_
+#define SRC_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rolp {
+
+// SplitMix64: used for seeding and for cheap stateless mixing.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of a 64-bit value (finalizer of SplitMix64).
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256**: fast, high-quality general-purpose generator.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5eed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+  // Gaussian via Box-Muller, mean 0 stddev 1.
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+// YCSB-style Zipfian generator over [0, n). theta defaults to the YCSB
+// constant 0.99. Uses the Gray et al. rejection-free algorithm with a
+// precomputed zeta(n, theta).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 0x5eed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+// Scrambled zipfian: spreads the hot keys across the keyspace (as YCSB does),
+// so hot keys are not clustered at low ids.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 0x5eed)
+      : n_(n), zipf_(n, theta, seed) {}
+
+  uint64_t Next() { return Mix64(zipf_.Next()) % n_; }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+// Samples an index from a discrete distribution given by non-negative weights.
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution(std::vector<double> weights);
+
+  size_t Sample(Random& rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+};
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_RANDOM_H_

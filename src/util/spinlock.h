@@ -1,0 +1,50 @@
+// Tiny test-and-test-and-set spinlock for short critical sections
+// (remembered-set inserts, free-list carving). Satisfies Lockable so it can
+// be used with std::lock_guard.
+#ifndef SRC_UTIL_SPINLOCK_H_
+#define SRC_UTIL_SPINLOCK_H_
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace rolp {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
+    }
+  }
+
+  bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_SPINLOCK_H_

@@ -1,0 +1,75 @@
+#include "src/util/table_printer.h"
+
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace rolp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ROLP_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  ROLP_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); c++) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      if (row[c].size() > widths[c]) {
+        widths[c] = row[c].size();
+      }
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TablePrinter::FmtPct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace rolp

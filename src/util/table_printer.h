@@ -1,0 +1,34 @@
+// Aligned ASCII table printer used by the benchmark harnesses to emit the
+// paper's tables and figure series in a grep-friendly format.
+#ifndef SRC_UTIL_TABLE_PRINTER_H_
+#define SRC_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace rolp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a header separator; every column padded to its
+  // widest cell.
+  std::string Render() const;
+
+  // Convenience: format helpers for cells.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+  static std::string FmtPct(double fraction, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,185 @@
+#include "src/workloads/dacapo.h"
+
+#include <cstring>
+
+#include "src/runtime/frame.h"
+#include "src/util/check.h"
+
+namespace rolp {
+
+const std::vector<DacapoSpec>& DacapoSuite() {
+  // name          heap  methods layers sites fanout small  bytes surv  window confl exc  allocs
+  static const std::vector<DacapoSpec> kSuite = {
+      {"avrora",     32,  120,  4,  70,  1.5, 0.50,   64, 0.02,  2000, 0, 0.000, 40},
+      {"eclipse",    96,  480,  6, 330,  2.0, 0.40,  128, 0.06,  8000, 0, 0.002, 60},
+      {"fop",        48,  900,  5, 830,  2.5, 0.35,  160, 0.04,  4000, 0, 0.001, 120},
+      {"h2",         96,  420,  5, 120,  2.0, 0.45,  256, 0.10, 16000, 0, 0.000, 50},
+      {"jython",     48, 2400,  7, 740,  3.0, 0.55,   96, 0.03,  3000, 0, 0.004, 150},
+      {"luindex",    40,  160,  4,  90,  1.5, 0.40,  192, 0.08,  6000, 0, 0.000, 45},
+      {"lusearch",   40,  190,  4, 130,  1.6, 0.40,  128, 0.02,  1500, 0, 0.000, 55},
+      {"pmd",        40,  820,  6, 370,  2.4, 0.35,  112, 0.05,  5000, 6, 0.003, 90},
+      {"sunflow",    36,  140,  4, 230,  1.4, 0.30,  320, 0.03,  2500, 0, 0.000, 160},
+      {"tomcat",     64,  760,  6, 440,  2.2, 0.40,  144, 0.05,  6000, 4, 0.005, 80},
+      {"tradebeans", 64,  560,  6, 230,  2.0, 0.45,  176, 0.07,  9000, 0, 0.002, 70},
+      {"tradesoap",  64, 1500,  7, 260,  2.6, 0.45,  208, 0.06,  8000, 3, 0.006, 85},
+      {"xalan",      32,  540,  5, 410,  2.2, 0.35,   96, 0.03,  2500, 0, 0.001, 100},
+  };
+  return kSuite;
+}
+
+const DacapoSpec* FindDacapoSpec(const std::string& name) {
+  for (const DacapoSpec& spec : DacapoSuite()) {
+    if (name == spec.name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+DacapoWorkload::DacapoWorkload(const DacapoSpec& spec, uint64_t seed)
+    : spec_(spec), seed_(seed), rng_(seed ^ Mix64(reinterpret_cast<uintptr_t>(spec.name))) {}
+
+DacapoWorkload::~DacapoWorkload() = default;
+
+void DacapoWorkload::Setup(VM& vm, RuntimeThread& t) {
+  vm_ = &vm;
+  JitEngine& jit = vm.jit();
+  Random build_rng(seed_ ^ 0xDACA90);
+
+  // Layered call graph: methods in layer L call methods in layer L+1.
+  int per_layer = spec_.methods / spec_.layers;
+  ROLP_CHECK(per_layer >= 1);
+  methods_.reserve(spec_.methods);
+  std::vector<int> layer_of(spec_.methods);
+  for (int i = 0; i < spec_.methods; i++) {
+    int layer = i / per_layer;
+    if (layer >= spec_.layers) {
+      layer = spec_.layers - 1;
+    }
+    layer_of[i] = layer;
+    bool small = build_rng.NextDouble() < spec_.small_method_fraction;
+    uint32_t bytecode = small ? 8 + static_cast<uint32_t>(build_rng.NextBounded(24))
+                              : 48 + static_cast<uint32_t>(build_rng.NextBounded(400));
+    char name[96];
+    std::snprintf(name, sizeof(name), "dacapo.%s.L%d.C%d::m", spec_.name, layer, i);
+    methods_.push_back(jit.RegisterMethod(name, bytecode));
+  }
+  out_calls_.assign(spec_.methods, {});
+  m_sites_.assign(spec_.methods, {});
+
+  for (int i = 0; i < spec_.methods; i++) {
+    if (layer_of[i] + 1 >= spec_.layers) {
+      continue;
+    }
+    int callees = 1 + static_cast<int>(build_rng.NextDouble() * 2.0 * (spec_.fanout - 1.0) + 0.5);
+    for (int c = 0; c < callees; c++) {
+      int lo = (layer_of[i] + 1) * per_layer;
+      int hi = lo + per_layer - 1;
+      if (hi >= spec_.methods) {
+        hi = spec_.methods - 1;
+      }
+      int callee = static_cast<int>(build_rng.NextRange(lo, hi));
+      out_calls_[i].push_back(jit.RegisterCallSite(methods_[i], methods_[callee]));
+    }
+  }
+
+  // Allocation sites spread over the methods.
+  for (int s = 0; s < spec_.alloc_sites; s++) {
+    int m = static_cast<int>(build_rng.NextBounded(spec_.methods));
+    m_sites_[m].push_back(jit.RegisterAllocSite(methods_[m]));
+  }
+
+  // Conflict helpers: one allocation helper method reached from two distinct
+  // call sites; one path's allocations are retained, the other's die young.
+  for (int c = 0; c < spec_.conflict_sites; c++) {
+    char name[96];
+    std::snprintf(name, sizeof(name), "dacapo.%s.Factory%d::create", spec_.name, c);
+    MethodId helper = jit.RegisterMethod(name, 120);
+    int caller_a = static_cast<int>(build_rng.NextBounded(spec_.methods));
+    int caller_b = static_cast<int>(build_rng.NextBounded(spec_.methods));
+    ConflictPair pair;
+    pair.site = jit.RegisterAllocSite(helper);
+    pair.cs_short = jit.RegisterCallSite(methods_[caller_a], helper);
+    pair.cs_long = jit.RegisterCallSite(methods_[caller_b], helper);
+    conflicts_.push_back(pair);
+  }
+
+  HandleScope scope(t);
+  Object* window = t.AllocateRefArray(RuntimeThread::kNoSite, spec_.window);
+  ROLP_CHECK(window != nullptr);
+  window_ = vm.NewGlobalRoot(window);
+}
+
+void DacapoWorkload::WalkPath(RuntimeThread& t, size_t method_index, uint64_t path_seed) {
+  // Allocate at this method's sites.
+  HandleScope scope(t);
+  uint64_t mix = Mix64(path_seed);
+  for (uint32_t site : m_sites_[method_index]) {
+    size_t bytes = spec_.alloc_mean_bytes / 2 +
+                   (mix % spec_.alloc_mean_bytes);
+    Local obj = t.NewLocal(t.AllocateDataArray(site, bytes));
+    if (obj.get() == nullptr) {
+      return;
+    }
+    if (rng_.NextDouble() < spec_.survivor_fraction) {
+      Object* window = vm_->LoadGlobal(window_);
+      t.StoreElem(window, window_cursor_ % spec_.window, obj.get());
+      window_cursor_++;
+    }
+  }
+  // Descend through one call site (random walk down the layers).
+  if (!out_calls_[method_index].empty()) {
+    uint32_t cs = out_calls_[method_index][mix % out_calls_[method_index].size()];
+    MethodFrame f(t, cs);
+    CallSite& site = vm_->jit().call_site(cs);
+    // Find the callee's index (methods_ ids are dense and in order).
+    size_t callee_index = site.callee - methods_[0];
+    WalkPath(t, callee_index, mix ^ path_seed);
+  }
+}
+
+void DacapoWorkload::Op(RuntimeThread& t, uint64_t op_index) {
+  uint64_t allocs_done = 0;
+  while (allocs_done < spec_.allocs_per_op) {
+    size_t entry = rng_.NextBounded(static_cast<uint64_t>(
+        spec_.methods / spec_.layers));  // start somewhere in layer 0
+    vm_->jit().OnInvocation(methods_[entry]);
+    try {
+      if (!conflicts_.empty() && rng_.NextBool(0.2)) {
+        // Exercise a conflict pair: the same helper site via both paths.
+        const ConflictPair& pair = conflicts_[rng_.NextBounded(conflicts_.size())];
+        HandleScope scope(t);
+        {
+          MethodFrame f(t, pair.cs_short);
+          Local scratch = t.NewLocal(t.AllocateDataArray(pair.site, spec_.alloc_mean_bytes));
+          (void)scratch;  // dies young
+        }
+        {
+          MethodFrame f(t, pair.cs_long);
+          Local kept = t.NewLocal(t.AllocateDataArray(pair.site, spec_.alloc_mean_bytes));
+          if (kept.get() != nullptr) {
+            Object* window = vm_->LoadGlobal(window_);
+            t.StoreElem(window, window_cursor_ % spec_.window, kept.get());
+            window_cursor_++;
+          }
+        }
+        allocs_done += 2;
+      }
+      if (spec_.exception_rate > 0 && !out_calls_[entry].empty() &&
+          rng_.NextBool(spec_.exception_rate)) {
+        // A path that unwinds through frames (section 7.2.2).
+        MethodFrame f(t, out_calls_[entry][0]);
+        throw GuestException("dacapo synthetic failure");
+      }
+      WalkPath(t, entry, op_index * 1315423911ull + allocs_done);
+    } catch (const GuestException&) {
+      exceptions_++;
+    }
+    allocs_done += 1 + m_sites_[entry].size();
+  }
+  t.Poll();
+}
+
+void DacapoWorkload::Teardown() { window_ = GlobalRef(); }
+
+}  // namespace rolp

@@ -1,0 +1,88 @@
+// DaCapo-like synthetic benchmark suite (paper Table 2 / Figs. 6-7).
+//
+// Each of the 13 apps is a parameterized synthetic program: a randomly
+// generated layered call graph whose paths the operations walk with real
+// MethodFrames (exercising JIT heat, inlining, and call-site profiling), with
+// allocation sites spread along the paths. A per-app retention structure (a
+// rolling window of survivors) sets the lifetime mix, and some apps carry
+// deliberate context conflicts (one allocation helper reached through call
+// paths with different retention) and exception paths.
+//
+// The apps do not reproduce DaCapo semantics — the paper uses DaCapo only to
+// measure profiling overhead and conflict behaviour, which depend on code
+// shape (method counts, call fan-out, allocation rate), and those are the
+// parameters modelled here.
+#ifndef SRC_WORKLOADS_DACAPO_H_
+#define SRC_WORKLOADS_DACAPO_H_
+
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace rolp {
+
+struct DacapoSpec {
+  const char* name;
+  size_t heap_mb;          // Table 2 "HS" column (scaled)
+  int methods;             // call-graph size
+  int layers;              // call depth
+  int alloc_sites;         // allocation sites spread over methods
+  double fanout;           // call sites per method (average)
+  double small_method_fraction;  // fraction of tiny (inlinable) methods
+  size_t alloc_mean_bytes;
+  double survivor_fraction;  // fraction of allocations retained in the window
+  size_t window;             // rolling survivor window length
+  int conflict_sites;        // allocation helpers reached via 2 lifetimes
+  double exception_rate;     // per-op probability of a thrown exception
+  uint64_t allocs_per_op;
+};
+
+// The 13 suite entries (avrora ... xalan), shaped to reproduce the relative
+// PMC/PAS magnitudes and conflict counts of Table 2.
+const std::vector<DacapoSpec>& DacapoSuite();
+const DacapoSpec* FindDacapoSpec(const std::string& name);
+
+class DacapoWorkload : public Workload {
+ public:
+  explicit DacapoWorkload(const DacapoSpec& spec, uint64_t seed = 0x5eed);
+  ~DacapoWorkload() override;
+
+  std::string name() const override { return spec_.name; }
+  void Setup(VM& vm, RuntimeThread& t) override;
+  void Op(RuntimeThread& t, uint64_t op_index) override;
+  void Teardown() override;
+
+  uint64_t exceptions_thrown() const { return exceptions_; }
+
+ private:
+  struct PathStep {
+    uint32_t call_site;
+    uint32_t alloc_site;  // UINT32_MAX = none
+    bool conflict_long;   // this step's allocation is the long-lived side
+  };
+  void WalkPath(RuntimeThread& t, size_t depth, uint64_t path_seed);
+
+  DacapoSpec spec_;
+  uint64_t seed_;
+  VM* vm_ = nullptr;
+
+  std::vector<MethodId> methods_;
+  std::vector<std::vector<uint32_t>> out_calls_;  // per method: call-site ids
+  std::vector<std::vector<uint32_t>> m_sites_;    // per method: alloc-site ids
+  // Conflict helpers: alloc site + the two call sites reaching it.
+  struct ConflictPair {
+    uint32_t site;
+    uint32_t cs_short;
+    uint32_t cs_long;
+  };
+  std::vector<ConflictPair> conflicts_;
+
+  GlobalRef window_;  // rolling survivor ring
+  uint64_t window_cursor_ = 0;
+  Random rng_;
+  uint64_t exceptions_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_WORKLOADS_DACAPO_H_

@@ -1,0 +1,154 @@
+#include "src/workloads/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/util/check.h"
+#include "src/util/clock.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+double PercentileMsOf(const std::vector<PauseRecord>& pauses, double p) {
+  if (pauses.empty()) {
+    return 0.0;
+  }
+  std::vector<uint64_t> durations;
+  durations.reserve(pauses.size());
+  for (const auto& rec : pauses) {
+    durations.push_back(rec.duration_ns);
+  }
+  std::sort(durations.begin(), durations.end());
+  double rank = p / 100.0 * static_cast<double>(durations.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = lo + 1 < durations.size() ? lo + 1 : lo;
+  double frac = rank - static_cast<double>(lo);
+  double ns = static_cast<double>(durations[lo]) * (1.0 - frac) +
+              static_cast<double>(durations[hi]) * frac;
+  return ns / 1e6;
+}
+
+double RunResult::PausePercentileMs(double p) const { return PercentileMsOf(pauses, p); }
+
+double RunResult::MaxPauseMs() const {
+  uint64_t max_ns = 0;
+  for (const auto& rec : pauses) {
+    max_ns = std::max(max_ns, rec.duration_ns);
+  }
+  return static_cast<double>(max_ns) / 1e6;
+}
+
+double RunResult::TotalPauseMs() const {
+  uint64_t total = 0;
+  for (const auto& rec : pauses) {
+    total += rec.duration_ns;
+  }
+  return static_cast<double>(total) / 1e6;
+}
+
+RunResult RunWorkload(const VmConfig& vm_config, Workload& workload,
+                      const DriverOptions& options) {
+  VmConfig cfg = vm_config;
+  if (options.use_workload_filter && cfg.gc == GcKind::kRolp) {
+    workload.ConfigureFilter(&cfg.filter);
+  }
+  VM vm(cfg);
+
+  // Setup on an attached thread.
+  RuntimeThread* setup_thread = vm.AttachThread();
+  workload.Setup(vm, *setup_thread);
+  vm.DetachThread(setup_thread);
+
+  uint64_t start_ns = NowNs();
+  uint64_t warmup_end_ns = start_ns + static_cast<uint64_t>(options.warmup_s * 1e9);
+  uint64_t deadline_ns = start_ns + static_cast<uint64_t>(options.duration_s * 1e9);
+
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> measured_ops{0};
+  std::atomic<bool> stop{false};
+
+  auto body = [&](int thread_index) {
+    RuntimeThread* t = vm.AttachThread();
+    uint64_t op = static_cast<uint64_t>(thread_index) << 40;
+    uint64_t local_ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      workload.Op(*t, op++);
+      local_ops++;
+      uint64_t now = NowNs();
+      if (now >= warmup_end_ns) {
+        measured_ops.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (now >= deadline_ns) {
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (options.max_ops != 0 &&
+          total_ops.load(std::memory_order_relaxed) + local_ops >= options.max_ops) {
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+      t->Poll();
+    }
+    total_ops.fetch_add(local_ops, std::memory_order_relaxed);
+    vm.DetachThread(t);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (int i = 0; i < options.threads; i++) {
+    threads.emplace_back(body, i);
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t end_ns = NowNs();
+
+  RunResult result;
+  result.workload = workload.name();
+  result.collector = GcKindName(cfg.gc);
+  result.run_start_ns = start_ns;
+  result.ops = options.warmup_s > 0 ? measured_ops.load() : total_ops.load();
+  result.measured_s =
+      static_cast<double>(end_ns - std::max(start_ns, warmup_end_ns)) / 1e9;
+  if (options.warmup_s <= 0) {
+    result.measured_s = static_cast<double>(end_ns - start_ns) / 1e9;
+  }
+  if (result.measured_s > 0) {
+    result.throughput = static_cast<double>(result.ops) / result.measured_s;
+  }
+
+  result.all_pauses = vm.collector().metrics().Pauses();
+  for (const auto& rec : result.all_pauses) {
+    if (rec.start_ns >= warmup_end_ns) {
+      result.pauses.push_back(rec);
+    }
+  }
+  result.max_used_bytes = vm.heap().max_used_bytes();
+  result.total_allocated_bytes = vm.heap().total_allocated_bytes();
+  result.gc_cycles = vm.collector().metrics().GcCycles();
+  result.bytes_copied = vm.collector().metrics().BytesCopied();
+
+  JitEngine& jit = vm.jit();
+  result.total_alloc_sites = jit.num_alloc_sites();
+  result.profiled_alloc_sites = jit.profiled_alloc_sites();
+  result.total_call_sites = jit.num_call_sites();
+  result.tracked_call_sites = jit.tracked_call_sites();
+  result.instrumented_call_sites = jit.instrumented_call_sites();
+  result.profilable_call_sites = jit.NumProfilableCallSites();
+  result.pas_fraction = jit.pas_fraction();
+  result.pmc_fraction = jit.pmc_fraction();
+  if (vm.profiler() != nullptr) {
+    result.conflicts = vm.profiler()->conflicts_total();
+    result.old_table_bytes = vm.profiler()->old_table().PaperMemoryBytes();
+    result.first_decision_cycle = vm.profiler()->first_decision_cycle();
+    result.survivor_tracking_toggles = vm.profiler()->survivor_tracking_toggles();
+  }
+  result.exception_fixups = vm.total_exception_fixups();
+  result.osr_repaired = vm.total_osr_repaired();
+
+  workload.Teardown();
+  return result;
+}
+
+}  // namespace rolp

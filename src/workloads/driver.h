@@ -1,0 +1,73 @@
+// Bench driver: boots a VM with a chosen collector, runs a workload on N
+// mutator threads for a fixed duration, and collects throughput, pause, and
+// profiling statistics. Warmup-period pauses/ops can be excluded (the paper
+// discards the first minutes of each run).
+#ifndef SRC_WORKLOADS_DRIVER_H_
+#define SRC_WORKLOADS_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace rolp {
+
+struct DriverOptions {
+  int threads = 1;
+  double duration_s = 5.0;
+  double warmup_s = 0.0;  // pauses/ops before this offset are excluded
+  uint64_t max_ops = 0;   // stop early after this many ops (0 = time-based)
+  // Apply the workload's package filter to the ROLP profiler (Table 1 setup).
+  bool use_workload_filter = true;
+};
+
+struct RunResult {
+  std::string workload;
+  std::string collector;
+
+  uint64_t ops = 0;              // post-warmup operations
+  double measured_s = 0.0;       // post-warmup wall time
+  double throughput = 0.0;       // ops per second
+
+  std::vector<PauseRecord> pauses;      // post-warmup
+  std::vector<PauseRecord> all_pauses;  // full run (warmup analysis, Fig. 10)
+  uint64_t run_start_ns = 0;
+
+  uint64_t max_used_bytes = 0;
+  uint64_t total_allocated_bytes = 0;
+  uint64_t gc_cycles = 0;
+  uint64_t bytes_copied = 0;
+
+  // Profiling summary (Tables 1 and 2).
+  uint64_t total_alloc_sites = 0;
+  uint64_t profiled_alloc_sites = 0;
+  uint64_t total_call_sites = 0;
+  uint64_t tracked_call_sites = 0;
+  uint64_t instrumented_call_sites = 0;
+  uint64_t profilable_call_sites = 0;
+  double pas_fraction = 0.0;
+  double pmc_fraction = 0.0;
+  uint64_t conflicts = 0;
+  uint64_t old_table_bytes = 0;
+  uint64_t first_decision_cycle = 0;
+  uint64_t exception_fixups = 0;
+  uint64_t osr_repaired = 0;
+  uint64_t survivor_tracking_toggles = 0;
+
+  // Exact percentile (ms) over post-warmup pause records.
+  double PausePercentileMs(double p) const;
+  double MaxPauseMs() const;
+  double TotalPauseMs() const;
+};
+
+// Runs `workload` under the given VM configuration. The workload object is
+// single-use (Setup is called once).
+RunResult RunWorkload(const VmConfig& vm_config, Workload& workload,
+                      const DriverOptions& options);
+
+// Exact percentile over arbitrary pause records (used by bench harnesses).
+double PercentileMsOf(const std::vector<PauseRecord>& pauses, double p);
+
+}  // namespace rolp
+
+#endif  // SRC_WORKLOADS_DRIVER_H_

@@ -1,0 +1,74 @@
+// GraphChi-like shard-based graph computation (paper Table 1: Connected
+// Components and PageRank on a power-law graph; filter packages
+// graphchi.datablocks and graphchi.engine).
+//
+// The graph itself (adjacency arrays) is immortal; per-interval shard value
+// blocks are epochal (allocated at interval start, dead at interval end,
+// after having survived several young collections on large intervals);
+// per-vertex scratch dies young.
+#ifndef SRC_WORKLOADS_GRAPH_H_
+#define SRC_WORKLOADS_GRAPH_H_
+
+#include <atomic>
+
+#include "src/util/spinlock.h"
+#include "src/workloads/workload.h"
+
+namespace rolp {
+
+enum class GraphAlgo { kConnectedComponents, kPageRank };
+
+struct GraphOptions {
+  GraphAlgo algo = GraphAlgo::kConnectedComponents;
+  uint64_t vertices = 50000;
+  uint64_t edges_per_vertex = 8;  // power-law out-degrees with this mean
+  uint64_t intervals = 6;         // shards per full iteration
+  // Shard value blocks kept in the in-memory pipeline window (GraphChi keeps
+  // several shard windows resident); blocks die when they rotate out.
+  uint64_t pipeline_blocks = 48;
+  // Transient scratch allocated per vertex-update batch.
+  uint64_t scratch_bytes = 2048;
+  uint64_t scratch_period = 16;   // vertices per scratch allocation
+  uint64_t seed = 0x5eed;
+};
+
+class GraphWorkload : public Workload {
+ public:
+  explicit GraphWorkload(const GraphOptions& options);
+  ~GraphWorkload() override;
+
+  std::string name() const override {
+    return options_.algo == GraphAlgo::kConnectedComponents ? "graphchi-cc" : "graphchi-pr";
+  }
+  void Setup(VM& vm, RuntimeThread& t) override;
+  void Op(RuntimeThread& t, uint64_t op_index) override;
+  void ConfigureFilter(PackageFilter* filter) const override;
+  void Teardown() override;
+
+  uint64_t iterations() const { return iterations_.load(std::memory_order_relaxed); }
+  // Current CC label / PR rank of a vertex (for convergence checks in tests).
+  uint64_t VertexLabel(RuntimeThread& t, uint64_t v);
+
+ private:
+  void ProcessInterval(RuntimeThread& t, uint64_t interval);
+
+  GraphOptions options_;
+  VM* vm_ = nullptr;
+
+  MethodId m_engine_ = 0, m_block_ = 0, m_update_ = 0, m_io_ = 0;
+  uint32_t site_block_ = 0;    // interval value blocks (epochal)
+  uint32_t site_scratch_ = 0;  // per-vertex scratch
+  uint32_t cs_engine_block_ = 0, cs_engine_update_ = 0, cs_update_io_ = 0;
+
+  GlobalRef adjacency_;  // ref array[v]: data arrays of out-neighbour ids
+  GlobalRef values_;     // data array: current vertex values (labels/ranks)
+  GlobalRef pipeline_;   // ref array ring of recent shard blocks
+  std::atomic<uint64_t> pipeline_cursor_{0};
+  std::atomic<uint64_t> next_interval_{0};
+  std::atomic<uint64_t> iterations_{0};
+  SpinLock interval_lock_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_WORKLOADS_GRAPH_H_

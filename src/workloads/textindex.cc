@@ -1,0 +1,300 @@
+#include "src/workloads/textindex.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "src/runtime/frame.h"
+#include "src/util/check.h"
+
+namespace rolp {
+
+namespace {
+// Postings data array layout: [0] uint64 count, then count uint64 doc ids.
+uint64_t PostingCount(Object* arr) {
+  return *reinterpret_cast<uint64_t*>(arr->DataArrayBytes());
+}
+uint64_t PostingCapacity(Object* arr) {
+  return arr->ArrayLength() / sizeof(uint64_t) - 1;
+}
+uint64_t* PostingSlots(Object* arr) {
+  return reinterpret_cast<uint64_t*>(arr->DataArrayBytes()) + 1;
+}
+}  // namespace
+
+TextIndexWorkload::TextIndexWorkload(const TextIndexOptions& options)
+    : options_(options), terms_(options.vocab, 0.99, options.seed), rng_(options.seed ^ 7) {}
+
+TextIndexWorkload::~TextIndexWorkload() = default;
+
+void TextIndexWorkload::ConfigureFilter(PackageFilter* filter) const {
+  // Paper Table 1: lucene.store.
+  filter->Include("lucene.store");
+}
+
+void TextIndexWorkload::Setup(VM& vm, RuntimeThread& t) {
+  vm_ = &vm;
+  JitEngine& jit = vm.jit();
+  m_index_ = jit.RegisterMethod("lucene.store.IndexWriter::addDocument", 260);
+  m_query_ = jit.RegisterMethod("lucene.search.IndexSearcher::search", 240);
+  m_grow_ = jit.RegisterMethod("lucene.store.PostingsArray::grow", 80);
+  m_seal_ = jit.RegisterMethod("lucene.store.SegmentWriter::seal", 320);
+  m_merge_ = jit.RegisterMethod("lucene.store.SegmentMerger::merge", 400);
+  m_tokenize_ = jit.RegisterMethod("lucene.analysis.Tokenizer::tokenize", 150);
+
+  site_postings_ = jit.RegisterAllocSite(m_grow_, /*ng2c_hint=*/1);
+  site_segment_ = jit.RegisterAllocSite(m_seal_, /*ng2c_hint=*/kOldGenId);
+  site_scratch_ = jit.RegisterAllocSite(m_tokenize_, 0);
+
+  cs_index_tok_ = jit.RegisterCallSite(m_index_, m_tokenize_);
+  // Two distinct call paths share the postings-array allocation site: the
+  // first-posting path (tiny arrays, usually superseded quickly) and the
+  // doubling-growth path (arrays that live to the segment seal). Same
+  // factory, different lifetimes: conflict material that thread-stack-state
+  // tracking can untangle (paper section 5).
+  cs_index_new_ = jit.RegisterCallSite(m_index_, m_grow_);
+  cs_index_grow_ = jit.RegisterCallSite(m_index_, m_grow_);
+  cs_index_seal_ = jit.RegisterCallSite(m_index_, m_seal_);
+  cs_seal_merge_ = jit.RegisterCallSite(m_seal_, m_merge_);
+  cs_query_tok_ = jit.RegisterCallSite(m_query_, m_tokenize_);
+
+  RegisterBackgroundCode(jit, "lucene.codecs", 2500, 2, 3);
+  RegisterBackgroundCode(jit, "lucene.util", 1500, 2, 3);
+  RegisterBackgroundCode(jit, "jdk.util", 2000, 2, 4);
+
+  HandleScope scope(t);
+  Object* open = t.AllocateRefArray(RuntimeThread::kNoSite, options_.vocab);
+  ROLP_CHECK(open != nullptr);
+  open_ = vm.NewGlobalRoot(open);
+  Object* sealed = t.AllocateRefArray(RuntimeThread::kNoSite, options_.max_segments + 1);
+  ROLP_CHECK(sealed != nullptr);
+  sealed_ = vm.NewGlobalRoot(sealed);
+}
+
+void TextIndexWorkload::AppendPosting(RuntimeThread& t, uint64_t term, uint64_t doc_id) {
+  HandleScope scope(t);
+  Object* open = vm_->LoadGlobal(open_);
+  Object* arr = t.LoadElem(open, term);
+  if (arr == nullptr || PostingCount(arr) >= PostingCapacity(arr)) {
+    // Grow: allocate a doubled array; the superseded one becomes garbage
+    // after living through part of the segment epoch.
+    uint64_t old_count = arr == nullptr ? 0 : PostingCount(arr);
+    uint64_t new_cap = arr == nullptr ? 8 : PostingCapacity(arr) * 2;
+    Local old_arr = t.NewLocal(arr);
+    Local fresh;
+    if (arr == nullptr) {
+      MethodFrame f(t, cs_index_new_);
+      fresh = t.NewLocal(
+          t.AllocateDataArray(site_postings_, (new_cap + 1) * sizeof(uint64_t)));
+    } else {
+      MethodFrame f(t, cs_index_grow_);
+      fresh = t.NewLocal(
+          t.AllocateDataArray(site_postings_, (new_cap + 1) * sizeof(uint64_t)));
+    }
+    if (fresh.get() == nullptr) {
+      return;
+    }
+    if (old_arr.get() != nullptr) {
+      std::memcpy(fresh.get()->DataArrayBytes(), old_arr.get()->DataArrayBytes(),
+                  (old_count + 1) * sizeof(uint64_t));
+    }
+    open = vm_->LoadGlobal(open_);
+    t.StoreElem(open, term, fresh.get());
+    arr = fresh.get();
+  }
+  uint64_t count = PostingCount(arr);
+  PostingSlots(arr)[count] = doc_id;
+  *reinterpret_cast<uint64_t*>(arr->DataArrayBytes()) = count + 1;
+}
+
+void TextIndexWorkload::IndexDoc(RuntimeThread& t) {
+  HandleScope scope(t);
+  uint64_t doc_id = next_doc_id_.fetch_add(1, std::memory_order_relaxed);
+  // Tokenize: scratch term buffer that dies with the op.
+  Local scratch;
+  {
+    MethodFrame f(t, cs_index_tok_);
+    scratch = t.NewLocal(t.AllocateDataArray(
+        site_scratch_,
+        options_.terms_per_doc * sizeof(uint64_t) + options_.scratch_bytes));
+  }
+  if (scratch.get() == nullptr) {
+    return;
+  }
+  uint64_t* toks = reinterpret_cast<uint64_t*>(scratch.get()->DataArrayBytes());
+  {
+    std::lock_guard<SpinLock> guard(gen_lock_);
+    for (uint64_t i = 0; i < options_.terms_per_doc; i++) {
+      toks[i] = terms_.Next();
+    }
+  }
+  for (uint64_t i = 0; i < options_.terms_per_doc; i++) {
+    AppendPosting(t, toks[i], doc_id);
+  }
+  if (docs_in_open_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      options_.docs_per_segment) {
+    SealSegment(t);
+  }
+}
+
+void TextIndexWorkload::SealSegment(RuntimeThread& t) {
+  std::lock_guard<SpinLock> guard(maintenance_lock_);
+  if (docs_in_open_.load(std::memory_order_relaxed) < options_.docs_per_segment) {
+    return;
+  }
+  seals_.fetch_add(1, std::memory_order_relaxed);
+  HandleScope scope(t);
+
+  if (sealed_count_.load(std::memory_order_relaxed) >= options_.max_segments) {
+    MergeSegments(t);
+  }
+
+  // Serialize the open segment into one blob; postings arrays then die
+  // together (epochal).
+  uint64_t total = 0;
+  Object* open = vm_->LoadGlobal(open_);
+  for (uint64_t v = 0; v < options_.vocab; v++) {
+    Object* arr = t.LoadElem(open, v);
+    if (arr != nullptr) {
+      total += PostingCount(arr);
+    }
+  }
+  // Sealed segments are delta/varint compressed on disk-format boundaries:
+  // ~2 bytes per posting. This also keeps segment blobs bounded, as in the
+  // real system.
+  Local blob;
+  {
+    MethodFrame f(t, cs_index_seal_);
+    blob = t.NewLocal(t.AllocateDataArray(site_segment_, 8 + total * 2));
+  }
+  if (blob.get() == nullptr) {
+    return;
+  }
+  // Encode postings into the blob and clear the open segment.
+  uint16_t* out = reinterpret_cast<uint16_t*>(blob.get()->DataArrayBytes() + 8);
+  uint64_t capacity = (blob.get()->ArrayLength() - 8) / 2;
+  uint64_t cursor = 0;
+  open = vm_->LoadGlobal(open_);
+  for (uint64_t v = 0; v < options_.vocab; v++) {
+    Object* arr = t.LoadElem(open, v);
+    if (arr == nullptr) {
+      continue;
+    }
+    uint64_t n = PostingCount(arr);
+    const uint64_t* slots = PostingSlots(arr);
+    for (uint64_t i = 0; i < n && cursor < capacity; i++) {
+      out[cursor++] = static_cast<uint16_t>(slots[i]);
+    }
+    t.StoreElem(open, v, nullptr);
+  }
+  *reinterpret_cast<uint64_t*>(blob.get()->DataArrayBytes()) = cursor;
+  Object* sealed = vm_->LoadGlobal(sealed_);
+  uint64_t idx = sealed_count_.load(std::memory_order_relaxed);
+  if (idx < sealed->ArrayLength()) {
+    t.StoreElem(sealed, idx, blob.get());
+    sealed_count_.store(idx + 1, std::memory_order_relaxed);
+  }
+  docs_in_open_.store(0, std::memory_order_relaxed);
+}
+
+void TextIndexWorkload::MergeSegments(RuntimeThread& t) {
+  merges_.fetch_add(1, std::memory_order_relaxed);
+  HandleScope scope(t);
+  Object* sealed = vm_->LoadGlobal(sealed_);
+  Local a = t.NewLocal(t.LoadElem(sealed, 0));
+  Local b = t.NewLocal(t.LoadElem(sealed, 1));
+  if (a.get() == nullptr || b.get() == nullptr) {
+    return;
+  }
+  // Merged runs dedupe postings of shared terms; bound the output (tiered
+  // merge policy), or merged segments would grow without limit.
+  uint64_t cap = 8 + options_.docs_per_segment * options_.terms_per_doc * 2 * 3;
+  uint64_t bytes = a.get()->ArrayLength() + b.get()->ArrayLength();
+  if (bytes > cap) {
+    bytes = cap;
+  }
+  Local merged;
+  {
+    MethodFrame f(t, cs_seal_merge_);
+    merged = t.NewLocal(t.AllocateDataArray(site_segment_, bytes));
+  }
+  if (merged.get() == nullptr) {
+    return;
+  }
+  uint64_t take_a = std::min<uint64_t>(a.get()->ArrayLength(), bytes);
+  std::memcpy(merged.get()->DataArrayBytes(), a.get()->DataArrayBytes(), take_a);
+  uint64_t take_b = std::min<uint64_t>(b.get()->ArrayLength(), bytes - take_a);
+  std::memcpy(merged.get()->DataArrayBytes() + take_a, b.get()->DataArrayBytes(), take_b);
+  sealed = vm_->LoadGlobal(sealed_);
+  t.StoreElem(sealed, 0, merged.get());
+  uint64_t n = sealed_count_.load(std::memory_order_relaxed);
+  for (uint64_t i = 1; i + 1 < n; i++) {
+    t.StoreElem(sealed, i, t.LoadElem(sealed, i + 1));
+  }
+  if (n >= 2) {
+    t.StoreElem(sealed, n - 1, nullptr);
+    sealed_count_.store(n - 1, std::memory_order_relaxed);
+  }
+}
+
+void TextIndexWorkload::Query(RuntimeThread& t) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  HandleScope scope(t);
+  uint64_t term_a;
+  uint64_t term_b;
+  {
+    std::lock_guard<SpinLock> guard(gen_lock_);
+    term_a = terms_.Next();
+    term_b = terms_.Next();
+  }
+  // Intersection scratch dies with the query.
+  Local scratch;
+  {
+    MethodFrame f(t, cs_query_tok_);
+    scratch = t.NewLocal(t.AllocateDataArray(site_scratch_, options_.scratch_bytes));
+  }
+  Object* open = vm_->LoadGlobal(open_);
+  Object* pa = t.LoadElem(open, term_a);
+  Object* pb = t.LoadElem(open, term_b);
+  uint64_t hits = 0;
+  if (pa != nullptr && pb != nullptr && scratch.get() != nullptr) {
+    uint64_t na = PostingCount(pa);
+    uint64_t nb = PostingCount(pb);
+    const uint64_t* da = PostingSlots(pa);
+    const uint64_t* db = PostingSlots(pb);
+    uint64_t i = 0;
+    uint64_t j = 0;
+    while (i < na && j < nb) {
+      if (da[i] == db[j]) {
+        hits++;
+        i++;
+        j++;
+      } else if (da[i] < db[j]) {
+        i++;
+      } else {
+        j++;
+      }
+    }
+  }
+  (void)hits;
+}
+
+void TextIndexWorkload::Op(RuntimeThread& t, uint64_t op_index) {
+  bool write;
+  {
+    std::lock_guard<SpinLock> guard(gen_lock_);
+    write = rng_.NextDouble() < options_.write_fraction;
+  }
+  if (write) {
+    IndexDoc(t);
+  } else {
+    Query(t);
+  }
+}
+
+void TextIndexWorkload::Teardown() {
+  open_ = GlobalRef();
+  sealed_ = GlobalRef();
+}
+
+}  // namespace rolp

@@ -1,0 +1,84 @@
+// Lucene-like in-memory text indexing (paper Table 1: "25k ops/s, 80%
+// writes", filter package lucene.store).
+//
+// Lifetime structure: per-document scratch (tokenizer output) dies young;
+// the open segment's postings arrays live for the segment's epoch (they are
+// repeatedly grown, so superseded arrays die mid-life); sealed segments are
+// long-lived and die when a merge supersedes them — the epochal pattern.
+#ifndef SRC_WORKLOADS_TEXTINDEX_H_
+#define SRC_WORKLOADS_TEXTINDEX_H_
+
+#include <atomic>
+
+#include "src/util/spinlock.h"
+#include "src/workloads/workload.h"
+
+namespace rolp {
+
+struct TextIndexOptions {
+  uint64_t vocab = 20000;
+  uint64_t terms_per_doc = 60;
+  double write_fraction = 0.80;
+  uint64_t docs_per_segment = 4000;
+  uint64_t max_segments = 8;
+  // Tokenizer/analyzer scratch per document (transient churn).
+  uint64_t scratch_bytes = 4096;
+  uint64_t seed = 0x5eed;
+};
+
+class TextIndexWorkload : public Workload {
+ public:
+  explicit TextIndexWorkload(const TextIndexOptions& options);
+  ~TextIndexWorkload() override;
+
+  std::string name() const override { return "lucene"; }
+  void Setup(VM& vm, RuntimeThread& t) override;
+  void Op(RuntimeThread& t, uint64_t op_index) override;
+  void ConfigureFilter(PackageFilter* filter) const override;
+  void Teardown() override;
+
+  uint64_t segments_sealed() const { return seals_.load(std::memory_order_relaxed); }
+  uint64_t merges() const { return merges_.load(std::memory_order_relaxed); }
+  uint64_t queries() const { return queries_.load(std::memory_order_relaxed); }
+
+ private:
+  void IndexDoc(RuntimeThread& t);
+  void Query(RuntimeThread& t);
+  void SealSegment(RuntimeThread& t);
+  void MergeSegments(RuntimeThread& t);
+  // Appends doc_id to the postings list of `term` in the open segment,
+  // growing (reallocating) the array when full.
+  void AppendPosting(RuntimeThread& t, uint64_t term, uint64_t doc_id);
+
+  TextIndexOptions options_;
+  VM* vm_ = nullptr;
+
+  MethodId m_index_ = 0, m_query_ = 0, m_grow_ = 0, m_seal_ = 0, m_merge_ = 0,
+           m_tokenize_ = 0;
+  uint32_t site_postings_ = 0;   // open-segment postings arrays (middle-lived)
+  uint32_t site_segment_ = 0;    // sealed segment blobs (long-lived)
+  uint32_t site_scratch_ = 0;    // tokenizer scratch (dies young)
+  uint32_t cs_index_tok_ = 0, cs_index_new_ = 0, cs_index_grow_ = 0, cs_index_seal_ = 0,
+           cs_seal_merge_ = 0, cs_query_tok_ = 0;
+
+  // open_: ref array[vocab] of postings data arrays (counts in word 0).
+  GlobalRef open_;
+  // sealed_: ref array ring of sealed segment blobs.
+  GlobalRef sealed_;
+  std::atomic<uint64_t> docs_in_open_{0};
+  std::atomic<uint64_t> sealed_count_{0};
+  std::atomic<uint64_t> next_doc_id_{0};
+
+  SpinLock gen_lock_;
+  SpinLock maintenance_lock_;
+  ZipfianGenerator terms_;
+  Random rng_;
+
+  std::atomic<uint64_t> seals_{0};
+  std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> queries_{0};
+};
+
+}  // namespace rolp
+
+#endif  // SRC_WORKLOADS_TEXTINDEX_H_

@@ -1,0 +1,70 @@
+// Workload interface. A workload registers its classes, methods, allocation
+// sites, and call sites with the VM (the "application code"), optionally
+// builds long-lived state, and then executes operations on mutator threads.
+//
+// Handle discipline (important): any Object* held across an allocation or a
+// safepoint poll must live in a Local handle, a GlobalRef, or an object
+// field — collectors move objects.
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/rolp/package_filter.h"
+#include "src/runtime/thread.h"
+#include "src/runtime/vm.h"
+
+namespace rolp {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  // Registers classes/methods/sites and builds initial heap state. Runs on an
+  // attached mutator thread before the measurement threads start.
+  virtual void Setup(VM& vm, RuntimeThread& t) = 0;
+
+  // Executes one application operation.
+  virtual void Op(RuntimeThread& t, uint64_t op_index) = 0;
+
+  // Package filters the paper applies for this workload (Table 1).
+  virtual void ConfigureFilter(PackageFilter* filter) const {}
+
+  // Drops references to workload heap state (global refs) so the VM can be
+  // torn down cleanly.
+  virtual void Teardown() {}
+};
+
+using WorkloadFactory = std::unique_ptr<Workload> (*)();
+
+// Registers cold "framework" code (methods, allocation sites, call sites in
+// the given package) that the workload never executes. Real platforms carry
+// thousands of classes outside the hot data path; this gives the PAS/PMC
+// density metrics (paper Tables 1-2) realistic denominators and exercises
+// the hot-code-only profiling property: none of this code is ever jitted or
+// profiled.
+inline void RegisterBackgroundCode(JitEngine& jit, const std::string& package, int methods,
+                                   int alloc_sites_per_method, int call_sites_per_method) {
+  MethodId prev = 0;
+  for (int i = 0; i < methods; i++) {
+    char name[128];
+    std::snprintf(name, sizeof(name), "%s.Framework%d::m%d", package.c_str(), i / 50, i);
+    MethodId m = jit.RegisterMethod(name, 64 + (i % 200));
+    for (int s = 0; s < alloc_sites_per_method; s++) {
+      jit.RegisterAllocSite(m);
+    }
+    if (i > 0) {
+      for (int c = 0; c < call_sites_per_method; c++) {
+        jit.RegisterCallSite(prev, m);
+      }
+    }
+    prev = m;
+  }
+}
+
+}  // namespace rolp
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

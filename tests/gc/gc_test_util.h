@@ -1,0 +1,127 @@
+// Shared harness for collector tests: a heap + safepoint manager + a single
+// registered mutator context, with allocation helpers that mimic the runtime
+// fast path (TLAB bump, then the collector slow path).
+#ifndef TESTS_GC_GC_TEST_UTIL_H_
+#define TESTS_GC_GC_TEST_UTIL_H_
+
+#include <memory>
+
+#include "src/gc/collector.h"
+#include "src/heap/heap.h"
+
+namespace rolp {
+
+class GcTestEnv {
+ public:
+  GcTestEnv(size_t heap_mb, GcConfig gc_config, double young_fraction = 0.25) {
+    HeapConfig hc;
+    hc.heap_bytes = heap_mb * 1024 * 1024;
+    hc.region_bytes = 1024 * 1024;
+    hc.young_fraction = young_fraction;
+    heap = std::make_unique<Heap>(hc);
+    gc_config_ = gc_config;
+    safepoints.RegisterThread(&ctx);
+  }
+
+  virtual ~GcTestEnv() {
+    if (collector != nullptr) {
+      collector->OnMutatorExit(&ctx);
+    }
+    safepoints.UnregisterThread(&ctx);
+  }
+
+  void SetCollector(std::unique_ptr<Collector> c) { collector = std::move(c); }
+
+  Object* Alloc(const AllocRequest& req) {
+    if (req.target_gen == kYoungGen && !heap->IsHumongousSize(req.total_bytes)) {
+      char* mem = ctx.tlab.Allocate(req.total_bytes);
+      if (mem != nullptr) {
+        return heap->InitializeObject(mem, req.cls, req.total_bytes, req.array_length,
+                                      req.context);
+      }
+    }
+    return collector->AllocateSlow(&ctx, req);
+  }
+
+  Object* AllocInstance(ClassId cls, uint8_t gen = kYoungGen, uint32_t context = 0) {
+    AllocRequest req;
+    req.cls = cls;
+    req.total_bytes = heap->InstanceAllocSize(cls);
+    req.context = context;
+    req.target_gen = gen;
+    return Alloc(req);
+  }
+
+  Object* AllocRefArray(uint64_t n, uint8_t gen = kYoungGen) {
+    AllocRequest req;
+    req.cls = heap->classes().ref_array_class();
+    req.total_bytes = heap->RefArrayAllocSize(n);
+    req.array_length = n;
+    req.target_gen = gen;
+    return Alloc(req);
+  }
+
+  Object* AllocDataArray(uint64_t n, uint8_t gen = kYoungGen) {
+    AllocRequest req;
+    req.cls = heap->classes().data_array_class();
+    req.total_bytes = heap->DataArrayAllocSize(n);
+    req.array_length = n;
+    req.target_gen = gen;
+    return Alloc(req);
+  }
+
+  // Local handle management: returns a stable root slot index.
+  size_t PushRoot(Object* obj) {
+    ctx.local_roots.emplace_back(obj);
+    return ctx.local_roots.size() - 1;
+  }
+  Object* Root(size_t i) { return ctx.local_roots[i].load(std::memory_order_relaxed); }
+  void SetRoot(size_t i, Object* obj) {
+    ctx.local_roots[i].store(obj, std::memory_order_relaxed);
+  }
+  void PopRoots(size_t down_to_size) {
+    while (ctx.local_roots.size() > down_to_size) {
+      ctx.local_roots.pop_back();
+    }
+  }
+
+  void SetField(Object* obj, uint32_t offset, Object* value) {
+    heap->StoreRef(obj, obj->RefSlotAt(offset), value);
+  }
+  Object* GetField(Object* obj, uint32_t offset) { return heap->LoadRef(obj->RefSlotAt(offset)); }
+
+  void SetElem(Object* arr, uint64_t i, Object* value) {
+    heap->StoreRef(arr, arr->RefArraySlot(i), value);
+  }
+  Object* GetElem(Object* arr, uint64_t i) { return heap->LoadRef(arr->RefArraySlot(i)); }
+
+  // Allocates `bytes` of immediately-dead young data to provoke young GCs.
+  void ChurnYoung(size_t bytes) {
+    const size_t chunk = 8 * 1024;
+    size_t done = 0;
+    while (done < bytes) {
+      AllocDataArray(chunk);
+      done += chunk + 24;
+    }
+  }
+
+  uint64_t PausesOfKind(PauseKind kind) const {
+    uint64_t n = 0;
+    for (const auto& p : collector->metrics().Pauses()) {
+      if (p.kind == kind) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  std::unique_ptr<Heap> heap;
+  SafepointManager safepoints;
+  std::unique_ptr<Collector> collector;
+  MutatorContext ctx;
+  GcConfig gc_config_;
+};
+
+}  // namespace rolp
+
+#endif  // TESTS_GC_GC_TEST_UTIL_H_

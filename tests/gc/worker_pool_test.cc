@@ -1,0 +1,62 @@
+#include "src/gc/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace rolp {
+namespace {
+
+TEST(WorkerPoolTest, RunsTaskOnAllWorkers) {
+  WorkerPool pool(4);
+  std::atomic<int> count{0};
+  pool.RunTask([&](uint32_t w) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(WorkerPoolTest, WorkerIdsAreDistinct) {
+  WorkerPool pool(3);
+  std::mutex mu;
+  std::set<uint32_t> ids;
+  pool.RunTask([&](uint32_t w) {
+    std::lock_guard<std::mutex> guard(mu);
+    ids.insert(w);
+  });
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(ids.count(0) && ids.count(1) && ids.count(2));
+}
+
+TEST(WorkerPoolTest, SequentialTasksReusable) {
+  WorkerPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; i++) {
+    pool.RunTask([&](uint32_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(WorkerPoolTest, RunTaskBlocksUntilDone) {
+  WorkerPool pool(2);
+  std::atomic<int> done{0};
+  pool.RunTask([&](uint32_t) {
+    for (volatile int i = 0; i < 100000; i++) {
+    }
+    done.fetch_add(1);
+  });
+  // If RunTask returned early this could be < 2.
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(WorkerPoolTest, SingleWorkerPool) {
+  WorkerPool pool(1);
+  int value = 0;
+  pool.RunTask([&](uint32_t w) {
+    EXPECT_EQ(w, 0u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+}  // namespace
+}  // namespace rolp

@@ -1,0 +1,190 @@
+#include "src/gc/zgc_collector.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/gc/gc_test_util.h"
+
+namespace rolp {
+namespace {
+
+class ZgcCollectorTest : public ::testing::Test {
+ protected:
+  void Start(size_t heap_mb, GcConfig cfg) {
+    env_ = std::make_unique<GcTestEnv>(heap_mb, cfg);
+    env_->SetCollector(
+        std::make_unique<ZgcCollector>(env_->heap.get(), cfg, &env_->safepoints));
+    node_cls_ = env_->heap->classes().RegisterInstance("Node", 24, {0});
+  }
+
+  ZgcCollector* z() { return static_cast<ZgcCollector*>(env_->collector.get()); }
+
+  // Z-safe field read: through the heap barrier.
+  Object* Load(Object* obj) { return env_->heap->LoadRef(obj->RefSlotAt(0)); }
+
+  std::unique_ptr<GcTestEnv> env_;
+  ClassId node_cls_;
+};
+
+TEST_F(ZgcCollectorTest, AllocatesIntoSingleGeneration) {
+  Start(32, GcConfig{});
+  Object* obj = env_->AllocInstance(node_cls_);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(env_->heap->regions().RegionFor(obj)->kind(), RegionKind::kOld);
+}
+
+TEST_F(ZgcCollectorTest, CycleCompletesAndReclaimsGarbage) {
+  GcConfig cfg;
+  cfg.z_trigger_occupancy = 0.25;
+  Start(32, cfg);
+  // Allocate several heaps' worth of garbage; cycles must keep reclaiming or
+  // allocation would OOM.
+  for (int i = 0; i < 6; i++) {
+    env_->ChurnYoung(16 * 1024 * 1024);
+  }
+  EXPECT_GE(z()->cycles_completed(), 1u);
+}
+
+TEST_F(ZgcCollectorTest, LiveDataSurvivesRelocationWithHealing) {
+  GcConfig cfg;
+  cfg.z_trigger_occupancy = 0.25;
+  cfg.z_relocate_live_ratio_max = 0.95;  // relocate aggressively
+  Start(32, cfg);
+  // Linked list accessed only through barriered loads.
+  size_t head = env_->PushRoot(nullptr);
+  for (int i = 0; i < 500; i++) {
+    Object* n = env_->AllocInstance(node_cls_);
+    env_->SetField(n, 0, env_->Root(head));
+    *reinterpret_cast<uint64_t*>(n->payload() + 8) = static_cast<uint64_t>(i);
+    env_->SetRoot(head, n);
+    // Interleave garbage so the list's regions become sparse.
+    env_->AllocDataArray(4096);
+  }
+  for (int i = 0; i < 6; i++) {
+    env_->ChurnYoung(12 * 1024 * 1024);
+  }
+  EXPECT_GE(z()->cycles_completed(), 1u);
+  EXPECT_GT(z()->relocated_bytes(), 0u);
+  int count = 0;
+  uint64_t expect = 499;
+  Object* n = env_->Root(head);  // roots were healed at pauses
+  while (n != nullptr) {
+    ASSERT_EQ(*reinterpret_cast<uint64_t*>(n->payload() + 8), expect);
+    expect--;
+    count++;
+    n = Load(n);
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST_F(ZgcCollectorTest, PausesStayShort) {
+  GcConfig cfg;
+  cfg.z_trigger_occupancy = 0.25;
+  Start(64, cfg);
+  size_t head = env_->PushRoot(nullptr);
+  for (int i = 0; i < 2000; i++) {
+    Object* n = env_->AllocInstance(node_cls_);
+    env_->SetField(n, 0, env_->Root(head));
+    env_->SetRoot(head, n);
+    env_->AllocDataArray(8192);
+  }
+  for (int i = 0; i < 4; i++) {
+    env_->ChurnYoung(16 * 1024 * 1024);
+  }
+  ASSERT_GE(env_->collector->metrics().PauseCount(), 1u);
+  // Z pauses are root scans; with one mutator they should be well under the
+  // evacuation-pause scale. Generous bound to stay robust on slow CI.
+  EXPECT_LT(env_->collector->metrics().MaxPauseNs(), 100ull * 1000 * 1000);
+  // No full (stop-the-world compaction) pauses in normal operation.
+  EXPECT_EQ(env_->PausesOfKind(PauseKind::kFull), 0u);
+}
+
+TEST_F(ZgcCollectorTest, CollectFullIsSafeFallback) {
+  Start(32, GcConfig{});
+  size_t head = env_->PushRoot(nullptr);
+  for (int i = 0; i < 100; i++) {
+    Object* n = env_->AllocInstance(node_cls_);
+    env_->SetField(n, 0, env_->Root(head));
+    *reinterpret_cast<uint64_t*>(n->payload() + 8) = static_cast<uint64_t>(i);
+    env_->SetRoot(head, n);
+  }
+  env_->collector->CollectFull(&env_->ctx);
+  int count = 0;
+  Object* n = env_->Root(head);
+  while (n != nullptr) {
+    count++;
+    n = Load(n);
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(ZgcCollectorTest, MultithreadedChurnKeepsIntegrity) {
+  GcConfig cfg;
+  cfg.z_trigger_occupancy = 0.25;
+  Start(48, cfg);
+  constexpr int kThreads = 3;
+  constexpr int kNodes = 300;
+  std::vector<GlobalRef> heads(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    heads[t] = GlobalRef(&env_->heap->roots(), nullptr);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      MutatorContext ctx;
+      env_->safepoints.RegisterThread(&ctx);
+      auto alloc = [&](const AllocRequest& req) -> Object* {
+        char* mem = ctx.tlab.Allocate(req.total_bytes);
+        if (mem != nullptr) {
+          return env_->heap->InitializeObject(mem, req.cls, req.total_bytes,
+                                              req.array_length, req.context);
+        }
+        return env_->collector->AllocateSlow(&ctx, req);
+      };
+      for (int i = 0; i < kNodes; i++) {
+        AllocRequest nreq;
+        nreq.cls = node_cls_;
+        nreq.total_bytes = env_->heap->InstanceAllocSize(node_cls_);
+        Object* node = alloc(nreq);
+        ASSERT_NE(node, nullptr);
+        *reinterpret_cast<uint64_t*>(node->payload() + 8) =
+            (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i);
+        env_->heap->StoreRef(node, node->RefSlotAt(0),
+                             env_->heap->LoadRef(heads[t].slot()));
+        heads[t].set(node);
+        AllocRequest dreq;
+        dreq.cls = env_->heap->classes().data_array_class();
+        dreq.total_bytes = env_->heap->DataArrayAllocSize(16384);
+        dreq.array_length = 16384;
+        ASSERT_NE(alloc(dreq), nullptr);
+        env_->safepoints.Poll(&ctx);
+      }
+      env_->collector->OnMutatorExit(&ctx);
+      env_->safepoints.UnregisterThread(&ctx);
+    });
+  }
+  {
+    SafepointManager::ScopedSafeRegion safe(&env_->safepoints, &env_->ctx);
+    for (auto& th : threads) {
+      th.join();
+    }
+  }
+  for (int t = 0; t < kThreads; t++) {
+    int count = 0;
+    uint64_t expect = kNodes - 1;
+    Object* n = env_->heap->LoadRef(heads[t].slot());
+    while (n != nullptr) {
+      uint64_t v = *reinterpret_cast<uint64_t*>(n->payload() + 8);
+      ASSERT_EQ(v >> 32, static_cast<uint64_t>(t));
+      ASSERT_EQ(v & 0xFFFFFFFF, expect);
+      expect--;
+      count++;
+      n = env_->heap->LoadRef(n->RefSlotAt(0));
+    }
+    EXPECT_EQ(count, kNodes);
+  }
+}
+
+}  // namespace
+}  // namespace rolp

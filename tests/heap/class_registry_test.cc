@@ -1,0 +1,58 @@
+#include "src/heap/class_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace rolp {
+namespace {
+
+TEST(ClassRegistryTest, PreRegisteredArrayClasses) {
+  ClassRegistry reg;
+  EXPECT_EQ(reg.Get(reg.ref_array_class()).kind, ClassKind::kRefArray);
+  EXPECT_EQ(reg.Get(reg.data_array_class()).kind, ClassKind::kDataArray);
+  EXPECT_EQ(reg.NumClasses(), 2u);
+}
+
+TEST(ClassRegistryTest, RegisterInstanceClass) {
+  ClassRegistry reg;
+  ClassId id = reg.RegisterInstance("Foo", 32, {0, 8});
+  const ClassInfo& info = reg.Get(id);
+  EXPECT_EQ(info.name, "Foo");
+  EXPECT_EQ(info.kind, ClassKind::kInstance);
+  EXPECT_EQ(info.payload_size, 32u);
+  EXPECT_EQ(info.ref_offsets.size(), 2u);
+}
+
+TEST(ClassRegistryTest, IdsAreSequential) {
+  ClassRegistry reg;
+  ClassId a = reg.RegisterInstance("A", 8, {});
+  ClassId b = reg.RegisterInstance("B", 8, {});
+  EXPECT_EQ(b, a + 1);
+}
+
+TEST(ClassRegistryTest, ReferencesStayValidAcrossRegistrations) {
+  ClassRegistry reg;
+  ClassId a = reg.RegisterInstance("A", 8, {});
+  const ClassInfo& info_a = reg.Get(a);
+  for (int i = 0; i < 1000; i++) {
+    reg.RegisterInstance("X" + std::to_string(i), 8, {});
+  }
+  EXPECT_EQ(info_a.name, "A");
+}
+
+TEST(ClassRegistryDeathTest, RejectsMisalignedPayload) {
+  ClassRegistry reg;
+  EXPECT_DEATH(reg.RegisterInstance("Bad", 13, {}), "CHECK failed");
+}
+
+TEST(ClassRegistryDeathTest, RejectsOutOfRangeRefOffset) {
+  ClassRegistry reg;
+  EXPECT_DEATH(reg.RegisterInstance("Bad", 16, {16}), "CHECK failed");
+}
+
+TEST(ClassRegistryDeathTest, RejectsMisalignedRefOffset) {
+  ClassRegistry reg;
+  EXPECT_DEATH(reg.RegisterInstance("Bad", 16, {4}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rolp

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/heap/object.h"
+
+namespace rolp {
+namespace {
+
+TEST(MarkWordTest, FreshWordIsNeutral) {
+  uint64_t m = 0;
+  EXPECT_FALSE(markword::IsForwarded(m));
+  EXPECT_FALSE(markword::IsBiased(m));
+  EXPECT_EQ(markword::Age(m), 0u);
+  EXPECT_EQ(markword::Context(m), 0u);
+}
+
+TEST(MarkWordTest, AgeRoundTrip) {
+  uint64_t m = 0;
+  for (uint32_t age = 0; age <= markword::kMaxAge; age++) {
+    m = markword::SetAge(m, age);
+    EXPECT_EQ(markword::Age(m), age);
+  }
+}
+
+TEST(MarkWordTest, AgeSaturatesAt15) {
+  uint64_t m = markword::SetAge(0, 15);
+  m = markword::IncrementAge(m);
+  EXPECT_EQ(markword::Age(m), 15u);
+}
+
+TEST(MarkWordTest, IncrementAgePreservesOtherFields) {
+  uint64_t m = markword::SetContext(0, 0xDEADBEEF);
+  m = markword::SetIdentityHash(m, 0xABCDEF);
+  m = markword::IncrementAge(m);
+  EXPECT_EQ(markword::Age(m), 1u);
+  EXPECT_EQ(markword::Context(m), 0xDEADBEEFu);
+  EXPECT_EQ(markword::IdentityHash(m), 0xABCDEFu);
+}
+
+TEST(MarkWordTest, ContextRoundTrip) {
+  uint64_t m = markword::SetContext(0, 0x12345678);
+  EXPECT_EQ(markword::Context(m), 0x12345678u);
+  EXPECT_EQ(markword::ContextSite(markword::Context(m)), 0x1234u);
+  EXPECT_EQ(markword::ContextTss(markword::Context(m)), 0x5678u);
+}
+
+TEST(MarkWordTest, MakeContextPacksSiteAndTss) {
+  uint32_t ctx = markword::MakeContext(0xABCD, 0x1234);
+  EXPECT_EQ(markword::ContextSite(ctx), 0xABCDu);
+  EXPECT_EQ(markword::ContextTss(ctx), 0x1234u);
+}
+
+TEST(MarkWordTest, IdentityHashRoundTripAndMask) {
+  uint64_t m = markword::SetIdentityHash(0, 0xFFFFFFFF);
+  EXPECT_EQ(markword::IdentityHash(m), 0xFFFFFFu);  // masked to 24 bits
+  // Hash write must not clobber age or context.
+  m = markword::SetAge(m, 7);
+  m = markword::SetContext(m, 42);
+  m = markword::SetIdentityHash(m, 0x111111);
+  EXPECT_EQ(markword::Age(m), 7u);
+  EXPECT_EQ(markword::Context(m), 42u);
+}
+
+TEST(MarkWordTest, BiasedLockOverwritesContext) {
+  // The paper's key sharing: installing a biased lock destroys the
+  // allocation context stored in the upper 32 bits.
+  uint64_t m = markword::SetContext(0, markword::MakeContext(100, 200));
+  m = markword::SetBiased(m, 0x7777);
+  EXPECT_TRUE(markword::IsBiased(m));
+  EXPECT_EQ(markword::BiasOwner(m), 0x7777u);
+  EXPECT_NE(markword::Context(m), markword::MakeContext(100, 200));
+}
+
+TEST(MarkWordTest, ClearBiasedDoesNotRestoreContext) {
+  uint64_t m = markword::SetContext(0, markword::MakeContext(100, 200));
+  m = markword::SetBiased(m, 0x7777);
+  m = markword::ClearBiased(m);
+  EXPECT_FALSE(markword::IsBiased(m));
+  EXPECT_EQ(markword::Context(m), 0u);
+}
+
+TEST(MarkWordTest, ForwardingEncodesPointer) {
+  alignas(8) static char buffer[64];
+  Object* fake = reinterpret_cast<Object*>(buffer);
+  uint64_t m = markword::EncodeForwarded(fake);
+  EXPECT_TRUE(markword::IsForwarded(m));
+  EXPECT_EQ(markword::ForwardedPtr(m), fake);
+}
+
+TEST(MarkWordTest, NonForwardedWordIsNotForwarded) {
+  uint64_t m = markword::SetContext(0, 0xFFFFFFFF);
+  m = markword::SetAge(m, 15);
+  m = markword::SetIdentityHash(m, 0xFFFFFF);
+  // All profiling bits set, lock bits still 00.
+  EXPECT_FALSE(markword::IsForwarded(m));
+}
+
+class MarkWordContextSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MarkWordContextSweep, SetContextPreservesLowBits) {
+  uint32_t ctx = GetParam();
+  uint64_t m = markword::SetAge(0, 9);
+  m = markword::SetIdentityHash(m, 0x123456);
+  uint64_t m2 = markword::SetContext(m, ctx);
+  EXPECT_EQ(markword::Context(m2), ctx);
+  EXPECT_EQ(markword::Age(m2), 9u);
+  EXPECT_EQ(markword::IdentityHash(m2), 0x123456u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contexts, MarkWordContextSweep,
+                         ::testing::Values(0u, 1u, 0xFFFFu, 0x10000u, 0xFFFF0000u, 0xFFFFFFFFu));
+
+TEST(ObjectLayoutTest, HeaderIs16Bytes) {
+  EXPECT_EQ(sizeof(Object), 16u);
+  EXPECT_EQ(kObjectHeaderSize, 16u);
+}
+
+TEST(ObjectLayoutTest, AlignObjectSizeRoundsUpTo8) {
+  EXPECT_EQ(AlignObjectSize(16), 16u);
+  EXPECT_EQ(AlignObjectSize(17), 24u);
+  EXPECT_EQ(AlignObjectSize(23), 24u);
+  EXPECT_EQ(AlignObjectSize(24), 24u);
+}
+
+TEST(ObjectLayoutTest, ArrayPayloadSizes) {
+  EXPECT_EQ(RefArrayPayloadBytes(0), 8u);
+  EXPECT_EQ(RefArrayPayloadBytes(3), 8u + 24u);
+  EXPECT_EQ(DataArrayPayloadBytes(10), 18u);
+}
+
+}  // namespace
+}  // namespace rolp

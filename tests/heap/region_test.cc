@@ -1,0 +1,225 @@
+#include "src/heap/region.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/heap/region_manager.h"
+
+namespace rolp {
+namespace {
+
+constexpr size_t kMiB = 1024 * 1024;
+
+class RegionManagerTest : public ::testing::Test {
+ protected:
+  RegionManagerTest() : mgr_(16 * kMiB, kMiB) {}
+  RegionManager mgr_;
+};
+
+TEST_F(RegionManagerTest, InitialStateAllFree) {
+  EXPECT_EQ(mgr_.num_regions(), 16u);
+  EXPECT_EQ(mgr_.free_regions(), 16u);
+  EXPECT_EQ(mgr_.region_bytes(), kMiB);
+}
+
+TEST_F(RegionManagerTest, AllocateAndFreeRegion) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kEden);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->kind(), RegionKind::kEden);
+  EXPECT_TRUE(r->IsYoung());
+  EXPECT_EQ(mgr_.free_regions(), 15u);
+  mgr_.FreeRegion(r);
+  EXPECT_EQ(mgr_.free_regions(), 16u);
+  EXPECT_TRUE(r->IsFree());
+}
+
+TEST_F(RegionManagerTest, ExhaustionReturnsNull) {
+  std::vector<Region*> taken;
+  while (Region* r = mgr_.AllocateRegion(RegionKind::kOld)) {
+    taken.push_back(r);
+  }
+  EXPECT_EQ(taken.size(), 16u);
+  EXPECT_EQ(mgr_.AllocateRegion(RegionKind::kEden), nullptr);
+  for (Region* r : taken) {
+    mgr_.FreeRegion(r);
+  }
+}
+
+TEST_F(RegionManagerTest, RegionForMapsAddresses) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kEden);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(mgr_.RegionFor(r->begin()), r);
+  EXPECT_EQ(mgr_.RegionFor(r->begin() + 1000), r);
+  EXPECT_EQ(mgr_.RegionFor(r->end() - 1), r);
+  mgr_.FreeRegion(r);
+}
+
+TEST_F(RegionManagerTest, ContainsRejectsForeignPointers) {
+  int stack_var = 0;
+  EXPECT_FALSE(mgr_.Contains(&stack_var));
+}
+
+TEST_F(RegionManagerTest, BumpAllocAdvancesTop) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kEden);
+  char* a = r->BumpAlloc(64);
+  char* b = r->BumpAlloc(128);
+  EXPECT_EQ(a, r->begin());
+  EXPECT_EQ(b, a + 64);
+  EXPECT_EQ(r->used(), 192u);
+  EXPECT_EQ(r->free_space(), kMiB - 192);
+  mgr_.FreeRegion(r);
+}
+
+TEST_F(RegionManagerTest, BumpAllocFailsWhenFull) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kEden);
+  EXPECT_NE(r->BumpAlloc(kMiB), nullptr);
+  EXPECT_EQ(r->BumpAlloc(8), nullptr);
+  mgr_.FreeRegion(r);
+}
+
+TEST_F(RegionManagerTest, AtomicBumpAllocIsThreadSafe) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kGen, 3);
+  constexpr int kThreads = 4;
+  constexpr int kAllocsPerThread = 1000;
+  constexpr size_t kAllocSize = 64;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<char*>> results(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAllocsPerThread; i++) {
+        char* p = r->AtomicBumpAlloc(kAllocSize);
+        ASSERT_NE(p, nullptr);
+        results[t].push_back(p);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // All allocations distinct and within the region.
+  std::vector<char*> all;
+  for (auto& v : results) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_EQ(r->used(), kThreads * kAllocsPerThread * kAllocSize);
+  mgr_.FreeRegion(r);
+}
+
+TEST_F(RegionManagerTest, HumongousSpansMultipleRegions) {
+  Region* h = mgr_.AllocateHumongous(3 * kMiB - 100);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind(), RegionKind::kHumongous);
+  EXPECT_EQ(h->humongous_span(), 3u);
+  EXPECT_EQ(mgr_.free_regions(), 13u);
+  // Continuations marked.
+  EXPECT_EQ(mgr_.region(h->index() + 1).kind(), RegionKind::kHumongousCont);
+  EXPECT_EQ(mgr_.region(h->index() + 2).kind(), RegionKind::kHumongousCont);
+  mgr_.FreeRegion(h);
+  EXPECT_EQ(mgr_.free_regions(), 16u);
+}
+
+TEST_F(RegionManagerTest, HumongousFailsWhenFragmented) {
+  // Take every other region so no run of 3 contiguous free regions exists.
+  std::vector<Region*> taken;
+  for (size_t i = 0; i < 16; i += 2) {
+    Region* r = mgr_.AllocateRegion(RegionKind::kOld);
+    taken.push_back(r);
+  }
+  // The allocator hands out regions in ascending order, so taken regions are
+  // 0,1,2,...,7. Free regions 8..15 are contiguous; ask for more than that.
+  EXPECT_EQ(mgr_.AllocateHumongous(9 * kMiB), nullptr);
+  EXPECT_NE(mgr_.AllocateHumongous(8 * kMiB), nullptr);
+  for (Region* r : taken) {
+    mgr_.FreeRegion(r);
+  }
+}
+
+TEST_F(RegionManagerTest, RemsetBitmapInsertIterateClear) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kEden);
+  r->RemsetAddRegion(3);
+  r->RemsetAddRegion(15);
+  r->RemsetAddRegion(3);  // duplicate
+  EXPECT_EQ(r->RemsetRegionCount(), 2u);
+  EXPECT_TRUE(r->RemsetContainsRegion(3));
+  EXPECT_TRUE(r->RemsetContainsRegion(15));
+  EXPECT_FALSE(r->RemsetContainsRegion(4));
+  std::vector<uint32_t> seen;
+  r->ForEachRemsetRegion([&](uint32_t idx) { seen.push_back(idx); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 3u);
+  EXPECT_EQ(seen[1], 15u);
+  r->ClearRemset();
+  EXPECT_EQ(r->RemsetRegionCount(), 0u);
+  mgr_.FreeRegion(r);
+}
+
+TEST_F(RegionManagerTest, RemsetClearedOnFreeAndRealloc) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kEden);
+  r->RemsetAddRegion(1);
+  mgr_.FreeRegion(r);
+  Region* r2 = mgr_.AllocateRegion(RegionKind::kEden);
+  EXPECT_EQ(r2->RemsetRegionCount(), 0u);
+  mgr_.FreeRegion(r2);
+}
+
+TEST_F(RegionManagerTest, UndoBumpAllocRetreats) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kSurvivor);
+  char* p = r->BumpAlloc(64);
+  EXPECT_EQ(r->used(), 64u);
+  r->UndoBumpAlloc(p, 64);
+  EXPECT_EQ(r->used(), 0u);
+  mgr_.FreeRegion(r);
+}
+
+TEST_F(RegionManagerTest, ForEachObjectWalksLayout) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kEden);
+  // Lay out three fake objects.
+  size_t sizes[] = {32, 64, 48};
+  for (size_t s : sizes) {
+    char* p = r->BumpAlloc(s);
+    Object* obj = reinterpret_cast<Object*>(p);
+    obj->StoreMark(0);
+    obj->class_id = 0;
+    obj->size_bytes = static_cast<uint32_t>(s);
+  }
+  std::vector<uint32_t> seen;
+  r->ForEachObject([&](Object* obj) { seen.push_back(obj->size_bytes); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 32u);
+  EXPECT_EQ(seen[1], 64u);
+  EXPECT_EQ(seen[2], 48u);
+  mgr_.FreeRegion(r);
+}
+
+TEST_F(RegionManagerTest, UsageAccounting) {
+  Region* e = mgr_.AllocateRegion(RegionKind::kEden);
+  Region* o = mgr_.AllocateRegion(RegionKind::kOld);
+  Region* g = mgr_.AllocateRegion(RegionKind::kGen, 5);
+  e->BumpAlloc(100);
+  o->BumpAlloc(200);
+  g->BumpAlloc(300);
+  auto usage = mgr_.ComputeUsage();
+  EXPECT_EQ(usage.eden_regions, 1u);
+  EXPECT_EQ(usage.old_regions, 1u);
+  EXPECT_EQ(usage.gen_regions, 1u);
+  EXPECT_EQ(usage.used_bytes, 600u);
+  EXPECT_EQ(g->gen(), 5u);
+  mgr_.FreeRegion(e);
+  mgr_.FreeRegion(o);
+  mgr_.FreeRegion(g);
+}
+
+TEST_F(RegionManagerTest, LiveRatio) {
+  Region* r = mgr_.AllocateRegion(RegionKind::kOld);
+  r->BumpAlloc(1000);
+  r->set_live_bytes(250);
+  EXPECT_DOUBLE_EQ(r->LiveRatio(), 0.25);
+  mgr_.FreeRegion(r);
+}
+
+}  // namespace
+}  // namespace rolp

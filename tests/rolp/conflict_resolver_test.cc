@@ -1,0 +1,152 @@
+#include "src/rolp/conflict_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rolp {
+namespace {
+
+// Fake call-site population: a conflict is "resolved" iff all sites in S are
+// tracking.
+class FakeCallSites : public CallSiteControl {
+ public:
+  explicit FakeCallSites(size_t n) : enabled_(n, false) {}
+
+  size_t NumProfilableCallSites() const override { return enabled_.size(); }
+  void SetCallSiteTracking(size_t index, bool enabled) override { enabled_[index] = enabled; }
+  bool CallSiteTracking(size_t index) const override { return enabled_[index]; }
+
+  size_t EnabledCount() const {
+    size_t n = 0;
+    for (bool b : enabled_) {
+      n += b ? 1 : 0;
+    }
+    return n;
+  }
+
+  bool AllEnabled(const std::unordered_set<size_t>& s) const {
+    for (size_t i : s) {
+      if (!enabled_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<bool> enabled_;
+};
+
+// Drives the resolver: conflict persists until S is fully tracked.
+// Returns rounds until the resolver reaches kDone (or -1 if it never does).
+int DriveToResolution(ConflictResolver& resolver, FakeCallSites& sites,
+                      const std::unordered_set<size_t>& s, int max_rounds = 1000) {
+  for (int round = 0; round < max_rounds; round++) {
+    std::vector<uint32_t> conflicts;
+    if (!sites.AllEnabled(s)) {
+      conflicts.push_back(42);  // the conflicted allocation site
+    }
+    resolver.OnInference(conflicts);
+    if (resolver.phase() == ConflictResolver::Phase::kDone) {
+      return round;
+    }
+    if (resolver.phase() == ConflictResolver::Phase::kExhausted) {
+      return -1;
+    }
+  }
+  return -1;
+}
+
+TEST(ConflictResolverTest, NoConflictsStaysIdle) {
+  FakeCallSites sites(100);
+  ConflictResolver resolver(&sites, 0.2);
+  for (int i = 0; i < 10; i++) {
+    resolver.OnInference({});
+  }
+  EXPECT_EQ(resolver.phase(), ConflictResolver::Phase::kIdle);
+  EXPECT_EQ(sites.EnabledCount(), 0u);
+}
+
+TEST(ConflictResolverTest, SingleSiteConflictEventuallyResolved) {
+  FakeCallSites sites(50);
+  ConflictResolver resolver(&sites, 0.2, 7);
+  int rounds = DriveToResolution(resolver, sites, {17});
+  ASSERT_GE(rounds, 0) << "resolver never resolved the conflict";
+  EXPECT_TRUE(sites.CallSiteTracking(17));
+  EXPECT_EQ(resolver.conflicts_resolved(), 1u);
+}
+
+TEST(ConflictResolverTest, WorstCaseRoundsMatchesPaperFormula) {
+  FakeCallSites sites(100);
+  ConflictResolver resolver(&sites, 0.2);
+  // 100 sites / 20 per trial = 5 rounds worst case.
+  EXPECT_EQ(resolver.WorstCaseRounds(), 5u);
+  ConflictResolver fine(&sites, 0.05);
+  EXPECT_EQ(fine.WorstCaseRounds(), 20u);
+}
+
+TEST(ConflictResolverTest, ResolutionWithinWorstCaseTrials) {
+  FakeCallSites sites(60);
+  ConflictResolver resolver(&sites, 0.25, 11);
+  int rounds = DriveToResolution(resolver, sites, {33});
+  ASSERT_GE(rounds, 0);
+  // Trial rounds (new random subsets) cannot exceed the worst case.
+  EXPECT_LE(resolver.trial_rounds(), resolver.WorstCaseRounds());
+}
+
+TEST(ConflictResolverTest, NarrowingShrinksTrackedSet) {
+  FakeCallSites sites(100);
+  ConflictResolver resolver(&sites, 0.2, 13);
+  int rounds = DriveToResolution(resolver, sites, {5});
+  ASSERT_GE(rounds, 0);
+  // The final tracked set must contain the distinguishing site but be much
+  // smaller than the 20-site trial that found it.
+  EXPECT_TRUE(sites.CallSiteTracking(5));
+  EXPECT_LT(sites.EnabledCount(), 20u);
+}
+
+TEST(ConflictResolverTest, TwoSiteSetResolved) {
+  FakeCallSites sites(40);
+  ConflictResolver resolver(&sites, 0.5, 3);
+  int rounds = DriveToResolution(resolver, sites, {10, 30});
+  ASSERT_GE(rounds, 0);
+  EXPECT_TRUE(sites.CallSiteTracking(10));
+  EXPECT_TRUE(sites.CallSiteTracking(30));
+}
+
+TEST(ConflictResolverTest, ImpossibleConflictExhausts) {
+  FakeCallSites sites(10);
+  ConflictResolver resolver(&sites, 0.5, 5);
+  // Conflict never resolves no matter what is tracked.
+  for (int round = 0; round < 100; round++) {
+    resolver.OnInference({99});
+    if (resolver.phase() == ConflictResolver::Phase::kExhausted) {
+      break;
+    }
+  }
+  EXPECT_EQ(resolver.phase(), ConflictResolver::Phase::kExhausted);
+}
+
+TEST(ConflictResolverTest, NewConflictAfterDoneRestartsSearch) {
+  FakeCallSites sites(30);
+  ConflictResolver resolver(&sites, 0.34, 17);
+  ASSERT_GE(DriveToResolution(resolver, sites, {3}), 0);
+  // A second, different conflict appears later.
+  int rounds = DriveToResolution(resolver, sites, {3, 21});
+  ASSERT_GE(rounds, 0);
+  EXPECT_TRUE(sites.CallSiteTracking(3));
+  EXPECT_TRUE(sites.CallSiteTracking(21));
+  EXPECT_EQ(resolver.conflicts_resolved(), 2u);
+}
+
+TEST(ConflictResolverTest, PFractionControlsTrialSize) {
+  FakeCallSites sites(100);
+  ConflictResolver resolver(&sites, 0.1, 19);
+  resolver.OnInference({7});
+  EXPECT_EQ(resolver.phase(), ConflictResolver::Phase::kTrying);
+  EXPECT_EQ(sites.EnabledCount(), 10u);  // 10% of 100
+}
+
+}  // namespace
+}  // namespace rolp

@@ -1,0 +1,111 @@
+#include "src/rolp/curve_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace rolp {
+namespace {
+
+std::array<uint64_t, 16> Zeros() { return {}; }
+
+TEST(CurveAnalysisTest, EmptyRowHasNoSignal) {
+  CurveResult r = CurveAnalysis::Analyze(Zeros());
+  EXPECT_FALSE(r.HasSignal());
+  EXPECT_FALSE(r.IsConflict());
+}
+
+TEST(CurveAnalysisTest, TooFewSamplesNoSignal) {
+  auto counts = Zeros();
+  counts[3] = 5;  // below kMinSamples
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  EXPECT_FALSE(r.HasSignal());
+}
+
+TEST(CurveAnalysisTest, SingleTriangleAtAgeZero) {
+  // Classic die-young distribution.
+  std::array<uint64_t, 16> counts = {1000, 300, 50, 10, 2, 0};
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.HasSignal());
+  EXPECT_FALSE(r.IsConflict());
+  EXPECT_EQ(r.EstimatedLifetime(), 0);
+}
+
+TEST(CurveAnalysisTest, SingleTriangleMidLife) {
+  std::array<uint64_t, 16> counts = {0, 10, 80, 400, 900, 450, 90, 12, 0};
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.HasSignal());
+  EXPECT_FALSE(r.IsConflict());
+  EXPECT_EQ(r.EstimatedLifetime(), 4);
+}
+
+TEST(CurveAnalysisTest, LongLivedPlateauAtFifteen) {
+  std::array<uint64_t, 16> counts = {};
+  counts[14] = 100;
+  counts[15] = 900;
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.HasSignal());
+  EXPECT_EQ(r.EstimatedLifetime(), 15);
+}
+
+TEST(CurveAnalysisTest, TwoTrianglesAreAConflict) {
+  // Fig. 4 right side: two clearly separated triangles.
+  std::array<uint64_t, 16> counts = {900, 250, 30, 0, 0, 0, 20, 200, 800, 220, 30, 0};
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.HasSignal());
+  EXPECT_TRUE(r.IsConflict());
+  EXPECT_EQ(r.peaks.size(), 2u);
+}
+
+TEST(CurveAnalysisTest, ShallowDipIsNotAConflict) {
+  // Two bumps with a high valley between them: one triangle with noise.
+  std::array<uint64_t, 16> counts = {0, 500, 480, 460, 520, 490, 0};
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.HasSignal());
+  EXPECT_FALSE(r.IsConflict());
+}
+
+TEST(CurveAnalysisTest, TinySecondaryBumpIgnored) {
+  // Secondary peak below the 5% floor must not register.
+  std::array<uint64_t, 16> counts = {10000, 2000, 100, 0, 0, 0, 0, 30, 0};
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.HasSignal());
+  EXPECT_FALSE(r.IsConflict());
+  EXPECT_EQ(r.EstimatedLifetime(), 0);
+}
+
+TEST(CurveAnalysisTest, DominantPeakWinsForEstimate) {
+  std::array<uint64_t, 16> counts = {200, 20, 0, 0, 900, 300, 0};
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.IsConflict());
+  EXPECT_EQ(r.EstimatedLifetime(), 4);
+}
+
+TEST(CurveAnalysisTest, ThreeWayConflictDetected) {
+  std::array<uint64_t, 16> counts = {800, 100, 0, 0, 700, 90, 0, 0, 0, 750, 80, 0};
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.IsConflict());
+  EXPECT_GE(r.peaks.size(), 3u);
+}
+
+class TriangleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleSweep, PeakAgeIsRecovered) {
+  int peak = GetParam();
+  std::array<uint64_t, 16> counts = {};
+  for (int i = 0; i < 16; i++) {
+    int d = i - peak;
+    if (d < 0) {
+      d = -d;
+    }
+    int h = 1000 - 300 * d;
+    counts[i] = h > 0 ? static_cast<uint64_t>(h) : 0;
+  }
+  CurveResult r = CurveAnalysis::Analyze(counts);
+  ASSERT_TRUE(r.HasSignal());
+  EXPECT_FALSE(r.IsConflict());
+  EXPECT_EQ(r.EstimatedLifetime(), peak);
+}
+
+INSTANTIATE_TEST_SUITE_P(Peaks, TriangleSweep, ::testing::Values(0, 1, 3, 5, 7, 9, 12, 15));
+
+}  // namespace
+}  // namespace rolp

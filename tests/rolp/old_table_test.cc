@@ -1,0 +1,154 @@
+#include "src/rolp/old_table.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rolp {
+namespace {
+
+TEST(OldTableTest, StartsEmptyWithPaperFootprint) {
+  OldTable table;
+  EXPECT_EQ(table.occupied(), 0u);
+  EXPECT_EQ(table.capacity(), size_t{1} << 16);
+  // Paper section 7.5: initial table is ~4 MB (4 bytes * 16 cols * 2^16).
+  EXPECT_EQ(table.PaperMemoryBytes(), size_t{4} * 16 * (1u << 16));
+}
+
+TEST(OldTableTest, RecordAllocationCreatesRow) {
+  OldTable table(1024);
+  uint32_t ctx = 0x00050001;
+  EXPECT_FALSE(table.Contains(ctx));
+  table.RecordAllocation(ctx);
+  EXPECT_TRUE(table.Contains(ctx));
+  auto row = table.Row(ctx);
+  EXPECT_EQ(row[0], 1u);
+  for (int a = 1; a < 16; a++) {
+    EXPECT_EQ(row[a], 0u);
+  }
+}
+
+TEST(OldTableTest, MultipleAllocationsAccumulate) {
+  OldTable table(1024);
+  for (int i = 0; i < 100; i++) {
+    table.RecordAllocation(42);
+  }
+  EXPECT_EQ(table.Row(42)[0], 100u);
+  EXPECT_EQ(table.occupied(), 1u);
+}
+
+TEST(OldTableTest, SurvivorMovesCountToNextAge) {
+  OldTable table(1024);
+  table.RecordAllocation(7);
+  table.RecordAllocation(7);
+  table.RecordSurvivor(7, 0, 1);
+  auto row = table.Row(7);
+  EXPECT_EQ(row[0], 1u);
+  EXPECT_EQ(row[1], 1u);
+}
+
+TEST(OldTableTest, SurvivorSaturatesAtAge15) {
+  OldTable table(1024);
+  table.RecordAllocation(9);
+  table.RecordSurvivor(9, 15, 1);
+  auto row = table.Row(9);
+  EXPECT_EQ(row[15], 1u);  // stays in the last bucket
+}
+
+TEST(OldTableTest, SurvivorOnMissingContextIsIgnored) {
+  OldTable table(1024);
+  table.RecordSurvivor(1234, 3, 5);
+  EXPECT_FALSE(table.Contains(1234));
+}
+
+TEST(OldTableTest, DecrementSaturatesAtZero) {
+  OldTable table(1024);
+  table.RecordAllocation(5);
+  // More survivors than allocations recorded (lost increments scenario).
+  table.RecordSurvivor(5, 0, 10);
+  auto row = table.Row(5);
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_EQ(row[1], 10u);
+}
+
+TEST(OldTableTest, ClearCountsKeepsRows) {
+  OldTable table(1024);
+  table.RecordAllocation(11);
+  table.RecordSurvivor(11, 0, 1);
+  table.ClearCounts();
+  EXPECT_TRUE(table.Contains(11));
+  auto row = table.Row(11);
+  for (int a = 0; a < 16; a++) {
+    EXPECT_EQ(row[a], 0u);
+  }
+}
+
+TEST(OldTableTest, GrowPreservesRowsAndAddsNominalEntries) {
+  OldTable table(1024);
+  for (uint32_t c = 1; c <= 50; c++) {
+    table.RecordAllocation(c);
+    table.RecordSurvivor(c, 0, 1);
+  }
+  size_t paper_before = table.PaperMemoryBytes();
+  table.GrowForConflict();
+  EXPECT_EQ(table.PaperMemoryBytes(), paper_before + size_t{4} * 16 * (1u << 16));
+  EXPECT_EQ(table.grow_count(), 1u);
+  for (uint32_t c = 1; c <= 50; c++) {
+    EXPECT_TRUE(table.Contains(c));
+    EXPECT_EQ(table.Row(c)[1], 1u);
+  }
+}
+
+TEST(OldTableTest, ForEachRowVisitsAllRows) {
+  OldTable table(1024);
+  table.RecordAllocation(100);
+  table.RecordAllocation(200);
+  table.RecordAllocation(300);
+  int rows = 0;
+  uint64_t total = 0;
+  table.ForEachRow([&](uint32_t ctx, const std::array<uint64_t, 16>& counts) {
+    rows++;
+    total += counts[0];
+  });
+  EXPECT_EQ(rows, 3);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(OldTableTest, ConcurrentAllocationRecordingIsExact) {
+  // With relaxed atomic counters, increments are never lost (stronger than
+  // the paper's racy plain increments; see DESIGN.md).
+  OldTable table(4096);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; i++) {
+        table.RecordAllocation(777);
+        table.RecordAllocation(888 + (i % 3));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(table.Row(777)[0], static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t spread = table.Row(888)[0] + table.Row(889)[0] + table.Row(890)[0];
+  EXPECT_EQ(spread, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(OldTableTest, NearFullTableDropsSamplesInsteadOfLooping) {
+  OldTable table(64);  // rounded to 64 capacity
+  uint64_t inserted = 0;
+  for (uint32_t c = 1; c <= 200; c++) {
+    table.RecordAllocation(c);
+    if (table.Contains(c)) {
+      inserted++;
+    }
+  }
+  EXPECT_LT(inserted, 200u);
+  EXPECT_GT(table.dropped_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace rolp

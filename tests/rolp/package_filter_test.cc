@@ -1,0 +1,60 @@
+#include "src/rolp/package_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace rolp {
+namespace {
+
+TEST(PackageFilterTest, EmptyFilterProfilesEverything) {
+  PackageFilter f;
+  EXPECT_TRUE(f.ShouldProfile("any.pkg.Class::method"));
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(PackageFilterTest, IncludeRestrictsToPackage) {
+  PackageFilter f;
+  f.Include("cassandra.db");
+  EXPECT_TRUE(f.ShouldProfile("cassandra.db.Memtable::put"));
+  EXPECT_TRUE(f.ShouldProfile("cassandra.db.rows.Row::get"));
+  EXPECT_FALSE(f.ShouldProfile("cassandra.net.Message::send"));
+  EXPECT_FALSE(f.ShouldProfile("lucene.store.Directory::open"));
+}
+
+TEST(PackageFilterTest, PrefixMustEndAtComponentBoundary) {
+  PackageFilter f;
+  f.Include("cassandra.db");
+  EXPECT_FALSE(f.ShouldProfile("cassandra.dbx.Thing::m"));
+}
+
+TEST(PackageFilterTest, ExactClassMatch) {
+  PackageFilter f;
+  f.Include("lucene.store");
+  EXPECT_TRUE(f.ShouldProfile("lucene.store::helper"));
+}
+
+TEST(PackageFilterTest, MultipleIncludes) {
+  PackageFilter f;
+  f.Include("graphchi.datablocks");
+  f.Include("graphchi.engine");
+  EXPECT_TRUE(f.ShouldProfile("graphchi.datablocks.Block::alloc"));
+  EXPECT_TRUE(f.ShouldProfile("graphchi.engine.Scheduler::run"));
+  EXPECT_FALSE(f.ShouldProfile("graphchi.io.Reader::read"));
+}
+
+TEST(PackageFilterTest, ExcludeOverridesInclude) {
+  PackageFilter f;
+  f.Include("app");
+  f.Exclude("app.internal");
+  EXPECT_TRUE(f.ShouldProfile("app.Main::run"));
+  EXPECT_FALSE(f.ShouldProfile("app.internal.Secret::op"));
+}
+
+TEST(PackageFilterTest, ExcludeOnlyProfilesRest) {
+  PackageFilter f;
+  f.Exclude("jdk");
+  EXPECT_FALSE(f.ShouldProfile("jdk.util.HashMap::put"));
+  EXPECT_TRUE(f.ShouldProfile("app.Main::run"));
+}
+
+}  // namespace
+}  // namespace rolp

@@ -1,0 +1,143 @@
+// Regression tests for the pretenuring feedback loop (paper section 6).
+//
+// Once a context pretenures, its objects stop flowing through the young
+// generation, so its OLD-table row degenerates to an age-0 spike. A naive
+// profiler would read that as "dies young", revoke the decision, and
+// oscillate forever (observed during development). Decisions must be sticky:
+// curves only raise estimates; only fragmentation feedback lowers them.
+#include <gtest/gtest.h>
+
+#include "src/heap/object.h"
+#include "src/rolp/profiler.h"
+
+namespace rolp {
+namespace {
+
+uint64_t MarkFor(uint32_t context, uint32_t age) {
+  return markword::SetAge(markword::SetContext(0, context), age);
+}
+
+RolpConfig Cfg() {
+  RolpConfig cfg;
+  cfg.old_table_entries = 4096;
+  cfg.inference_period = 1;  // every cycle, for test brevity
+  cfg.auto_survivor_tracking = false;
+  return cfg;
+}
+
+// Drives one "epoch": allocations plus survivors up to the given age.
+void FeedLongLived(Profiler& p, uint32_t ctx, int count, uint32_t max_age) {
+  for (int i = 0; i < count; i++) {
+    p.RecordAllocation(ctx);
+  }
+  for (uint32_t age = 0; age < max_age; age++) {
+    for (int i = 0; i < count; i++) {
+      p.OnSurvivor(0, MarkFor(ctx, age));
+    }
+  }
+}
+
+TEST(ProfilerStabilityTest, DecisionSurvivesStarvedCurve) {
+  Profiler p(Cfg());
+  uint32_t ctx = markword::MakeContext(7, 0);
+  FeedLongLived(p, ctx, 1000, 4);
+  p.OnGcEnd({1, 1000, PauseKind::kYoung});
+  ASSERT_EQ(p.TargetGen(ctx), 4u);
+
+  // Pretenured now: only age-0 allocation counts arrive, no survivors.
+  for (uint64_t cycle = 2; cycle < 10; cycle++) {
+    for (int i = 0; i < 1000; i++) {
+      p.RecordAllocation(ctx);
+    }
+    p.OnGcEnd({cycle, 1000, PauseKind::kYoung});
+    ASSERT_EQ(p.TargetGen(ctx), 4u) << "decision revoked at cycle " << cycle;
+  }
+}
+
+TEST(ProfilerStabilityTest, StarvedCurveDoesNotReportConflict) {
+  Profiler p(Cfg());
+  class Sites : public CallSiteControl {
+   public:
+    size_t NumProfilableCallSites() const override { return 4; }
+    void SetCallSiteTracking(size_t i, bool e) override { on[i] = e; }
+    bool CallSiteTracking(size_t i) const override { return on[i]; }
+    bool on[4] = {};
+  } sites;
+  p.SetCallSiteControl(&sites);
+
+  uint32_t ctx = markword::MakeContext(9, 0);
+  FeedLongLived(p, ctx, 1000, 5);
+  p.OnGcEnd({1, 1000, PauseKind::kYoung});
+  ASSERT_EQ(p.TargetGen(ctx), 5u);
+  uint64_t conflicts_before = p.conflicts_total();
+
+  // Age-0 spike plus leftover high-age survivors would look bimodal; a
+  // decided context must not be flagged as a conflict.
+  for (int i = 0; i < 5000; i++) {
+    p.RecordAllocation(ctx);
+  }
+  for (int i = 0; i < 400; i++) {
+    p.OnSurvivor(0, MarkFor(ctx, 6));
+  }
+  p.OnGcEnd({2, 1000, PauseKind::kYoung});
+  EXPECT_EQ(p.conflicts_total(), conflicts_before);
+}
+
+TEST(ProfilerStabilityTest, LifetimeIncreaseRaisesDecision) {
+  Profiler p(Cfg());
+  uint32_t ctx = markword::MakeContext(11, 0);
+  FeedLongLived(p, ctx, 1000, 3);
+  p.OnGcEnd({1, 1000, PauseKind::kYoung});
+  ASSERT_EQ(p.TargetGen(ctx), 3u);
+  // Workload change: objects now live to age 8 (section 6, case 1).
+  FeedLongLived(p, ctx, 1000, 8);
+  p.OnGcEnd({2, 1000, PauseKind::kYoung});
+  EXPECT_EQ(p.TargetGen(ctx), 8u);
+}
+
+TEST(ProfilerStabilityTest, LifetimeDecreaseOnlyViaFragmentation) {
+  Profiler p(Cfg());
+  uint32_t ctx = markword::MakeContext(13, 0);
+  FeedLongLived(p, ctx, 1000, 6);
+  p.OnGcEnd({1, 1000, PauseKind::kYoung});
+  ASSERT_EQ(p.TargetGen(ctx), 6u);
+  // A later window where objects die younger must NOT lower the estimate...
+  FeedLongLived(p, ctx, 1000, 2);
+  p.OnGcEnd({2, 1000, PauseKind::kYoung});
+  EXPECT_EQ(p.TargetGen(ctx), 6u);
+  // ...only the collector's fragmentation feedback does (section 6, case 2).
+  p.OnGenFragmentation(6, 0.1);
+  EXPECT_EQ(p.TargetGen(ctx), 5u);
+}
+
+TEST(ProfilerStabilityTest, HealthyGenerationsAreNotDemoted) {
+  Profiler p(Cfg());
+  uint32_t ctx = markword::MakeContext(17, 0);
+  FeedLongLived(p, ctx, 1000, 4);
+  p.OnGcEnd({1, 1000, PauseKind::kYoung});
+  ASSERT_EQ(p.TargetGen(ctx), 4u);
+  // Live ratio above the fragmentation threshold: keep the decision.
+  p.OnGenFragmentation(4, 0.8);
+  EXPECT_EQ(p.TargetGen(ctx), 4u);
+  p.OnGenFragmentation(4, 0.3);
+  EXPECT_EQ(p.TargetGen(ctx), 4u);  // 0.3 >= 0.25 threshold
+}
+
+TEST(ProfilerStabilityTest, RepeatedFragmentationDemotesToYoungEventually) {
+  Profiler p(Cfg());
+  uint32_t ctx = markword::MakeContext(19, 0);
+  FeedLongLived(p, ctx, 1000, 3);
+  p.OnGcEnd({1, 1000, PauseKind::kYoung});
+  ASSERT_EQ(p.TargetGen(ctx), 3u);
+  p.OnGenFragmentation(3, 0.1);
+  EXPECT_EQ(p.TargetGen(ctx), 2u);
+  p.OnGenFragmentation(2, 0.1);
+  EXPECT_EQ(p.TargetGen(ctx), 1u);
+  p.OnGenFragmentation(1, 0.1);
+  EXPECT_EQ(p.TargetGen(ctx), 0u);  // back to young allocation
+  p.OnGenFragmentation(1, 0.1);     // no decision left: no-op
+  EXPECT_EQ(p.TargetGen(ctx), 0u);
+}
+
+}  // namespace
+}  // namespace rolp

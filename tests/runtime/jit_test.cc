@@ -1,0 +1,167 @@
+#include "src/runtime/jit.h"
+
+#include <gtest/gtest.h>
+
+namespace rolp {
+namespace {
+
+JitConfig FastJit() {
+  JitConfig cfg;
+  cfg.hot_threshold = 10;
+  return cfg;
+}
+
+TEST(JitEngineTest, MethodsStartInterpreted) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId m = jit.RegisterMethod("app.Main::run", 100);
+  EXPECT_FALSE(jit.method(m).jitted.load());
+  EXPECT_EQ(jit.jitted_methods(), 0u);
+}
+
+TEST(JitEngineTest, HotThresholdCompiles) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId m = jit.RegisterMethod("app.Main::run", 100);
+  for (int i = 0; i < 9; i++) {
+    jit.OnInvocation(m);
+  }
+  EXPECT_FALSE(jit.method(m).jitted.load());
+  jit.OnInvocation(m);
+  EXPECT_TRUE(jit.method(m).jitted.load());
+}
+
+TEST(JitEngineTest, AllocSitesGetIdsAtCompileTime) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId m = jit.RegisterMethod("app.Main::run", 100);
+  uint32_t site = jit.RegisterAllocSite(m);
+  EXPECT_EQ(jit.alloc_site(site).site_id.load(), 0u);  // cold: unprofiled
+  jit.Compile(m);
+  EXPECT_NE(jit.alloc_site(site).site_id.load(), 0u);
+  EXPECT_EQ(jit.profiled_alloc_sites(), 1u);
+}
+
+TEST(JitEngineTest, PackageFilterBlocksProfiling) {
+  PackageFilter filter;
+  filter.Include("cassandra.db");
+  JitEngine jit(FastJit(), filter);
+  MethodId in = jit.RegisterMethod("cassandra.db.Memtable::put", 100);
+  MethodId out = jit.RegisterMethod("cassandra.net.Sender::send", 100);
+  uint32_t site_in = jit.RegisterAllocSite(in);
+  uint32_t site_out = jit.RegisterAllocSite(out);
+  jit.CompileAll();
+  EXPECT_NE(jit.alloc_site(site_in).site_id.load(), 0u);
+  EXPECT_EQ(jit.alloc_site(site_out).site_id.load(), 0u);
+}
+
+TEST(JitEngineTest, SmallCalleesAreInlinedAndNeverProfiled) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId caller = jit.RegisterMethod("app.A::f", 200);
+  MethodId tiny = jit.RegisterMethod("app.B::getter", 8);
+  MethodId big = jit.RegisterMethod("app.C::work", 500);
+  uint32_t cs_tiny = jit.RegisterCallSite(caller, tiny);
+  uint32_t cs_big = jit.RegisterCallSite(caller, big);
+  jit.CompileAll();
+  EXPECT_TRUE(jit.call_site(cs_tiny).inlined);
+  EXPECT_FALSE(jit.call_site(cs_tiny).instrumented);
+  EXPECT_FALSE(jit.call_site(cs_big).inlined);
+  EXPECT_TRUE(jit.call_site(cs_big).instrumented);
+  EXPECT_EQ(jit.NumProfilableCallSites(), 1u);
+  EXPECT_EQ(jit.inlined_call_sites(), 1u);
+}
+
+TEST(JitEngineTest, InstrumentedSitesStartOnFastBranch) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId a = jit.RegisterMethod("app.A::f", 200);
+  MethodId b = jit.RegisterMethod("app.B::g", 200);
+  uint32_t cs = jit.RegisterCallSite(a, b);
+  jit.CompileAll();
+  // Instrumented but not tracking: the paper's algorithm starts with no
+  // method call profiled (section 5, step 1).
+  EXPECT_TRUE(jit.call_site(cs).instrumented);
+  EXPECT_EQ(jit.call_site(cs).tss_hash.load(), 0u);
+  EXPECT_EQ(jit.tracked_call_sites(), 0u);
+}
+
+TEST(JitEngineTest, CallSiteControlTogglesTracking) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId a = jit.RegisterMethod("app.A::f", 200);
+  MethodId b = jit.RegisterMethod("app.B::g", 200);
+  jit.RegisterCallSite(a, b);
+  jit.CompileAll();
+  ASSERT_EQ(jit.NumProfilableCallSites(), 1u);
+  jit.SetCallSiteTracking(0, true);
+  EXPECT_TRUE(jit.CallSiteTracking(0));
+  EXPECT_EQ(jit.tracked_call_sites(), 1u);
+  EXPECT_GT(jit.pmc_fraction(), 0.0);
+  jit.SetCallSiteTracking(0, false);
+  EXPECT_EQ(jit.tracked_call_sites(), 0u);
+}
+
+TEST(JitEngineTest, SlowCallLevelTracksEverything) {
+  JitConfig cfg = FastJit();
+  cfg.level = ProfilingLevel::kSlowCall;
+  JitEngine jit(cfg, PackageFilter{});
+  MethodId a = jit.RegisterMethod("app.A::f", 200);
+  MethodId b = jit.RegisterMethod("app.B::g", 200);
+  MethodId c = jit.RegisterMethod("app.C::h", 200);
+  jit.RegisterCallSite(a, b);
+  jit.RegisterCallSite(a, c);
+  jit.CompileAll();
+  EXPECT_EQ(jit.tracked_call_sites(), 2u);
+}
+
+TEST(JitEngineTest, NoCallProfilingLevelInstrumentsNothing) {
+  JitConfig cfg = FastJit();
+  cfg.level = ProfilingLevel::kNoCallProfiling;
+  JitEngine jit(cfg, PackageFilter{});
+  MethodId a = jit.RegisterMethod("app.A::f", 200);
+  MethodId b = jit.RegisterMethod("app.B::g", 200);
+  jit.RegisterCallSite(a, b);
+  jit.CompileAll();
+  EXPECT_EQ(jit.instrumented_call_sites(), 0u);
+  EXPECT_FALSE(jit.call_profiling_active());
+}
+
+TEST(JitEngineTest, FastCallLevelNeverTakesSlowBranch) {
+  JitConfig cfg = FastJit();
+  cfg.level = ProfilingLevel::kFastCall;
+  JitEngine jit(cfg, PackageFilter{});
+  MethodId a = jit.RegisterMethod("app.A::f", 200);
+  MethodId b = jit.RegisterMethod("app.B::g", 200);
+  jit.RegisterCallSite(a, b);
+  jit.CompileAll();
+  ASSERT_EQ(jit.NumProfilableCallSites(), 1u);
+  jit.SetCallSiteTracking(0, true);  // ignored at this level
+  EXPECT_EQ(jit.tracked_call_sites(), 0u);
+}
+
+TEST(JitEngineTest, CallHashesAreUniqueNonZero) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId a = jit.RegisterMethod("app.A::f", 200);
+  std::vector<uint32_t> sites;
+  for (int i = 0; i < 50; i++) {
+    MethodId callee = jit.RegisterMethod("app.X::m" + std::to_string(i), 200);
+    sites.push_back(jit.RegisterCallSite(a, callee));
+  }
+  jit.CompileAll();
+  std::set<uint16_t> hashes;
+  for (uint32_t cs : sites) {
+    uint16_t h = jit.call_site(cs).assigned_hash;
+    EXPECT_NE(h, 0u);
+    hashes.insert(h);
+  }
+  EXPECT_GT(hashes.size(), 45u);  // random 16-bit draws: collisions are rare
+}
+
+TEST(JitEngineTest, PasFractionReflectsColdSites) {
+  JitEngine jit(FastJit(), PackageFilter{});
+  MethodId hot = jit.RegisterMethod("app.Hot::f", 100);
+  MethodId cold = jit.RegisterMethod("app.Cold::g", 100);
+  jit.RegisterAllocSite(hot);
+  jit.RegisterAllocSite(cold);
+  jit.RegisterAllocSite(cold);
+  jit.Compile(hot);
+  EXPECT_NEAR(jit.pas_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rolp

@@ -1,0 +1,55 @@
+#include "src/util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace rolp {
+namespace {
+
+TEST(EnvTest, Int64DefaultWhenUnset) {
+  unsetenv("ROLP_TEST_INT");
+  EXPECT_EQ(EnvInt64("ROLP_TEST_INT", 99), 99);
+}
+
+TEST(EnvTest, Int64Parses) {
+  setenv("ROLP_TEST_INT", "12345", 1);
+  EXPECT_EQ(EnvInt64("ROLP_TEST_INT", 0), 12345);
+  setenv("ROLP_TEST_INT", "-7", 1);
+  EXPECT_EQ(EnvInt64("ROLP_TEST_INT", 0), -7);
+  unsetenv("ROLP_TEST_INT");
+}
+
+TEST(EnvTest, Int64GarbageFallsBack) {
+  setenv("ROLP_TEST_INT", "banana", 1);
+  EXPECT_EQ(EnvInt64("ROLP_TEST_INT", 5), 5);
+  unsetenv("ROLP_TEST_INT");
+}
+
+TEST(EnvTest, DoubleParses) {
+  setenv("ROLP_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("ROLP_TEST_DBL", 0.0), 2.5);
+  unsetenv("ROLP_TEST_DBL");
+  EXPECT_DOUBLE_EQ(EnvDouble("ROLP_TEST_DBL", 1.5), 1.5);
+}
+
+TEST(EnvTest, BoolVariants) {
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    setenv("ROLP_TEST_BOOL", v, 1);
+    EXPECT_TRUE(EnvBool("ROLP_TEST_BOOL", false)) << v;
+  }
+  setenv("ROLP_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(EnvBool("ROLP_TEST_BOOL", true));
+  unsetenv("ROLP_TEST_BOOL");
+  EXPECT_TRUE(EnvBool("ROLP_TEST_BOOL", true));
+}
+
+TEST(EnvTest, StringPassesThrough) {
+  setenv("ROLP_TEST_STR", "hello", 1);
+  EXPECT_EQ(EnvString("ROLP_TEST_STR", "x"), "hello");
+  unsetenv("ROLP_TEST_STR");
+  EXPECT_EQ(EnvString("ROLP_TEST_STR", "x"), "x");
+}
+
+}  // namespace
+}  // namespace rolp

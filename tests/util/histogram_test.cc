@@ -1,0 +1,175 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace rolp {
+namespace {
+
+TEST(LogHistogramTest, EmptyHistogram) {
+  LogHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(LogHistogramTest, SingleValue) {
+  LogHistogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Max(), 42u);
+  EXPECT_EQ(h.Min(), 42u);
+  EXPECT_EQ(h.Mean(), 42.0);
+  // Percentile is an upper bound within ~3% for any p.
+  EXPECT_GE(h.Percentile(50), 42u);
+  EXPECT_LE(h.Percentile(50), 44u);
+}
+
+TEST(LogHistogramTest, SmallValuesExact) {
+  LogHistogram h;
+  for (uint64_t v = 0; v < 32; v++) {
+    h.Record(v);
+  }
+  // Values below kSubBuckets are bucketed exactly.
+  EXPECT_EQ(h.Percentile(100), 31u);
+  EXPECT_LE(h.Percentile(50), 16u);
+}
+
+TEST(LogHistogramTest, PercentileOrdering) {
+  LogHistogram h;
+  Random rng(5);
+  for (int i = 0; i < 100000; i++) {
+    h.Record(rng.NextBounded(1000000));
+  }
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p90 = h.Percentile(90);
+  uint64_t p99 = h.Percentile(99);
+  uint64_t p999 = h.Percentile(99.9);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, h.Max());
+}
+
+TEST(LogHistogramTest, PercentileAccuracyOnUniform) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 100000; v++) {
+    h.Record(v);
+  }
+  // ~3% relative error bound from 32 sub-buckets, plus bucket width slop.
+  uint64_t p50 = h.Percentile(50);
+  EXPECT_NEAR(static_cast<double>(p50), 50000.0, 50000.0 * 0.05);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_NEAR(static_cast<double>(p99), 99000.0, 99000.0 * 0.05);
+}
+
+TEST(LogHistogramTest, MaxIsExact) {
+  LogHistogram h;
+  h.Record(123456789);
+  h.Record(7);
+  EXPECT_EQ(h.Max(), 123456789u);
+  EXPECT_EQ(h.Percentile(100), 123456789u);
+}
+
+TEST(LogHistogramTest, MergeCombinesCounts) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  b.Record(40);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 4u);
+  EXPECT_EQ(a.Max(), 40u);
+  EXPECT_EQ(a.Min(), 10u);
+}
+
+TEST(LogHistogramTest, ResetClearsEverything) {
+  LogHistogram h;
+  h.Record(1000);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(LogHistogramTest, RecordNWeightsProperly) {
+  LogHistogram h;
+  h.RecordN(5, 99);
+  h.RecordN(1000000, 1);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_LE(h.Percentile(50), 6u);
+  EXPECT_GE(h.Percentile(99.5), 900000u);
+}
+
+TEST(LogHistogramTest, MeanMatchesArithmetic) {
+  LogHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(LinearHistogramTest, BucketsValues) {
+  LinearHistogram h({10, 20, 30});
+  h.Record(0);
+  h.Record(9);
+  h.Record(10);
+  h.Record(25);
+  h.Record(1000);
+  EXPECT_EQ(h.NumBuckets(), 4u);
+  EXPECT_EQ(h.BucketCount(0), 2u);  // [0,10)
+  EXPECT_EQ(h.BucketCount(1), 1u);  // [10,20)
+  EXPECT_EQ(h.BucketCount(2), 1u);  // [20,30)
+  EXPECT_EQ(h.BucketCount(3), 1u);  // [30,inf)
+  EXPECT_EQ(h.Count(), 5u);
+}
+
+TEST(LinearHistogramTest, BoundaryGoesToUpperBucket) {
+  LinearHistogram h({10});
+  h.Record(10);
+  EXPECT_EQ(h.BucketCount(0), 0u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+}
+
+TEST(LinearHistogramTest, Labels) {
+  LinearHistogram h({10, 20});
+  EXPECT_EQ(h.BucketLabel(0), "[0,10)");
+  EXPECT_EQ(h.BucketLabel(1), "[10,20)");
+  EXPECT_EQ(h.BucketLabel(2), "[20,inf)");
+}
+
+TEST(LinearHistogramTest, MergeRequiresSameBoundsAndAdds) {
+  LinearHistogram a({10, 20});
+  LinearHistogram b({10, 20});
+  a.Record(5);
+  b.Record(5);
+  b.Record(15);
+  a.Merge(b);
+  EXPECT_EQ(a.BucketCount(0), 2u);
+  EXPECT_EQ(a.BucketCount(1), 1u);
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+class LogHistogramPercentileProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LogHistogramPercentileProperty, UpperBoundWithinRelativeError) {
+  uint64_t value = GetParam();
+  LogHistogram h;
+  h.Record(value);
+  uint64_t p = h.Percentile(50);
+  EXPECT_GE(p, value);
+  // Relative bucket error: 1/32 plus rounding.
+  EXPECT_LE(static_cast<double>(p),
+            static_cast<double>(value) * (1.0 + 1.0 / 16.0) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LogHistogramPercentileProperty,
+                         ::testing::Values(1, 31, 32, 33, 100, 1023, 1024, 65535, 1000000,
+                                           123456789, 1ULL << 40));
+
+}  // namespace
+}  // namespace rolp

@@ -1,0 +1,193 @@
+#include "src/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace rolp {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  uint64_t s1 = 1;
+  uint64_t s2 = 2;
+  EXPECT_NE(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+TEST(Mix64Test, IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Consecutive inputs should differ in many bits.
+  uint64_t x = Mix64(100) ^ Mix64(101);
+  EXPECT_GT(__builtin_popcountll(x), 10);
+}
+
+TEST(RandomTest, SameSeedSameSequence) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, BoundedStaysInBounds) {
+  Random rng(3);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; i++) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, BoundedOneAlwaysZero) {
+  Random rng(3);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RandomTest, RangeInclusive) {
+  Random rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; i++) {
+    int64_t v = rng.NextRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BoolProbabilityRoughlyRight) {
+  Random rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyRight) {
+  Random rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; i++) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator zipf(1000, 0.99, 5);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, IsSkewedTowardSmallKeys) {
+  ZipfianGenerator zipf(10000, 0.99, 5);
+  const int n = 100000;
+  int in_top_100 = 0;
+  for (int i = 0; i < n; i++) {
+    if (zipf.Next() < 100) {
+      in_top_100++;
+    }
+  }
+  // Top 1% of the keyspace should get far more than 1% of accesses.
+  EXPECT_GT(in_top_100, n / 4);
+}
+
+TEST(ZipfianTest, ThetaZeroIsRoughlyUniform) {
+  ZipfianGenerator zipf(100, 0.01, 5);
+  const int n = 200000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < n; i++) {
+    counts[zipf.Next()]++;
+  }
+  int max_count = *std::max_element(counts.begin(), counts.end());
+  int min_count = *std::min_element(counts.begin(), counts.end());
+  EXPECT_LT(max_count, 3 * min_count + 100);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator zipf(10000, 0.99, 5);
+  const int n = 50000;
+  int in_low_range = 0;
+  for (int i = 0; i < n; i++) {
+    if (zipf.Next() < 100) {
+      in_low_range++;
+    }
+  }
+  // After scrambling, low ids should no longer dominate.
+  EXPECT_LT(in_low_range, n / 5);
+}
+
+TEST(DiscreteDistributionTest, RespectsWeights) {
+  DiscreteDistribution dist({1.0, 0.0, 3.0});
+  Random rng(23);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    counts[dist.Sample(rng)]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(DiscreteDistributionTest, SingleBucket) {
+  DiscreteDistribution dist({5.0});
+  Random rng(29);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(dist.Sample(rng), 0u);
+  }
+}
+
+class ZipfianSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianSweepTest, MeanDecreasesWithTheta) {
+  double theta = GetParam();
+  ZipfianGenerator zipf(1000, theta, 31);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) {
+    sum += static_cast<double>(zipf.Next());
+  }
+  double mean = sum / n;
+  // Uniform mean would be ~500; any positive skew pulls it below.
+  EXPECT_LT(mean, 500.0);
+  EXPECT_GE(mean, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfianSweepTest, ::testing::Values(0.5, 0.7, 0.9, 0.99));
+
+}  // namespace
+}  // namespace rolp

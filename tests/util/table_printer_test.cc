@@ -1,0 +1,49 @@
+#include "src/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace rolp {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"xxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  std::string out = t.Render();
+  // Find the two data lines; "1" and "2" should start at the same column.
+  size_t line1 = out.find("xxxxxx");
+  size_t nl1 = out.find('\n', line1);
+  size_t line2 = nl1 + 1;
+  std::string l1 = out.substr(line1, nl1 - line1);
+  size_t nl2 = out.find('\n', line2);
+  std::string l2 = out.substr(line2, nl2 - line2);
+  EXPECT_EQ(l1.find('1'), l2.find('2'));
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<uint64_t>(42)), "42");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<int64_t>(-7)), "-7");
+  EXPECT_EQ(TablePrinter::FmtPct(0.00023, 3), "0.023 %");
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"only"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rolp

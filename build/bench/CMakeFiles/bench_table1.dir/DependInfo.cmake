@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cc.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/rolp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rolp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rolp/CMakeFiles/rolp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/rolp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/rolp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rolp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

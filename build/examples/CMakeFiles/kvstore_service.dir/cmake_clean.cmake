@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_service.dir/kvstore_service.cpp.o"
+  "CMakeFiles/kvstore_service.dir/kvstore_service.cpp.o.d"
+  "kvstore_service"
+  "kvstore_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

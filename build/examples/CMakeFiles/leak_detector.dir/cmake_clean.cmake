@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_detector.dir/leak_detector.cpp.o"
+  "CMakeFiles/leak_detector.dir/leak_detector.cpp.o.d"
+  "leak_detector"
+  "leak_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/cms_collector.cc" "src/gc/CMakeFiles/rolp_gc.dir/cms_collector.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/cms_collector.cc.o.d"
+  "/root/repo/src/gc/collector.cc" "src/gc/CMakeFiles/rolp_gc.dir/collector.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/collector.cc.o.d"
+  "/root/repo/src/gc/evacuation.cc" "src/gc/CMakeFiles/rolp_gc.dir/evacuation.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/evacuation.cc.o.d"
+  "/root/repo/src/gc/free_list_space.cc" "src/gc/CMakeFiles/rolp_gc.dir/free_list_space.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/free_list_space.cc.o.d"
+  "/root/repo/src/gc/gc_metrics.cc" "src/gc/CMakeFiles/rolp_gc.dir/gc_metrics.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/gc_metrics.cc.o.d"
+  "/root/repo/src/gc/heap_verifier.cc" "src/gc/CMakeFiles/rolp_gc.dir/heap_verifier.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/heap_verifier.cc.o.d"
+  "/root/repo/src/gc/mark_compact.cc" "src/gc/CMakeFiles/rolp_gc.dir/mark_compact.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/mark_compact.cc.o.d"
+  "/root/repo/src/gc/marking.cc" "src/gc/CMakeFiles/rolp_gc.dir/marking.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/marking.cc.o.d"
+  "/root/repo/src/gc/regional_collector.cc" "src/gc/CMakeFiles/rolp_gc.dir/regional_collector.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/regional_collector.cc.o.d"
+  "/root/repo/src/gc/thread_context.cc" "src/gc/CMakeFiles/rolp_gc.dir/thread_context.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/thread_context.cc.o.d"
+  "/root/repo/src/gc/worker_pool.cc" "src/gc/CMakeFiles/rolp_gc.dir/worker_pool.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/worker_pool.cc.o.d"
+  "/root/repo/src/gc/zgc_collector.cc" "src/gc/CMakeFiles/rolp_gc.dir/zgc_collector.cc.o" "gcc" "src/gc/CMakeFiles/rolp_gc.dir/zgc_collector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/rolp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rolp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolp_gc.dir/cms_collector.cc.o"
+  "CMakeFiles/rolp_gc.dir/cms_collector.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/collector.cc.o"
+  "CMakeFiles/rolp_gc.dir/collector.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/evacuation.cc.o"
+  "CMakeFiles/rolp_gc.dir/evacuation.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/free_list_space.cc.o"
+  "CMakeFiles/rolp_gc.dir/free_list_space.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/gc_metrics.cc.o"
+  "CMakeFiles/rolp_gc.dir/gc_metrics.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/heap_verifier.cc.o"
+  "CMakeFiles/rolp_gc.dir/heap_verifier.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/mark_compact.cc.o"
+  "CMakeFiles/rolp_gc.dir/mark_compact.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/marking.cc.o"
+  "CMakeFiles/rolp_gc.dir/marking.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/regional_collector.cc.o"
+  "CMakeFiles/rolp_gc.dir/regional_collector.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/thread_context.cc.o"
+  "CMakeFiles/rolp_gc.dir/thread_context.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/worker_pool.cc.o"
+  "CMakeFiles/rolp_gc.dir/worker_pool.cc.o.d"
+  "CMakeFiles/rolp_gc.dir/zgc_collector.cc.o"
+  "CMakeFiles/rolp_gc.dir/zgc_collector.cc.o.d"
+  "librolp_gc.a"
+  "librolp_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolp_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

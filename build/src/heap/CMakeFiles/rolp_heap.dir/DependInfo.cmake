@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/class_registry.cc" "src/heap/CMakeFiles/rolp_heap.dir/class_registry.cc.o" "gcc" "src/heap/CMakeFiles/rolp_heap.dir/class_registry.cc.o.d"
+  "/root/repo/src/heap/heap.cc" "src/heap/CMakeFiles/rolp_heap.dir/heap.cc.o" "gcc" "src/heap/CMakeFiles/rolp_heap.dir/heap.cc.o.d"
+  "/root/repo/src/heap/region_manager.cc" "src/heap/CMakeFiles/rolp_heap.dir/region_manager.cc.o" "gcc" "src/heap/CMakeFiles/rolp_heap.dir/region_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rolp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

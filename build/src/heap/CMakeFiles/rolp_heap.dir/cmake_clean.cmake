@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolp_heap.dir/class_registry.cc.o"
+  "CMakeFiles/rolp_heap.dir/class_registry.cc.o.d"
+  "CMakeFiles/rolp_heap.dir/heap.cc.o"
+  "CMakeFiles/rolp_heap.dir/heap.cc.o.d"
+  "CMakeFiles/rolp_heap.dir/region_manager.cc.o"
+  "CMakeFiles/rolp_heap.dir/region_manager.cc.o.d"
+  "librolp_heap.a"
+  "librolp_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolp_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rolp/conflict_resolver.cc" "src/rolp/CMakeFiles/rolp_core.dir/conflict_resolver.cc.o" "gcc" "src/rolp/CMakeFiles/rolp_core.dir/conflict_resolver.cc.o.d"
+  "/root/repo/src/rolp/curve_analysis.cc" "src/rolp/CMakeFiles/rolp_core.dir/curve_analysis.cc.o" "gcc" "src/rolp/CMakeFiles/rolp_core.dir/curve_analysis.cc.o.d"
+  "/root/repo/src/rolp/old_table.cc" "src/rolp/CMakeFiles/rolp_core.dir/old_table.cc.o" "gcc" "src/rolp/CMakeFiles/rolp_core.dir/old_table.cc.o.d"
+  "/root/repo/src/rolp/package_filter.cc" "src/rolp/CMakeFiles/rolp_core.dir/package_filter.cc.o" "gcc" "src/rolp/CMakeFiles/rolp_core.dir/package_filter.cc.o.d"
+  "/root/repo/src/rolp/profiler.cc" "src/rolp/CMakeFiles/rolp_core.dir/profiler.cc.o" "gcc" "src/rolp/CMakeFiles/rolp_core.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gc/CMakeFiles/rolp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/rolp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rolp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolp_core.dir/conflict_resolver.cc.o"
+  "CMakeFiles/rolp_core.dir/conflict_resolver.cc.o.d"
+  "CMakeFiles/rolp_core.dir/curve_analysis.cc.o"
+  "CMakeFiles/rolp_core.dir/curve_analysis.cc.o.d"
+  "CMakeFiles/rolp_core.dir/old_table.cc.o"
+  "CMakeFiles/rolp_core.dir/old_table.cc.o.d"
+  "CMakeFiles/rolp_core.dir/package_filter.cc.o"
+  "CMakeFiles/rolp_core.dir/package_filter.cc.o.d"
+  "CMakeFiles/rolp_core.dir/profiler.cc.o"
+  "CMakeFiles/rolp_core.dir/profiler.cc.o.d"
+  "librolp_core.a"
+  "librolp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

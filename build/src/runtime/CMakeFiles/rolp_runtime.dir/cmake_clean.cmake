@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolp_runtime.dir/jit.cc.o"
+  "CMakeFiles/rolp_runtime.dir/jit.cc.o.d"
+  "CMakeFiles/rolp_runtime.dir/thread.cc.o"
+  "CMakeFiles/rolp_runtime.dir/thread.cc.o.d"
+  "CMakeFiles/rolp_runtime.dir/vm.cc.o"
+  "CMakeFiles/rolp_runtime.dir/vm.cc.o.d"
+  "librolp_runtime.a"
+  "librolp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

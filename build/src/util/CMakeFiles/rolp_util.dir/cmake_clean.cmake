@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolp_util.dir/env.cc.o"
+  "CMakeFiles/rolp_util.dir/env.cc.o.d"
+  "CMakeFiles/rolp_util.dir/histogram.cc.o"
+  "CMakeFiles/rolp_util.dir/histogram.cc.o.d"
+  "CMakeFiles/rolp_util.dir/log.cc.o"
+  "CMakeFiles/rolp_util.dir/log.cc.o.d"
+  "CMakeFiles/rolp_util.dir/random.cc.o"
+  "CMakeFiles/rolp_util.dir/random.cc.o.d"
+  "CMakeFiles/rolp_util.dir/table_printer.cc.o"
+  "CMakeFiles/rolp_util.dir/table_printer.cc.o.d"
+  "librolp_util.a"
+  "librolp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dacapo.cc" "src/workloads/CMakeFiles/rolp_workloads.dir/dacapo.cc.o" "gcc" "src/workloads/CMakeFiles/rolp_workloads.dir/dacapo.cc.o.d"
+  "/root/repo/src/workloads/driver.cc" "src/workloads/CMakeFiles/rolp_workloads.dir/driver.cc.o" "gcc" "src/workloads/CMakeFiles/rolp_workloads.dir/driver.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/rolp_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/rolp_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/workloads/CMakeFiles/rolp_workloads.dir/kvstore.cc.o" "gcc" "src/workloads/CMakeFiles/rolp_workloads.dir/kvstore.cc.o.d"
+  "/root/repo/src/workloads/textindex.cc" "src/workloads/CMakeFiles/rolp_workloads.dir/textindex.cc.o" "gcc" "src/workloads/CMakeFiles/rolp_workloads.dir/textindex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rolp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rolp/CMakeFiles/rolp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/rolp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/rolp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rolp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

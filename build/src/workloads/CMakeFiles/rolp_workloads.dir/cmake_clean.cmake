@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rolp_workloads.dir/dacapo.cc.o"
+  "CMakeFiles/rolp_workloads.dir/dacapo.cc.o.d"
+  "CMakeFiles/rolp_workloads.dir/driver.cc.o"
+  "CMakeFiles/rolp_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/rolp_workloads.dir/graph.cc.o"
+  "CMakeFiles/rolp_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/rolp_workloads.dir/kvstore.cc.o"
+  "CMakeFiles/rolp_workloads.dir/kvstore.cc.o.d"
+  "CMakeFiles/rolp_workloads.dir/textindex.cc.o"
+  "CMakeFiles/rolp_workloads.dir/textindex.cc.o.d"
+  "librolp_workloads.a"
+  "librolp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rolp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librolp_workloads.a"
+)

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gc/cms_collector_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/cms_collector_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/cms_collector_test.cc.o.d"
+  "/root/repo/tests/gc/heap_verifier_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/heap_verifier_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/heap_verifier_test.cc.o.d"
+  "/root/repo/tests/gc/mark_compact_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/mark_compact_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/mark_compact_test.cc.o.d"
+  "/root/repo/tests/gc/marking_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/marking_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/marking_test.cc.o.d"
+  "/root/repo/tests/gc/regional_collector_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/regional_collector_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/regional_collector_test.cc.o.d"
+  "/root/repo/tests/gc/safepoint_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/safepoint_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/safepoint_test.cc.o.d"
+  "/root/repo/tests/gc/worker_pool_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/worker_pool_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/worker_pool_test.cc.o.d"
+  "/root/repo/tests/gc/zgc_collector_test.cc" "tests/CMakeFiles/rolp_tests.dir/gc/zgc_collector_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/gc/zgc_collector_test.cc.o.d"
+  "/root/repo/tests/heap/class_registry_test.cc" "tests/CMakeFiles/rolp_tests.dir/heap/class_registry_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/heap/class_registry_test.cc.o.d"
+  "/root/repo/tests/heap/heap_test.cc" "tests/CMakeFiles/rolp_tests.dir/heap/heap_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/heap/heap_test.cc.o.d"
+  "/root/repo/tests/heap/markword_test.cc" "tests/CMakeFiles/rolp_tests.dir/heap/markword_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/heap/markword_test.cc.o.d"
+  "/root/repo/tests/heap/region_test.cc" "tests/CMakeFiles/rolp_tests.dir/heap/region_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/heap/region_test.cc.o.d"
+  "/root/repo/tests/rolp/conflict_resolver_test.cc" "tests/CMakeFiles/rolp_tests.dir/rolp/conflict_resolver_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/rolp/conflict_resolver_test.cc.o.d"
+  "/root/repo/tests/rolp/curve_analysis_test.cc" "tests/CMakeFiles/rolp_tests.dir/rolp/curve_analysis_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/rolp/curve_analysis_test.cc.o.d"
+  "/root/repo/tests/rolp/old_table_test.cc" "tests/CMakeFiles/rolp_tests.dir/rolp/old_table_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/rolp/old_table_test.cc.o.d"
+  "/root/repo/tests/rolp/package_filter_test.cc" "tests/CMakeFiles/rolp_tests.dir/rolp/package_filter_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/rolp/package_filter_test.cc.o.d"
+  "/root/repo/tests/rolp/profiler_stability_test.cc" "tests/CMakeFiles/rolp_tests.dir/rolp/profiler_stability_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/rolp/profiler_stability_test.cc.o.d"
+  "/root/repo/tests/rolp/profiler_test.cc" "tests/CMakeFiles/rolp_tests.dir/rolp/profiler_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/rolp/profiler_test.cc.o.d"
+  "/root/repo/tests/runtime/jit_test.cc" "tests/CMakeFiles/rolp_tests.dir/runtime/jit_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/runtime/jit_test.cc.o.d"
+  "/root/repo/tests/runtime/vm_test.cc" "tests/CMakeFiles/rolp_tests.dir/runtime/vm_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/runtime/vm_test.cc.o.d"
+  "/root/repo/tests/util/env_test.cc" "tests/CMakeFiles/rolp_tests.dir/util/env_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/util/env_test.cc.o.d"
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/rolp_tests.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/rolp_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/table_printer_test.cc" "tests/CMakeFiles/rolp_tests.dir/util/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/util/table_printer_test.cc.o.d"
+  "/root/repo/tests/workloads/workloads_test.cc" "tests/CMakeFiles/rolp_tests.dir/workloads/workloads_test.cc.o" "gcc" "tests/CMakeFiles/rolp_tests.dir/workloads/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/rolp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rolp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rolp/CMakeFiles/rolp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/rolp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/rolp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rolp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -47,7 +47,10 @@ int main() {
   for (int op = 0; op < 300000; op++) {
     Object* e = thread->AllocateInstance(site, entry_cls);
     if (e == nullptr) {
+      // Allocation failure is recoverable (AllocStatus::kOutOfMemory after
+      // bounded GC retries); a real app could shed load here. We just leave.
       std::fprintf(stderr, "OOM\n");
+      vm.DetachThread(thread);
       return 1;
     }
     cache[op % kWindow].set(e);

@@ -68,9 +68,10 @@ Region* CmsCollector::RefillTlab(MutatorContext* ctx) {
   return nullptr;
 }
 
-Object* CmsCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
+AllocResult CmsCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
   if (heap_->IsHumongousSize(req.total_bytes)) {
-    for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+    int attempt = 0;
+    for (; attempt < kMaxAllocationAttempts; attempt++) {
       Region* head = heap_->regions().AllocateHumongous(req.total_bytes);
       if (head != nullptr) {
         Object* obj = heap_->InitializeObject(head->begin(), req.cls, req.total_bytes,
@@ -78,24 +79,28 @@ Object* CmsCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req)
         if (phase_.load(std::memory_order_relaxed) != Phase::kIdle) {
           bitmap_.Mark(obj);  // allocate black during a cycle
         }
-        return obj;
+        return AllocResult::Ok(obj, static_cast<uint8_t>(attempt));
       }
-      TryCollect(ctx, /*force_full=*/attempt >= 1);
+      if (!TryCollect(ctx, /*force_full=*/attempt >= 1)) {
+        AllocationBackoff(attempt);
+      }
     }
-    return nullptr;
+    return AllocResult::OutOfMemory(static_cast<uint8_t>(attempt));
   }
   // CMS has no dynamic generations; every non-humongous allocation is young.
-  for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+  int attempt = 0;
+  for (; attempt < kMaxAllocationAttempts; attempt++) {
     char* mem = ctx->tlab.Allocate(req.total_bytes);
     if (mem != nullptr) {
-      return heap_->InitializeObject(mem, req.cls, req.total_bytes, req.array_length,
-                                     req.context);
+      return AllocResult::Ok(heap_->InitializeObject(mem, req.cls, req.total_bytes,
+                                                     req.array_length, req.context),
+                             static_cast<uint8_t>(attempt));
     }
     if (RefillTlab(ctx) == nullptr) {
-      return nullptr;
+      return AllocResult::OutOfMemory(static_cast<uint8_t>(attempt));
     }
   }
-  return nullptr;
+  return AllocResult::OutOfMemory(static_cast<uint8_t>(attempt));
 }
 
 bool CmsCollector::TryCollect(MutatorContext* ctx, bool force_full) {

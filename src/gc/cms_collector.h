@@ -22,7 +22,7 @@ class CmsCollector : public Collector {
 
   const char* name() const override { return "cms"; }
 
-  Object* AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
+  AllocResult AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
   Region* RefillTlab(MutatorContext* ctx) override;
   void CollectFull(MutatorContext* ctx) override;
 

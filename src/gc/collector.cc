@@ -1,10 +1,22 @@
 #include "src/gc/collector.h"
 
+#include <chrono>
+#include <thread>
+
 namespace rolp {
 
 Collector::Collector(Heap* heap, const GcConfig& config, SafepointManager* safepoints)
     : heap_(heap), config_(config), safepoints_(safepoints) {
   workers_ = std::make_unique<WorkerPool>(config_.num_workers);
+}
+
+void Collector::AllocationBackoff(int attempt) {
+  if (attempt < 4) {
+    std::this_thread::yield();
+    return;
+  }
+  int shift = attempt - 4 < 7 ? attempt - 4 : 7;
+  std::this_thread::sleep_for(std::chrono::microseconds(1 << shift));
 }
 
 }  // namespace rolp

@@ -24,6 +24,31 @@ struct AllocRequest {
   uint8_t target_gen = kYoungGen;
 };
 
+// Outcome of a slow-path allocation. Genuine out-of-memory is recoverable:
+// the collector runs bounded GC-and-retry and then reports kOutOfMemory
+// instead of aborting, so callers (workloads, services) can shed load, free
+// caches, or fail the one request while the process lives on.
+enum class AllocStatus : uint8_t {
+  kOk,
+  kOutOfMemory,  // bounded GC-and-retry exhausted without satisfying the request
+};
+
+struct AllocResult {
+  Object* object = nullptr;
+  AllocStatus status = AllocStatus::kOk;
+  // Collections this request triggered before succeeding or giving up.
+  uint8_t gc_attempts = 0;
+
+  bool ok() const { return status == AllocStatus::kOk; }
+
+  static AllocResult Ok(Object* obj, uint8_t attempts = 0) {
+    return AllocResult{obj, AllocStatus::kOk, attempts};
+  }
+  static AllocResult OutOfMemory(uint8_t attempts) {
+    return AllocResult{nullptr, AllocStatus::kOutOfMemory, attempts};
+  }
+};
+
 class Collector {
  public:
   Collector(Heap* heap, const GcConfig& config, SafepointManager* safepoints);
@@ -35,8 +60,9 @@ class Collector {
   virtual const char* name() const = 0;
 
   // Allocates and initializes an object when the TLAB fast path cannot. May
-  // stop the world. Returns nullptr only on genuine out-of-memory.
-  virtual Object* AllocateSlow(MutatorContext* ctx, const AllocRequest& req) = 0;
+  // stop the world (bounded GC-and-retry). Never aborts: genuine exhaustion
+  // comes back as AllocStatus::kOutOfMemory.
+  virtual AllocResult AllocateSlow(MutatorContext* ctx, const AllocRequest& req) = 0;
 
   // Hands the mutator a fresh eden region for its TLAB, possibly collecting
   // first. Returns nullptr on out-of-memory.
@@ -57,6 +83,11 @@ class Collector {
   ProfilerHooks* profiler() const { return profiler_; }
 
  protected:
+  // Bounded backoff between failed allocation attempts: lets a competing
+  // thread's collection finish instead of hammering the region lock, without
+  // ever blocking indefinitely.
+  static void AllocationBackoff(int attempt);
+
   Heap* heap_;
   GcConfig config_;
   SafepointManager* safepoints_;

@@ -8,6 +8,7 @@
 #include "src/gc/mark_compact.h"
 #include "src/gc/marking.h"
 #include "src/util/clock.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
 namespace rolp {
@@ -55,14 +56,16 @@ Region* RegionalCollector::RefillTlab(MutatorContext* ctx) {
       // has taken over. Try a (likely mixed) collection first; escalate to
       // full compaction if that was not enough.
       TryCollect(ctx, /*force_full=*/attempt >= 2);
+      AllocationBackoff(attempt);
       continue;
     }
     TryCollect(ctx, /*force_full=*/false);
+    AllocationBackoff(attempt);
   }
   return nullptr;
 }
 
-Object* RegionalCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
+AllocResult RegionalCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
   if (heap_->IsHumongousSize(req.total_bytes)) {
     return AllocateHumongousObject(ctx, req);
   }
@@ -72,17 +75,18 @@ Object* RegionalCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest&
   for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
     char* mem = ctx->tlab.Allocate(req.total_bytes);
     if (mem != nullptr) {
-      return heap_->InitializeObject(mem, req.cls, req.total_bytes, req.array_length,
-                                     req.context);
+      return AllocResult::Ok(heap_->InitializeObject(mem, req.cls, req.total_bytes,
+                                                     req.array_length, req.context),
+                             static_cast<uint8_t>(attempt));
     }
     if (RefillTlab(ctx) == nullptr) {
-      return nullptr;
+      return AllocResult::OutOfMemory(static_cast<uint8_t>(attempt + 1));
     }
   }
-  return nullptr;
+  return AllocResult::OutOfMemory(kMaxAllocationAttempts);
 }
 
-Object* RegionalCollector::AllocatePretenured(MutatorContext* ctx, const AllocRequest& req) {
+AllocResult RegionalCollector::AllocatePretenured(MutatorContext* ctx, const AllocRequest& req) {
   uint8_t g = req.target_gen;
   ROLP_DCHECK(g >= 1 && g <= kOldGenId);
   RegionKind kind = g == kOldGenId ? RegionKind::kOld : RegionKind::kGen;
@@ -100,34 +104,43 @@ Object* RegionalCollector::AllocatePretenured(MutatorContext* ctx, const AllocRe
         }
       }
       if (mem != nullptr) {
-        return heap_->InitializeObject(mem, req.cls, req.total_bytes, req.array_length,
-                                       req.context);
+        return AllocResult::Ok(heap_->InitializeObject(mem, req.cls, req.total_bytes,
+                                                       req.array_length, req.context),
+                               static_cast<uint8_t>(attempt));
       }
     }
     // No region available for this generation: collect and retry.
     TryCollect(ctx, attempt >= 2);
+    AllocationBackoff(attempt);
   }
-  return nullptr;
+  return AllocResult::OutOfMemory(kMaxAllocationAttempts);
 }
 
-Object* RegionalCollector::AllocateHumongousObject(MutatorContext* ctx,
-                                                   const AllocRequest& req) {
+AllocResult RegionalCollector::AllocateHumongousObject(MutatorContext* ctx,
+                                                       const AllocRequest& req) {
   for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
     Region* head = heap_->regions().AllocateHumongous(req.total_bytes);
     if (head != nullptr) {
-      return heap_->InitializeObject(head->begin(), req.cls, req.total_bytes,
-                                     req.array_length, req.context);
+      return AllocResult::Ok(heap_->InitializeObject(head->begin(), req.cls, req.total_bytes,
+                                                     req.array_length, req.context),
+                             static_cast<uint8_t>(attempt));
     }
     // Humongous allocation needs contiguous free regions; full compaction is
     // the reliable way to produce them.
     TryCollect(ctx, /*force_full=*/attempt >= 1);
+    AllocationBackoff(attempt);
   }
-  return nullptr;
+  return AllocResult::OutOfMemory(kMaxAllocationAttempts);
 }
 
 bool RegionalCollector::TryCollect(MutatorContext* ctx, bool force_full) {
   if (!safepoints_->BeginOperation(ctx)) {
     return false;  // someone else collected while we waited
+  }
+  if (ROLP_FAULT_POINT("gc.collect.skip")) {
+    // Simulated collection failure: the pause happens but nothing is freed.
+    safepoints_->EndOperation(ctx);
+    return true;
   }
   if (force_full) {
     DoFull(NowNs());
@@ -308,6 +321,9 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
 
   uint64_t t1 = NowNs();
   uint64_t pause_ns = t1 - t0 - mark_ns;
+  if (ROLP_FAULT_POINT("gc.pause.inflate")) {
+    pause_ns += 10 * 1000 * 1000;  // report +10ms (drives pause-regression heuristics)
+  }
   PauseRecord rec{t0, pause_ns, mixed ? PauseKind::kMixed : PauseKind::kYoung, copied};
   metrics_.RecordPause(rec);
   if (profiler_ != nullptr) {

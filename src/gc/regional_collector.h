@@ -28,7 +28,7 @@ class RegionalCollector : public Collector {
 
   const char* name() const override { return config_.use_dynamic_gens ? "ng2c" : "g1"; }
 
-  Object* AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
+  AllocResult AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
   Region* RefillTlab(MutatorContext* ctx) override;
   void CollectFull(MutatorContext* ctx) override;
 
@@ -46,8 +46,8 @@ class RegionalCollector : public Collector {
   void DoFull(uint64_t t0);
   void PreparePause();
 
-  Object* AllocatePretenured(MutatorContext* ctx, const AllocRequest& req);
-  Object* AllocateHumongousObject(MutatorContext* ctx, const AllocRequest& req);
+  AllocResult AllocatePretenured(MutatorContext* ctx, const AllocRequest& req);
+  AllocResult AllocateHumongousObject(MutatorContext* ctx, const AllocRequest& req);
 
   // Fraction of heap regions holding tenured data (old + gens + humongous).
   double TenuredOccupancy() const;

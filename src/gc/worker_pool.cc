@@ -1,6 +1,10 @@
 #include "src/gc/worker_pool.h"
 
+#include <chrono>
+#include <thread>
+
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 
 namespace rolp {
 
@@ -46,6 +50,10 @@ void WorkerPool::WorkerLoop(uint32_t worker_id) {
       }
       seen_generation = generation_;
       task = task_;
+    }
+    if (ROLP_FAULT_POINT("gc.worker.stall")) {
+      // Simulated straggler: the pause waits for this worker's stall.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     (*task)(worker_id);
     {

@@ -114,9 +114,10 @@ Region* ZgcCollector::RefillTlab(MutatorContext* ctx) {
   return nullptr;
 }
 
-Object* ZgcCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
+AllocResult ZgcCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req) {
   if (heap_->IsHumongousSize(req.total_bytes)) {
-    for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+    int attempt = 0;
+    for (; attempt < kMaxAllocationAttempts; attempt++) {
       Region* head = heap_->regions().AllocateHumongous(req.total_bytes);
       if (head != nullptr) {
         Object* obj = heap_->InitializeObject(head->begin(), req.cls, req.total_bytes,
@@ -124,17 +125,19 @@ Object* ZgcCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req)
         if (phase_.load(std::memory_order_relaxed) == Phase::kMarking) {
           bitmap_.Mark(obj);
         }
-        return obj;
+        return AllocResult::Ok(obj, static_cast<uint8_t>(attempt));
       }
       if (phase_.load(std::memory_order_relaxed) != Phase::kIdle) {
         ConcurrentWork(ctx, heap_->regions().region_bytes() * 4);
       } else {
         DoFull(ctx);
       }
+      AllocationBackoff(attempt);
     }
-    return nullptr;
+    return AllocResult::OutOfMemory(static_cast<uint8_t>(attempt));
   }
-  for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
+  int attempt = 0;
+  for (; attempt < kMaxAllocationAttempts; attempt++) {
     char* mem = ctx->tlab.Allocate(req.total_bytes);
     if (mem != nullptr) {
       Object* obj =
@@ -142,13 +145,13 @@ Object* ZgcCollector::AllocateSlow(MutatorContext* ctx, const AllocRequest& req)
       if (phase_.load(std::memory_order_relaxed) == Phase::kMarking) {
         bitmap_.Mark(obj);  // allocate black during marking
       }
-      return obj;
+      return AllocResult::Ok(obj, static_cast<uint8_t>(attempt));
     }
     if (RefillTlab(ctx) == nullptr) {
-      return nullptr;
+      return AllocResult::OutOfMemory(static_cast<uint8_t>(attempt));
     }
   }
-  return nullptr;
+  return AllocResult::OutOfMemory(static_cast<uint8_t>(attempt));
 }
 
 bool ZgcCollector::StartCycle(MutatorContext* ctx) {

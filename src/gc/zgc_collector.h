@@ -28,7 +28,7 @@ class ZgcCollector : public Collector {
 
   const char* name() const override { return "zgc"; }
 
-  Object* AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
+  AllocResult AllocateSlow(MutatorContext* ctx, const AllocRequest& req) override;
   Region* RefillTlab(MutatorContext* ctx) override;
   void CollectFull(MutatorContext* ctx) override;
 

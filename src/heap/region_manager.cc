@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
 namespace rolp {
@@ -62,6 +63,9 @@ RegionManager::~RegionManager() {
 
 Region* RegionManager::AllocateRegion(RegionKind kind, uint8_t gen) {
   ROLP_CHECK(kind != RegionKind::kFree && kind != RegionKind::kHumongousCont);
+  if (ROLP_FAULT_POINT("heap.region.oom")) {
+    return nullptr;  // simulated heap exhaustion
+  }
   std::lock_guard<SpinLock> guard(lock_);
   if (free_list_.empty()) {
     return nullptr;
@@ -75,6 +79,9 @@ Region* RegionManager::AllocateRegion(RegionKind kind, uint8_t gen) {
 }
 
 Region* RegionManager::AllocateHumongous(size_t object_bytes) {
+  if (ROLP_FAULT_POINT("heap.humongous.oom")) {
+    return nullptr;  // simulated: no contiguous run available
+  }
   size_t needed = (object_bytes + region_bytes_ - 1) / region_bytes_;
   std::lock_guard<SpinLock> guard(lock_);
   // Find a run of `needed` contiguous free regions (first fit).

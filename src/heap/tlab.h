@@ -4,6 +4,7 @@
 #define SRC_HEAP_TLAB_H_
 
 #include "src/heap/region.h"
+#include "src/util/fault_injection.h"
 
 namespace rolp {
 
@@ -23,6 +24,9 @@ class Tlab {
   char* Allocate(size_t bytes) {
     if (region_ == nullptr) {
       return nullptr;
+    }
+    if (ROLP_FAULT_POINT("heap.tlab.alloc")) {
+      return nullptr;  // forces the collector slow path
     }
     return region_->BumpAlloc(bytes);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
 namespace rolp {
@@ -67,7 +68,8 @@ uint64_t ConflictResolver::WorstCaseRounds() const {
 }
 
 void ConflictResolver::OnInference(const std::vector<uint32_t>& conflicted_sites) {
-  bool conflicted = !conflicted_sites.empty();
+  bool conflicted = !conflicted_sites.empty() ||
+                    ROLP_FAULT_POINT("rolp.resolver.spurious_conflict");
   if (conflicted) {
     saw_conflict_ever_ = true;
   }

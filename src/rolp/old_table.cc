@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 #include "src/util/random.h"
 
 namespace rolp {
@@ -22,6 +23,9 @@ OldTable::OldTable(size_t entries) {
 }
 
 OldTable::Entry* OldTable::FindEntry(uint32_t context, bool insert) {
+  if (context == kInvalidContext) {
+    return nullptr;  // EncodeKey would wrap to the empty sentinel
+  }
   uint32_t key = EncodeKey(context);
   size_t mask = capacity_ - 1;
   size_t idx = HashContext(context) & mask;
@@ -53,6 +57,14 @@ OldTable::Entry* OldTable::FindEntry(uint32_t context, bool insert) {
 }
 
 void OldTable::RecordAllocation(uint32_t context) {
+  if (context == kInvalidContext) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (ROLP_FAULT_POINT("rolp.old_table.drop")) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Keep load factor sane: drop samples rather than overfilling (insertions
   // only happen here; growth happens at safepoints).
   if (occupied_approx_.load(std::memory_order_relaxed) > capacity_ - capacity_ / 8) {

@@ -26,6 +26,8 @@ class OldTable {
  public:
   static constexpr int kAges = 16;
   static constexpr size_t kInitialEntries = 1u << 16;
+  // The one context value the key encoding cannot represent (see EncodeKey).
+  static constexpr uint32_t kInvalidContext = UINT32_MAX;
 
   explicit OldTable(size_t entries = kInitialEntries);
 
@@ -77,6 +79,7 @@ class OldTable {
   // Actual allocated footprint of the backing array.
   size_t ActualMemoryBytes() const { return capacity_ * sizeof(Entry); }
   uint64_t dropped_samples() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t rejected_contexts() const { return rejected_.load(std::memory_order_relaxed); }
   size_t grow_count() const { return grow_count_; }
 
  private:
@@ -86,9 +89,12 @@ class OldTable {
   };
 
   static constexpr uint32_t kEmptyKey = 0;
-  // Context 0 would collide with the empty sentinel; encode key = context + 1
-  // (contexts are 32-bit but site 0xFFFF/tss 0xFFFF together never produce
-  // UINT32_MAX in practice; the encoding saturates safely regardless).
+  // Context 0 would collide with the empty sentinel; encode key = context + 1.
+  // That leaves context UINT32_MAX with no representable key (it would wrap
+  // to kEmptyKey and corrupt the table), so it is rejected outright: FindEntry
+  // refuses it, RecordAllocation counts it as rejected, Contains reports
+  // false. Site 0xFFFF + tss 0xFFFF genuinely produces it, so "never in
+  // practice" was wrong — see rejected_contexts().
   static uint32_t EncodeKey(uint32_t context) { return context + 1; }
   static uint32_t DecodeKey(uint32_t key) { return key - 1; }
 
@@ -103,6 +109,7 @@ class OldTable {
   size_t nominal_entries_;  // what the paper-accounting reports (2^16 * (1+N))
   std::unique_ptr<Entry[]> entries_;
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> rejected_{0};
   std::atomic<size_t> occupied_approx_{0};
   size_t grow_count_ = 0;
 };

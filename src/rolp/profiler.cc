@@ -2,9 +2,24 @@
 
 #include "src/heap/object.h"
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
 namespace rolp {
+
+const char* DegradeReasonName(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kNone:
+      return "none";
+    case DegradeReason::kOldTableSaturation:
+      return "old-table-saturation";
+    case DegradeReason::kImplausibleHistogram:
+      return "implausible-histogram";
+    case DegradeReason::kDemotionChurn:
+      return "demotion-churn";
+  }
+  return "unknown";
+}
 
 Profiler::Profiler(const RolpConfig& config)
     : config_(config), old_table_(config.old_table_entries) {
@@ -34,6 +49,10 @@ void Profiler::OnSurvivor(uint32_t worker_id, uint64_t old_mark) {
   uint32_t context = markword::Context(old_mark);
   if (context == 0) {
     return;  // allocated by unprofiled (cold) code
+  }
+  if (ROLP_FAULT_POINT("rolp.survivor.drop")) {
+    survivors_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;  // simulated lost survivor update (starves the histograms)
   }
   // Paper section 3.3: contexts not present in the OLD table are discarded —
   // they may be residue of a revoked biased lock or of cleared profiling.
@@ -66,6 +85,32 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
   recent_pause_ema_ns_ =
       recent_pause_ema_ns_ == 0.0 ? pause : 0.8 * recent_pause_ema_ns_ + 0.2 * pause;
 
+  // Saturation watch: how many samples did the OLD table shed this cycle?
+  uint64_t dropped_now = old_table_.dropped_samples();
+  uint64_t dropped_delta = dropped_now - last_dropped_seen_;
+  last_dropped_seen_ = dropped_now;
+
+  bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (!degraded && config_.degrade_dropped_per_cycle != 0 &&
+      dropped_delta > config_.degrade_dropped_per_cycle) {
+    EnterDegraded(DegradeReason::kOldTableSaturation);
+    degraded = true;
+  }
+
+  if (degraded) {
+    // Re-arm once the trouble signal has been quiet long enough. Inference is
+    // suspended meanwhile: decisions built from a saturated or corrupt table
+    // would be worse than none.
+    if (dropped_delta <= config_.degrade_dropped_per_cycle / 8) {
+      if (++clean_cycles_ >= config_.rearm_clean_cycles) {
+        ExitDegraded();
+      }
+    } else {
+      clean_cycles_ = 0;
+    }
+    return;
+  }
+
   if (config_.inference_period != 0 && info.gc_cycle % config_.inference_period == 0) {
     RunInference();
     if (first_decision_cycle_ == 0 &&
@@ -74,9 +119,11 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
     }
   }
 
-  if (config_.auto_survivor_tracking && !survivor_tracking_.load(std::memory_order_relaxed)) {
+  if (config_.auto_survivor_tracking && !degraded_.load(std::memory_order_relaxed) &&
+      !survivor_tracking_.load(std::memory_order_relaxed)) {
     // Paper section 7.4: re-enable survivor tracking if average pauses
-    // regressed more than the threshold over the last tracked value.
+    // regressed more than the threshold over the last tracked value. Not while
+    // degraded: tracking stays off until re-arm.
     if (last_tracking_avg_pause_ns_ > 0.0 &&
         recent_pause_ema_ns_ >
             last_tracking_avg_pause_ns_ * (1.0 + config_.pause_regression_threshold)) {
@@ -91,6 +138,25 @@ void Profiler::RunInferenceNow() { RunInference(); }
 
 void Profiler::RunInference() {
   inferences_++;
+  demotion_churn_ = 0;  // fresh churn window (see OnGenFragmentation)
+
+  // Sanity pass: a per-age count beyond any physical allocation rate means a
+  // corrupt header or counter leaked into the table. Decisions derived from it
+  // would be garbage — drop everything and ride out the storm degraded.
+  bool implausible = ROLP_FAULT_POINT("rolp.inference.implausible");
+  if (!implausible) {
+    old_table_.ForEachRow([&](uint32_t, const std::array<uint64_t, 16>& counts) {
+      for (uint64_t c : counts) {
+        if (c > config_.implausible_count) {
+          implausible = true;
+        }
+      }
+    });
+  }
+  if (implausible) {
+    EnterDegraded(DegradeReason::kImplausibleHistogram);
+    return;
+  }
 
   const DecisionMap* current = decisions_.load(std::memory_order_relaxed);
   auto next = std::make_unique<DecisionMap>(*current);
@@ -158,6 +224,10 @@ void Profiler::RunInference() {
                   (unsigned long long)inferences_, (unsigned long long)rows,
                   (unsigned long long)with_signal, conflicted_sites.size(), next->size());
   }
+  if (ROLP_FAULT_POINT("rolp.inference.conflict")) {
+    // Simulated ambiguous curve: exercises table growth + conflict resolution.
+    conflicted_sites.push_back(0);
+  }
   conflicts_total_ += conflicted_sites.size();
   if (!conflicted_sites.empty()) {
     old_table_.GrowForConflict();
@@ -180,7 +250,13 @@ void Profiler::RunInference() {
   // Survivor-tracking shut-off (paper section 7.4): disable when the workload
   // is stable, i.e. two consecutive inferences produced identical decisions.
   if (config_.auto_survivor_tracking) {
-    if (!changed && !decisions_changed_since_last_inference_ &&
+    // Post-re-arm grace: decisions and histograms were just cleared, so a
+    // "stable" (empty == empty) reading here is starvation, not stability.
+    bool in_grace = rearm_grace_left_ > 0;
+    if (in_grace) {
+      rearm_grace_left_--;
+    }
+    if (!in_grace && !changed && !decisions_changed_since_last_inference_ &&
         survivor_tracking_.load(std::memory_order_relaxed)) {
       last_tracking_avg_pause_ns_ = recent_pause_ema_ns_;
       survivor_tracking_.store(false, std::memory_order_relaxed);
@@ -201,6 +277,16 @@ void Profiler::OnGenFragmentation(uint8_t gen, double live_ratio) {
   // computed over pinned (live) regions only; fully-dead regions are the
   // success case.
   if (live_ratio >= 0.25 || gen == 0) {
+    return;
+  }
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return;  // decisions are already cleared; nothing to demote
+  }
+  if (config_.degrade_demotion_churn != 0 &&
+      ++demotion_churn_ >= config_.degrade_demotion_churn) {
+    // Demoting this often within one inference window means the estimates are
+    // oscillating, not converging; stop fighting and rebuild from scratch.
+    EnterDegraded(DegradeReason::kDemotionChurn);
     return;
   }
   const DecisionMap* current = decisions_.load(std::memory_order_relaxed);
@@ -224,6 +310,59 @@ void Profiler::OnGenFragmentation(uint8_t gen, double live_ratio) {
   decision_history_.push_back(std::move(next));
   decisions_.store(next_raw, std::memory_order_release);
   decisions_changed_since_last_inference_ = true;
+}
+
+void Profiler::PublishEmptyDecisions() {
+  auto empty = std::make_unique<DecisionMap>();
+  DecisionMap* raw = empty.get();
+  decision_history_.push_back(std::move(empty));
+  decisions_.store(raw, std::memory_order_release);
+  if (decision_history_.size() > 4) {
+    decision_history_.erase(decision_history_.begin(), decision_history_.end() - 2);
+  }
+}
+
+void Profiler::EnterDegraded(DegradeReason reason) {
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  degraded_.store(true, std::memory_order_relaxed);
+  degraded_entries_++;
+  last_degrade_reason_ = reason;
+  clean_cycles_ = 0;
+  demotion_churn_ = 0;
+
+  // Stop steering allocation: TargetGen reverts to 0 (young) for every
+  // context, which is always safe — it is the un-profiled baseline.
+  PublishEmptyDecisions();
+  // Stop collecting a signal we would distrust anyway.
+  if (survivor_tracking_.exchange(false, std::memory_order_relaxed)) {
+    tracking_toggles_++;
+  }
+  // Drop the poisoned histograms; rows stay so re-arm starts warm.
+  old_table_.ClearCounts();
+  if (reason == DegradeReason::kOldTableSaturation) {
+    // More headroom for when profiling resumes (same mechanism as conflicts).
+    old_table_.GrowForConflict();
+  }
+  decisions_changed_since_last_inference_ = true;
+  ROLP_LOG_INFO("profiler degraded (%s); decisions cleared, tracking off",
+                DegradeReasonName(reason));
+}
+
+void Profiler::ExitDegraded() {
+  if (!degraded_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  degraded_.store(false, std::memory_order_relaxed);
+  clean_cycles_ = 0;
+  // Start rebuilding the signal; decisions repopulate at the next inference.
+  if (!survivor_tracking_.exchange(true, std::memory_order_relaxed)) {
+    tracking_toggles_++;
+  }
+  decisions_changed_since_last_inference_ = true;
+  rearm_grace_left_ = config_.rearm_grace_inferences;
+  ROLP_LOG_INFO("profiler re-armed after %u clean cycles", config_.rearm_clean_cycles);
 }
 
 }  // namespace rolp

@@ -45,7 +45,40 @@ struct RolpConfig {
   // (age 15 maps to the old generation).
   uint8_t max_gen = 14;
   uint64_t seed = 0x5eed;
+
+  // --- Degraded-mode thresholds (robustness) -------------------------------
+  // Enter degraded mode when the OLD table drops more than this many samples
+  // within a single GC cycle (saturation). An absolute per-cycle delta rather
+  // than a drop *ratio*: a ratio would need a total-samples counter on the
+  // mutator hot path.
+  uint64_t degrade_dropped_per_cycle = 4096;
+  // Leave degraded mode after this many consecutive cycles with no (or
+  // negligible) new drops.
+  uint32_t rearm_clean_cycles = 8;
+  // Enter degraded mode when fragmentation feedback demotes contexts this
+  // many times within one inference window (decision churn: the profiler is
+  // fighting itself).
+  uint32_t degrade_demotion_churn = 8;
+  // A per-age survivor count above this is implausible (corrupt header or
+  // counter): OldTable counts are 32-bit, so 2^31 within one 16-cycle window
+  // cannot come from real survivors.
+  uint64_t implausible_count = 1ull << 31;
+  // After re-arming, suppress the stable-decisions tracking shut-off for this
+  // many inferences. Degraded mode cleared both decisions and histograms, so
+  // the first post-re-arm inferences see a stable *empty* state; shutting
+  // tracking off on that would starve the profiler permanently.
+  uint32_t rearm_grace_inferences = 4;
 };
+
+// Why the profiler last entered degraded mode.
+enum class DegradeReason : uint8_t {
+  kNone,
+  kOldTableSaturation,    // dropped-sample rate over threshold
+  kImplausibleHistogram,  // per-age count beyond any physical rate
+  kDemotionChurn,         // fragmentation feedback thrashing decisions
+};
+
+const char* DegradeReasonName(DegradeReason reason);
 
 class Profiler : public ProfilerHooks {
  public:
@@ -89,6 +122,15 @@ class Profiler : public ProfilerHooks {
     return survivors_skipped_biased_.load(std::memory_order_relaxed);
   }
   uint64_t survivor_tracking_toggles() const { return tracking_toggles_; }
+  // Degraded mode: profiling is suspended (decisions cleared, TargetGen -> 0,
+  // survivor tracking off) until the trouble signal stays quiet for
+  // rearm_clean_cycles GC cycles.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  uint64_t degraded_entries() const { return degraded_entries_; }
+  DegradeReason last_degrade_reason() const { return last_degrade_reason_; }
+  uint64_t survivors_dropped() const {
+    return survivors_dropped_.load(std::memory_order_relaxed);
+  }
   // First GC cycle at which a non-empty decision set existed (warmup metric,
   // Fig. 10); 0 if never.
   uint64_t first_decision_cycle() const { return first_decision_cycle_; }
@@ -105,6 +147,11 @@ class Profiler : public ProfilerHooks {
 
   void MergeWorkerTables();
   void RunInference();
+
+  // Both run with the world stopped (called from the GC hooks only).
+  void EnterDegraded(DegradeReason reason);
+  void ExitDegraded();
+  void PublishEmptyDecisions();
 
   RolpConfig config_;
   OldTable old_table_;
@@ -127,6 +174,16 @@ class Profiler : public ProfilerHooks {
   uint64_t first_decision_cycle_ = 0;
   std::atomic<uint64_t> survivors_seen_{0};
   std::atomic<uint64_t> survivors_skipped_biased_{0};
+  std::atomic<uint64_t> survivors_dropped_{0};
+
+  // Degraded-mode state (mutated only with the world stopped).
+  std::atomic<bool> degraded_{false};
+  uint64_t degraded_entries_ = 0;
+  DegradeReason last_degrade_reason_ = DegradeReason::kNone;
+  uint64_t last_dropped_seen_ = 0;  // dropped_samples() at the previous GC end
+  uint32_t clean_cycles_ = 0;       // consecutive quiet cycles while degraded
+  uint32_t demotion_churn_ = 0;     // demotions since the last inference
+  uint32_t rearm_grace_left_ = 0;   // inferences left with shut-off suppressed
 };
 
 }  // namespace rolp

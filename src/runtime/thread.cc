@@ -47,7 +47,14 @@ Object* RuntimeThread::Allocate(uint32_t alloc_site, ClassId cls, size_t total_b
   req.array_length = array_length;
   req.context = context;
   req.target_gen = gen;
-  return vm_->collector().AllocateSlow(&gc_ctx_, req);
+  AllocResult result = vm_->collector().AllocateSlow(&gc_ctx_, req);
+  if (!result.ok()) {
+    // Recoverable: the caller sees nullptr and sheds this one allocation;
+    // the thread (and process) keep running.
+    recoverable_ooms_++;
+    return nullptr;
+  }
+  return result.object;
 }
 
 Object* RuntimeThread::AllocateInstance(uint32_t alloc_site, ClassId cls) {

@@ -108,6 +108,9 @@ class RuntimeThread {
   uint64_t osr_injected() const { return osr_injected_; }
   uint64_t osr_repaired() const { return osr_repaired_; }
   uint64_t allocations() const { return allocations_; }
+  // Slow-path allocations that exhausted GC-and-retry and returned nullptr
+  // instead of aborting.
+  uint64_t recoverable_ooms() const { return recoverable_ooms_; }
   Random& rng() { return rng_; }
 
  private:
@@ -124,6 +127,7 @@ class RuntimeThread {
   uint64_t osr_injected_ = 0;
   uint64_t osr_repaired_ = 0;
   uint64_t allocations_ = 0;
+  uint64_t recoverable_ooms_ = 0;
 };
 
 }  // namespace rolp

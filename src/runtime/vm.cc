@@ -8,6 +8,7 @@
 #include "src/gc/zgc_collector.h"
 #include "src/runtime/thread.h"
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
 namespace rolp {
@@ -115,6 +116,9 @@ bool VmConfig::ParseFlags(const std::vector<std::string>& flags, VmConfig* out,
 }
 
 VM::VM(const VmConfig& config) : config_(config) {
+  // Fail points requested via ROLP_FAULTS arm before any subsystem runs.
+  FaultInjection::Instance().LoadFromEnv();
+
   HeapConfig hc;
   hc.heap_bytes = config_.heap_mb * 1024 * 1024;
   hc.region_bytes = config_.region_kb * 1024;
@@ -152,6 +156,35 @@ VM::VM(const VmConfig& config) : config_(config) {
       break;
   }
   collector_->set_profiler(this);
+
+  crash_provider_ = std::make_unique<ScopedCrashContextProvider>(
+      "vm", [this](std::FILE* out) {
+        std::fprintf(out, "collector: %s\n", collector_->name());
+        std::fprintf(out,
+                     "last gc end: cycle=%llu pause_ns=%llu kind=%d\n",
+                     (unsigned long long)last_gc_end_.gc_cycle,
+                     (unsigned long long)last_gc_end_.pause_ns,
+                     (int)last_gc_end_.kind);
+        RegionManager::Usage u = heap_->regions().ComputeUsage();
+        std::fprintf(out,
+                     "regions: eden=%zu survivor=%zu old=%zu gen=%zu humongous=%zu "
+                     "used_bytes=%zu of %zu regions\n",
+                     u.eden_regions, u.survivor_regions, u.old_regions, u.gen_regions,
+                     u.humongous_regions, u.used_bytes, heap_->regions().num_regions());
+        if (profiler_ != nullptr) {
+          OldTable& t = profiler_->old_table();
+          std::fprintf(out,
+                       "old table: occupied=%zu capacity=%zu dropped=%llu rejected=%llu "
+                       "grows=%zu\n",
+                       t.occupied(), t.capacity(), (unsigned long long)t.dropped_samples(),
+                       (unsigned long long)t.rejected_contexts(), t.grow_count());
+          std::fprintf(out, "profiler: degraded=%d reason=%s entries=%llu decisions=%llu\n",
+                       profiler_->degraded() ? 1 : 0,
+                       DegradeReasonName(profiler_->last_degrade_reason()),
+                       (unsigned long long)profiler_->degraded_entries(),
+                       (unsigned long long)profiler_->decisions_count());
+        }
+      });
 }
 
 VM::~VM() {
@@ -205,6 +238,7 @@ void VM::OnSurvivor(uint32_t worker_id, uint64_t old_mark) {
 }
 
 void VM::OnGcEnd(const GcEndInfo& info) {
+  last_gc_end_ = info;
   // Paper section 7.2.3: at the end of each GC cycle, while the world is
   // still stopped, verify every thread's stack state against its frame stack
   // and repair OSR-induced corruption.
@@ -257,6 +291,15 @@ uint64_t VM::total_allocations() const {
   uint64_t n = 0;
   for (const auto& t : all_threads_) {
     n += t->allocations();
+  }
+  return n;
+}
+
+uint64_t VM::total_recoverable_ooms() const {
+  std::lock_guard<SpinLock> guard(threads_lock_);
+  uint64_t n = 0;
+  for (const auto& t : all_threads_) {
+    n += t->recoverable_ooms();
   }
   return n;
 }

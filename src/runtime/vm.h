@@ -12,6 +12,7 @@
 #include "src/gc/collector.h"
 #include "src/rolp/profiler.h"
 #include "src/runtime/jit.h"
+#include "src/util/crash_context.h"
 #include "src/util/spinlock.h"
 
 namespace rolp {
@@ -85,6 +86,7 @@ class VM : public ProfilerHooks {
   uint64_t total_osr_injected() const;
   uint64_t total_osr_repaired() const;
   uint64_t total_allocations() const;
+  uint64_t total_recoverable_ooms() const;
 
  private:
   VmConfig config_;
@@ -98,6 +100,11 @@ class VM : public ProfilerHooks {
   std::vector<RuntimeThread*> threads_;
   std::vector<std::unique_ptr<RuntimeThread>> all_threads_;  // owns, incl. detached
   uint32_t next_thread_id_ = 1;
+
+  // Last completed pause, captured for crash-context reports. Written only
+  // with the world stopped; the crash path reads it best-effort.
+  GcEndInfo last_gc_end_{};
+  std::unique_ptr<ScopedCrashContextProvider> crash_provider_;
 };
 
 }  // namespace rolp

@@ -3,19 +3,18 @@
 // ROLP_CHECK is always on (release included): invariants whose violation means
 // heap corruption. ROLP_DCHECK compiles out in NDEBUG builds and is used for
 // hot-path checks (object alignment, header sanity, table indices).
+//
+// A failed check dumps the registered crash context (last GC-end info, region
+// occupancy, OLD-table stats, armed fail points — see util/crash_context.h)
+// before aborting.
 #ifndef SRC_UTIL_CHECK_H_
 #define SRC_UTIL_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace rolp {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::fflush(stderr);
-  std::abort();
-}
+// Defined in crash_context.cc: prints the failure, dumps crash context,
+// aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
 
 }  // namespace rolp
 

@@ -1,0 +1,87 @@
+#include "src/util/crash_context.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/fault_injection.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+namespace {
+
+struct Registry {
+  SpinLock lock;
+  int next_id = 1;
+  std::vector<std::pair<int, std::pair<std::string, CrashContext::Provider>>> providers;
+};
+
+Registry& GetRegistry() {
+  // Leaked: checks can fail during static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::atomic<bool> g_dumping{false};
+
+}  // namespace
+
+int CrashContext::Register(const std::string& section, Provider provider) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<SpinLock> guard(reg.lock);
+  int id = reg.next_id++;
+  reg.providers.emplace_back(id, std::make_pair(section, std::move(provider)));
+  return id;
+}
+
+void CrashContext::Unregister(int id) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<SpinLock> guard(reg.lock);
+  for (size_t i = 0; i < reg.providers.size(); i++) {
+    if (reg.providers[i].first == id) {
+      reg.providers.erase(reg.providers.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+void CrashContext::Dump(std::FILE* out) {
+  bool expected = false;
+  if (!g_dumping.compare_exchange_strong(expected, true)) {
+    return;  // a provider itself crashed; don't recurse
+  }
+  std::fprintf(out, "=== ROLP crash context ===\n");
+  // Copy under the lock, run outside it: a provider may touch code that also
+  // registers providers, and holding a spinlock across arbitrary callbacks
+  // invites deadlock on the dying process's last breath.
+  std::vector<std::pair<std::string, Provider>> snapshot;
+  {
+    Registry& reg = GetRegistry();
+    std::lock_guard<SpinLock> guard(reg.lock);
+    snapshot.reserve(reg.providers.size());
+    for (const auto& [id, entry] : reg.providers) {
+      snapshot.push_back(entry);
+    }
+  }
+  for (const auto& [section, provider] : snapshot) {
+    std::fprintf(out, "--- %s ---\n", section.c_str());
+    provider(out);
+  }
+  std::fprintf(out, "--- fail points ---\n");
+  FaultInjection::Instance().DumpTo(out);
+  std::fprintf(out, "=== end crash context ===\n");
+  std::fflush(out);
+  g_dumping.store(false);
+}
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  CrashContext::Dump(stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rolp

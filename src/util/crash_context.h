@@ -1,0 +1,49 @@
+// Crash-context reporting: when a ROLP_CHECK invariant fails, the process is
+// going down anyway — the one thing we can still do is dump enough state for
+// the failure to be diagnosed post-mortem. Subsystems register named provider
+// callbacks (last GC-end info, region occupancy, OLD-table stats); the check
+// failure handler runs them all, plus the fault-injection catalog, before
+// aborting.
+//
+// Providers run on the failing thread with no allocation guarantees and
+// possibly corrupted state: they must only read plain fields and fprintf. A
+// recursion guard skips nested dumps if a provider itself CHECK-fails.
+#ifndef SRC_UTIL_CRASH_CONTEXT_H_
+#define SRC_UTIL_CRASH_CONTEXT_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace rolp {
+
+class CrashContext {
+ public:
+  using Provider = std::function<void(std::FILE*)>;
+
+  // Registers a provider; returns an id for Unregister. Thread-safe.
+  static int Register(const std::string& section, Provider provider);
+  static void Unregister(int id);
+
+  // Writes every registered section plus the fail-point catalog to `out`.
+  // Reentrancy-safe: a nested call (provider crashed) returns immediately.
+  static void Dump(std::FILE* out);
+};
+
+// RAII registration for objects with scoped lifetimes (VM, Heap, tests).
+class ScopedCrashContextProvider {
+ public:
+  ScopedCrashContextProvider(const std::string& section, CrashContext::Provider provider)
+      : id_(CrashContext::Register(section, std::move(provider))) {}
+  ~ScopedCrashContextProvider() { CrashContext::Unregister(id_); }
+
+  ScopedCrashContextProvider(const ScopedCrashContextProvider&) = delete;
+  ScopedCrashContextProvider& operator=(const ScopedCrashContextProvider&) = delete;
+
+ private:
+  int id_;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_CRASH_CONTEXT_H_

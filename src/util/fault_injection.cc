@@ -1,0 +1,294 @@
+#include "src/util/fault_injection.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/random.h"
+#include "src/util/spinlock.h"
+
+namespace rolp {
+
+std::atomic<uint32_t> FaultInjection::armed_count_{0};
+
+struct FaultInjection::Point {
+  Mode mode = Mode::kAlways;
+  bool armed = false;
+  uint64_t n = 1;       // kEveryNth period / kOnceAtHit target
+  double p = 0.0;       // kProbability
+  Random rng{0};
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  bool once_fired = false;
+};
+
+struct FaultInjection::Impl {
+  mutable SpinLock lock;
+  std::unordered_map<std::string, Point> points;
+  uint64_t total_fires = 0;
+};
+
+FaultInjection& FaultInjection::Instance() {
+  // Leaked singleton: fail points are hit from GC worker threads that may
+  // still run during static destruction.
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+FaultInjection::Impl* FaultInjection::impl() {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) {
+    return existing;
+  }
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh, std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return existing;
+}
+
+void FaultInjection::Arm(const std::string& point, Mode mode, uint64_t n, double p,
+                         uint64_t seed) {
+  Impl* im = impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  Point& pt = im->points[point];
+  if (!pt.armed) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pt.armed = true;
+  pt.mode = mode;
+  pt.n = n < 1 ? 1 : n;
+  pt.p = p;
+  pt.rng = Random(seed);
+  pt.hits = 0;
+  pt.fires = 0;
+  pt.once_fired = false;
+}
+
+void FaultInjection::ArmAlways(const std::string& point) {
+  Arm(point, Mode::kAlways, 1, 0.0, 0);
+}
+
+void FaultInjection::ArmEveryNth(const std::string& point, uint64_t n) {
+  Arm(point, Mode::kEveryNth, n, 0.0, 0);
+}
+
+void FaultInjection::ArmOnceAtHit(const std::string& point, uint64_t k) {
+  Arm(point, Mode::kOnceAtHit, k, 0.0, 0);
+}
+
+void FaultInjection::ArmProbability(const std::string& point, double p, uint64_t seed) {
+  Arm(point, Mode::kProbability, 1, p, seed);
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  Impl* im = impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  auto it = im->points.find(point);
+  if (it != im->points.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::Reset() {
+  Impl* im = impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  uint32_t armed = 0;
+  for (const auto& [name, pt] : im->points) {
+    if (pt.armed) {
+      armed++;
+    }
+  }
+  armed_count_.fetch_sub(armed, std::memory_order_relaxed);
+  im->points.clear();
+  im->total_fires = 0;
+}
+
+bool FaultInjection::IsArmed(const std::string& point) const {
+  Impl* im = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  auto it = im->points.find(point);
+  return it != im->points.end() && it->second.armed;
+}
+
+uint64_t FaultInjection::Hits(const std::string& point) const {
+  Impl* im = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  auto it = im->points.find(point);
+  return it == im->points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjection::Fires(const std::string& point) const {
+  Impl* im = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  auto it = im->points.find(point);
+  return it == im->points.end() ? 0 : it->second.fires;
+}
+
+uint64_t FaultInjection::TotalFires() const {
+  Impl* im = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  return im->total_fires;
+}
+
+std::vector<std::string> FaultInjection::ArmedPoints() const {
+  Impl* im = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  std::vector<std::string> out;
+  for (const auto& [name, pt] : im->points) {
+    if (pt.armed) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* ModeName(FaultInjection::Mode mode) {
+  switch (mode) {
+    case FaultInjection::Mode::kAlways:
+      return "always";
+    case FaultInjection::Mode::kEveryNth:
+      return "every-nth";
+    case FaultInjection::Mode::kOnceAtHit:
+      return "once-at-hit";
+    case FaultInjection::Mode::kProbability:
+      return "probability";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void FaultInjection::DumpTo(std::FILE* out) const {
+  Impl* im = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  if (im->points.empty()) {
+    std::fprintf(out, "  (no fail points ever armed)\n");
+    return;
+  }
+  for (const auto& [name, pt] : im->points) {
+    std::fprintf(out, "  %s: %s mode=%s n=%llu p=%g hits=%llu fires=%llu\n", name.c_str(),
+                 pt.armed ? "ARMED" : "disarmed", ModeName(pt.mode),
+                 (unsigned long long)pt.n, pt.p, (unsigned long long)pt.hits,
+                 (unsigned long long)pt.fires);
+  }
+}
+
+bool FaultInjection::ShouldFailSlow(const char* point) {
+  Impl* im = impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  auto it = im->points.find(point);
+  if (it == im->points.end() || !it->second.armed) {
+    return false;
+  }
+  Point& pt = it->second;
+  pt.hits++;
+  bool fire = false;
+  switch (pt.mode) {
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kEveryNth:
+      fire = pt.hits % pt.n == 0;
+      break;
+    case Mode::kOnceAtHit:
+      fire = !pt.once_fired && pt.hits == pt.n;
+      pt.once_fired = pt.once_fired || fire;
+      break;
+    case Mode::kProbability:
+      fire = pt.rng.NextBool(pt.p);
+      break;
+  }
+  if (fire) {
+    pt.fires++;
+    im->total_fires++;
+  }
+  return fire;
+}
+
+bool FaultInjection::ParseSpec(const std::string& spec, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return fail("bad fault entry (want <point>=<mode>): " + entry);
+    }
+    std::string point = entry.substr(0, eq);
+    std::string mode = entry.substr(eq + 1);
+    if (mode == "always") {
+      ArmAlways(point);
+      continue;
+    }
+    if (mode == "off") {
+      Disarm(point);
+      continue;
+    }
+    size_t colon = mode.find(':');
+    std::string kind = mode.substr(0, colon);
+    std::string args = colon == std::string::npos ? "" : mode.substr(colon + 1);
+    if (kind == "every" || kind == "once") {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(args.c_str(), &end, 10);
+      if (end == args.c_str() || n == 0) {
+        return fail("bad fault count in: " + entry);
+      }
+      if (kind == "every") {
+        ArmEveryNth(point, n);
+      } else {
+        ArmOnceAtHit(point, n);
+      }
+      continue;
+    }
+    if (kind == "prob") {
+      size_t colon2 = args.find(':');
+      std::string pstr = args.substr(0, colon2);
+      char* end = nullptr;
+      double p = std::strtod(pstr.c_str(), &end);
+      if (end == pstr.c_str() || p <= 0.0 || p > 1.0) {
+        return fail("bad fault probability in: " + entry);
+      }
+      uint64_t seed = 0x5eed;
+      if (colon2 != std::string::npos) {
+        seed = std::strtoull(args.c_str() + colon2 + 1, nullptr, 10);
+      }
+      ArmProbability(point, p, seed);
+      continue;
+    }
+    return fail("unknown fault mode in: " + entry);
+  }
+  return true;
+}
+
+bool FaultInjection::LoadFromEnv() {
+  const char* spec = std::getenv("ROLP_FAULTS");
+  if (spec == nullptr || *spec == '\0') {
+    return true;
+  }
+  std::string error;
+  if (!ParseSpec(spec, &error)) {
+    std::fprintf(stderr, "ROLP_FAULTS: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rolp

@@ -1,0 +1,104 @@
+// Deterministic fail-point fault injection (paper section 7 discipline: every
+// unhappy path must be exercisable on demand).
+//
+// Code under test declares named fail points:
+//
+//   if (ROLP_FAULT_POINT("heap.region.oom")) {
+//     return nullptr;  // behave exactly as the real failure would
+//   }
+//
+// Tests (or the ROLP_FAULTS environment variable) arm points with one of four
+// trigger modes: fire on every hit, fire every Nth hit, fire once at exactly
+// hit K, or fire with seeded probability p. Nothing fires unless explicitly
+// armed; the unarmed fast path is a single relaxed atomic load and a
+// predictable branch, so fail points may sit on allocation fast paths.
+//
+// Naming convention: "<layer>.<component>.<event>", all lowercase, e.g.
+// "heap.region.oom", "gc.collect.skip", "rolp.old_table.drop". The full
+// catalog lives in DESIGN.md ("Failure model and degraded modes").
+//
+// Env activation: ROLP_FAULTS is a comma-separated list of
+//   <point>=always | <point>=every:<N> | <point>=once:<K> |
+//   <point>=prob:<P>[:<seed>]
+// parsed once by the VM at startup (FaultInjection::LoadFromEnv).
+//
+// Configuring the ROLP_FAULT_INJECTION=OFF CMake option defines
+// ROLP_NO_FAULT_INJECTION and compiles every fail point to a constant false.
+#ifndef SRC_UTIL_FAULT_INJECTION_H_
+#define SRC_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rolp {
+
+class FaultInjection {
+ public:
+  enum class Mode : uint8_t { kAlways, kEveryNth, kOnceAtHit, kProbability };
+
+  static FaultInjection& Instance();
+
+  // --- Arming (tests / env; not thread-hot) --------------------------------
+  void ArmAlways(const std::string& point);
+  // Fires on the Nth, 2Nth, 3Nth... hit (n >= 1; n == 1 means every hit).
+  void ArmEveryNth(const std::string& point, uint64_t n);
+  // Fires exactly once, on hit number k (1-based).
+  void ArmOnceAtHit(const std::string& point, uint64_t k);
+  // Fires each hit independently with probability p, from a seeded generator
+  // so a given (p, seed) pair replays the same firing sequence.
+  void ArmProbability(const std::string& point, double p, uint64_t seed);
+
+  void Disarm(const std::string& point);
+  // Disarms everything and forgets all hit/fire statistics.
+  void Reset();
+
+  // --- Introspection -------------------------------------------------------
+  bool IsArmed(const std::string& point) const;
+  // Hits/fires observed since the point was first armed (survive Disarm,
+  // cleared by Reset).
+  uint64_t Hits(const std::string& point) const;
+  uint64_t Fires(const std::string& point) const;
+  uint64_t TotalFires() const;
+  std::vector<std::string> ArmedPoints() const;
+  // Crash-context section: one line per known point with mode and counters.
+  void DumpTo(std::FILE* out) const;
+
+  // Parses a ROLP_FAULTS-style spec and arms accordingly. Returns false and
+  // fills *error on a malformed entry (earlier entries stay armed).
+  bool ParseSpec(const std::string& spec, std::string* error);
+  // Reads and parses the ROLP_FAULTS environment variable (no-op if unset).
+  bool LoadFromEnv();
+
+  // --- Hot path (via ROLP_FAULT_POINT) -------------------------------------
+  static bool ShouldFail(const char* point) {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) {
+      return false;
+    }
+    return Instance().ShouldFailSlow(point);
+  }
+
+ private:
+  FaultInjection() = default;
+  bool ShouldFailSlow(const char* point);
+  struct Point;
+  void Arm(const std::string& point, Mode mode, uint64_t n, double p, uint64_t seed);
+
+  static std::atomic<uint32_t> armed_count_;
+
+  struct Impl;
+  Impl* impl();  // lazily constructed, never destroyed (safe at exit)
+  std::atomic<Impl*> impl_{nullptr};
+};
+
+}  // namespace rolp
+
+#ifdef ROLP_NO_FAULT_INJECTION
+#define ROLP_FAULT_POINT(name) false
+#else
+#define ROLP_FAULT_POINT(name) (::rolp::FaultInjection::ShouldFail(name))
+#endif
+
+#endif  // SRC_UTIL_FAULT_INJECTION_H_

@@ -143,9 +143,14 @@ RunResult RunWorkload(const VmConfig& vm_config, Workload& workload,
     result.old_table_bytes = vm.profiler()->old_table().PaperMemoryBytes();
     result.first_decision_cycle = vm.profiler()->first_decision_cycle();
     result.survivor_tracking_toggles = vm.profiler()->survivor_tracking_toggles();
+    result.profiler_degraded_entries = vm.profiler()->degraded_entries();
+    result.profiler_degraded_at_end = vm.profiler()->degraded();
+    result.old_table_dropped = vm.profiler()->old_table().dropped_samples();
+    result.decisions_at_end = vm.profiler()->decisions_count();
   }
   result.exception_fixups = vm.total_exception_fixups();
   result.osr_repaired = vm.total_osr_repaired();
+  result.recoverable_ooms = vm.total_recoverable_ooms();
 
   workload.Teardown();
   return result;

@@ -54,6 +54,14 @@ struct RunResult {
   uint64_t osr_repaired = 0;
   uint64_t survivor_tracking_toggles = 0;
 
+  // Robustness summary: recoverable allocation failures and profiler
+  // degraded-mode activity observed during the run.
+  uint64_t recoverable_ooms = 0;
+  uint64_t profiler_degraded_entries = 0;
+  bool profiler_degraded_at_end = false;
+  uint64_t old_table_dropped = 0;
+  uint64_t decisions_at_end = 0;
+
   // Exact percentile (ms) over post-warmup pause records.
   double PausePercentileMs(double p) const;
   double MaxPauseMs() const;

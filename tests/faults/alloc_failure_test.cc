@@ -1,0 +1,137 @@
+// Allocation-failure robustness: injected region/TLAB/humongous exhaustion
+// must surface as a recoverable AllocStatus::kOutOfMemory — never an abort —
+// and allocation must succeed again once the fault clears.
+#include <gtest/gtest.h>
+
+#include "src/gc/regional_collector.h"
+#include "src/util/fault_injection.h"
+#include "tests/gc/gc_test_util.h"
+
+namespace rolp {
+namespace {
+
+class AllocFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjection::Instance().Reset(); }
+  void TearDown() override { FaultInjection::Instance().Reset(); }
+
+  void Start(size_t heap_mb = 16, GcConfig cfg = {}) {
+    env_ = std::make_unique<GcTestEnv>(heap_mb, cfg);
+    env_->SetCollector(
+        std::make_unique<RegionalCollector>(env_->heap.get(), cfg, &env_->safepoints));
+    node_cls_ = env_->heap->classes().RegisterInstance("Node", 24, {0});
+  }
+
+  AllocResult SlowAlloc(size_t total_bytes) {
+    AllocRequest req;
+    req.cls = env_->heap->classes().data_array_class();
+    req.total_bytes = total_bytes;
+    req.array_length = total_bytes > 24 ? total_bytes - 24 : 0;
+    return env_->collector->AllocateSlow(&env_->ctx, req);
+  }
+
+  FaultInjection& fi() { return FaultInjection::Instance(); }
+
+  std::unique_ptr<GcTestEnv> env_;
+  ClassId node_cls_ = 0;
+};
+
+TEST_F(AllocFailureTest, RegionOomIsRecoverableNotFatal) {
+  Start();
+  // Every region request fails, and collections (which would not help) are
+  // simulated as failed too, so the bounded retry loop runs dry quickly.
+  fi().ArmAlways("heap.region.oom");
+  fi().ArmAlways("gc.collect.skip");
+
+  AllocResult r = SlowAlloc(1024);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, AllocStatus::kOutOfMemory);
+  EXPECT_EQ(r.object, nullptr);
+  EXPECT_GT(fi().Fires("heap.region.oom"), 0u);
+  EXPECT_GT(fi().Fires("gc.collect.skip"), 0u);
+
+  // Fault cleared: the same request succeeds (full recovery, no restart).
+  fi().Reset();
+  AllocResult ok = SlowAlloc(1024);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok.object, nullptr);
+}
+
+TEST_F(AllocFailureTest, TlabFaultForcesSlowPathThenSucceeds) {
+  Start();
+  ASSERT_TRUE(SlowAlloc(512).ok());  // install a TLAB region
+
+  fi().ArmOnceAtHit("heap.tlab.alloc", 1);
+  Object* obj = env_->AllocInstance(node_cls_);  // fast path fails over to slow
+  EXPECT_NE(obj, nullptr);
+  EXPECT_EQ(fi().Fires("heap.tlab.alloc"), 1u);
+}
+
+TEST_F(AllocFailureTest, PersistentTlabFaultDegradesToRecoverableOom) {
+  Start();
+  // The TLAB never yields memory and collections never free anything: the
+  // slow path must give up with kOutOfMemory instead of looping or aborting.
+  fi().ArmAlways("heap.tlab.alloc");
+  fi().ArmAlways("gc.collect.skip");
+
+  AllocResult r = SlowAlloc(512);
+  EXPECT_EQ(r.status, AllocStatus::kOutOfMemory);
+
+  fi().Reset();
+  EXPECT_TRUE(SlowAlloc(512).ok());
+}
+
+TEST_F(AllocFailureTest, HumongousOomIsRecoverable) {
+  Start();
+  size_t huge = 2 * 1024 * 1024;  // 2 regions' worth
+  ASSERT_TRUE(env_->heap->IsHumongousSize(huge));
+
+  fi().ArmAlways("heap.humongous.oom");
+  fi().ArmAlways("gc.collect.skip");
+  AllocResult r = SlowAlloc(huge);
+  EXPECT_EQ(r.status, AllocStatus::kOutOfMemory);
+  EXPECT_GT(fi().Fires("heap.humongous.oom"), 0u);
+
+  fi().Reset();
+  AllocResult ok = SlowAlloc(huge);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(ok.object, nullptr);
+}
+
+TEST_F(AllocFailureTest, SkippedCollectionsExhaustBoundedRetry) {
+  Start();
+  // No injected heap fault at all — only "GC runs but reclaims nothing".
+  // Consume the whole eden budget, then watch the retry loop run dry.
+  fi().ArmAlways("gc.collect.skip");
+  AllocResult r = AllocResult::Ok(nullptr);
+  for (int i = 0; i < 10000 && r.ok(); i++) {
+    r = SlowAlloc(64 * 1024);
+  }
+  EXPECT_EQ(r.status, AllocStatus::kOutOfMemory);
+  EXPECT_GT(r.gc_attempts, 0u);
+
+  // Real collections resume: allocation recovers without intervention.
+  fi().Disarm("gc.collect.skip");
+  EXPECT_TRUE(SlowAlloc(64 * 1024).ok());
+}
+
+TEST_F(AllocFailureTest, PauseInflateShowsUpInMetrics) {
+  Start();
+  fi().ArmAlways("gc.pause.inflate");
+  env_->ChurnYoung(12 * 1024 * 1024);  // forces at least one young pause
+  ASSERT_GT(fi().Fires("gc.pause.inflate"), 0u);
+  // Each inflated pause reports >= 10ms.
+  EXPECT_GE(env_->collector->metrics().Pauses().back().duration_ns, 10u * 1000 * 1000);
+}
+
+TEST_F(AllocFailureTest, WorkerStallFiresPerWorker) {
+  GcConfig cfg;
+  cfg.num_workers = 2;
+  Start(16, cfg);
+  fi().ArmAlways("gc.worker.stall");
+  env_->collector->CollectFull(&env_->ctx);
+  EXPECT_GE(fi().Fires("gc.worker.stall"), 2u);  // both workers stalled
+}
+
+}  // namespace
+}  // namespace rolp

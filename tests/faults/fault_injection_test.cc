@@ -1,0 +1,196 @@
+#include "src/util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+#include "src/util/crash_context.h"
+
+namespace rolp {
+namespace {
+
+// The registry is process-global: every test starts and ends from a clean
+// slate so suites can run in any order.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjection::Instance().Reset(); }
+  void TearDown() override { FaultInjection::Instance().Reset(); }
+
+  FaultInjection& fi() { return FaultInjection::Instance(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedPointNeverFires) {
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(ROLP_FAULT_POINT("test.unarmed.point"));
+  }
+  EXPECT_EQ(fi().TotalFires(), 0u);
+  // Unarmed hits are not even counted: the fast path rejects before the map.
+  EXPECT_EQ(fi().Hits("test.unarmed.point"), 0u);
+}
+
+TEST_F(FaultInjectionTest, AlwaysFiresEveryHit) {
+  fi().ArmAlways("test.always");
+  for (int i = 0; i < 10; i++) {
+    EXPECT_TRUE(ROLP_FAULT_POINT("test.always"));
+  }
+  EXPECT_EQ(fi().Hits("test.always"), 10u);
+  EXPECT_EQ(fi().Fires("test.always"), 10u);
+}
+
+TEST_F(FaultInjectionTest, ArmingOnePointDoesNotAffectOthers) {
+  fi().ArmAlways("test.a");
+  EXPECT_FALSE(ROLP_FAULT_POINT("test.b"));
+  EXPECT_TRUE(ROLP_FAULT_POINT("test.a"));
+  // Never-armed points are not tracked even when the slow path sees them:
+  // probing must not grow the registry.
+  EXPECT_EQ(fi().Hits("test.b"), 0u);
+  EXPECT_EQ(fi().Fires("test.b"), 0u);
+  EXPECT_FALSE(fi().IsArmed("test.b"));
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresOnMultiples) {
+  fi().ArmEveryNth("test.nth", 3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; i++) {
+    fired.push_back(ROLP_FAULT_POINT("test.nth"));
+  }
+  std::vector<bool> expected = {false, false, true, false, false, true, false, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(fi().Fires("test.nth"), 3u);
+}
+
+TEST_F(FaultInjectionTest, OnceAtHitFiresExactlyOnce) {
+  fi().ArmOnceAtHit("test.once", 4);
+  int fires = 0;
+  for (int i = 0; i < 20; i++) {
+    if (ROLP_FAULT_POINT("test.once")) {
+      fires++;
+      EXPECT_EQ(i, 3);  // 1-based hit 4
+    }
+  }
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(fi().Fires("test.once"), 1u);
+  EXPECT_EQ(fi().Hits("test.once"), 20u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsSeededAndDeterministic) {
+  auto run = [&](uint64_t seed) {
+    fi().Reset();
+    fi().ArmProbability("test.prob", 0.5, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; i++) {
+      fired.push_back(ROLP_FAULT_POINT("test.prob"));
+    }
+    return fired;
+  };
+  auto a1 = run(42);
+  auto a2 = run(42);
+  auto b = run(43);
+  EXPECT_EQ(a1, a2);  // same seed replays the same firing sequence
+  EXPECT_NE(a1, b);   // different seed diverges
+  size_t fires = 0;
+  for (bool f : a1) {
+    fires += f ? 1 : 0;
+  }
+  EXPECT_GT(fires, 16u);  // p=0.5 over 64 hits: loose sanity bounds
+  EXPECT_LT(fires, 48u);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFiringButKeepsStats) {
+  fi().ArmAlways("test.disarm");
+  EXPECT_TRUE(ROLP_FAULT_POINT("test.disarm"));
+  fi().Disarm("test.disarm");
+  EXPECT_FALSE(fi().IsArmed("test.disarm"));
+  EXPECT_FALSE(ROLP_FAULT_POINT("test.disarm"));
+  EXPECT_EQ(fi().Fires("test.disarm"), 1u);
+  EXPECT_GE(fi().Hits("test.disarm"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ResetForgetsEverything) {
+  fi().ArmAlways("test.reset");
+  (void)ROLP_FAULT_POINT("test.reset");
+  fi().Reset();
+  EXPECT_FALSE(fi().IsArmed("test.reset"));
+  EXPECT_EQ(fi().Hits("test.reset"), 0u);
+  EXPECT_EQ(fi().TotalFires(), 0u);
+  EXPECT_TRUE(fi().ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, RearmResetsTriggerState) {
+  fi().ArmOnceAtHit("test.rearm", 1);
+  EXPECT_TRUE(ROLP_FAULT_POINT("test.rearm"));
+  EXPECT_FALSE(ROLP_FAULT_POINT("test.rearm"));
+  fi().ArmAlways("test.rearm");
+  EXPECT_TRUE(ROLP_FAULT_POINT("test.rearm"));
+}
+
+TEST_F(FaultInjectionTest, ArmedPointsListsActivePoints) {
+  fi().ArmAlways("test.list.a");
+  fi().ArmEveryNth("test.list.b", 2);
+  fi().ArmAlways("test.list.c");
+  fi().Disarm("test.list.c");
+  auto points = fi().ArmedPoints();
+  EXPECT_EQ(points.size(), 2u);
+}
+
+TEST_F(FaultInjectionTest, ParseSpecArmsAllModes) {
+  std::string error;
+  ASSERT_TRUE(fi().ParseSpec(
+      "p.always=always,p.nth=every:5,p.once=once:3,p.prob=prob:0.25:99", &error))
+      << error;
+  EXPECT_TRUE(fi().IsArmed("p.always"));
+  EXPECT_TRUE(fi().IsArmed("p.nth"));
+  EXPECT_TRUE(fi().IsArmed("p.once"));
+  EXPECT_TRUE(fi().IsArmed("p.prob"));
+
+  EXPECT_TRUE(ROLP_FAULT_POINT("p.always"));
+  EXPECT_FALSE(ROLP_FAULT_POINT("p.nth"));  // hit 1 of every:5
+}
+
+TEST_F(FaultInjectionTest, ParseSpecOffDisarms) {
+  fi().ArmAlways("p.off");
+  std::string error;
+  ASSERT_TRUE(fi().ParseSpec("p.off=off", &error)) << error;
+  EXPECT_FALSE(fi().IsArmed("p.off"));
+}
+
+TEST_F(FaultInjectionTest, ParseSpecRejectsMalformedEntries) {
+  std::string error;
+  EXPECT_FALSE(fi().ParseSpec("noequals", &error));
+  EXPECT_FALSE(fi().ParseSpec("p=unknownmode", &error));
+  EXPECT_FALSE(fi().ParseSpec("p=every:0", &error));
+  EXPECT_FALSE(fi().ParseSpec("p=prob:1.5", &error));
+  // Earlier entries in a list stay armed when a later one is malformed.
+  fi().Reset();
+  EXPECT_FALSE(fi().ParseSpec("p.good=always,p.bad=every:x", &error));
+  EXPECT_TRUE(fi().IsArmed("p.good"));
+}
+
+TEST_F(FaultInjectionTest, DumpToListsKnownPoints) {
+  fi().ArmEveryNth("dump.point", 2);
+  (void)ROLP_FAULT_POINT("dump.point");
+  (void)ROLP_FAULT_POINT("dump.point");
+  char buf[4096] = {};
+  std::FILE* mem = fmemopen(buf, sizeof(buf) - 1, "w");
+  ASSERT_NE(mem, nullptr);
+  fi().DumpTo(mem);
+  std::fclose(mem);
+  EXPECT_NE(std::string(buf).find("dump.point"), std::string::npos);
+}
+
+// ROLP_CHECK failures dump registered crash-context sections (plus the
+// fail-point catalog) to stderr before aborting.
+TEST_F(FaultInjectionTest, CheckFailureDumpsCrashContext) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ScopedCrashContextProvider provider("death-test", [](std::FILE* out) {
+          std::fprintf(out, "crash-context-sentinel-1776\n");
+        });
+        FaultInjection::Instance().ArmAlways("death.test.point");
+        ROLP_CHECK(1 + 1 == 3);
+      },
+      "crash-context-sentinel-1776");
+}
+
+}  // namespace
+}  // namespace rolp

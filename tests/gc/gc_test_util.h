@@ -40,7 +40,7 @@ class GcTestEnv {
                                       req.context);
       }
     }
-    return collector->AllocateSlow(&ctx, req);
+    return collector->AllocateSlow(&ctx, req).object;
   }
 
   Object* AllocInstance(ClassId cls, uint8_t gen = kYoungGen, uint32_t context = 0) {

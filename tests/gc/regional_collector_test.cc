@@ -353,7 +353,7 @@ TEST_F(RegionalCollectorTest, MultithreadedAllocationIntegrity) {
           return env_->heap->InitializeObject(mem, req.cls, req.total_bytes,
                                               req.array_length, req.context);
         }
-        return env_->collector->AllocateSlow(&ctx, req);
+        return env_->collector->AllocateSlow(&ctx, req).object;
       };
       for (int i = 0; i < kNodes; i++) {
         AllocRequest nreq;

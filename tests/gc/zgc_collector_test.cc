@@ -140,7 +140,7 @@ TEST_F(ZgcCollectorTest, MultithreadedChurnKeepsIntegrity) {
           return env_->heap->InitializeObject(mem, req.cls, req.total_bytes,
                                               req.array_length, req.context);
         }
-        return env_->collector->AllocateSlow(&ctx, req);
+        return env_->collector->AllocateSlow(&ctx, req).object;
       };
       for (int i = 0; i < kNodes; i++) {
         AllocRequest nreq;

@@ -150,5 +150,64 @@ TEST(OldTableTest, NearFullTableDropsSamplesInsteadOfLooping) {
   EXPECT_GT(table.dropped_samples(), 0u);
 }
 
+// Regression: context UINT32_MAX encodes to key 0 == kEmptyKey under
+// key = context + 1. It used to be inserted as an "empty" slot, corrupting
+// probes; now it is rejected outright. Site 0xFFFF + tss 0xFFFF genuinely
+// produces this context, so the path is reachable from real workloads.
+TEST(OldTableTest, InvalidContextIsRejectedNotAliasedToEmpty) {
+  OldTable table(1024);
+  EXPECT_EQ(OldTable::kInvalidContext, UINT32_MAX);
+
+  table.RecordAllocation(OldTable::kInvalidContext);
+  EXPECT_FALSE(table.Contains(OldTable::kInvalidContext));
+  EXPECT_EQ(table.occupied(), 0u);  // nothing inserted, table still empty
+  EXPECT_EQ(table.rejected_contexts(), 1u);
+  EXPECT_EQ(table.dropped_samples(), 0u);  // rejected, not dropped
+
+  // Survivor and read paths refuse it too instead of matching empty slots.
+  table.RecordSurvivor(OldTable::kInvalidContext, 0, 1);
+  auto row = table.Row(OldTable::kInvalidContext);
+  for (int a = 0; a < OldTable::kAges; a++) {
+    EXPECT_EQ(row[a], 0u);
+  }
+
+  // A neighboring valid context is unaffected.
+  table.RecordAllocation(UINT32_MAX - 1);
+  EXPECT_TRUE(table.Contains(UINT32_MAX - 1));
+  EXPECT_EQ(table.rejected_contexts(), 1u);
+}
+
+TEST(OldTableTest, DropPathCountsAndGrowRestoresInsertability) {
+  OldTable table(64);
+  // Fill past the critical-fullness watermark (capacity - capacity/8 = 56).
+  for (uint32_t c = 1; c <= 64; c++) {
+    table.RecordAllocation(c);
+  }
+  size_t occupied_full = table.occupied();
+  EXPECT_GE(occupied_full, 56u);
+  uint64_t dropped_full = table.dropped_samples();
+  EXPECT_GT(dropped_full, 0u);
+
+  // Saturated: a fresh context is dropped (and counted), not inserted.
+  table.RecordAllocation(5000);
+  EXPECT_FALSE(table.Contains(5000));
+  EXPECT_EQ(table.dropped_samples(), dropped_full + 1);
+
+  // Past critical fullness every sample is dropped, existing row or not
+  // (the fullness check runs before the probe).
+  auto before = table.Row(1);
+  table.RecordAllocation(1);
+  EXPECT_EQ(table.Row(1)[0], before[0]);
+
+  // Growth (safepoint) restores headroom: inserts work again, rows survive.
+  table.GrowForConflict();
+  EXPECT_GT(table.capacity(), 64u);
+  table.RecordAllocation(5000);
+  EXPECT_TRUE(table.Contains(5000));
+  for (uint32_t c = 1; c <= 10; c++) {
+    EXPECT_TRUE(table.Contains(c));
+  }
+}
+
 }  // namespace
 }  // namespace rolp

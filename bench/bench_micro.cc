@@ -4,12 +4,15 @@
 //     ablation of section 3.2.2),
 //   * OLD-table allocation recording (unsynchronized increments),
 //   * the fast vs. slow call-site branch (thread-stack-state update),
-//   * the young-allocation fast path.
+//   * the young-allocation fast path,
+//   * the GC-worker heartbeat (the watchdog's only hot-path instrumentation:
+//     one relaxed store per task step when enabled, one relaxed load when not).
 #include <benchmark/benchmark.h>
 
 #include <unordered_map>
 
 #include "src/gc/regional_collector.h"
+#include "src/gc/worker_pool.h"
 #include "src/heap/heap.h"
 #include "src/rolp/old_table.h"
 #include "src/runtime/frame.h"
@@ -65,6 +68,24 @@ void BM_OldTableContains(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OldTableContains);
+
+void BM_WorkerHeartbeatDisabled(benchmark::State& state) {
+  WorkerPool pool(1);  // heartbeats off: the gate load is the whole cost
+  for (auto _ : state) {
+    pool.Heartbeat(0);
+  }
+}
+BENCHMARK(BM_WorkerHeartbeatDisabled);
+
+void BM_WorkerHeartbeatEnabled(benchmark::State& state) {
+  WorkerPool pool(1);
+  pool.EnableHeartbeats(true);
+  for (auto _ : state) {
+    pool.Heartbeat(0);
+  }
+  benchmark::DoNotOptimize(pool.HeartbeatValue(0));
+}
+BENCHMARK(BM_WorkerHeartbeatEnabled);
 
 struct VmFixture {
   VmFixture(ProfilingLevel level, bool track) {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests under the default build, then the same suites
+# under ASan+UBSan and TSan. The fault suite (rolp_fault_tests) is part of
+# every preset's ctest run, so the fail-point catalog — including the GC
+# watchdog stall/death scenarios — is exercised under all three.
+#
+# Usage: scripts/ci.sh [preset ...]
+#   With no arguments runs: default asan-ubsan tsan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(default asan-ubsan tsan)
+fi
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== [$preset] configure"
+  cmake --preset "$preset"
+  echo "=== [$preset] build"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] test"
+  ctest --preset "$preset"
+done
+
+echo "=== all presets passed: ${PRESETS[*]}"

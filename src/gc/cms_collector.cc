@@ -5,6 +5,7 @@
 
 #include "src/gc/mark_compact.h"
 #include "src/util/clock.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
 namespace rolp {
@@ -510,7 +511,14 @@ void CmsCollector::DoFull(uint64_t t0) {
   old_space_.Clear();
 
   MarkCompact compactor(heap_, &bitmap_);
-  uint64_t moved = compactor.Collect(safepoints_, workers_.get());
+  uint64_t moved;
+  {
+    // Non-cancellable STW fallback; the watchdog times it and aborts on
+    // repeated overruns (escalation ladder rung 5).
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kCompact, nullptr);
+    (void)ROLP_FAULT_POINT("gc.phase.compact.stall");
+    moved = compactor.Collect(safepoints_, workers_.get());
+  }
   full_gcs_.fetch_add(1, std::memory_order_relaxed);
   metrics_.AddBytesCopied(moved);
   metrics_.IncrementGcCycles();

@@ -85,7 +85,7 @@ class CmsBarrierSet : public BarrierSet {
     cms_->MarkingBarrier(value);
   }
   Object* LoadBarrier(std::atomic<Object*>* slot) override {
-    return slot->load(std::memory_order_relaxed);
+    return slot->load(std::memory_order_acquire);
   }
   bool needs_load_barrier() const override { return false; }
 

@@ -8,6 +8,7 @@ namespace rolp {
 Collector::Collector(Heap* heap, const GcConfig& config, SafepointManager* safepoints)
     : heap_(heap), config_(config), safepoints_(safepoints) {
   workers_ = std::make_unique<WorkerPool>(config_.num_workers);
+  watchdog_ = GcWatchdog::CreateFromEnv(workers_.get());
 }
 
 void Collector::AllocationBackoff(int attempt) {

@@ -10,6 +10,7 @@
 #include "src/gc/gc_metrics.h"
 #include "src/gc/profiler_hooks.h"
 #include "src/gc/thread_context.h"
+#include "src/gc/watchdog/gc_watchdog.h"
 #include "src/gc/worker_pool.h"
 #include "src/heap/heap.h"
 
@@ -82,6 +83,14 @@ class Collector {
   void set_profiler(ProfilerHooks* profiler) { profiler_ = profiler; }
   ProfilerHooks* profiler() const { return profiler_; }
 
+  // nullptr when ROLP_WATCHDOG=0 (the disabled watchdog has no cost).
+  GcWatchdog* watchdog() const { return watchdog_.get(); }
+  // Replaces the env-configured watchdog (tests use short deadlines).
+  void InstallWatchdog(const WatchdogConfig& config) {
+    watchdog_ = std::make_unique<GcWatchdog>(config, workers_.get());
+  }
+  WorkerPool* workers() const { return workers_.get(); }
+
  protected:
   // Bounded backoff between failed allocation attempts: lets a competing
   // thread's collection finish instead of hammering the region lock, without
@@ -94,6 +103,7 @@ class Collector {
   GcMetrics metrics_;
   ProfilerHooks* profiler_ = nullptr;
   std::unique_ptr<WorkerPool> workers_;
+  std::unique_ptr<GcWatchdog> watchdog_;
 };
 
 }  // namespace rolp

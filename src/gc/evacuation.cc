@@ -1,5 +1,6 @@
 #include "src/gc/evacuation.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "src/util/log.h"
@@ -7,11 +8,12 @@
 namespace rolp {
 
 EvacuationTask::EvacuationTask(Heap* heap, const GcConfig* config, ProfilerHooks* profiler,
-                               bool survivor_tracking)
+                               bool survivor_tracking, CancellationToken* cancel)
     : heap_(heap),
       config_(config),
       profiler_(profiler),
-      survivor_tracking_(survivor_tracking) {}
+      survivor_tracking_(survivor_tracking),
+      cancel_(cancel) {}
 
 char* EvacuationTask::Worker::AllocInDest(int space, size_t bytes) {
   Region* r = dest_[space];
@@ -50,7 +52,10 @@ Object* EvacuationTask::Worker::EvacuateOrForward(Object* obj) {
       space = new_age < task_->config_->tenuring_threshold ? kDestSurvivor : kDestOld;
     }
     size_t size = obj->size_bytes;
-    char* to = AllocInDest(space, size);
+    // Phase cancelled (watchdog): stop copying and funnel everything through
+    // the bounded self-forward path below, exactly as if to-space ran out.
+    bool cancelled = task_->cancel_ != nullptr && task_->cancel_->IsCancelled();
+    char* to = cancelled ? nullptr : AllocInDest(space, size);
     if (to == nullptr) {
       // To-space exhaustion: self-forward in place, preserve the mark.
       uint64_t self = markword::EncodeForwarded(obj);
@@ -62,7 +67,17 @@ Object* EvacuationTask::Worker::EvacuateOrForward(Object* obj) {
       }
       continue;  // lost the race; retry (winner forwarded it)
     }
-    std::memcpy(to, obj, size);
+    // Speculative copy: a racing worker may win the forwarding CAS and write
+    // obj's mark word (and, once forwarded, heal its ref slots) while we are
+    // still reading the source. Our copy is discarded when the CAS below
+    // fails, so stale words are harmless, but the reads must be atomic to be
+    // well-defined: objects are 8-byte aligned and sized, so copy in relaxed
+    // 8-byte words instead of memcpy.
+    uint64_t* src_words = reinterpret_cast<uint64_t*>(obj);
+    uint64_t* dst_words = reinterpret_cast<uint64_t*>(to);
+    for (size_t w = 0; w < size / sizeof(uint64_t); w++) {
+      dst_words[w] = std::atomic_ref<uint64_t>(src_words[w]).load(std::memory_order_relaxed);
+    }
     Object* copy = reinterpret_cast<Object*>(to);
     copy->StoreMark(new_mark);
     if (obj->mark.compare_exchange_strong(m, markword::EncodeForwarded(copy),

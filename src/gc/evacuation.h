@@ -12,14 +12,19 @@
 
 #include "src/gc/gc_config.h"
 #include "src/gc/profiler_hooks.h"
+#include "src/gc/watchdog/cancellation.h"
 #include "src/heap/heap.h"
 
 namespace rolp {
 
 class EvacuationTask {
  public:
+  // `cancel` (optional, watchdog): once set, workers stop copying and
+  // self-forward every remaining cset object in place — the same bounded
+  // failure path as to-space exhaustion, so the pause still finishes with a
+  // parsable heap and failed() triggers the full-collection fallback.
   EvacuationTask(Heap* heap, const GcConfig* config, ProfilerHooks* profiler,
-                 bool survivor_tracking);
+                 bool survivor_tracking, CancellationToken* cancel = nullptr);
 
   // Per-worker evacuation context. Not thread-safe; one per GC worker.
   class Worker {
@@ -78,6 +83,7 @@ class EvacuationTask {
   const GcConfig* config_;
   ProfilerHooks* profiler_;
   bool survivor_tracking_;
+  CancellationToken* cancel_;
   std::atomic<bool> failed_{false};
 };
 

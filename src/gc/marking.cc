@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "src/util/fault_injection.h"
+
 namespace rolp {
 
 namespace {
@@ -45,11 +47,13 @@ void Marker::MarkAndTrace(Object* obj) {
   TraceWorklist(&stack);
 }
 
-void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers) {
+void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers,
+                           CancellationToken* cancel) {
   bitmap_->ClearAll();
   heap_->regions().ForEachRegion([](Region* r) { r->set_live_bytes(0); });
   marked_objects_ = 0;
   marked_bytes_ = 0;
+  cancelled_ = false;
 
   // Gather root slots (world is stopped; plain snapshot is safe).
   std::vector<std::atomic<Object*>*> roots;
@@ -61,11 +65,24 @@ void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers) {
   });
 
   if (workers == nullptr || workers->size() == 1) {
+    // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
+    (void)ROLP_FAULT_POINT("gc.phase.mark.stall");
     std::vector<Object*> stack;
+    uint64_t steps = 0;
     for (auto* slot : roots) {
       Visit(slot->load(std::memory_order_relaxed), &stack);
     }
-    TraceWorklist(&stack);
+    while (!stack.empty()) {
+      if ((++steps & 63) == 0 && cancel != nullptr && cancel->IsCancelled()) {
+        cancelled_ = true;
+        return;
+      }
+      Object* obj = stack.back();
+      stack.pop_back();
+      heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+        Visit(slot->load(std::memory_order_relaxed), &stack);
+      });
+    }
     return;
   }
 
@@ -76,9 +93,12 @@ void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers) {
   std::vector<uint64_t> objs(n, 0);
   std::vector<uint64_t> bytes(n, 0);
   workers->RunTask([&](uint32_t w) {
+    // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
+    (void)ROLP_FAULT_POINT("gc.phase.mark.stall");
     std::vector<Object*> stack;
     uint64_t local_objs = 0;
     uint64_t local_bytes = 0;
+    uint64_t steps = 0;
     auto visit = [&](Object* obj) {
       if (obj == nullptr || !bitmap_->Mark(obj)) {
         return;
@@ -92,6 +112,12 @@ void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers) {
       visit(roots[i]->load(std::memory_order_relaxed));
     }
     while (!stack.empty()) {
+      if ((++steps & 63) == 0) {
+        workers->Heartbeat(w);
+        if (cancel != nullptr && cancel->IsCancelled()) {
+          return;  // partial marking; caller discards and falls back
+        }
+      }
       Object* obj = stack.back();
       stack.pop_back();
       heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
@@ -101,6 +127,10 @@ void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers) {
     objs[w] = local_objs;
     bytes[w] = local_bytes;
   });
+  if (cancel != nullptr && cancel->IsCancelled()) {
+    cancelled_ = true;
+    return;
+  }
   for (uint32_t w = 0; w < n; w++) {
     marked_objects_ += objs[w];
     marked_bytes_ += bytes[w];

@@ -8,6 +8,7 @@
 
 #include "src/gc/mark_bitmap.h"
 #include "src/gc/thread_context.h"
+#include "src/gc/watchdog/cancellation.h"
 #include "src/gc/worker_pool.h"
 #include "src/heap/heap.h"
 
@@ -20,7 +21,14 @@ class Marker {
   // Must run while the world is stopped. Clears the bitmap and all region
   // live counts, then traces from global roots and every registered thread's
   // local roots. Humongous objects are marked on their head region.
-  void MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers);
+  //
+  // If `cancel` is set (watchdog), workers poll it every ~64 objects and bail
+  // out; cancelled() then reports true and the bitmap/live counts are
+  // PARTIAL — callers must discard them and fall back to a full STW cycle.
+  void MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers,
+                     CancellationToken* cancel = nullptr);
+
+  bool cancelled() const { return cancelled_; }
 
   // Marks a single object and traces everything reachable from it
   // (single-threaded; used for incremental building blocks and tests).
@@ -38,6 +46,7 @@ class Marker {
   MarkBitmap* bitmap_;
   uint64_t marked_objects_ = 0;
   uint64_t marked_bytes_ = 0;
+  bool cancelled_ = false;
 };
 
 }  // namespace rolp

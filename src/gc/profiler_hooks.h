@@ -35,6 +35,13 @@ class ProfilerHooks {
   // Fragmentation feedback (paper section 6): live ratio of a dynamic
   // generation observed during marking. Low ratios demote contexts.
   virtual void OnGenFragmentation(uint8_t gen, double live_ratio) = 0;
+
+  // Called after a pause in which the GC watchdog detected a phase-deadline
+  // overrun. `survivor_tracking_active` says whether the profiler was feeding
+  // survivor tracking during that pause — repeated overruns while tracking is
+  // on are the signal to degrade the profiler (escalation ladder rung 4).
+  // Default no-op: collectors may run without a profiler.
+  virtual void OnGcOverrun(bool survivor_tracking_active) { (void)survivor_tracking_active; }
 };
 
 }  // namespace rolp

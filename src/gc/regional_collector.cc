@@ -172,7 +172,20 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
     // matching what the JVM-side pause log (the paper's metric) would show.
     uint64_t mark_t0 = NowNs();
     Marker marker(heap_, &bitmap_);
-    marker.MarkFromRoots(safepoints_, workers_.get());
+    CancellationToken mark_cancel;
+    {
+      WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kMark, &mark_cancel);
+      marker.MarkFromRoots(safepoints_, workers_.get(), &mark_cancel);
+    }
+    if (marker.cancelled()) {
+      // Marking overran its deadline: the bitmap and live counts are partial
+      // and unusable. Fall back to the bounded STW cycle, which re-marks
+      // from scratch.
+      ROLP_LOG_ERROR("marking cancelled by watchdog; falling back to full collection");
+      DoFull(NowNs());
+      ReportOverrunToProfiler();
+      return;
+    }
     mark_ns = NowNs() - mark_t0;
     metrics_.AddConcurrentWorkNs(mark_ns);
     // Fragmentation feedback for the profiler (paper section 6). Fully-dead
@@ -265,32 +278,43 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   // Parallel evacuation.
   bool survivor_tracking =
       profiler_ != nullptr && profiler_->SurvivorTrackingEnabled();
-  EvacuationTask task(heap_, &config_, profiler_, survivor_tracking);
+  CancellationToken evac_cancel;
+  EvacuationTask task(heap_, &config_, profiler_, survivor_tracking, &evac_cancel);
   uint32_t n = workers_->size();
   std::vector<EvacuationTask::Worker> eworkers;
   eworkers.reserve(n);
   for (uint32_t w = 0; w < n; w++) {
     eworkers.push_back(task.MakeWorker(w));
   }
-  workers_->RunTask([&](uint32_t w) {
-    EvacuationTask::Worker& ew = eworkers[w];
-    for (size_t i = w; i < roots.size(); i += n) {
-      ew.ProcessRootSlot(roots[i], nullptr);
-    }
-    for (size_t i = w; i < remset_sources.size(); i += n) {
-      Region* s = remset_sources[i];
-      s->ForEachObject([&](Object* obj) {
-        if (mixed && !bitmap_.IsMarked(obj)) {
-          return;  // precise: skip dead objects when marks are fresh
+  {
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &evac_cancel);
+    workers_->RunTask([&](uint32_t w) {
+      // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
+      (void)ROLP_FAULT_POINT("gc.phase.evacuate.stall");
+      EvacuationTask::Worker& ew = eworkers[w];
+      uint64_t steps = 0;
+      for (size_t i = w; i < roots.size(); i += n) {
+        if ((++steps & 63) == 0) {
+          workers_->Heartbeat(w);
         }
-        heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
-          ew.ProcessRootSlot(slot, s);
+        ew.ProcessRootSlot(roots[i], nullptr);
+      }
+      for (size_t i = w; i < remset_sources.size(); i += n) {
+        workers_->Heartbeat(w);
+        Region* s = remset_sources[i];
+        s->ForEachObject([&](Object* obj) {
+          if (mixed && !bitmap_.IsMarked(obj)) {
+            return;  // precise: skip dead objects when marks are fresh
+          }
+          heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+            ew.ProcessRootSlot(slot, s);
+          });
         });
-      });
-    }
-    ew.Drain();
-    ew.Finish();
-  });
+      }
+      ew.Drain();
+      ew.Finish();
+    });
+  }
 
   std::vector<Region*> failed_regions = task.RestoreSelfForwarded(eworkers);
   for (Region* r : cset) {
@@ -327,19 +351,33 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   PauseRecord rec{t0, pause_ns, mixed ? PauseKind::kMixed : PauseKind::kYoung, copied};
   metrics_.RecordPause(rec);
   if (profiler_ != nullptr) {
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
     profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind});
   }
 
   if (task.failed()) {
-    ROLP_LOG_INFO("evacuation failure; escalating to full collection");
+    if (evac_cancel.IsCancelled()) {
+      ROLP_LOG_ERROR("evacuation cancelled by watchdog; falling back to full collection");
+    } else {
+      ROLP_LOG_INFO("evacuation failure; escalating to full collection");
+    }
     DoFull(NowNs());
   }
+  ReportOverrunToProfiler();
 }
 
 void RegionalCollector::DoFull(uint64_t t0) {
   PreparePause();
   MarkCompact compactor(heap_, &bitmap_);
-  uint64_t moved = compactor.Collect(safepoints_, workers_.get());
+  uint64_t moved;
+  {
+    // The STW fallback is not cancellable (no token): it must finish. The
+    // watchdog still times it — repeated overruns here abort (ladder rung 5).
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kCompact, nullptr);
+    // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
+    (void)ROLP_FAULT_POINT("gc.phase.compact.stall");
+    moved = compactor.Collect(safepoints_, workers_.get());
+  }
   metrics_.AddBytesCopied(moved);
   metrics_.IncrementGcCycles();
   heap_->UpdateMaxUsedBytes();
@@ -347,7 +385,18 @@ void RegionalCollector::DoFull(uint64_t t0) {
   PauseRecord rec{t0, t1 - t0, PauseKind::kFull, moved};
   metrics_.RecordPause(rec);
   if (profiler_ != nullptr) {
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
     profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind});
+  }
+  ReportOverrunToProfiler();
+}
+
+void RegionalCollector::ReportOverrunToProfiler() {
+  if (watchdog_ == nullptr || profiler_ == nullptr) {
+    return;
+  }
+  if (watchdog_->TakeOverrunFlag()) {
+    profiler_->OnGcOverrun(profiler_->SurvivorTrackingEnabled());
   }
 }
 

@@ -52,6 +52,10 @@ class RegionalCollector : public Collector {
   // Fraction of heap regions holding tenured data (old + gens + humongous).
   double TenuredOccupancy() const;
 
+  // Ladder rung 4: if the watchdog flagged an overrun since the last pause,
+  // tell the profiler so it can degrade survivor tracking.
+  void ReportOverrunToProfiler();
+
   bool dynamic_gens_;
   size_t eden_target_;
   std::atomic<size_t> eden_in_use_{0};

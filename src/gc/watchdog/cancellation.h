@@ -1,0 +1,30 @@
+// Cooperative cancellation token threaded through cancellable GC phases
+// (parallel marking, evacuation copy). The watchdog sets it when a phase
+// overruns its deadline; phase loops poll it at coarse granularity and bail
+// out along a path that leaves the heap parsable (marking simply stops —
+// the bitmap is discarded by the STW fallback; evacuation switches to
+// self-forwarding in place, the same path used for to-space exhaustion).
+#ifndef SRC_GC_WATCHDOG_CANCELLATION_H_
+#define SRC_GC_WATCHDOG_CANCELLATION_H_
+
+#include <atomic>
+
+namespace rolp {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace rolp
+
+#endif  // SRC_GC_WATCHDOG_CANCELLATION_H_

@@ -5,62 +5,231 @@
 
 #include "src/util/check.h"
 #include "src/util/fault_injection.h"
+#include "src/util/log.h"
 
 namespace rolp {
 
-WorkerPool::WorkerPool(uint32_t num_workers) {
+namespace {
+
+std::atomic<uint64_t> g_detached_workers_total{0};
+
+}  // namespace
+
+WorkerPool::PoolState::PoolState(uint32_t n)
+    : alive(n, true), exited(n, false), current_item(n, -1), heartbeats(n) {}
+
+WorkerPool::WorkerPool(uint32_t num_workers)
+    : num_workers_(num_workers), state_(std::make_shared<PoolState>(num_workers)) {
   ROLP_CHECK(num_workers >= 1);
   threads_.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; w++) {
-    threads_.emplace_back([this, w] { WorkerLoop(w); });
+    std::shared_ptr<PoolState> s = state_;
+    threads_.emplace_back([s, w] { WorkerLoop(s, w); });
   }
 }
 
 WorkerPool::~WorkerPool() {
+  PoolState& s = *state_;
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    shutdown_ = true;
+    std::lock_guard<std::mutex> guard(s.mu);
+    s.shutdown = true;
   }
-  cv_work_.notify_all();
-  for (auto& t : threads_) {
-    t.join();
+  s.cv_work.notify_all();
+  s.cv_done.notify_all();  // wake an in-flight RunTask so it can abandon
+
+  std::vector<bool> exited_snapshot;
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.cv_exit.wait_for(lock, std::chrono::milliseconds(shutdown_timeout_ms_), [&] {
+      for (uint32_t w = 0; w < num_workers_; w++) {
+        if (!s.exited[w]) {
+          return false;
+        }
+      }
+      return true;
+    });
+    exited_snapshot = s.exited;
   }
+  for (uint32_t w = 0; w < num_workers_; w++) {
+    if (exited_snapshot[w]) {
+      threads_[w].join();
+    } else {
+      // Wedged inside a task: detach rather than deadlock the destructor.
+      // The thread keeps a shared_ptr to PoolState, so it can never touch
+      // freed pool memory; it exits on its own once the task unblocks.
+      threads_[w].detach();
+      g_detached_workers_total.fetch_add(1, std::memory_order_relaxed);
+      ROLP_LOG_ERROR("WorkerPool: worker %u did not exit within %u ms at shutdown; "
+                     "detached (task still blocked)",
+                     w, shutdown_timeout_ms_);
+    }
+  }
+}
+
+uint64_t WorkerPool::detached_workers_total() {
+  return g_detached_workers_total.load(std::memory_order_relaxed);
+}
+
+void WorkerPool::EnableHeartbeats(bool on) {
+  state_->heartbeats_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint32_t WorkerPool::alive_workers() const {
+  PoolState& s = *state_;
+  std::lock_guard<std::mutex> guard(s.mu);
+  uint32_t n = 0;
+  for (uint32_t w = 0; w < num_workers_; w++) {
+    n += s.alive[w] ? 1 : 0;
+  }
+  return n;
+}
+
+uint32_t WorkerPool::ReclaimAbandonedLocked(PoolState& s) {
+  uint32_t reclaimed = 0;
+  for (size_t w = 0; w < s.current_item.size(); w++) {
+    if (!s.alive[w] && s.current_item[w] >= 0) {
+      s.pending.push_back(static_cast<uint32_t>(s.current_item[w]));
+      s.current_item[w] = -1;
+      reclaimed++;
+    }
+  }
+  s.requeued_total += reclaimed;
+  return reclaimed;
+}
+
+uint32_t WorkerPool::ReclaimAbandonedItems() {
+  PoolState& s = *state_;
+  uint32_t reclaimed;
+  {
+    std::lock_guard<std::mutex> guard(s.mu);
+    reclaimed = ReclaimAbandonedLocked(s);
+  }
+  if (reclaimed > 0) {
+    s.cv_work.notify_all();
+  }
+  return reclaimed;
+}
+
+std::vector<WorkerActivity> WorkerPool::SnapshotWorkerActivity() const {
+  PoolState& s = *state_;
+  std::lock_guard<std::mutex> guard(s.mu);
+  std::vector<WorkerActivity> out(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; w++) {
+    out[w].alive = s.alive[w];
+    out[w].current_item = s.current_item[w];
+    if (s.current_item[w] >= 0) {
+      out[w].heartbeat =
+          s.heartbeats[s.current_item[w]].published.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t WorkerPool::items_requeued() const {
+  PoolState& s = *state_;
+  std::lock_guard<std::mutex> guard(s.mu);
+  return s.requeued_total;
 }
 
 void WorkerPool::RunTask(const std::function<void(uint32_t)>& task) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ROLP_CHECK(task_ == nullptr);
-  task_ = &task;
-  remaining_ = static_cast<uint32_t>(threads_.size());
-  generation_++;
-  cv_work_.notify_all();
-  cv_done_.wait(lock, [&] { return remaining_ == 0; });
-  task_ = nullptr;
+  // Copy the shared state handle and size up front: if the pool is destroyed
+  // while this dispatch is abandoned at shutdown, `this` may dangle but the
+  // state must not.
+  std::shared_ptr<PoolState> sp = state_;
+  PoolState& s = *sp;
+  const uint32_t n = num_workers_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ROLP_CHECK(s.task == nullptr);
+  s.task = &task;
+  s.completed = 0;
+  s.total_items = n;
+  s.pending.clear();
+  for (uint32_t w = n; w > 0; w--) {
+    s.pending.push_back(w - 1);  // pop_back claims ascending ids
+  }
+  s.cv_work.notify_all();
+
+  while (s.completed < s.total_items) {
+    s.cv_done.wait_for(lock, std::chrono::milliseconds(10),
+                       [&] { return s.completed >= s.total_items || s.shutdown; });
+    if (s.completed >= s.total_items) {
+      break;
+    }
+    if (s.shutdown) {
+      // Pool is being destroyed under us (a worker is wedged and the owner
+      // gave up): abandon the dispatch rather than wait forever.
+      ROLP_LOG_WARN("WorkerPool: shutdown during dispatch; abandoning %u incomplete item(s)",
+                    s.total_items - s.completed);
+      break;
+    }
+    // Dead workers abandon their claimed item; hand it to survivors.
+    if (ReclaimAbandonedLocked(s) > 0) {
+      s.cv_work.notify_all();
+    }
+    uint32_t alive = 0;
+    for (uint32_t w = 0; w < n; w++) {
+      alive += s.alive[w] ? 1 : 0;
+    }
+    if (alive == 0) {
+      // No survivors: the dispatching thread finishes the pause itself.
+      while (!s.pending.empty()) {
+        uint32_t item = s.pending.back();
+        s.pending.pop_back();
+        lock.unlock();
+        task(item);
+        lock.lock();
+        s.completed++;
+      }
+    }
+  }
+  s.task = nullptr;
 }
 
-void WorkerPool::WorkerLoop(uint32_t worker_id) {
-  uint64_t seen_generation = 0;
+void WorkerPool::WorkerLoop(std::shared_ptr<PoolState> state, uint32_t thread_index) {
+  PoolState& s = *state;
   while (true) {
+    uint32_t item = 0;
     const std::function<void(uint32_t)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
-      if (shutdown_) {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.cv_work.wait(lock, [&] {
+        return s.shutdown || (s.task != nullptr && !s.pending.empty());
+      });
+      if (s.shutdown) {
+        s.alive[thread_index] = false;
+        s.exited[thread_index] = true;
+        lock.unlock();
+        s.cv_exit.notify_all();
         return;
       }
-      seen_generation = generation_;
-      task = task_;
+      item = s.pending.back();
+      s.pending.pop_back();
+      s.current_item[thread_index] = item;
+      task = s.task;
     }
     if (ROLP_FAULT_POINT("gc.worker.stall")) {
       // Simulated straggler: the pause waits for this worker's stall.
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    (*task)(worker_id);
-    {
-      std::lock_guard<std::mutex> guard(mu_);
-      remaining_--;
+    if (ROLP_FAULT_POINT("gc.worker.die")) {
+      // Simulated worker death mid-item: exit without completing the claimed
+      // item. RunTask (or the watchdog) requeues it onto survivors.
+      {
+        std::lock_guard<std::mutex> guard(s.mu);
+        s.alive[thread_index] = false;
+        s.exited[thread_index] = true;
+      }
+      s.cv_done.notify_all();
+      s.cv_exit.notify_all();
+      return;
     }
-    cv_done_.notify_one();
+    (*task)(item);
+    {
+      std::lock_guard<std::mutex> guard(s.mu);
+      s.current_item[thread_index] = -1;
+      s.completed++;
+    }
+    s.cv_done.notify_all();
   }
 }
 

@@ -1,16 +1,43 @@
-// Persistent pool of GC worker threads. Work is dispatched as "run fn(w) on
-// every worker"; phases partition their inputs by worker id.
+// Persistent pool of GC worker threads. Work is dispatched as "run fn(w) for
+// every item id w in [0, size())"; phases partition their inputs by item id.
+// Each item runs exactly once per RunTask call on whichever worker claims it,
+// so the historical "one invocation per worker id" contract is preserved —
+// ids stay distinct and dense — while letting surviving workers pick up the
+// items of a worker that died mid-pause.
+//
+// Robustness contract (GC watchdog support):
+//  - Tasks may publish liveness via Heartbeat(item_id): one relaxed atomic
+//    store, and nothing at all unless heartbeats were enabled.
+//  - A worker thread that dies (simulated by the "gc.worker.die" fail point)
+//    abandons its claimed item; RunTask (or the watchdog, via
+//    ReclaimAbandonedItems) requeues it onto survivors. Item bodies must
+//    therefore tolerate partial re-execution — all GC phases here do, because
+//    marking is idempotent on the atomic mark bitmap and evacuation installs
+//    forwarding pointers with CAS.
+//  - Destruction joins with a timeout: a worker wedged inside a task is
+//    detached and reported instead of deadlocking the VM. All shared state
+//    lives in a shared_ptr owned jointly by the pool and every worker thread,
+//    so a detached straggler can never touch freed memory.
 #ifndef SRC_GC_WORKER_POOL_H_
 #define SRC_GC_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace rolp {
+
+// Watchdog-facing view of one worker thread, taken under the pool mutex.
+struct WorkerActivity {
+  bool alive = false;
+  int64_t current_item = -1;  // item id being run, -1 when idle
+  uint64_t heartbeat = 0;     // last published heartbeat for current_item
+};
 
 class WorkerPool {
  public:
@@ -20,22 +47,85 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  // Runs task(worker_id) on all workers and blocks until every invocation
-  // returns. Must not be called re-entrantly.
+  // Runs task(w) exactly once for each w in [0, size()) and blocks until all
+  // invocations complete. Items abandoned by dead workers are requeued onto
+  // survivors; if every worker is dead the caller runs the leftovers inline.
+  // Must not be called re-entrantly.
   void RunTask(const std::function<void(uint32_t)>& task);
 
-  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+  uint32_t size() const { return num_workers_; }
+
+  // --- Heartbeats (watchdog) ----------------------------------------------
+  // When disabled (default), Heartbeat is a single relaxed load + branch.
+  void EnableHeartbeats(bool on);
+  void Heartbeat(uint32_t item_id) {
+    if (!state_->heartbeats_enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    HeartbeatSlot& slot = state_->heartbeats[item_id];
+    slot.published.store(slot.published.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  }
+  uint64_t HeartbeatValue(uint32_t item_id) const {
+    return state_->heartbeats[item_id].published.load(std::memory_order_relaxed);
+  }
+
+  // --- Watchdog escalation hooks ------------------------------------------
+  // Worker threads still alive (have not exited or died mid-task).
+  uint32_t alive_workers() const;
+  // Requeues items claimed by dead workers back onto the pending queue.
+  // Returns how many items were requeued. Safe from any thread.
+  uint32_t ReclaimAbandonedItems();
+  std::vector<WorkerActivity> SnapshotWorkerActivity() const;
+
+  // Cumulative count of items requeued after worker death (this pool).
+  uint64_t items_requeued() const;
+
+  // --- Shutdown policy -----------------------------------------------------
+  // How long the destructor waits for workers before detach-and-report.
+  void set_shutdown_timeout_ms(uint32_t ms) { shutdown_timeout_ms_ = ms; }
+  // Process-wide count of workers ever detached at shutdown (post-mortem
+  // visibility for tests and crash context).
+  static uint64_t detached_workers_total();
 
  private:
-  void WorkerLoop(uint32_t worker_id);
+  struct HeartbeatSlot {
+    alignas(64) std::atomic<uint64_t> published{0};
+  };
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  const std::function<void(uint32_t)>* task_ = nullptr;
-  uint64_t generation_ = 0;
-  uint32_t remaining_ = 0;
-  bool shutdown_ = false;
+  // Everything worker threads touch. Jointly owned so detached threads
+  // outliving the pool stay memory-safe.
+  struct PoolState {
+    explicit PoolState(uint32_t n);
+
+    mutable std::mutex mu;
+    std::condition_variable cv_work;   // workers: new items or shutdown
+    std::condition_variable cv_done;   // RunTask: progress made
+    std::condition_variable cv_exit;   // destructor: a worker exited
+
+    // Guarded by mu.
+    const std::function<void(uint32_t)>* task = nullptr;
+    std::vector<uint32_t> pending;     // unclaimed item ids
+    uint32_t completed = 0;
+    uint32_t total_items = 0;
+    bool shutdown = false;
+    std::vector<bool> alive;           // per worker thread
+    std::vector<bool> exited;          // per worker thread (left WorkerLoop)
+    std::vector<int64_t> current_item; // per worker thread, -1 = none
+    uint64_t requeued_total = 0;
+
+    // Lock-free.
+    std::atomic<bool> heartbeats_enabled{false};
+    std::vector<HeartbeatSlot> heartbeats;  // indexed by item id
+  };
+
+  static void WorkerLoop(std::shared_ptr<PoolState> s, uint32_t thread_index);
+  // Requeues items held by dead workers; caller holds s->mu.
+  static uint32_t ReclaimAbandonedLocked(PoolState& s);
+
+  const uint32_t num_workers_;
+  uint32_t shutdown_timeout_ms_ = 2000;
+  std::shared_ptr<PoolState> state_;
   std::vector<std::thread> threads_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "src/gc/mark_compact.h"
 #include "src/util/clock.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
 namespace rolp {
@@ -562,7 +563,14 @@ void ZgcCollector::DoFull(MutatorContext* ctx) {
   phase_.store(Phase::kIdle, std::memory_order_release);
 
   MarkCompact compactor(heap_, &bitmap_);
-  uint64_t moved = compactor.Collect(safepoints_, workers_.get());
+  uint64_t moved;
+  {
+    // ZGC's concurrent mark/relocate phases are mutator-paced increments and
+    // are not watchdog-timed; only the STW compaction fallback is (rung 5).
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kCompact, nullptr);
+    (void)ROLP_FAULT_POINT("gc.phase.compact.stall");
+    moved = compactor.Collect(safepoints_, workers_.get());
+  }
   metrics_.AddBytesCopied(moved);
   metrics_.IncrementGcCycles();
   heap_->UpdateMaxUsedBytes();

@@ -75,15 +75,20 @@ class Heap {
                            uint32_t context);
 
   // --- Reference access (all mutator field traffic goes through these) -----
+  // Stores are release and loads acquire so that publishing a freshly
+  // allocated object (payload zeroing + header write in InitializeObject)
+  // happens-before any access by a thread that reaches it through the slot.
+  // Both orders are plain moves on x86, so this safe-publication guarantee is
+  // free on the hot path.
   Object* LoadRef(std::atomic<Object*>* slot) {
     if (load_barrier_enabled_.load(std::memory_order_relaxed)) {
       return barriers_->LoadBarrier(slot);
     }
-    return slot->load(std::memory_order_relaxed);
+    return slot->load(std::memory_order_acquire);
   }
 
   void StoreRef(Object* src, std::atomic<Object*>* slot, Object* value) {
-    slot->store(value, std::memory_order_relaxed);
+    slot->store(value, std::memory_order_release);
     barriers_->StoreBarrier(src, slot, value);
   }
 
@@ -147,7 +152,7 @@ class RemsetBarrierSet : public BarrierSet {
 
   void StoreBarrier(Object* src, std::atomic<Object*>* slot, Object* value) override;
   Object* LoadBarrier(std::atomic<Object*>* slot) override {
-    return slot->load(std::memory_order_relaxed);
+    return slot->load(std::memory_order_acquire);
   }
   bool needs_load_barrier() const override { return false; }
 

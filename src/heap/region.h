@@ -51,8 +51,8 @@ class Region {
 
   // Returns this region to the free state. Does not touch the backing memory.
   void Reset() {
-    kind_ = RegionKind::kFree;
-    gen_ = 0;
+    kind_.store(RegionKind::kFree, std::memory_order_relaxed);
+    gen_.store(0, std::memory_order_relaxed);
     in_cset_ = false;
     humongous_span_ = 0;
     top_.store(begin_, std::memory_order_relaxed);
@@ -70,19 +70,28 @@ class Region {
   size_t used() const { return static_cast<size_t>(top() - begin_); }
   size_t free_space() const { return static_cast<size_t>(end_ - top()); }
 
-  RegionKind kind() const { return kind_; }
-  void set_kind(RegionKind kind) { kind_ = kind; }
-  uint8_t gen() const { return gen_; }
-  void set_gen(uint8_t gen) { gen_ = gen; }
+  // kind/gen are written under the region-manager lock (or inside a pause)
+  // but read lock-free from mutator barriers and usage accounting, so the
+  // fields are relaxed atomics: readers may see a momentarily stale kind,
+  // which every reader already tolerates, but never a torn or invalid one.
+  RegionKind kind() const { return kind_.load(std::memory_order_relaxed); }
+  void set_kind(RegionKind kind) { kind_.store(kind, std::memory_order_relaxed); }
+  uint8_t gen() const { return gen_.load(std::memory_order_relaxed); }
+  void set_gen(uint8_t gen) { gen_.store(gen, std::memory_order_relaxed); }
 
-  bool IsYoung() const { return kind_ == RegionKind::kEden || kind_ == RegionKind::kSurvivor; }
-  bool IsFree() const { return kind_ == RegionKind::kFree; }
+  bool IsYoung() const {
+    RegionKind k = kind();
+    return k == RegionKind::kEden || k == RegionKind::kSurvivor;
+  }
+  bool IsFree() const { return kind() == RegionKind::kFree; }
   bool IsHumongous() const {
-    return kind_ == RegionKind::kHumongous || kind_ == RegionKind::kHumongousCont;
+    RegionKind k = kind();
+    return k == RegionKind::kHumongous || k == RegionKind::kHumongousCont;
   }
   // "Tenured" space for barrier purposes: old, dynamic gens, humongous.
   bool IsTenured() const {
-    return kind_ == RegionKind::kOld || kind_ == RegionKind::kGen || IsHumongous();
+    RegionKind k = kind();
+    return k == RegionKind::kOld || k == RegionKind::kGen || IsHumongous();
   }
 
   bool in_cset() const { return in_cset_; }
@@ -193,8 +202,8 @@ class Region {
   char* begin_ = nullptr;
   char* end_ = nullptr;
   std::atomic<char*> top_{nullptr};
-  RegionKind kind_ = RegionKind::kFree;
-  uint8_t gen_ = 0;
+  std::atomic<RegionKind> kind_{RegionKind::kFree};
+  std::atomic<uint8_t> gen_{0};
   bool in_cset_ = false;
   uint32_t humongous_span_ = 0;
   std::atomic<size_t> live_bytes_{0};

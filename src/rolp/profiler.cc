@@ -17,6 +17,8 @@ const char* DegradeReasonName(DegradeReason reason) {
       return "implausible-histogram";
     case DegradeReason::kDemotionChurn:
       return "demotion-churn";
+    case DegradeReason::kGcOverrun:
+      return "gc-overrun";
   }
   return "unknown";
 }
@@ -65,6 +67,9 @@ void Profiler::OnSurvivor(uint32_t worker_id, uint64_t old_mark) {
 }
 
 void Profiler::MergeWorkerTables() {
+  // Stall-only fail point: watchdog tests inject hangs into the merge step
+  // (the profiler-merge GC phase) with a delay:<ms> arm.
+  (void)ROLP_FAULT_POINT("rolp.merge.stall");
   for (WorkerTable& table : worker_tables_) {
     for (auto& [context, by_age] : table) {
       for (uint32_t age = 0; age < 16; age++) {
@@ -312,6 +317,19 @@ void Profiler::OnGenFragmentation(uint8_t gen, double live_ratio) {
   decisions_changed_since_last_inference_ = true;
 }
 
+void Profiler::OnGcOverrun(bool survivor_tracking_active) {
+  if (!survivor_tracking_active || degraded_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (config_.degrade_overrun_threshold != 0 &&
+      ++overruns_while_tracking_ >= config_.degrade_overrun_threshold) {
+    // GC keeps blowing its deadline while survivor tracking is feeding the
+    // pause: stop adding profiler weight until things stay quiet (rung 4).
+    overruns_while_tracking_ = 0;
+    EnterDegraded(DegradeReason::kGcOverrun);
+  }
+}
+
 void Profiler::PublishEmptyDecisions() {
   auto empty = std::make_unique<DecisionMap>();
   DecisionMap* raw = empty.get();
@@ -356,6 +374,7 @@ void Profiler::ExitDegraded() {
   }
   degraded_.store(false, std::memory_order_relaxed);
   clean_cycles_ = 0;
+  overruns_while_tracking_ = 0;
   // Start rebuilding the signal; decisions repopulate at the next inference.
   if (!survivor_tracking_.exchange(true, std::memory_order_relaxed)) {
     tracking_toggles_++;

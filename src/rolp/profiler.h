@@ -68,6 +68,11 @@ struct RolpConfig {
   // the first post-re-arm inferences see a stable *empty* state; shutting
   // tracking off on that would starve the profiler permanently.
   uint32_t rearm_grace_inferences = 4;
+  // Enter degraded mode after this many GC-watchdog overruns observed while
+  // survivor tracking was active (ladder rung 4: if GC keeps blowing its
+  // deadline while we are profiling survivors, stop adding profiler weight
+  // to the pause).
+  uint32_t degrade_overrun_threshold = 2;
 };
 
 // Why the profiler last entered degraded mode.
@@ -76,6 +81,7 @@ enum class DegradeReason : uint8_t {
   kOldTableSaturation,    // dropped-sample rate over threshold
   kImplausibleHistogram,  // per-age count beyond any physical rate
   kDemotionChurn,         // fragmentation feedback thrashing decisions
+  kGcOverrun,             // watchdog overruns correlated with survivor tracking
 };
 
 const char* DegradeReasonName(DegradeReason reason);
@@ -107,6 +113,7 @@ class Profiler : public ProfilerHooks {
   void OnSurvivor(uint32_t worker_id, uint64_t old_mark) override;
   void OnGcEnd(const GcEndInfo& info) override;
   void OnGenFragmentation(uint8_t gen, double live_ratio) override;
+  void OnGcOverrun(bool survivor_tracking_active) override;
 
   // --- Introspection (tables, benches, tests) ------------------------------
   OldTable& old_table() { return old_table_; }
@@ -184,6 +191,7 @@ class Profiler : public ProfilerHooks {
   uint32_t clean_cycles_ = 0;       // consecutive quiet cycles while degraded
   uint32_t demotion_churn_ = 0;     // demotions since the last inference
   uint32_t rearm_grace_left_ = 0;   // inferences left with shut-off suppressed
+  uint32_t overruns_while_tracking_ = 0;  // watchdog overruns with tracking on
 };
 
 }  // namespace rolp

@@ -25,7 +25,7 @@ class MethodFrame {
     JitEngine& jit = thread.vm().jit();
     CallSite& cs = jit.call_site(call_site_index);
     jit.OnInvocation(cs.callee);
-    if (jit.call_profiling_active() && cs.instrumented) {
+    if (jit.call_profiling_active() && cs.instrumented.load(std::memory_order_relaxed)) {
       // The fast/slow branch: a single load + test; the add only runs while
       // conflict resolution (or the slow-call level) has tracking enabled.
       uint16_t h = cs.tss_hash.load(std::memory_order_relaxed);

@@ -94,9 +94,9 @@ void JitEngine::Compile(MethodId method_id) {
     if (!call_profiling_active() || !m.filter_pass) {
       continue;
     }
-    if (!c.instrumented) {
-      c.instrumented = true;
+    if (!c.instrumented.load(std::memory_order_relaxed)) {
       c.assigned_hash = NextCallHash();
+      c.instrumented.store(true, std::memory_order_relaxed);
       profilable_.push_back(ci);
       if (config_.level == ProfilingLevel::kSlowCall) {
         c.tss_hash.store(c.assigned_hash, std::memory_order_release);
@@ -178,7 +178,7 @@ size_t JitEngine::instrumented_call_sites() const {
   std::lock_guard<SpinLock> guard(lock_);
   size_t n = 0;
   for (const auto& c : call_sites_) {
-    n += c.instrumented ? 1 : 0;
+    n += c.instrumented.load(std::memory_order_relaxed) ? 1 : 0;
   }
   return n;
 }

@@ -48,7 +48,10 @@ struct CallSite {
   MethodId caller = 0;
   MethodId callee = 0;
   bool inlined = false;      // decided when the caller is jitted; never profiled
-  bool instrumented = false; // profiling branch emitted into the caller's code
+  // Profiling branch emitted into the caller's code. Written once under the
+  // JIT lock when the caller compiles, but read lock-free on every invocation
+  // (MethodFrame fast path), so it is a relaxed atomic.
+  std::atomic<bool> instrumented{false};
   uint16_t assigned_hash = 0;  // unique non-zero value used when tracking
   // The live knob: non-zero while this call site updates the thread stack
   // state (the slow branch). Mirrors assigned_hash or 0.

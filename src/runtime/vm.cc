@@ -259,6 +259,12 @@ void VM::OnGenFragmentation(uint8_t gen, double live_ratio) {
   }
 }
 
+void VM::OnGcOverrun(bool survivor_tracking_active) {
+  if (profiler_ != nullptr) {
+    profiler_->OnGcOverrun(survivor_tracking_active);
+  }
+}
+
 uint64_t VM::total_exception_fixups() const {
   std::lock_guard<SpinLock> guard(threads_lock_);
   uint64_t n = 0;

@@ -80,6 +80,7 @@ class VM : public ProfilerHooks {
   void OnSurvivor(uint32_t worker_id, uint64_t old_mark) override;
   void OnGcEnd(const GcEndInfo& info) override;
   void OnGenFragmentation(uint8_t gen, double live_ratio) override;
+  void OnGcOverrun(bool survivor_tracking_active) override;
 
   // Aggregated runtime stats (live + detached threads).
   uint64_t total_exception_fixups() const;

@@ -1,7 +1,9 @@
 #include "src/util/fault_injection.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "src/util/random.h"
@@ -20,6 +22,7 @@ struct FaultInjection::Point {
   uint64_t hits = 0;
   uint64_t fires = 0;
   bool once_fired = false;
+  uint32_t delay_ms = 0;  // nonzero: stall action (sleep, report false)
 };
 
 struct FaultInjection::Impl {
@@ -49,7 +52,7 @@ FaultInjection::Impl* FaultInjection::impl() {
 }
 
 void FaultInjection::Arm(const std::string& point, Mode mode, uint64_t n, double p,
-                         uint64_t seed) {
+                         uint64_t seed, uint32_t delay_ms) {
   Impl* im = impl();
   std::lock_guard<SpinLock> guard(im->lock);
   Point& pt = im->points[point];
@@ -64,6 +67,7 @@ void FaultInjection::Arm(const std::string& point, Mode mode, uint64_t n, double
   pt.hits = 0;
   pt.fires = 0;
   pt.once_fired = false;
+  pt.delay_ms = delay_ms;
 }
 
 void FaultInjection::ArmAlways(const std::string& point) {
@@ -80,6 +84,18 @@ void FaultInjection::ArmOnceAtHit(const std::string& point, uint64_t k) {
 
 void FaultInjection::ArmProbability(const std::string& point, double p, uint64_t seed) {
   Arm(point, Mode::kProbability, 1, p, seed);
+}
+
+void FaultInjection::ArmDelay(const std::string& point, uint32_t ms) {
+  Arm(point, Mode::kAlways, 1, 0.0, 0, ms);
+}
+
+void FaultInjection::ArmDelayEveryNth(const std::string& point, uint32_t ms, uint64_t n) {
+  Arm(point, Mode::kEveryNth, n, 0.0, 0, ms);
+}
+
+void FaultInjection::ArmDelayOnceAtHit(const std::string& point, uint32_t ms, uint64_t k) {
+  Arm(point, Mode::kOnceAtHit, k, 0.0, 0, ms);
 }
 
 void FaultInjection::Disarm(const std::string& point) {
@@ -171,41 +187,51 @@ void FaultInjection::DumpTo(std::FILE* out) const {
     return;
   }
   for (const auto& [name, pt] : im->points) {
-    std::fprintf(out, "  %s: %s mode=%s n=%llu p=%g hits=%llu fires=%llu\n", name.c_str(),
-                 pt.armed ? "ARMED" : "disarmed", ModeName(pt.mode),
-                 (unsigned long long)pt.n, pt.p, (unsigned long long)pt.hits,
+    std::fprintf(out, "  %s: %s mode=%s n=%llu p=%g delay_ms=%u hits=%llu fires=%llu\n",
+                 name.c_str(), pt.armed ? "ARMED" : "disarmed", ModeName(pt.mode),
+                 (unsigned long long)pt.n, pt.p, pt.delay_ms, (unsigned long long)pt.hits,
                  (unsigned long long)pt.fires);
   }
 }
 
 bool FaultInjection::ShouldFailSlow(const char* point) {
   Impl* im = impl();
-  std::lock_guard<SpinLock> guard(im->lock);
-  auto it = im->points.find(point);
-  if (it == im->points.end() || !it->second.armed) {
-    return false;
-  }
-  Point& pt = it->second;
-  pt.hits++;
+  uint32_t delay_ms = 0;
   bool fire = false;
-  switch (pt.mode) {
-    case Mode::kAlways:
-      fire = true;
-      break;
-    case Mode::kEveryNth:
-      fire = pt.hits % pt.n == 0;
-      break;
-    case Mode::kOnceAtHit:
-      fire = !pt.once_fired && pt.hits == pt.n;
-      pt.once_fired = pt.once_fired || fire;
-      break;
-    case Mode::kProbability:
-      fire = pt.rng.NextBool(pt.p);
-      break;
+  {
+    std::lock_guard<SpinLock> guard(im->lock);
+    auto it = im->points.find(point);
+    if (it == im->points.end() || !it->second.armed) {
+      return false;
+    }
+    Point& pt = it->second;
+    pt.hits++;
+    switch (pt.mode) {
+      case Mode::kAlways:
+        fire = true;
+        break;
+      case Mode::kEveryNth:
+        fire = pt.hits % pt.n == 0;
+        break;
+      case Mode::kOnceAtHit:
+        fire = !pt.once_fired && pt.hits == pt.n;
+        pt.once_fired = pt.once_fired || fire;
+        break;
+      case Mode::kProbability:
+        fire = pt.rng.NextBool(pt.p);
+        break;
+    }
+    if (fire) {
+      pt.fires++;
+      im->total_fires++;
+      delay_ms = pt.delay_ms;
+    }
   }
-  if (fire) {
-    pt.fires++;
-    im->total_fires++;
+  // Delay points stall the hitting thread outside the registry lock, then
+  // report false: the stall is the whole injected fault.
+  if (delay_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return false;
   }
   return fire;
 }
@@ -255,6 +281,35 @@ bool FaultInjection::ParseSpec(const std::string& spec, std::string* error) {
         ArmEveryNth(point, n);
       } else {
         ArmOnceAtHit(point, n);
+      }
+      continue;
+    }
+    if (kind == "delay") {
+      // delay:<ms> | delay:<ms>:every:<N> | delay:<ms>:once:<K>
+      size_t colon2 = args.find(':');
+      std::string msstr = args.substr(0, colon2);
+      char* end = nullptr;
+      unsigned long long ms = std::strtoull(msstr.c_str(), &end, 10);
+      if (end == msstr.c_str() || ms == 0 || ms > 0xffffffffULL) {
+        return fail("bad delay milliseconds in: " + entry);
+      }
+      if (colon2 == std::string::npos) {
+        ArmDelay(point, (uint32_t)ms);
+        continue;
+      }
+      std::string rest = args.substr(colon2 + 1);
+      size_t colon3 = rest.find(':');
+      std::string trig = rest.substr(0, colon3);
+      std::string nstr = colon3 == std::string::npos ? "" : rest.substr(colon3 + 1);
+      end = nullptr;
+      unsigned long long n = std::strtoull(nstr.c_str(), &end, 10);
+      if ((trig != "every" && trig != "once") || end == nstr.c_str() || n == 0) {
+        return fail("bad delay trigger in: " + entry);
+      }
+      if (trig == "every") {
+        ArmDelayEveryNth(point, (uint32_t)ms, n);
+      } else {
+        ArmDelayOnceAtHit(point, (uint32_t)ms, n);
       }
       continue;
     }

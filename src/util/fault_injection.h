@@ -13,13 +13,20 @@
 // armed; the unarmed fast path is a single relaxed atomic load and a
 // predictable branch, so fail points may sit on allocation fast paths.
 //
+// Besides the fire/no-fire actions, a point can be armed with a *delay*
+// action: when the trigger matches, the hitting thread sleeps for the
+// configured milliseconds and ShouldFail returns false (the code does not
+// take its failure branch — it was merely stalled). This is how watchdog
+// tests inject deterministic hangs into GC worker tasks and phases.
+//
 // Naming convention: "<layer>.<component>.<event>", all lowercase, e.g.
 // "heap.region.oom", "gc.collect.skip", "rolp.old_table.drop". The full
 // catalog lives in DESIGN.md ("Failure model and degraded modes").
 //
 // Env activation: ROLP_FAULTS is a comma-separated list of
 //   <point>=always | <point>=every:<N> | <point>=once:<K> |
-//   <point>=prob:<P>[:<seed>]
+//   <point>=prob:<P>[:<seed>] |
+//   <point>=delay:<ms> | <point>=delay:<ms>:every:<N> | <point>=delay:<ms>:once:<K>
 // parsed once by the VM at startup (FaultInjection::LoadFromEnv).
 //
 // Configuring the ROLP_FAULT_INJECTION=OFF CMake option defines
@@ -50,6 +57,12 @@ class FaultInjection {
   // Fires each hit independently with probability p, from a seeded generator
   // so a given (p, seed) pair replays the same firing sequence.
   void ArmProbability(const std::string& point, double p, uint64_t seed);
+
+  // Delay action: when the trigger matches, the hitting thread sleeps ms
+  // milliseconds and the point reports false (a stall, not a failure).
+  void ArmDelay(const std::string& point, uint32_t ms);            // every hit
+  void ArmDelayEveryNth(const std::string& point, uint32_t ms, uint64_t n);
+  void ArmDelayOnceAtHit(const std::string& point, uint32_t ms, uint64_t k);
 
   void Disarm(const std::string& point);
   // Disarms everything and forgets all hit/fire statistics.
@@ -84,7 +97,8 @@ class FaultInjection {
   FaultInjection() = default;
   bool ShouldFailSlow(const char* point);
   struct Point;
-  void Arm(const std::string& point, Mode mode, uint64_t n, double p, uint64_t seed);
+  void Arm(const std::string& point, Mode mode, uint64_t n, double p, uint64_t seed,
+           uint32_t delay_ms = 0);
 
   static std::atomic<uint32_t> armed_count_;
 

@@ -1,14 +1,30 @@
 // Tiny test-and-test-and-set spinlock for short critical sections
 // (remembered-set inserts, free-list carving). Satisfies Lockable so it can
 // be used with std::lock_guard.
+//
+// Contention behaviour: a fixed CpuRelax spin budget, then std::this_thread
+// ::yield(), then exponentially growing sleeps (capped). A spinlock guards
+// sections of at most a few hundred instructions, so a waiter that spins for
+// long is almost certainly observing a stuck owner — the backoff keeps such
+// livelocks from burning whole cores, and in debug builds a waiter that has
+// waited past a (settable) threshold fails a ROLP_CHECK, which dumps the
+// registered crash context before aborting. That assertion is the floor
+// below the GC watchdog: it catches lock-level livelocks the phase-deadline
+// machinery cannot see.
 #ifndef SRC_UTIL_SPINLOCK_H_
 #define SRC_UTIL_SPINLOCK_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
+
+#include "src/util/check.h"
+#include "src/util/clock.h"
 
 namespace rolp {
 
@@ -27,21 +43,78 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() {
-    while (true) {
-      if (!locked_.exchange(true, std::memory_order_acquire)) {
-        return;
-      }
-      while (locked_.load(std::memory_order_relaxed)) {
-        CpuRelax();
-      }
+    if (!locked_.exchange(true, std::memory_order_acquire)) {
+      return;
     }
+    LockSlow();
   }
 
   bool try_lock() { return !locked_.exchange(true, std::memory_order_acquire); }
 
   void unlock() { locked_.store(false, std::memory_order_release); }
 
+#ifndef NDEBUG
+  // Debug-only: how long a waiter may wait before concluding the owner is
+  // stuck and aborting with crash context. Process-global so tests can
+  // shrink it; 0 disables the check.
+  static void SetDebugHeldTooLongNsForTest(uint64_t ns) {
+    debug_held_too_long_ns().store(ns, std::memory_order_relaxed);
+  }
+#endif
+
  private:
+  void LockSlow() {
+    // ~128 pause iterations cover any healthy critical section; after that
+    // assume the owner was preempted and get off the core.
+    static constexpr int kSpinBudget = 128;
+    static constexpr uint32_t kMaxSleepUs = 128;
+#ifndef NDEBUG
+    uint64_t wait_start_ns = 0;
+#endif
+    while (true) {
+      for (int i = 0; i < kSpinBudget; i++) {
+        if (!locked_.load(std::memory_order_relaxed) &&
+            !locked_.exchange(true, std::memory_order_acquire)) {
+          return;
+        }
+        CpuRelax();
+      }
+      uint32_t sleep_us = 0;
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (sleep_us == 0) {
+          std::this_thread::yield();
+          sleep_us = 1;
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+          if (sleep_us < kMaxSleepUs) {
+            sleep_us *= 2;
+          }
+        }
+#ifndef NDEBUG
+        uint64_t limit = debug_held_too_long_ns().load(std::memory_order_relaxed);
+        if (limit != 0) {
+          uint64_t now = NowNs();
+          if (wait_start_ns == 0) {
+            wait_start_ns = now;
+          } else if (now - wait_start_ns > limit) {
+            ROLP_CHECK_MSG(now - wait_start_ns <= limit,
+                           "SpinLock held too long (owner stuck or deadlocked)");
+          }
+        }
+#endif
+      }
+    }
+  }
+
+#ifndef NDEBUG
+  static std::atomic<uint64_t>& debug_held_too_long_ns() {
+    // Default 10 s: far beyond any legitimate hold, short enough to convert
+    // a silent livelock into an actionable crash report.
+    static std::atomic<uint64_t> ns{10ULL * 1000 * 1000 * 1000};
+    return ns;
+  }
+#endif
+
   std::atomic<bool> locked_{false};
 };
 

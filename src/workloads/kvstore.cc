@@ -1,6 +1,7 @@
 #include "src/workloads/kvstore.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <mutex>
 
@@ -16,6 +17,19 @@ constexpr uint32_t kRowValue = 8;
 constexpr uint32_t kRowKey = 16;
 
 uint64_t BucketFor(uint64_t key, uint64_t buckets) { return Mix64(key) & (buckets - 1); }
+
+// The key field is written by the inserting thread and read by concurrent
+// list walkers (Get/Put/Flush on other mutators); relaxed atomics keep the
+// lock-free read path while making the accesses well-defined.
+uint64_t RowKey(Object* row) {
+  return std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(row->payload() + kRowKey))
+      .load(std::memory_order_relaxed);
+}
+
+void SetRowKey(Object* row, uint64_t key) {
+  std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(row->payload() + kRowKey))
+      .store(key, std::memory_order_relaxed);
+}
 }  // namespace
 
 KvStoreWorkload::KvStoreWorkload(const KvStoreOptions& options)
@@ -94,7 +108,7 @@ void KvStoreWorkload::Setup(VM& vm, RuntimeThread& t) {
 Object* KvStoreWorkload::FindRow(RuntimeThread& t, Object* head, uint64_t key) {
   Object* row = head;
   while (row != nullptr) {
-    if (*reinterpret_cast<uint64_t*>(row->payload() + kRowKey) == key) {
+    if (RowKey(row) == key) {
       return row;
     }
     row = t.LoadField(row, kRowNext);
@@ -139,7 +153,7 @@ void KvStoreWorkload::Put(RuntimeThread& t, uint64_t key) {
   mt = vm_->LoadGlobal(memtable_);
   Object* head = t.LoadElem(mt, bucket);
   Object* r = row.get();
-  *reinterpret_cast<uint64_t*>(r->payload() + kRowKey) = key;
+  SetRowKey(r, key);
   t.StoreField(r, kRowNext, head);
   t.StoreField(r, kRowValue, value.get());
   t.StoreElem(mt, bucket, r);
@@ -225,7 +239,7 @@ void KvStoreWorkload::Flush(RuntimeThread& t) {
   for (uint64_t b = 0; b < buckets_; b++) {
     Object* row = t.LoadElem(mt, b);
     while (row != nullptr && written < capacity) {
-      out_keys[written++] = *reinterpret_cast<uint64_t*>(row->payload() + kRowKey);
+      out_keys[written++] = RowKey(row);
       row = t.LoadField(row, kRowNext);
     }
     t.StoreElem(mt, b, nullptr);  // drop the chain: rows + values die

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/check.h"
+#include "src/util/clock.h"
 #include "src/util/crash_context.h"
 
 namespace rolp {
@@ -163,6 +164,62 @@ TEST_F(FaultInjectionTest, ParseSpecRejectsMalformedEntries) {
   fi().Reset();
   EXPECT_FALSE(fi().ParseSpec("p.good=always,p.bad=every:x", &error));
   EXPECT_TRUE(fi().IsArmed("p.good"));
+}
+
+// A delay arm stalls the hitting thread but reports false: the code under
+// test does not take its failure branch.
+TEST_F(FaultInjectionTest, DelayStallsWithoutFiring) {
+  fi().ArmDelay("test.delay", 30);
+  uint64_t t0 = NowNs();
+  EXPECT_FALSE(ROLP_FAULT_POINT("test.delay"));
+  uint64_t elapsed = NowNs() - t0;
+  EXPECT_GE(elapsed, MsToNs(30));
+  EXPECT_EQ(fi().Hits("test.delay"), 1u);
+  // Delay "fires" count as trigger matches even though ShouldFail is false.
+  EXPECT_EQ(fi().Fires("test.delay"), 1u);
+}
+
+TEST_F(FaultInjectionTest, DelayOnceStallsExactlyOneHit) {
+  fi().ArmDelayOnceAtHit("test.delay.once", 25, 2);
+  uint64_t t0 = NowNs();
+  EXPECT_FALSE(ROLP_FAULT_POINT("test.delay.once"));  // hit 1: no stall
+  uint64_t first = NowNs() - t0;
+  EXPECT_LT(first, MsToNs(20));
+  t0 = NowNs();
+  EXPECT_FALSE(ROLP_FAULT_POINT("test.delay.once"));  // hit 2: stalls
+  EXPECT_GE(NowNs() - t0, MsToNs(25));
+  t0 = NowNs();
+  EXPECT_FALSE(ROLP_FAULT_POINT("test.delay.once"));  // hit 3: no stall
+  EXPECT_LT(NowNs() - t0, MsToNs(20));
+}
+
+TEST_F(FaultInjectionTest, ParseSpecArmsDelayVariants) {
+  std::string error;
+  ASSERT_TRUE(fi().ParseSpec(
+      "d.always=delay:10,d.nth=delay:10:every:4,d.once=delay:10:once:2", &error))
+      << error;
+  EXPECT_TRUE(fi().IsArmed("d.always"));
+  EXPECT_TRUE(fi().IsArmed("d.nth"));
+  EXPECT_TRUE(fi().IsArmed("d.once"));
+  // every:4 — hits 1..3 pass instantly.
+  uint64_t t0 = NowNs();
+  EXPECT_FALSE(ROLP_FAULT_POINT("d.nth"));
+  EXPECT_FALSE(ROLP_FAULT_POINT("d.nth"));
+  EXPECT_FALSE(ROLP_FAULT_POINT("d.nth"));
+  EXPECT_LT(NowNs() - t0, MsToNs(8));
+  t0 = NowNs();
+  EXPECT_FALSE(ROLP_FAULT_POINT("d.nth"));  // hit 4 stalls 10ms
+  EXPECT_GE(NowNs() - t0, MsToNs(10));
+}
+
+TEST_F(FaultInjectionTest, ParseSpecRejectsMalformedDelay) {
+  std::string error;
+  EXPECT_FALSE(fi().ParseSpec("p=delay", &error));
+  EXPECT_FALSE(fi().ParseSpec("p=delay:0", &error));
+  EXPECT_FALSE(fi().ParseSpec("p=delay:x", &error));
+  EXPECT_FALSE(fi().ParseSpec("p=delay:10:every:0", &error));
+  EXPECT_FALSE(fi().ParseSpec("p=delay:10:sometimes:3", &error));
+  EXPECT_FALSE(fi().IsArmed("p"));
 }
 
 TEST_F(FaultInjectionTest, DumpToListsKnownPoints) {

@@ -1,0 +1,352 @@
+// GC watchdog suite: stall detection, cooperative phase cancellation with
+// STW fallback, dead-worker requeue, shutdown robustness, and the rung-4
+// profiler correlation. Lives in the fault binary because it arms the
+// process-global fail-point registry.
+#include "src/gc/watchdog/gc_watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "src/gc/heap_verifier.h"
+#include "src/gc/regional_collector.h"
+#include "src/gc/watchdog/cancellation.h"
+#include "src/gc/worker_pool.h"
+#include "src/rolp/profiler.h"
+#include "src/util/clock.h"
+#include "src/util/fault_injection.h"
+#include "tests/gc/gc_test_util.h"
+
+namespace rolp {
+namespace {
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjection::Instance().Reset(); }
+  void TearDown() override { FaultInjection::Instance().Reset(); }
+
+  FaultInjection& fi() { return FaultInjection::Instance(); }
+
+  // Short deadlines so stalls are detected fast; a huge compact-overrun
+  // budget so slow sanitizer runs can never trip the rung-5 abort.
+  static WatchdogConfig TestConfig(uint64_t deadline_ms) {
+    WatchdogConfig cfg;
+    cfg.enabled = true;
+    cfg.phase_deadline_ms = deadline_ms;
+    cfg.worker_stall_ms = deadline_ms / 2;
+    cfg.max_compact_overruns = 1000000;
+    return cfg;
+  }
+
+  void Start(GcConfig cfg, uint64_t deadline_ms) {
+    env_ = std::make_unique<GcTestEnv>(32, cfg);
+    env_->SetCollector(
+        std::make_unique<RegionalCollector>(env_->heap.get(), cfg, &env_->safepoints));
+    env_->collector->InstallWatchdog(TestConfig(deadline_ms));
+  }
+
+  // A chain of [prev, data] ref-array pairs with a recognizable payload.
+  size_t BuildChain(int n) {
+    size_t head = env_->PushRoot(nullptr);
+    for (int i = 0; i < n; i++) {
+      Object* data = env_->AllocDataArray(64);
+      char* p = data->DataArrayBytes();
+      for (uint64_t j = 0; j < data->ArrayLength(); j++) {
+        p[j] = static_cast<char>((i * 31 + static_cast<int>(j)) & 0xFF);
+      }
+      size_t dr = env_->PushRoot(data);
+      Object* pair = env_->AllocRefArray(2);
+      env_->SetElem(pair, 0, env_->Root(head));
+      env_->SetElem(pair, 1, env_->Root(dr));
+      env_->SetRoot(head, pair);
+      env_->PopRoots(dr);
+    }
+    return head;
+  }
+
+  int VerifyChain(size_t head) {
+    int count = 0;
+    Object* pair = env_->Root(head);
+    while (pair != nullptr) {
+      EXPECT_EQ(pair->ArrayLength(), 2u);
+      Object* data = env_->GetElem(pair, 1);
+      EXPECT_NE(data, nullptr);
+      if (data != nullptr) {
+        unsigned char* p = reinterpret_cast<unsigned char*>(data->DataArrayBytes());
+        for (uint64_t j = 1; j < 8; j++) {
+          EXPECT_EQ(p[j], static_cast<unsigned char>(p[0] + j))
+              << "corrupt payload at node " << count;
+        }
+      }
+      pair = env_->GetElem(pair, 0);
+      count++;
+    }
+    return count;
+  }
+
+  void ExpectHeapConsistent() {
+    HeapVerifier verifier(env_->heap.get(), &env_->safepoints);
+    auto report = verifier.Verify();
+    EXPECT_TRUE(report.ok()) << report.Summary();
+  }
+
+  GcWatchdog* watchdog() { return env_->collector->watchdog(); }
+
+  std::unique_ptr<GcTestEnv> env_;
+};
+
+TEST_F(WatchdogTest, CancellationTokenBasics) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+  token.Reset();
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+TEST_F(WatchdogTest, ConfigFromEnvRespectsDisable) {
+  setenv("ROLP_WATCHDOG", "0", 1);
+  WorkerPool pool(1);
+  EXPECT_EQ(GcWatchdog::CreateFromEnv(&pool), nullptr);
+  setenv("ROLP_WATCHDOG", "1", 1);
+  setenv("ROLP_GC_DEADLINE_MS", "1234", 1);
+  auto wd = GcWatchdog::CreateFromEnv(&pool);
+  ASSERT_NE(wd, nullptr);
+  EXPECT_EQ(wd->config().phase_deadline_ms, 1234u);
+  unsetenv("ROLP_WATCHDOG");
+  unsetenv("ROLP_GC_DEADLINE_MS");
+}
+
+TEST_F(WatchdogTest, DerivedConfigValues) {
+  WatchdogConfig cfg;
+  cfg.phase_deadline_ms = 400;
+  EXPECT_EQ(cfg.EffectiveWorkerStallMs(), 200u);
+  EXPECT_EQ(cfg.EffectivePollIntervalMs(), 50u);
+  cfg.worker_stall_ms = 8;
+  EXPECT_EQ(cfg.EffectiveWorkerStallMs(), 8u);
+  EXPECT_EQ(cfg.EffectivePollIntervalMs(), 2u);
+}
+
+// The monitor must notice an overrunning phase within deadline + a few poll
+// intervals — well before the phase would have ended on its own.
+TEST_F(WatchdogTest, OverrunDetectedWithinDeadline) {
+  WorkerPool pool(1);
+  GcWatchdog wd(TestConfig(30), &pool);
+  CancellationToken token;
+  wd.BeginPhase(GcPhase::kMark, &token);
+  uint64_t waited_ms = 0;
+  while (!token.IsCancelled() && waited_ms < 200) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    waited_ms += 5;
+  }
+  wd.EndPhase();
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_LT(waited_ms, 200u);  // detected long before the 200ms stall ended
+  auto stats = wd.stats();
+  EXPECT_GE(stats.overruns_detected, 1u);
+  EXPECT_GE(stats.phases_cancelled, 1u);
+  EXPECT_GE(stats.last_overrun_elapsed_ns, MsToNs(30));
+  EXPECT_TRUE(wd.TakeOverrunFlag());
+  EXPECT_FALSE(wd.TakeOverrunFlag());  // one-shot until the next overrun
+}
+
+TEST_F(WatchdogTest, PhaseEndingInTimeIsNotEscalated) {
+  WorkerPool pool(1);
+  GcWatchdog wd(TestConfig(5000), &pool);
+  CancellationToken token;
+  for (int i = 0; i < 3; i++) {
+    wd.BeginPhase(GcPhase::kEvacuate, &token);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    wd.EndPhase();
+  }
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_EQ(wd.stats().overruns_detected, 0u);
+  EXPECT_FALSE(wd.TakeOverrunFlag());
+}
+
+// Injected stall in parallel marking: detected, phase cancelled, cycle
+// completes via the STW mark-compact fallback, heap stays consistent.
+TEST_F(WatchdogTest, MarkingStallCancelledAndFallsBackToFull) {
+  GcConfig cfg;
+  cfg.num_workers = 2;
+  cfg.mixed_trigger_occupancy = 0.0;  // every collection marks
+  Start(cfg, 40);
+  size_t head = BuildChain(200);
+  int before = VerifyChain(head);
+
+  // First marking worker task sleeps far past the 40ms deadline.
+  fi().ArmDelayOnceAtHit("gc.phase.mark.stall", 400, 1);
+  env_->ChurnYoung(12 * 1024 * 1024);
+
+  auto stats = watchdog()->stats();
+  EXPECT_GE(stats.overruns_detected, 1u);
+  EXPECT_GE(stats.phases_cancelled, 1u);
+  EXPECT_GE(env_->PausesOfKind(PauseKind::kFull), 1u);  // fallback ran
+  EXPECT_EQ(VerifyChain(head), before);
+  ExpectHeapConsistent();
+}
+
+// Injected stall in evacuation: cancellation funnels survivors through the
+// self-forward path and the existing evacuation-failure escalation finishes
+// the cycle with a full collection.
+TEST_F(WatchdogTest, EvacuationStallCancelledAndFallsBackToFull) {
+  GcConfig cfg;
+  cfg.num_workers = 2;
+  cfg.mixed_trigger_occupancy = 2.0;  // young-only: evacuation is the phase
+  Start(cfg, 40);
+  size_t head = BuildChain(200);
+  int before = VerifyChain(head);
+
+  fi().ArmDelayOnceAtHit("gc.phase.evacuate.stall", 400, 1);
+  env_->ChurnYoung(12 * 1024 * 1024);
+
+  auto stats = watchdog()->stats();
+  EXPECT_GE(stats.overruns_detected, 1u);
+  EXPECT_GE(stats.phases_cancelled, 1u);
+  EXPECT_GE(env_->PausesOfKind(PauseKind::kFull), 1u);
+  EXPECT_EQ(VerifyChain(head), before);
+  ExpectHeapConsistent();
+}
+
+// A GC worker dying mid-pause must not hang or lose work: its item is
+// requeued onto survivors and the collection finishes correctly.
+TEST_F(WatchdogTest, WorkerDeathDuringGcIsRequeued) {
+  GcConfig cfg;
+  cfg.num_workers = 3;
+  cfg.mixed_trigger_occupancy = 2.0;
+  Start(cfg, 5000);
+  size_t head = BuildChain(200);
+  int before = VerifyChain(head);
+
+  fi().ArmOnceAtHit("gc.worker.die", 1);
+  env_->ChurnYoung(12 * 1024 * 1024);
+
+  EXPECT_EQ(env_->collector->workers()->alive_workers(), 2u);
+  EXPECT_GE(env_->collector->workers()->items_requeued(), 1u);
+  EXPECT_EQ(VerifyChain(head), before);
+  ExpectHeapConsistent();
+}
+
+// Even with EVERY worker dead, RunTask finishes the items inline.
+TEST_F(WatchdogTest, AllWorkersDeadRunsItemsInline) {
+  WorkerPool pool(2);
+  fi().ArmAlways("gc.worker.die");
+  std::atomic<uint32_t> ran{0};
+  pool.RunTask([&](uint32_t) { ran.fetch_add(1); });
+  fi().Disarm("gc.worker.die");
+  EXPECT_EQ(ran.load(), 2u);
+  EXPECT_EQ(pool.alive_workers(), 0u);
+  pool.RunTask([&](uint32_t) { ran.fetch_add(1); });  // still usable
+  EXPECT_EQ(ran.load(), 4u);
+}
+
+TEST_F(WatchdogTest, DeadWorkerItemRequeuedExactlyOnce) {
+  WorkerPool pool(3);
+  fi().ArmOnceAtHit("gc.worker.die", 1);
+  std::atomic<uint32_t> runs[3] = {{0}, {0}, {0}};
+  pool.RunTask([&](uint32_t w) { runs[w].fetch_add(1); });
+  for (int w = 0; w < 3; w++) {
+    EXPECT_EQ(runs[w].load(), 1u) << "item " << w;
+  }
+  EXPECT_EQ(pool.items_requeued(), 1u);
+  EXPECT_EQ(pool.alive_workers(), 2u);
+}
+
+// Destroying a pool while a worker is wedged inside a task must not
+// deadlock: the destructor joins with a timeout and detaches stragglers.
+TEST_F(WatchdogTest, ShutdownWithBlockedWorkerDetachesInsteadOfDeadlocking) {
+  std::atomic<bool> release{false};
+  std::atomic<uint32_t> finished{0};
+  std::function<void(uint32_t)> task = [&](uint32_t w) {
+    if (w == 0) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    finished.fetch_add(1);
+  };
+  uint64_t detached_before = WorkerPool::detached_workers_total();
+  auto pool = std::make_unique<WorkerPool>(2);
+  pool->set_shutdown_timeout_ms(50);
+  std::thread runner([&] { pool->RunTask(task); });
+  while (finished.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  pool.reset();  // worker 0 still blocked: must detach-and-report, not hang
+  runner.join();
+  EXPECT_EQ(WorkerPool::detached_workers_total(), detached_before + 1);
+  // Unblock the detached worker and let it finish before test state dies.
+  release.store(true);
+  while (finished.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+// Heartbeats are observable when enabled and completely inert when not.
+TEST_F(WatchdogTest, HeartbeatsPublishOnlyWhenEnabled) {
+  WorkerPool pool(2);
+  pool.RunTask([&](uint32_t w) {
+    for (int i = 0; i < 100; i++) {
+      pool.Heartbeat(w);
+    }
+  });
+  EXPECT_EQ(pool.HeartbeatValue(0), 0u);  // disabled by default
+  EXPECT_EQ(pool.HeartbeatValue(1), 0u);
+  pool.EnableHeartbeats(true);
+  pool.RunTask([&](uint32_t w) {
+    for (int i = 0; i < 100; i++) {
+      pool.Heartbeat(w);
+    }
+  });
+  EXPECT_EQ(pool.HeartbeatValue(0), 100u);
+  EXPECT_EQ(pool.HeartbeatValue(1), 100u);
+}
+
+// Rung 4: repeated overruns while survivor tracking is active degrade the
+// profiler; overruns without tracking do not.
+TEST_F(WatchdogTest, ProfilerDegradesOnCorrelatedOverruns) {
+  RolpConfig cfg;
+  cfg.degrade_overrun_threshold = 2;
+  Profiler profiler(cfg);
+  profiler.OnGcOverrun(false);
+  profiler.OnGcOverrun(false);
+  EXPECT_FALSE(profiler.degraded());
+  profiler.OnGcOverrun(true);
+  EXPECT_FALSE(profiler.degraded());
+  profiler.OnGcOverrun(true);
+  EXPECT_TRUE(profiler.degraded());
+  EXPECT_EQ(profiler.last_degrade_reason(), DegradeReason::kGcOverrun);
+  EXPECT_FALSE(profiler.SurvivorTrackingEnabled());
+}
+
+// With ROLP_WATCHDOG=0 the collector installs no watchdog at all — no
+// monitor thread, no cancellation tokens, no heartbeat publication — and
+// collections still work. This is the "zero hot-path cost" contract.
+TEST_F(WatchdogTest, DisabledWatchdogHasNoEffect) {
+  GcConfig cfg;
+  cfg.num_workers = 2;
+  setenv("ROLP_WATCHDOG", "0", 1);
+  env_ = std::make_unique<GcTestEnv>(32, cfg);
+  env_->SetCollector(
+      std::make_unique<RegionalCollector>(env_->heap.get(), cfg, &env_->safepoints));
+  unsetenv("ROLP_WATCHDOG");
+  EXPECT_EQ(env_->collector->watchdog(), nullptr);
+  size_t head = BuildChain(100);
+  int before = VerifyChain(head);
+  env_->ChurnYoung(10 * 1024 * 1024);
+  EXPECT_EQ(VerifyChain(head), before);
+  ExpectHeapConsistent();
+  // Heartbeats were never enabled, so no slot ever advanced.
+  for (uint32_t w = 0; w < cfg.num_workers; w++) {
+    EXPECT_EQ(env_->collector->workers()->HeartbeatValue(w), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rolp

@@ -14,6 +14,7 @@
 #include "src/gc/regional_collector.h"
 #include "src/gc/worker_pool.h"
 #include "src/heap/heap.h"
+#include "src/rolp/alloc_buffer.h"
 #include "src/rolp/old_table.h"
 #include "src/runtime/frame.h"
 #include "src/runtime/vm.h"
@@ -55,6 +56,49 @@ void BM_OldTableRecordAllocation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OldTableRecordAllocation);
+
+void BM_OldTableRecordAllocationAndGen(benchmark::State& state) {
+  // The fused fast lane: one probe increments age-0 AND returns the in-row
+  // pretenuring decision (vs. the old probe + unordered_map lookup pair).
+  OldTable table(1 << 16);
+  for (uint32_t c = 0; c < 1024; c++) {
+    table.SetDecision(c, static_cast<uint8_t>(c % 15));
+  }
+  uint32_t ctx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.RecordAllocationAndGen(ctx & 0x3FF));
+    ctx++;
+  }
+}
+BENCHMARK(BM_OldTableRecordAllocationAndGen);
+
+void BM_AllocBufferHit(benchmark::State& state) {
+  // Steady-state sample-buffer hit: pure thread-local increment, no shared
+  // cache line touched.
+  OldTable table(1 << 16);
+  AllocBuffer buffer;
+  buffer.Init(AllocBuffer::kDefaultSlots);
+  uint32_t ctx = markword::MakeContext(42, 0);
+  buffer.Record(table, ctx);  // install
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.Record(table, ctx));
+  }
+}
+BENCHMARK(BM_AllocBufferHit);
+
+void BM_AllocBufferChurn(benchmark::State& state) {
+  // Worst case: working set far larger than the buffer, so every Record
+  // evicts + probes (buffer overhead on top of the table path).
+  OldTable table(1 << 16);
+  AllocBuffer buffer;
+  buffer.Init(16);
+  uint32_t ctx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer.Record(table, ctx & 0x3FF));
+    ctx += 17;  // stride through 1024 contexts
+  }
+}
+BENCHMARK(BM_AllocBufferChurn);
 
 void BM_OldTableContains(benchmark::State& state) {
   OldTable table(1 << 16);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suite and records google-benchmark JSON into
+# BENCH_micro.json at the repo root (committed, so perf changes show up in
+# review diffs). Uses the default preset's build tree; builds it if missing.
+#
+# Usage: scripts/bench.sh [extra google-benchmark args...]
+#   e.g. scripts/bench.sh --benchmark_filter='BM_Alloc.*'
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${ROLP_BENCH_BUILD_DIR:-build}
+OUT=${ROLP_BENCH_OUT:-BENCH_micro.json}
+REPS=${ROLP_BENCH_REPS:-3}
+
+if [ ! -x "$BUILD_DIR/bench/bench_micro" ]; then
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target bench_micro
+fi
+
+"$BUILD_DIR/bench/bench_micro" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT" \
+  "$@"
+
+echo "wrote $OUT"

@@ -24,4 +24,11 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "$preset"
 done
 
+# Bench smoke: the microbenchmarks must still run to completion (one
+# iteration each — this checks the harness, not the numbers).
+echo "=== bench smoke"
+if [ -x build/bench/bench_micro ]; then
+  build/bench/bench_micro --benchmark_min_time=0.001 >/dev/null
+fi
+
 echo "=== all presets passed: ${PRESETS[*]}"

@@ -30,6 +30,13 @@ class ProfilerHooks {
 
   // Called (world stopped) at the end of every pause, after private survivor
   // tables have been merged. Drives the every-16-cycles inference.
+  //
+  // Flush contract (allocation fast lane, DESIGN.md §9): the implementation
+  // must drain every mutator's allocation sample buffer into the OLD table
+  // before the profiler's merge/inference runs, and must do so while the
+  // world is still stopped — buffered counts are only required to be exact
+  // here, and cached pretenuring decisions are invalidated by the same flush
+  // so they never survive a decision republication.
   virtual void OnGcEnd(const GcEndInfo& info) = 0;
 
   // Fragmentation feedback (paper section 6): live ratio of a dynamic

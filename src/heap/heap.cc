@@ -37,6 +37,22 @@ size_t Heap::DataArrayAllocSize(uint64_t length) const {
   return AlignObjectSize(kObjectHeaderSize + DataArrayPayloadBytes(length));
 }
 
+namespace {
+
+// Identity-hash stream: one SplitMix64 state per thread so the allocation
+// fast lane never pays a shared read-modify-write per object. Streams are
+// decorrelated by drawing each thread's start state from a process-wide
+// counter — one RMW per thread lifetime instead of one per allocation.
+std::atomic<uint64_t> identity_hash_stream{0x517cc1b727220a95ULL};
+
+uint32_t NextIdentityHash() {
+  thread_local uint64_t state =
+      identity_hash_stream.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  return static_cast<uint32_t>(SplitMix64(&state)) & markword::kHashMask;
+}
+
+}  // namespace
+
 Object* Heap::InitializeObject(char* mem, ClassId cls, size_t total_bytes, uint64_t array_length,
                                uint32_t context) {
   ROLP_DCHECK(reinterpret_cast<uintptr_t>(mem) % kObjectAlignment == 0);
@@ -47,16 +63,17 @@ Object* Heap::InitializeObject(char* mem, ClassId cls, size_t total_bytes, uint6
   std::memset(mem + kObjectHeaderSize, 0, total_bytes - kObjectHeaderSize);
   obj->class_id = cls;
   obj->size_bytes = static_cast<uint32_t>(total_bytes);
-  uint64_t seed = hash_seed_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
-  uint32_t hash = static_cast<uint32_t>(Mix64(seed)) & markword::kHashMask;
-  uint64_t mark = markword::SetIdentityHash(0, hash);
+  uint64_t mark = markword::SetIdentityHash(0, NextIdentityHash());
   mark = markword::SetContext(mark, context);
   obj->StoreMark(mark);
   const ClassInfo& info = classes_->Get(cls);
   if (info.kind != ClassKind::kInstance) {
     obj->SetArrayLength(array_length);
   }
-  allocated_bytes_.fetch_add(total_bytes, std::memory_order_relaxed);
+  // Allocated-bytes accounting is the caller's job (RuntimeThread batches it
+  // per thread and drains at safepoints/detach — see AddAllocatedBytes):
+  // keeping this function accounting-free keeps the allocation fast lane free
+  // of shared-line traffic.
   return obj;
 }
 

@@ -122,6 +122,10 @@ class Heap {
   }
 
   // --- Statistics -----------------------------------------------------------
+  // Cumulative bytes credited via AddAllocatedBytes. Mutator threads batch
+  // their credits and drain them at safepoints and on detach, so this is
+  // exact whenever the world is stopped (and after all threads detached) but
+  // may lag live allocation by up to one batch per running thread.
   uint64_t total_allocated_bytes() const {
     return allocated_bytes_.load(std::memory_order_relaxed);
   }
@@ -140,7 +144,6 @@ class Heap {
   std::atomic<bool> load_barrier_enabled_{false};
   std::atomic<uint64_t> allocated_bytes_{0};
   std::atomic<uint64_t> max_used_bytes_{0};
-  std::atomic<uint64_t> hash_seed_{0x517cc1b727220a95ULL};
 };
 
 // Default barrier set: region-coarse remembered-set recording for

@@ -1,0 +1,137 @@
+// Per-thread allocation sample buffer — the third leg of the allocation fast
+// lane (DESIGN.md §9).
+//
+// A small direct-mapped context→delta cache owned by one mutator thread.
+// Repeated allocations from the same hot context become a thread-local
+// increment (no shared cache line touched at all); the shared OLD table is
+// probed only on a buffer miss (which installs the row and caches its
+// pretenuring decision) and on eviction/flush (which adds the batched delta).
+//
+// Coherence contract: decisions change only while the world is stopped, and
+// every buffer is flushed-and-invalidated at each GC-end safepoint
+// (VM::OnGcEnd) before mutators resume — so a cached decision byte can never
+// outlive the decision set it was read from, and buffered counts are exact by
+// the time the profiler merges survivors and runs inference (the paper only
+// needs counts to be accurate at inference safepoints).
+//
+// Not thread-safe: each buffer belongs to exactly one mutator. Safepoint-side
+// flushes of other threads' buffers are safe because those threads are
+// stopped (the safepoint handshake orders their writes).
+#ifndef SRC_ROLP_ALLOC_BUFFER_H_
+#define SRC_ROLP_ALLOC_BUFFER_H_
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+#include "src/rolp/old_table.h"
+
+namespace rolp {
+
+class AllocBuffer {
+ public:
+  static constexpr uint32_t kDefaultSlots = 256;
+
+  AllocBuffer() = default;
+
+  // Sizes the buffer (rounded up to a power of two). 0 disables it; Record
+  // must not be called on a disabled buffer (callers go straight to the
+  // table).
+  void Init(uint32_t slots) {
+    if (slots == 0) {
+      slots_.reset();
+      mask_ = 0;
+      return;
+    }
+    uint32_t cap = std::bit_ceil(slots);
+    slots_ = std::make_unique<Slot[]>(cap);
+    mask_ = cap - 1;
+    for (uint32_t i = 0; i <= mask_; i++) {
+      slots_[i].context = OldTable::kInvalidContext;
+    }
+  }
+
+  bool enabled() const { return slots_ != nullptr; }
+  uint32_t capacity() const { return slots_ == nullptr ? 0 : mask_ + 1; }
+
+  // The fast lane: returns the pretenuring decision for this context,
+  // recording one allocation. A slot hit is purely thread-local; a miss
+  // evicts the slot's batched delta to the table and probes once.
+  uint8_t Record(OldTable& table, uint32_t context) {
+    if (context == OldTable::kInvalidContext) {
+      // Would alias the empty-slot sentinel below and silently swallow the
+      // sample; route it to the table so it lands in rejected_contexts().
+      (void)table.RecordAllocationAndGen(context);
+      return 0;
+    }
+    Slot& s = slots_[Index(context)];
+    if (s.context == context) {
+      s.pending++;
+      hits_++;
+      return s.gen;
+    }
+    if (s.pending != 0) {
+      table.AddAllocations(s.context, s.pending);
+      s.pending = 0;
+      evictions_++;
+    }
+    misses_++;
+    int r = table.RecordAllocationAndGen(context);
+    if (r < 0) {
+      // Sample shed (invalid context / table full / fault injection): leave
+      // the slot empty so the next occurrence retries the table.
+      s.context = OldTable::kInvalidContext;
+      return 0;
+    }
+    s.context = context;
+    s.gen = static_cast<uint8_t>(r);
+    return s.gen;
+  }
+
+  // Drains every batched delta into the table and invalidates all cached
+  // decisions. Called at GC-end safepoints and on thread detach.
+  void Flush(OldTable& table) {
+    if (slots_ == nullptr) {
+      return;
+    }
+    for (uint32_t i = 0; i <= mask_; i++) {
+      Slot& s = slots_[i];
+      if (s.context != OldTable::kInvalidContext && s.pending != 0) {
+        table.AddAllocations(s.context, s.pending);
+      }
+      s.context = OldTable::kInvalidContext;
+      s.pending = 0;
+      s.gen = 0;
+    }
+    flushes_++;
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t flushes() const { return flushes_; }
+
+ private:
+  struct Slot {
+    uint32_t context = OldTable::kInvalidContext;
+    uint32_t pending = 0;  // increments not yet in the table
+    uint8_t gen = 0;       // decision cached at install time
+  };
+
+  uint32_t Index(uint32_t context) const {
+    // Fibonacci multiply; top bits have the best mixing, shift them down to
+    // cover the small slot range.
+    return (context * 2654435761u >> 16) & mask_;
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  uint32_t mask_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_ROLP_ALLOC_BUFFER_H_

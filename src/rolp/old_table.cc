@@ -12,80 +12,118 @@ namespace {
 
 size_t NextPow2(size_t n) { return std::bit_ceil(n); }
 
-size_t HashContext(uint32_t context) { return static_cast<size_t>(Mix64(context)); }
+// Fibonacci hashing: one multiply, and the home slot comes from the top bits
+// (the best-mixed ones). A single multiply keeps the critical path from
+// context to the key load as short as possible — this runs on every profiled
+// allocation that misses its thread's sample buffer.
+size_t HomeSlot(uint32_t context, unsigned shift) {
+  return static_cast<size_t>((context * 0x9e3779b97f4a7c15ULL) >> shift);
+}
+
+unsigned ShiftFor(size_t pow2_capacity) {
+  return 64 - static_cast<unsigned>(std::countr_zero(pow2_capacity));
+}
 
 }  // namespace
 
 OldTable::OldTable(size_t entries) {
   nominal_entries_ = entries;
   capacity_ = NextPow2(entries);
-  entries_ = std::make_unique<Entry[]>(capacity_);
+  hash_shift_ = ShiftFor(capacity_);
+  keys_ = std::make_unique<std::atomic<uint32_t>[]>(capacity_);
+  counters_ = std::make_unique<CounterBlock[]>(capacity_);
+  decisions_ = std::make_unique<std::atomic<uint8_t>[]>(capacity_);
 }
 
-OldTable::Entry* OldTable::FindEntry(uint32_t context, bool insert) {
+size_t OldTable::FindSlot(uint32_t context, bool insert) {
   if (context == kInvalidContext) {
-    return nullptr;  // EncodeKey would wrap to the empty sentinel
+    return kNoSlot;  // EncodeKey would wrap to the empty sentinel
   }
   uint32_t key = EncodeKey(context);
   size_t mask = capacity_ - 1;
-  size_t idx = HashContext(context) & mask;
+  size_t idx = HomeSlot(context, hash_shift_);
   // Linear probing; cap the probe length so a pathologically full table
-  // degrades to dropped samples instead of an unbounded scan.
+  // degrades to dropped samples instead of an unbounded scan. Key loads are
+  // relaxed: a matching key alone identifies the row — the counter and
+  // decision arrays are fully constructed before any key is published, so no
+  // probe-side ordering is needed.
   size_t max_probes = capacity_ < 4096 ? capacity_ : 4096;
   for (size_t probe = 0; probe < max_probes; probe++) {
-    Entry& e = entries_[(idx + probe) & mask];
-    uint32_t k = e.key.load(std::memory_order_acquire);
+    size_t slot = (idx + probe) & mask;
+    uint32_t k = keys_[slot].load(std::memory_order_relaxed);
     if (k == key) {
-      return &e;
+      return slot;
     }
     if (k == kEmptyKey) {
       if (!insert) {
-        return nullptr;
+        return kNoSlot;
+      }
+      // Load-factor gate, on the insert path only: drop new rows rather than
+      // overfilling (insertions happen on mutator paths; growth happens at
+      // safepoints).
+      if (occupied_approx_.load(std::memory_order_relaxed) > capacity_ - capacity_ / 8) {
+        return kNoSlot;
       }
       uint32_t expected = kEmptyKey;
-      if (e.key.compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
+      if (keys_[slot].compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
         occupied_approx_.fetch_add(1, std::memory_order_relaxed);
-        return &e;
+        return slot;
       }
       if (expected == key) {
-        return &e;  // another thread inserted the same context
+        return slot;  // another thread inserted the same context
       }
       // Slot stolen by a different context; keep probing.
     }
   }
-  return nullptr;
+  return kNoSlot;
 }
 
-void OldTable::RecordAllocation(uint32_t context) {
+int OldTable::RecordAllocationAndGen(uint32_t context) {
   if (context == kInvalidContext) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return kSampleDropped;
   }
   if (ROLP_FAULT_POINT("rolp.old_table.drop")) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return kSampleDropped;
   }
-  // Keep load factor sane: drop samples rather than overfilling (insertions
-  // only happen here; growth happens at safepoints).
-  if (occupied_approx_.load(std::memory_order_relaxed) > capacity_ - capacity_ / 8) {
+  size_t slot = FindSlot(context, /*insert=*/true);
+  if (slot == kNoSlot) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kSampleDropped;
+  }
+  // Paper-faithful unsynchronized increment (section 7.5): a plain
+  // load-then-store, so two racing threads can lose a count — HotSpot's ROLP
+  // does the same. Exact counting is provided by the per-thread sample
+  // buffers, whose batched flushes (AddAllocations) use a real RMW.
+  std::atomic<uint32_t>& age0 = counters_[slot].counts[0];
+  age0.store(age0.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  return decisions_[slot].load(std::memory_order_relaxed);
+}
+
+void OldTable::AddAllocations(uint32_t context, uint32_t delta) {
+  if (delta == 0) {
     return;
   }
-  Entry* e = FindEntry(context, /*insert=*/true);
-  if (e == nullptr) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (context == kInvalidContext) {
+    rejected_.fetch_add(delta, std::memory_order_relaxed);
     return;
   }
-  e->counts[0].fetch_add(1, std::memory_order_relaxed);
+  size_t slot = FindSlot(context, /*insert=*/true);
+  if (slot == kNoSlot) {
+    dropped_.fetch_add(delta, std::memory_order_relaxed);
+    return;
+  }
+  counters_[slot].counts[0].fetch_add(delta, std::memory_order_relaxed);
 }
 
 bool OldTable::Contains(uint32_t context) const {
-  return FindEntryConst(context) != nullptr;
+  return FindSlotConst(context) != kNoSlot;
 }
 
 void OldTable::RecordSurvivor(uint32_t context, uint32_t age, uint32_t count) {
-  Entry* e = FindEntry(context, /*insert=*/false);
-  if (e == nullptr) {
+  size_t slot = FindSlot(context, /*insert=*/false);
+  if (slot == kNoSlot) {
     return;
   }
   if (age >= static_cast<uint32_t>(kAges)) {
@@ -93,21 +131,43 @@ void OldTable::RecordSurvivor(uint32_t context, uint32_t age, uint32_t count) {
   }
   // Decrement age bucket (saturating at zero: unsynchronized allocation-side
   // increments mean counts can drift), increment age+1.
-  uint32_t cur = e->counts[age].load(std::memory_order_relaxed);
+  std::atomic<uint32_t>* counts = counters_[slot].counts;
+  uint32_t cur = counts[age].load(std::memory_order_relaxed);
   while (cur > 0 &&
-         !e->counts[age].compare_exchange_weak(cur, cur >= count ? cur - count : 0,
-                                               std::memory_order_relaxed)) {
+         !counts[age].compare_exchange_weak(cur, cur >= count ? cur - count : 0,
+                                            std::memory_order_relaxed)) {
   }
   uint32_t next = age + 1 < static_cast<uint32_t>(kAges) ? age + 1 : kAges - 1;
-  e->counts[next].fetch_add(count, std::memory_order_relaxed);
+  counts[next].fetch_add(count, std::memory_order_relaxed);
+}
+
+void OldTable::SetDecision(uint32_t context, uint8_t gen) {
+  size_t slot = FindSlot(context, /*insert=*/true);
+  if (slot == kNoSlot) {
+    // Row unreachable (table full): the fast path will keep returning 0
+    // (young) for this context — the safe un-profiled baseline.
+    return;
+  }
+  decisions_[slot].store(gen, std::memory_order_relaxed);
+}
+
+void OldTable::ClearDecisions() {
+  for (size_t i = 0; i < capacity_; i++) {
+    decisions_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint8_t OldTable::DecisionFor(uint32_t context) const {
+  size_t slot = FindSlotConst(context);
+  return slot == kNoSlot ? 0 : decisions_[slot].load(std::memory_order_relaxed);
 }
 
 std::array<uint64_t, OldTable::kAges> OldTable::Row(uint32_t context) const {
   std::array<uint64_t, kAges> out = {};
-  const Entry* e = FindEntryConst(context);
-  if (e != nullptr) {
+  size_t slot = FindSlotConst(context);
+  if (slot != kNoSlot) {
     for (int a = 0; a < kAges; a++) {
-      out[a] = e->counts[a].load(std::memory_order_relaxed);
+      out[a] = counters_[slot].counts[a].load(std::memory_order_relaxed);
     }
   }
   return out;
@@ -115,11 +175,11 @@ std::array<uint64_t, OldTable::kAges> OldTable::Row(uint32_t context) const {
 
 void OldTable::ClearCounts() {
   for (size_t i = 0; i < capacity_; i++) {
-    if (entries_[i].key.load(std::memory_order_relaxed) == kEmptyKey) {
+    if (keys_[i].load(std::memory_order_relaxed) == kEmptyKey) {
       continue;
     }
     for (int a = 0; a < kAges; a++) {
-      entries_[i].counts[a].store(0, std::memory_order_relaxed);
+      counters_[i].counts[a].store(0, std::memory_order_relaxed);
     }
   }
 }
@@ -130,34 +190,43 @@ void OldTable::GrowForConflict() {
   grow_count_++;
   nominal_entries_ = new_nominal;
   if (new_capacity == capacity_) {
-    return;  // still fits in the current power-of-two backing array
+    return;  // still fits in the current power-of-two backing arrays
   }
-  auto fresh = std::make_unique<Entry[]>(new_capacity);
+  auto fresh_keys = std::make_unique<std::atomic<uint32_t>[]>(new_capacity);
+  auto fresh_counters = std::make_unique<CounterBlock[]>(new_capacity);
+  auto fresh_decisions = std::make_unique<std::atomic<uint8_t>[]>(new_capacity);
   // Rehash (safepoint only; no concurrent access).
   size_t mask = new_capacity - 1;
+  unsigned new_shift = ShiftFor(new_capacity);
   for (size_t i = 0; i < capacity_; i++) {
-    uint32_t key = entries_[i].key.load(std::memory_order_relaxed);
+    uint32_t key = keys_[i].load(std::memory_order_relaxed);
     if (key == kEmptyKey) {
       continue;
     }
-    size_t idx = HashContext(DecodeKey(key)) & mask;
-    while (fresh[idx].key.load(std::memory_order_relaxed) != kEmptyKey) {
+    size_t idx = HomeSlot(DecodeKey(key), new_shift);
+    while (fresh_keys[idx].load(std::memory_order_relaxed) != kEmptyKey) {
       idx = (idx + 1) & mask;
     }
-    fresh[idx].key.store(key, std::memory_order_relaxed);
+    fresh_keys[idx].store(key, std::memory_order_relaxed);
     for (int a = 0; a < kAges; a++) {
-      fresh[idx].counts[a].store(entries_[i].counts[a].load(std::memory_order_relaxed),
-                                 std::memory_order_relaxed);
+      fresh_counters[idx].counts[a].store(
+          counters_[i].counts[a].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
     }
+    fresh_decisions[idx].store(decisions_[i].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
   }
-  entries_ = std::move(fresh);
+  keys_ = std::move(fresh_keys);
+  counters_ = std::move(fresh_counters);
+  decisions_ = std::move(fresh_decisions);
   capacity_ = new_capacity;
+  hash_shift_ = new_shift;
 }
 
 size_t OldTable::occupied() const {
   size_t n = 0;
   for (size_t i = 0; i < capacity_; i++) {
-    if (entries_[i].key.load(std::memory_order_relaxed) != kEmptyKey) {
+    if (keys_[i].load(std::memory_order_relaxed) != kEmptyKey) {
       n++;
     }
   }

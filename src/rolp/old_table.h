@@ -1,11 +1,22 @@
 // Object Lifetime Distribution (OLD) table — paper sections 3.3, 7.5, 7.6.
 //
-// Maps a 32-bit allocation context to 16 per-age object counters. Mutators
-// increment the age-0 counter at allocation time with no locking (relaxed
-// atomics — the C++-legal rendering of HotSpot's deliberately unsynchronized
-// increments). GC workers never touch this table directly: they accumulate
-// survivor updates in private tables that the profiler merges while the world
-// is stopped (paper section 7.6).
+// Maps a 32-bit allocation context to 16 per-age object counters plus one
+// pretenuring-decision byte. Mutators increment the age-0 counter at
+// allocation time with no locking (relaxed atomics — the C++-legal rendering
+// of HotSpot's deliberately unsynchronized increments) and read the decision
+// byte from the same row, so the entire mutator-side profiling cost is one
+// hash probe (RecordAllocationAndGen). GC workers never touch this table
+// directly: they accumulate survivor updates in private tables that the
+// profiler merges while the world is stopped (paper section 7.6).
+//
+// Layout is struct-of-arrays, sized for the probe:
+//   * keys_       dense array of 4-byte keys — 16 keys per cache line, so
+//                 linear probing touches one line in the common case;
+//   * counters_   one cache-line-aligned 64-byte block (16 x 4-byte counters)
+//                 per row, touched only on the age-0 increment;
+//   * decisions_  dense array of decision bytes — 64 per cache line — written
+//                 only at inference safepoints (RCU-style: the world is
+//                 stopped, mutators republish their cached copies afterwards).
 //
 // The table is open-addressing with linear probing. It starts with 2^16
 // entries (one per possible allocation-site id, ~4.5 MB) and grows by 2^16
@@ -28,13 +39,27 @@ class OldTable {
   static constexpr size_t kInitialEntries = 1u << 16;
   // The one context value the key encoding cannot represent (see EncodeKey).
   static constexpr uint32_t kInvalidContext = UINT32_MAX;
+  // RecordAllocationAndGen result when the sample could not be recorded.
+  static constexpr int kSampleDropped = -1;
 
   explicit OldTable(size_t entries = kInitialEntries);
 
   // --- Mutator path (unsynchronized, safe for concurrent callers) ---------
-  // Increments the age-0 count for this context, inserting the row if absent.
-  // Drops the sample (and counts it) if the table is critically full.
-  void RecordAllocation(uint32_t context);
+  // The fused fast path: one probe increments the age-0 count for this
+  // context (inserting the row if absent) and returns the row's pretenuring
+  // decision (0 = young, 1..14 = dynamic gen, 15 = old). Returns
+  // kSampleDropped when the sample was shed (invalid context, table
+  // critically full, or fault injection); callers treat that as "no
+  // decision".
+  int RecordAllocationAndGen(uint32_t context);
+
+  // Increment-only variant (fault paths, tests, NG2C sample recording).
+  void RecordAllocation(uint32_t context) { (void)RecordAllocationAndGen(context); }
+
+  // Adds a batched count of `delta` allocations for the context (per-thread
+  // sample-buffer flush). Inserts the row if absent; counts the whole batch
+  // as dropped if it cannot.
+  void AddAllocations(uint32_t context, uint32_t delta);
 
   // True if the context has a row (paper: survivors whose header context is
   // not present are discarded).
@@ -44,6 +69,18 @@ class OldTable {
   // Applies one survivor: one object of `age` moved to `age+1` (saturating).
   void RecordSurvivor(uint32_t context, uint32_t age, uint32_t count);
 
+  // Publishes a pretenuring decision into the context's row (inserting the
+  // row if it is somehow absent). Safepoint only: mutators republish their
+  // cached decisions after the pause, never during it.
+  void SetDecision(uint32_t context, uint8_t gen);
+
+  // Zeroes every decision byte (degraded mode / before republishing a fresh
+  // decision set). Safepoint only.
+  void ClearDecisions();
+
+  // Reads a row's decision byte (0 if absent). Tests / introspection.
+  uint8_t DecisionFor(uint32_t context) const;
+
   // Reads a row's counters (zeros if absent).
   std::array<uint64_t, kAges> Row(uint32_t context) const;
 
@@ -51,20 +88,20 @@ class OldTable {
   template <typename Fn>
   void ForEachRow(Fn&& fn) const {
     for (size_t i = 0; i < capacity_; i++) {
-      uint32_t key = entries_[i].key.load(std::memory_order_acquire);
+      uint32_t key = keys_[i].load(std::memory_order_acquire);
       if (key == kEmptyKey) {
         continue;
       }
       std::array<uint64_t, kAges> counts;
       for (int a = 0; a < kAges; a++) {
-        counts[a] = entries_[i].counts[a].load(std::memory_order_relaxed);
+        counts[a] = counters_[i].counts[a].load(std::memory_order_relaxed);
       }
       fn(DecodeKey(key), counts);
     }
   }
 
-  // Zeroes all counters, keeping rows (paper section 4: the table is cleared
-  // after each inference to ensure freshness).
+  // Zeroes all counters, keeping rows and decisions (paper section 4: the
+  // table is cleared after each inference to ensure freshness).
   void ClearCounts();
 
   // Grows capacity by 2^16 entries (rounded up to a power of two internally).
@@ -76,38 +113,50 @@ class OldTable {
   // Memory footprint as the paper reports it: 4 bytes * 16 columns for each
   // of the 2^16 * (1 + #conflicts) nominal entries (section 7.5).
   size_t PaperMemoryBytes() const { return nominal_entries_ * 4 * kAges; }
-  // Actual allocated footprint of the backing array.
-  size_t ActualMemoryBytes() const { return capacity_ * sizeof(Entry); }
+  // Actual allocated footprint of the backing arrays (keys + counters +
+  // decisions).
+  size_t ActualMemoryBytes() const {
+    return capacity_ * (sizeof(std::atomic<uint32_t>) + sizeof(CounterBlock) +
+                        sizeof(std::atomic<uint8_t>));
+  }
   uint64_t dropped_samples() const { return dropped_.load(std::memory_order_relaxed); }
   uint64_t rejected_contexts() const { return rejected_.load(std::memory_order_relaxed); }
   size_t grow_count() const { return grow_count_; }
 
  private:
-  struct Entry {
-    std::atomic<uint32_t> key{0};
+  // 16 x 4-byte counters == exactly one cache line per row.
+  struct alignas(64) CounterBlock {
     std::atomic<uint32_t> counts[kAges] = {};
   };
+  static_assert(sizeof(CounterBlock) == 64, "counter block must be one cache line");
 
   static constexpr uint32_t kEmptyKey = 0;
   // Context 0 would collide with the empty sentinel; encode key = context + 1.
   // That leaves context UINT32_MAX with no representable key (it would wrap
-  // to kEmptyKey and corrupt the table), so it is rejected outright: FindEntry
-  // refuses it, RecordAllocation counts it as rejected, Contains reports
-  // false. Site 0xFFFF + tss 0xFFFF genuinely produces it, so "never in
-  // practice" was wrong — see rejected_contexts().
+  // to kEmptyKey and corrupt the table), so it is rejected outright: FindSlot
+  // refuses it, RecordAllocationAndGen counts it as rejected, Contains
+  // reports false. Site 0xFFFF + tss 0xFFFF genuinely produces it, so "never
+  // in practice" was wrong — see rejected_contexts().
   static uint32_t EncodeKey(uint32_t context) { return context + 1; }
   static uint32_t DecodeKey(uint32_t key) { return key - 1; }
 
-  // Returns the entry for the context, inserting if requested. nullptr when
-  // absent (or table too full to insert).
-  Entry* FindEntry(uint32_t context, bool insert);
-  const Entry* FindEntryConst(uint32_t context) const {
-    return const_cast<OldTable*>(this)->FindEntry(context, false);
+  static constexpr size_t kNoSlot = SIZE_MAX;
+
+  // Returns the slot index for the context, inserting if requested. kNoSlot
+  // when absent (or table too full to insert). The load-factor gate applies
+  // only to inserts: existing rows keep counting even when the table is
+  // critically full.
+  size_t FindSlot(uint32_t context, bool insert);
+  size_t FindSlotConst(uint32_t context) const {
+    return const_cast<OldTable*>(this)->FindSlot(context, false);
   }
 
   size_t capacity_;       // power of two
+  unsigned hash_shift_;   // 64 - log2(capacity_): Fibonacci-hash top bits
   size_t nominal_entries_;  // what the paper-accounting reports (2^16 * (1+N))
-  std::unique_ptr<Entry[]> entries_;
+  std::unique_ptr<std::atomic<uint32_t>[]> keys_;
+  std::unique_ptr<CounterBlock[]> counters_;
+  std::unique_ptr<std::atomic<uint8_t>[]> decisions_;
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<size_t> occupied_approx_{0};

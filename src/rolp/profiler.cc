@@ -26,9 +26,8 @@ const char* DegradeReasonName(DegradeReason reason) {
 Profiler::Profiler(const RolpConfig& config)
     : config_(config), old_table_(config.old_table_entries) {
   worker_tables_.resize(config.max_gc_workers);
-  auto initial = std::make_unique<DecisionMap>();
-  decisions_.store(initial.get(), std::memory_order_release);
-  decision_history_.push_back(std::move(initial));
+  live_decisions_ = std::make_unique<DecisionMap>();
+  decisions_.store(live_decisions_.get(), std::memory_order_release);
 }
 
 Profiler::~Profiler() = default;
@@ -82,7 +81,23 @@ void Profiler::MergeWorkerTables() {
   }
 }
 
+void Profiler::PublishDecisions(std::unique_ptr<DecisionMap> next) {
+  // Write the decisions into OLD-table rows first (RCU-style: the world is
+  // stopped, so mutators observe the full new set when they resume and their
+  // flushed sample buffers re-read it).
+  old_table_.ClearDecisions();
+  for (const auto& [context, gen] : *next) {
+    old_table_.SetDecision(context, gen);
+  }
+  decisions_.store(next.get(), std::memory_order_release);
+  retired_decisions_.push_back(std::move(live_decisions_));
+  live_decisions_ = std::move(next);
+}
+
 void Profiler::OnGcEnd(const GcEndInfo& info) {
+  // A safepoint separates us from any mutator that read a since-retired
+  // decision map: free the retirees.
+  ReclaimRetiredDecisions();
   MergeWorkerTables();
 
   // Pause EMA drives the survivor-tracking re-enable heuristic.
@@ -139,7 +154,12 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
   }
 }
 
-void Profiler::RunInferenceNow() { RunInference(); }
+void Profiler::RunInferenceNow() {
+  // Tests drive inference without GC cycles; this stands in for the
+  // world-stopped point, so retired maps are reclaimed here too.
+  ReclaimRetiredDecisions();
+  RunInference();
+}
 
 void Profiler::RunInference() {
   inferences_++;
@@ -242,15 +262,7 @@ void Profiler::RunInference() {
   }
 
   bool changed = *next != *current;
-  DecisionMap* next_raw = next.get();
-  decision_history_.push_back(std::move(next));
-  decisions_.store(next_raw, std::memory_order_release);
-  // Retire old maps occasionally; safe because this runs at a safepoint with
-  // no concurrent readers.
-  if (decision_history_.size() > 4) {
-    decision_history_.erase(decision_history_.begin(),
-                            decision_history_.end() - 2);
-  }
+  PublishDecisions(std::move(next));
 
   // Survivor-tracking shut-off (paper section 7.4): disable when the workload
   // is stable, i.e. two consecutive inferences produced identical decisions.
@@ -311,9 +323,7 @@ void Profiler::OnGenFragmentation(uint8_t gen, double live_ratio) {
   if (!changed) {
     return;
   }
-  DecisionMap* next_raw = next.get();
-  decision_history_.push_back(std::move(next));
-  decisions_.store(next_raw, std::memory_order_release);
+  PublishDecisions(std::move(next));
   decisions_changed_since_last_inference_ = true;
 }
 
@@ -331,13 +341,7 @@ void Profiler::OnGcOverrun(bool survivor_tracking_active) {
 }
 
 void Profiler::PublishEmptyDecisions() {
-  auto empty = std::make_unique<DecisionMap>();
-  DecisionMap* raw = empty.get();
-  decision_history_.push_back(std::move(empty));
-  decisions_.store(raw, std::memory_order_release);
-  if (decision_history_.size() > 4) {
-    decision_history_.erase(decision_history_.begin(), decision_history_.end() - 2);
-  }
+  PublishDecisions(std::make_unique<DecisionMap>());
 }
 
 void Profiler::EnterDegraded(DegradeReason reason) {

@@ -1,8 +1,11 @@
 // The ROLP profiler facade.
 //
 // Mutator side (called by the runtime's allocation path):
-//   * RecordAllocation(context): OLD-table age-0 increment
-//   * TargetGen(context): decision lookup feeding NG2C pretenuring
+//   * RecordAllocationWithGen(context, buffer): the allocation fast lane —
+//     one OLD-table probe (usually absorbed by the per-thread sample buffer)
+//     both records the sample and returns the pretenuring decision stored in
+//     the row (DESIGN.md §9)
+//   * RecordAllocation(context): increment-only variant (NG2C sample feed)
 //
 // Collector side (ProfilerHooks, all called with the world stopped):
 //   * OnSurvivor: per-GC-worker private table updates (paper section 7.6)
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "src/gc/profiler_hooks.h"
+#include "src/rolp/alloc_buffer.h"
 #include "src/rolp/conflict_resolver.h"
 #include "src/rolp/curve_analysis.h"
 #include "src/rolp/old_table.h"
@@ -40,6 +44,10 @@ struct RolpConfig {
   // than this fraction over the last value seen while tracking was active.
   double pause_regression_threshold = 0.10;
   size_t old_table_entries = OldTable::kInitialEntries;
+  // Per-thread allocation sample buffer (fast lane, DESIGN.md §9): number of
+  // direct-mapped slots, rounded up to a power of two. 0 disables buffering
+  // (every profiled allocation probes the shared table directly).
+  uint32_t alloc_buffer_slots = AllocBuffer::kDefaultSlots;
   uint32_t max_gc_workers = 16;
   // Dynamic generations span 1..14; estimated ages clamp into this range
   // (age 15 maps to the old generation).
@@ -96,10 +104,26 @@ class Profiler : public ProfilerHooks {
   void SetCallSiteControl(CallSiteControl* control);
 
   // --- Mutator-side API ----------------------------------------------------
+  // The fast lane: records one allocation and returns the estimated target
+  // generation (0 = young, 1..14 = dynamic generation, 15 = old) in a single
+  // OLD-table probe — or no probe at all when the caller's sample buffer
+  // absorbs the increment.
+  uint8_t RecordAllocationWithGen(uint32_t context, AllocBuffer* buffer) {
+    if (buffer != nullptr && buffer->enabled()) {
+      return buffer->Record(old_table_, context);
+    }
+    int r = old_table_.RecordAllocationAndGen(context);
+    return r < 0 ? 0 : static_cast<uint8_t>(r);
+  }
+
+  // Increment-only variant: feeds the OLD table without consulting decisions
+  // (NG2C mode, where the hand-placed annotation decides the generation).
   void RecordAllocation(uint32_t context) { old_table_.RecordAllocation(context); }
 
-  // Estimated target generation for an allocation context: 0 = young,
-  // 1..14 = dynamic generation, 15 = old.
+  // Decision lookup against the safepoint-side source of truth (the
+  // DecisionMap). The allocation hot path no longer calls this — it reads the
+  // decision byte fused into the OLD-table row; this survives for tests,
+  // introspection, and safepoint-side consumers.
   uint8_t TargetGen(uint32_t context) const {
     const DecisionMap* d = decisions_.load(std::memory_order_acquire);
     auto it = d->find(context);
@@ -144,6 +168,8 @@ class Profiler : public ProfilerHooks {
   std::unordered_map<uint32_t, uint8_t> DecisionsSnapshot() const {
     return *decisions_.load(std::memory_order_acquire);
   }
+  // Retired decision maps awaiting safepoint reclamation (tests: bounded).
+  size_t retired_decision_maps() const { return retired_decisions_.size(); }
   // Force one inference now (tests).
   void RunInferenceNow();
 
@@ -154,6 +180,16 @@ class Profiler : public ProfilerHooks {
 
   void MergeWorkerTables();
   void RunInference();
+
+  // Publishes `next` as the current decision set: swaps the safepoint-side
+  // map, writes the decisions back into OLD-table rows (the fast lane's
+  // source), and retires the previous map for reclamation at the next
+  // safepoint. World stopped.
+  void PublishDecisions(std::unique_ptr<DecisionMap> next);
+  // Frees retired maps. Safe once a safepoint separates retirement from the
+  // last possible mutator read (TargetGen holds the pointer only within one
+  // call, never across a pause).
+  void ReclaimRetiredDecisions() { retired_decisions_.clear(); }
 
   // Both run with the world stopped (called from the GC hooks only).
   void EnterDegraded(DegradeReason reason);
@@ -167,8 +203,14 @@ class Profiler : public ProfilerHooks {
 
   std::vector<WorkerTable> worker_tables_;
 
-  std::atomic<DecisionMap*> decisions_;
-  std::vector<std::unique_ptr<DecisionMap>> decision_history_;  // owns maps
+  std::atomic<DecisionMap*> decisions_;    // points at live_decisions_
+  std::unique_ptr<DecisionMap> live_decisions_;
+  // Maps superseded since the last safepoint reclamation. A mutator stuck
+  // inside TargetGen can still be reading the most recently retired map, so
+  // retirees are only freed at the next world-stopped point (OnGcEnd /
+  // RunInferenceNow) — bounded, unlike the retired-forever history this
+  // replaces.
+  std::vector<std::unique_ptr<DecisionMap>> retired_decisions_;
 
   std::atomic<bool> survivor_tracking_{true};
   double last_tracking_avg_pause_ns_ = 0.0;

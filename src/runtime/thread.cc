@@ -9,6 +9,12 @@ RuntimeThread::RuntimeThread(VM* vm, uint32_t thread_id)
     : vm_(vm), rng_(vm->config().seed ^ (0x9e3779b97f4a7c15ULL * thread_id)) {
   gc_ctx_.thread_id = thread_id;
   osr_rate_ = vm->config().osr_corruption_rate;
+  profiler_ = vm->profiler();
+  heap_ = &vm->heap();
+  ng2c_ = vm->config().gc == GcKind::kNg2c;
+  if (profiler_ != nullptr) {
+    alloc_buffer_.Init(profiler_->config().alloc_buffer_slots);
+  }
 }
 
 Object* RuntimeThread::Allocate(uint32_t alloc_site, ClassId cls, size_t total_bytes,
@@ -20,24 +26,31 @@ Object* RuntimeThread::Allocate(uint32_t alloc_site, ClassId cls, size_t total_b
     uint16_t sid = site.site_id.load(std::memory_order_acquire);
     if (sid != 0) {
       // Hot, profiled allocation: install (site, thread stack state) in the
-      // header and feed the OLD table (paper section 3.2.1).
+      // header and feed the OLD table (paper section 3.2.1). The fast lane
+      // returns the pretenuring decision from the same probe — and usually
+      // from this thread's sample buffer, with no shared line touched.
       context = markword::MakeContext(sid, tss_);
-      Profiler* profiler = vm_->profiler();
-      if (profiler != nullptr) {
-        profiler->RecordAllocation(context);
-        gen = profiler->TargetGen(context);
+      if (profiler_ != nullptr) {
+        if (ng2c_) {
+          // NG2C overrides the generation below; record the sample only
+          // instead of computing a decision that would be discarded.
+          profiler_->RecordAllocation(context);
+        } else {
+          gen = profiler_->RecordAllocationWithGen(context, &alloc_buffer_);
+        }
       }
     }
-    if (vm_->config().gc == GcKind::kNg2c) {
+    if (ng2c_) {
       // NG2C mode: the hand-placed annotation decides the generation.
       gen = site.ng2c_hint;
     }
   }
   allocations_++;
-  Heap& heap = vm_->heap();
+  Heap& heap = *heap_;
   if (gen == kYoungGen && !heap.IsHumongousSize(total_bytes)) {
     char* mem = gc_ctx_.tlab.Allocate(total_bytes);
     if (mem != nullptr) {
+      pending_allocated_bytes_ += total_bytes;
       return heap.InitializeObject(mem, cls, total_bytes, array_length, context);
     }
   }
@@ -54,21 +67,22 @@ Object* RuntimeThread::Allocate(uint32_t alloc_site, ClassId cls, size_t total_b
     recoverable_ooms_++;
     return nullptr;
   }
+  pending_allocated_bytes_ += total_bytes;
   return result.object;
 }
 
 Object* RuntimeThread::AllocateInstance(uint32_t alloc_site, ClassId cls) {
-  return Allocate(alloc_site, cls, vm_->heap().InstanceAllocSize(cls), 0);
+  return Allocate(alloc_site, cls, heap_->InstanceAllocSize(cls), 0);
 }
 
 Object* RuntimeThread::AllocateRefArray(uint32_t alloc_site, uint64_t length) {
-  return Allocate(alloc_site, vm_->heap().classes().ref_array_class(),
-                  vm_->heap().RefArrayAllocSize(length), length);
+  return Allocate(alloc_site, heap_->classes().ref_array_class(),
+                  heap_->RefArrayAllocSize(length), length);
 }
 
 Object* RuntimeThread::AllocateDataArray(uint32_t alloc_site, uint64_t length) {
-  return Allocate(alloc_site, vm_->heap().classes().data_array_class(),
-                  vm_->heap().DataArrayAllocSize(length), length);
+  return Allocate(alloc_site, heap_->classes().data_array_class(),
+                  heap_->DataArrayAllocSize(length), length);
 }
 
 Local RuntimeThread::NewLocal(Object* obj) {
@@ -139,6 +153,16 @@ void RuntimeThread::BiasUnlock(Object* obj) {
   uint64_t m = obj->LoadMark();
   ROLP_DCHECK(markword::IsBiased(m));
   obj->StoreMark(markword::ClearBiased(m));
+}
+
+void RuntimeThread::FlushAllocBuffer() {
+  if (profiler_ != nullptr) {
+    alloc_buffer_.Flush(profiler_->old_table());
+  }
+  if (pending_allocated_bytes_ != 0) {
+    heap_->AddAllocatedBytes(pending_allocated_bytes_);
+    pending_allocated_bytes_ = 0;
+  }
 }
 
 void RuntimeThread::Poll() { vm_->safepoints().Poll(&gc_ctx_); }

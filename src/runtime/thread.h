@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/gc/collector.h"
+#include "src/rolp/alloc_buffer.h"
 #include "src/runtime/method.h"
 #include "src/util/random.h"
 
@@ -17,6 +18,8 @@ namespace rolp {
 
 class VM;
 class RuntimeThread;
+class Profiler;
+class Heap;
 
 // A handle to a heap object, rooted in the owning thread's local root set.
 // Reads go through the heap's load barrier so they stay valid under the
@@ -96,6 +99,13 @@ class RuntimeThread {
   // Fault injection modelling OSR transitions that skip profiling code.
   void MaybeInjectOsrCorruption();
 
+  // --- Allocation sample buffer (fast lane, DESIGN.md §9) --------------------
+  // Drains this thread's batched OLD-table increments and allocated-bytes
+  // credit, and invalidates its cached pretenuring decisions. Called with the
+  // thread stopped (GC-end safepoint) or by the thread itself (detach).
+  void FlushAllocBuffer();
+  const AllocBuffer& alloc_buffer() const { return alloc_buffer_; }
+
   // --- Biased locking (paper section 3.2.2) ----------------------------------
   void BiasLock(Object* obj);
   void BiasUnlock(Object* obj);
@@ -118,6 +128,13 @@ class RuntimeThread {
   Object* Allocate(uint32_t alloc_site, ClassId cls, size_t total_bytes, uint64_t array_length);
 
   VM* vm_;
+  // Hot-path state, resolved once at attach time so Allocate dereferences no
+  // VM-config chains: the profiler (null unless GC=rolp), the heap, and
+  // whether NG2C annotations override the target generation.
+  Profiler* profiler_ = nullptr;
+  Heap* heap_ = nullptr;
+  bool ng2c_ = false;
+  AllocBuffer alloc_buffer_;
   MutatorContext gc_ctx_;
   uint16_t tss_ = 0;
   std::vector<FrameRecord> frame_stack_;
@@ -128,6 +145,8 @@ class RuntimeThread {
   uint64_t osr_repaired_ = 0;
   uint64_t allocations_ = 0;
   uint64_t recoverable_ooms_ = 0;
+  // Heap-bytes credit not yet drained to Heap::AddAllocatedBytes.
+  uint64_t pending_allocated_bytes_ = 0;
 };
 
 }  // namespace rolp

@@ -8,6 +8,7 @@
 #include "src/gc/zgc_collector.h"
 #include "src/runtime/thread.h"
 #include "src/util/check.h"
+#include "src/util/env.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
 
@@ -144,6 +145,15 @@ VM::VM(const VmConfig& config) : config_(config) {
       RolpConfig rc = config_.rolp;
       rc.max_gc_workers = gcfg.num_workers > rc.max_gc_workers ? gcfg.num_workers
                                                                : rc.max_gc_workers;
+      // Allocation fast-lane knobs (DESIGN.md §9): ROLP_ALLOC_BUFFER=0 turns
+      // the per-thread sample buffers off; ROLP_ALLOC_BUFFER_SLOTS resizes
+      // them (0 also disables).
+      if (!EnvBool("ROLP_ALLOC_BUFFER", true)) {
+        rc.alloc_buffer_slots = 0;
+      } else {
+        rc.alloc_buffer_slots = static_cast<uint32_t>(
+            EnvInt64("ROLP_ALLOC_BUFFER_SLOTS", rc.alloc_buffer_slots));
+      }
       profiler_ = std::make_unique<Profiler>(rc);
       profiler_->SetCallSiteControl(jit_.get());
       break;
@@ -204,6 +214,8 @@ RuntimeThread* VM::AttachThread() {
 }
 
 void VM::DetachThread(RuntimeThread* thread) {
+  // The thread's batched OLD-table increments must not die with it.
+  thread->FlushAllocBuffer();
   collector_->OnMutatorExit(&thread->gc_context());
   safepoints_.UnregisterThread(&thread->gc_context());
   std::lock_guard<SpinLock> guard(threads_lock_);
@@ -241,11 +253,15 @@ void VM::OnGcEnd(const GcEndInfo& info) {
   last_gc_end_ = info;
   // Paper section 7.2.3: at the end of each GC cycle, while the world is
   // still stopped, verify every thread's stack state against its frame stack
-  // and repair OSR-induced corruption.
+  // and repair OSR-induced corruption. The same walk drains every thread's
+  // allocation sample buffer so OLD-table counts are exact before the
+  // profiler merges survivors and runs inference, and so cached pretenuring
+  // decisions cannot outlive the decision set published below (DESIGN.md §9).
   {
     std::lock_guard<SpinLock> guard(threads_lock_);
     for (RuntimeThread* t : threads_) {
       t->VerifyAndRepairTss();
+      t->FlushAllocBuffer();
     }
   }
   if (profiler_ != nullptr) {

@@ -165,11 +165,16 @@ TEST_F(HeapTest, HumongousSizeThreshold) {
   EXPECT_TRUE(heap_->IsHumongousSize(3 * kMiB));
 }
 
-TEST_F(HeapTest, AllocatedBytesAccumulate) {
+TEST_F(HeapTest, AllocatedBytesAreCallerAccounted) {
+  // InitializeObject no longer touches the shared allocated-bytes counter
+  // (mutator threads batch their credits and drain them via
+  // AddAllocatedBytes at safepoints / detach — see RuntimeThread).
   ClassId cls = heap_->classes().RegisterInstance("C", 16, {});
   Region* r = heap_->regions().AllocateRegion(RegionKind::kEden);
   uint64_t before = heap_->total_allocated_bytes();
   AllocInRegion(r, cls, heap_->InstanceAllocSize(cls));
+  EXPECT_EQ(heap_->total_allocated_bytes(), before);
+  heap_->AddAllocatedBytes(32);
   EXPECT_EQ(heap_->total_allocated_bytes(), before + 32);
 }
 

@@ -1,0 +1,250 @@
+// Pause-engine benchmarks: how stop-the-world work scales with GC workers.
+//
+// BM_PauseYoungSkewedRemset builds the adversarial shape for static work
+// partitioning: a handful of old remembered-set source regions where one
+// region holds the overwhelming majority of the live references into the
+// collection set. A strided partition hands that region — and every object it
+// keeps alive — to a single worker; work stealing spreads the discovered
+// copy work across the pool. Timed with manual time around the collection
+// call only (the mutator-side refill between pauses is untimed).
+//
+// BM_ProfilerGcEndInference measures the profiler cost paid *inside* the
+// pause at an inference boundary (worker-table merge + lifetime inference +
+// decision publication), the piece the async-inference path shrinks to a
+// table snapshot.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/gc/regional_collector.h"
+#include "src/heap/heap.h"
+#include "src/rolp/profiler.h"
+#include "src/util/clock.h"
+
+namespace rolp {
+namespace {
+
+constexpr size_t kHeapMb = 256;
+constexpr size_t kRegionBytes = 1 << 20;
+constexpr size_t kSourceRegions = 8;
+constexpr size_t kArraysPerRegion = 15;   // ~fills one 1MB region
+constexpr size_t kSlotsPerArray = 8192;
+constexpr size_t kTotalYoungRefs = 120000;
+// The skew: source region 0 keeps 80% of the young referents alive.
+constexpr double kDenseShare = 0.80;
+constexpr uint32_t kContexts = 256;
+
+class PauseBenchEnv {
+ public:
+  explicit PauseBenchEnv(uint32_t workers) {
+    HeapConfig hc;
+    hc.heap_bytes = kHeapMb * 1024 * 1024;
+    hc.region_bytes = kRegionBytes;
+    hc.young_fraction = 0.25;
+    heap_ = std::make_unique<Heap>(hc);
+    leaf_cls_ = heap_->classes().RegisterInstance("PauseLeaf", 40, {});
+
+    GcConfig gc;
+    gc.num_workers = workers;
+    gc.use_dynamic_gens = true;
+    // One past the mark word's maximum age: survivors never tenure, so every
+    // iteration re-copies the same live set (steady-state copy load).
+    gc.tenuring_threshold = 16;
+    collector_ = std::make_unique<RegionalCollector>(heap_.get(), gc, &safepoints_);
+
+    RolpConfig rc;
+    rc.alloc_buffer_slots = 0;  // bench drives the table directly
+    rc.auto_survivor_tracking = false;
+    rc.max_gc_workers = workers > 16 ? workers : 16;
+    profiler_ = std::make_unique<Profiler>(rc);
+    collector_->set_profiler(profiler_.get());
+
+    safepoints_.RegisterThread(&ctx_);
+    BuildOldSources();
+    RefillYoungReferents();
+    // Warmup pause so the measured iterations start from the steady state
+    // (survivor regions exist, remsets are established).
+    collector_->CollectNow(&ctx_);
+    RefillYoungReferents();
+  }
+
+  ~PauseBenchEnv() {
+    collector_->OnMutatorExit(&ctx_);
+    safepoints_.UnregisterThread(&ctx_);
+  }
+
+  // One measured pause; returns its duration in seconds.
+  double TimedCollect() {
+    uint64_t t0 = NowNs();
+    collector_->CollectNow(&ctx_);
+    uint64_t t1 = NowNs();
+    return static_cast<double>(t1 - t0) * 1e-9;
+  }
+
+  void RefillYoungReferents() {
+    // Overwrite the same slots each iteration: the previous survivors become
+    // garbage and the freshly allocated eden objects become the live set.
+    uint32_t seq = 0;
+    for (size_t r = 0; r < kSourceRegions; r++) {
+      size_t refs = RefsForRegion(r);
+      size_t per_array = (refs + kArraysPerRegion - 1) / kArraysPerRegion;
+      for (size_t a = 0; a < kArraysPerRegion && refs > 0; a++) {
+        Object* arr = arrays_[r * kArraysPerRegion + a];
+        size_t n = per_array < refs ? per_array : refs;
+        for (size_t i = 0; i < n; i++) {
+          Object* leaf = AllocLeaf(1 + (seq++ % kContexts));
+          heap_->StoreRef(arr, arr->RefArraySlot(i), leaf);
+        }
+        refs -= n;
+      }
+    }
+  }
+
+  uint64_t FullPauses() const {
+    uint64_t n = 0;
+    for (const auto& p : collector_->metrics().Pauses()) {
+      if (p.kind == PauseKind::kFull) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  RegionalCollector& collector() { return *collector_; }
+  Profiler& profiler() { return *profiler_; }
+
+ private:
+  static size_t RefsForRegion(size_t r) {
+    size_t dense = static_cast<size_t>(static_cast<double>(kTotalYoungRefs) * kDenseShare);
+    if (r == 0) {
+      return dense;
+    }
+    return (kTotalYoungRefs - dense) / (kSourceRegions - 1);
+  }
+
+  void BuildOldSources() {
+    for (size_t i = 0; i < kSourceRegions * kArraysPerRegion; i++) {
+      AllocRequest req;
+      req.cls = heap_->classes().ref_array_class();
+      req.total_bytes = heap_->RefArrayAllocSize(kSlotsPerArray);
+      req.array_length = kSlotsPerArray;
+      req.target_gen = 15;  // straight to the old generation
+      Object* arr = collector_->AllocateSlow(&ctx_, req).object;
+      ROLP_CHECK(arr != nullptr);
+      ctx_.local_roots.emplace_back(arr);
+      arrays_.push_back(arr);
+    }
+  }
+
+  Object* AllocLeaf(uint32_t context) {
+    AllocRequest req;
+    req.cls = leaf_cls_;
+    req.total_bytes = heap_->InstanceAllocSize(leaf_cls_);
+    req.context = context;
+    char* mem = ctx_.tlab.Allocate(req.total_bytes);
+    Object* obj;
+    if (mem != nullptr) {
+      obj = heap_->InitializeObject(mem, req.cls, req.total_bytes, 0, req.context);
+    } else {
+      obj = collector_->AllocateSlow(&ctx_, req).object;
+      ROLP_CHECK(obj != nullptr);
+    }
+    // Keep an OLD-table row alive for the context so survivor tracking counts
+    // these objects (Contains() gate in OnSurvivor).
+    profiler_->RecordAllocation(context);
+    return obj;
+  }
+
+  std::unique_ptr<Heap> heap_;
+  SafepointManager safepoints_;
+  MutatorContext ctx_;
+  std::unique_ptr<RegionalCollector> collector_;
+  std::unique_ptr<Profiler> profiler_;
+  ClassId leaf_cls_ = 0;
+  std::vector<Object*> arrays_;
+};
+
+void BM_PauseYoungSkewedRemset(benchmark::State& state) {
+  PauseBenchEnv env(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    state.SetIterationTime(env.TimedCollect());
+    env.RefillYoungReferents();
+  }
+  state.counters["full_gcs"] = static_cast<double>(env.FullPauses());
+  const GcMetrics& m = env.collector().metrics();
+  double iters = static_cast<double>(state.iterations());
+  state.counters["scan_ms"] =
+      static_cast<double>(m.PauseScanNs()) * 1e-6 / iters;
+  state.counters["evac_ms"] =
+      static_cast<double>(m.PauseEvacNs()) * 1e-6 / iters;
+  state.counters["merge_ms"] =
+      static_cast<double>(m.PauseProfilerNs()) * 1e-6 / iters;
+  // Work balance: largest single-worker share of all copied bytes. Static
+  // striding pins the dense region's referents on one worker (share -> ~1.0
+  // regardless of pool size); stealing drives it toward 1/num_workers. On a
+  // single-CPU host this — not wall clock — is the observable skew signal.
+  state.counters["max_worker_share"] = m.MaxWorkerCopiedShare();
+}
+BENCHMARK(BM_PauseYoungSkewedRemset)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(16);
+
+// In-pause profiler cost at an inference boundary. arg: 0 = synchronous
+// inference inside OnGcEnd (the historical pipeline), 1 = async inference
+// (OnGcEnd only snapshots the table; analysis happens off-pause).
+void BM_ProfilerGcEndInference(benchmark::State& state) {
+  constexpr uint32_t kRows = 2048;
+  RolpConfig rc;
+  rc.inference_period = 1;  // every GC end is an inference boundary
+  rc.auto_survivor_tracking = false;
+  rc.alloc_buffer_slots = 0;
+  rc.async_inference = state.range(0) != 0;
+  // Size the table to the active context set (4x headroom) the way a tuned
+  // deployment would: otherwise the fixed cost of walking a mostly-empty
+  // 2^16-slot table dwarfs the analysis being moved off-pause.
+  rc.old_table_entries = kRows * 4;
+  Profiler p(rc);
+  for (uint32_t c = 1; c <= kRows; c++) {
+    p.RecordAllocation(c);
+  }
+  uint64_t cycle = 0;
+  uint64_t pause_cpu_ns = 0;
+  for (auto _ : state) {
+    // Untimed: repopulate worker tables and age-0 counts (the merge input).
+    for (uint32_t c = 1; c <= kRows; c++) {
+      p.RecordAllocation(c);
+      uint64_t mark = markword::SetAge(markword::SetContext(0, c), c % 6);
+      p.OnSurvivor(c % 4, mark);
+    }
+    uint64_t c0 = ThreadCpuNs();
+    uint64_t t0 = NowNs();
+    p.OnGcEnd({++cycle, 1000000, PauseKind::kYoung});
+    uint64_t t1 = NowNs();
+    pause_cpu_ns += ThreadCpuNs() - c0;
+    state.SetIterationTime(static_cast<double>(t1 - t0) * 1e-9);
+    p.WaitForStagedInference();  // async analysis drains untimed
+  }
+  state.counters["inferences"] = static_cast<double>(p.inferences_run());
+  // CPU the pause thread itself spends inside OnGcEnd. On a single-CPU host
+  // the freshly woken inference thread preempts into the wall-clock window,
+  // so wall time conserves total work and hides the split; thread CPU time is
+  // the number that transfers to a multi-core host.
+  state.counters["pause_cpu_us"] = static_cast<double>(pause_cpu_ns) * 1e-3 /
+                                   static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ProfilerGcEndInference)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rolp
+
+BENCHMARK_MAIN();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the microbenchmark suite and records google-benchmark JSON into
-# BENCH_micro.json at the repo root (committed, so perf changes show up in
-# review diffs). Uses the default preset's build tree; builds it if missing.
+# Runs the microbenchmark suites and records google-benchmark JSON into
+# BENCH_micro.json and BENCH_pause.json at the repo root (committed, so perf
+# changes show up in review diffs). Uses the default preset's build tree;
+# builds it if missing.
 #
 # Usage: scripts/bench.sh [extra google-benchmark args...]
 #   e.g. scripts/bench.sh --benchmark_filter='BM_Alloc.*'
@@ -11,11 +12,12 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${ROLP_BENCH_BUILD_DIR:-build}
 OUT=${ROLP_BENCH_OUT:-BENCH_micro.json}
+PAUSE_OUT=${ROLP_BENCH_PAUSE_OUT:-BENCH_pause.json}
 REPS=${ROLP_BENCH_REPS:-3}
 
-if [ ! -x "$BUILD_DIR/bench/bench_micro" ]; then
+if [ ! -x "$BUILD_DIR/bench/bench_micro" ] || [ ! -x "$BUILD_DIR/bench/bench_pause" ]; then
   cmake --preset default
-  cmake --build --preset default -j "$(nproc)" --target bench_micro
+  cmake --build --preset default -j "$(nproc)" --target bench_micro bench_pause
 fi
 
 "$BUILD_DIR/bench/bench_micro" \
@@ -26,3 +28,14 @@ fi
   "$@"
 
 echo "wrote $OUT"
+
+# Pause-engine suite: BM_PauseYoungSkewedRemset pins its iteration count (the
+# heap refill dominates), so repetitions are what produce the aggregates.
+"$BUILD_DIR/bench/bench_pause" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$PAUSE_OUT" \
+  "$@"
+
+echo "wrote $PAUSE_OUT"

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on large regressions.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
+       [--filter REGEX ...]
+
+For every benchmark present in both files (matched by name, preferring the
+"_median" aggregate when repetitions were used), fail if the current time is
+more than `threshold` slower than the baseline. Only benchmarks matching one
+of the --filter regexes are gated (all, if no filter given); everything else
+is reported informationally. Benchmarks missing from either side are skipped —
+this is a smoke gate against accidental large regressions on the latency-
+critical paths, not a statistics suite.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_times(path):
+    """name -> (time, unit), preferring median aggregates over raw entries."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b.get("run_name", name.rsplit("_median", 1)[0])
+        elif name.endswith(("_mean", "_median", "_stddev", "_cv")):
+            continue
+        # Prefer manual/real time; fall back to cpu time.
+        t = b.get("real_time", b.get("cpu_time"))
+        if t is None:
+            continue
+        # Median aggregates overwrite raw entries of the same run_name.
+        if b.get("run_type") == "aggregate" or name not in times:
+            times[name] = (float(t), b.get("time_unit", "ns"))
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="fail when current > baseline * (1 + threshold)")
+    ap.add_argument("--filter", action="append", default=[],
+                    help="regex; only matching benchmark names are gated")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+    gates = [re.compile(p) for p in args.filter]
+
+    failures = []
+    for name in sorted(base.keys() & cur.keys()):
+        b, unit = base[name]
+        c, _ = cur[name]
+        if b <= 0:
+            continue
+        ratio = c / b
+        gated = not gates or any(g.search(name) for g in gates)
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSED" if gated else "regressed (ungated)"
+            if gated:
+                failures.append(name)
+        print(f"  {name}: {b:.1f} -> {c:.1f} {unit} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%) {status}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold * 100:.0f}%: {', '.join(failures)}")
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

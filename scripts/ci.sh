@@ -30,5 +30,33 @@ echo "=== bench smoke"
 if [ -x build/bench/bench_micro ]; then
   build/bench/bench_micro --benchmark_min_time=0.001 >/dev/null
 fi
+if [ -x build/bench/bench_pause ]; then
+  build/bench/bench_pause --benchmark_filter='BM_ProfilerGcEndInference' \
+    --benchmark_min_time=0.001 >/dev/null
+fi
+
+# Bench regression smoke (ROLP_BENCH_CHECK=0 skips): re-measure the gated
+# latency-critical benchmarks and compare medians against the committed
+# baselines; >25% regression fails. Gated set: the allocation fast path and
+# the in-pause profiler cost — the two numbers this repo exists to keep small.
+if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
+  echo "=== bench regression check"
+  if [ -f BENCH_micro.json ] && [ -x build/bench/bench_micro ]; then
+    build/bench/bench_micro \
+      --benchmark_filter='BM_AllocProfiled|BM_AllocUnprofiled' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+      --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_micro.json >/dev/null
+    python3 scripts/check_bench_regression.py BENCH_micro.json /tmp/ci_bench_micro.json \
+      --threshold 0.25 --filter 'BM_AllocProfiled'
+  fi
+  if [ -f BENCH_pause.json ] && [ -x build/bench/bench_pause ]; then
+    build/bench/bench_pause \
+      --benchmark_filter='BM_ProfilerGcEndInference' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+      --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_pause.json >/dev/null
+    python3 scripts/check_bench_regression.py BENCH_pause.json /tmp/ci_bench_pause.json \
+      --threshold 0.25 --filter 'BM_ProfilerGcEndInference'
+  fi
+fi
 
 echo "=== all presets passed: ${PRESETS[*]}"

@@ -30,9 +30,9 @@ CmsCollector::CmsCollector(Heap* heap, const GcConfig& config, SafepointManager*
 }
 
 double CmsCollector::TenuredOccupancy() const {
-  auto usage = const_cast<Heap*>(heap_)->regions().ComputeUsage();
-  size_t tenured = usage.old_regions + usage.humongous_regions;
-  return static_cast<double>(tenured) / static_cast<double>(heap_->regions().num_regions());
+  const RegionManager& regions = heap_->regions();
+  return static_cast<double>(regions.tenured_regions()) /
+         static_cast<double>(regions.num_regions());
 }
 
 char* CmsCollector::AllocateOld(size_t bytes, size_t* actual) {
@@ -273,7 +273,7 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
     }
     if (has_failures) {
       r->set_in_cset(false);
-      r->set_kind(RegionKind::kOld);
+      regions.RetireToOld(r);
       r->set_live_bytes(r->used());
     } else {
       bitmap_.ClearRange(r->begin(), r->end());

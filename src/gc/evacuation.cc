@@ -62,7 +62,7 @@ Object* EvacuationTask::Worker::EvacuateOrForward(Object* obj) {
       if (obj->mark.compare_exchange_strong(m, self, std::memory_order_acq_rel)) {
         task_->failed_.store(true, std::memory_order_relaxed);
         preserved_marks_.emplace_back(obj, m);
-        scan_stack_.push_back(obj);  // its referents still need evacuation
+        Emit(obj);  // its referents still need evacuation
         return obj;
       }
       continue;  // lost the race; retry (winner forwarded it)
@@ -92,11 +92,19 @@ Object* EvacuationTask::Worker::EvacuateOrForward(Object* obj) {
         // (paper section 3.3) and discards biased-locked objects itself.
         task_->profiler_->OnSurvivor(worker_id_, m);
       }
-      scan_stack_.push_back(copy);
+      Emit(copy);
       return copy;
     }
     // Lost the forwarding race: undo our private bump and use the winner's.
     dest_[space]->UndoBumpAlloc(to, size);
+  }
+}
+
+void EvacuationTask::Worker::Emit(Object* obj) {
+  if (task_->pool_ != nullptr) {
+    task_->pool_->Push(worker_id_, obj);
+  } else {
+    scan_stack_.push_back(obj);
   }
 }
 
@@ -157,25 +165,16 @@ void EvacuationTask::Worker::Finish() {
   }
 }
 
-std::vector<Region*> EvacuationTask::RestoreSelfForwarded(std::vector<Worker>& workers) {
-  std::vector<Region*> failed_regions;
+size_t EvacuationTask::RestoreSelfForwarded(std::vector<Worker>& workers) {
+  size_t restored = 0;
   for (Worker& w : workers) {
     for (auto& [obj, mark] : w.preserved_marks_) {
       obj->StoreMark(mark);
-      Region* r = heap_->regions().RegionFor(obj);
-      bool seen = false;
-      for (Region* fr : failed_regions) {
-        if (fr == r) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) {
-        failed_regions.push_back(r);
-      }
+      heap_->regions().RegionFor(obj)->set_evac_failed(true);
+      restored++;
     }
   }
-  return failed_regions;
+  return restored;
 }
 
 }  // namespace rolp

@@ -12,6 +12,7 @@
 
 #include "src/gc/gc_config.h"
 #include "src/gc/profiler_hooks.h"
+#include "src/gc/stealable_queue.h"
 #include "src/gc/watchdog/cancellation.h"
 #include "src/heap/heap.h"
 
@@ -36,7 +37,16 @@ class EvacuationTask {
     // roots); used to maintain remembered sets on updated references.
     void ProcessRootSlot(std::atomic<Object*>* slot, Region* src_region);
 
-    // Drains this worker's scan stack, evacuating transitively.
+    // Scans one work item: heals obj's ref slots (evacuating cset targets
+    // transitively) and maintains remembered sets against obj's own region.
+    // Works uniformly for to-space copies and for live objects in remset
+    // source regions, so both kinds share the work-stealing item type.
+    void ScanObject(Object* obj);
+
+    // Drains this worker's private scan stack, evacuating transitively.
+    // Only meaningful when the task has no work-stealing pool attached
+    // (set_pool not called): with a pool, items go to the deques and the
+    // caller's steal loop drains them instead.
     void Drain();
 
     // Retires destination buffers; called once after Drain.
@@ -53,7 +63,9 @@ class EvacuationTask {
 
     Object* EvacuateOrForward(Object* obj);
     char* AllocInDest(int space, size_t bytes);
-    void ScanObject(Object* obj);
+    // Publishes an object whose referents still need scanning: onto this
+    // worker's deque when a pool is attached, else the private scan stack.
+    void Emit(Object* obj);
 
     EvacuationTask* task_;
     uint32_t worker_id_;
@@ -68,13 +80,22 @@ class EvacuationTask {
 
   Worker MakeWorker(uint32_t worker_id) { return Worker(this, worker_id); }
 
+  // Attaches the per-pause work-stealing pool. When set, workers Emit
+  // discovered objects onto their own deque (pool->Push(worker_id, obj)) so
+  // idle workers can steal them; the caller owns termination via the pool's
+  // outstanding counter. When unset, workers fall back to private scan
+  // stacks drained by Drain() (single-threaded building block, tests).
+  void set_pool(WorkStealingPool<Object*>* pool) { pool_ = pool; }
+
   // Whether any worker hit to-space exhaustion.
   bool failed() const { return failed_.load(std::memory_order_relaxed); }
 
-  // After all workers finished: restores self-forwarded marks. Returns the
-  // set of regions that contain self-forwarded (in-place) survivors.
+  // After all workers finished: restores self-forwarded marks and flags each
+  // region containing in-place survivors via Region::set_evac_failed (the
+  // collector reads and clears the flag while walking the cset — O(cset),
+  // not O(cset * failed)). Returns how many objects were self-forwarded.
   // Workers must be passed in; their preserved lists live in them.
-  std::vector<Region*> RestoreSelfForwarded(std::vector<Worker>& workers);
+  size_t RestoreSelfForwarded(std::vector<Worker>& workers);
 
   Heap* heap() { return heap_; }
 
@@ -84,6 +105,7 @@ class EvacuationTask {
   ProfilerHooks* profiler_;
   bool survivor_tracking_;
   CancellationToken* cancel_;
+  WorkStealingPool<Object*>* pool_ = nullptr;
   std::atomic<bool> failed_{false};
 };
 

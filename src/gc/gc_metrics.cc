@@ -72,6 +72,19 @@ double GcMetrics::RecentMeanPauseNs(size_t n) const {
   return static_cast<double>(sum) / static_cast<double>(count);
 }
 
+double GcMetrics::MaxWorkerCopiedShare() const {
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (uint32_t w = 0; w < kMaxTrackedWorkers; w++) {
+    uint64_t v = worker_copied_bytes_[w].load(std::memory_order_relaxed);
+    total += v;
+    if (v > max) {
+      max = v;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(max) / static_cast<double>(total);
+}
+
 void GcMetrics::Reset() {
   std::lock_guard<SpinLock> guard(lock_);
   pauses_.clear();
@@ -80,6 +93,12 @@ void GcMetrics::Reset() {
   bytes_copied_.store(0, std::memory_order_relaxed);
   bytes_promoted_.store(0, std::memory_order_relaxed);
   concurrent_work_ns_.store(0, std::memory_order_relaxed);
+  pause_scan_ns_.store(0, std::memory_order_relaxed);
+  pause_evac_ns_.store(0, std::memory_order_relaxed);
+  pause_profiler_ns_.store(0, std::memory_order_relaxed);
+  for (uint32_t w = 0; w < kMaxTrackedWorkers; w++) {
+    worker_copied_bytes_[w].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace rolp

@@ -62,6 +62,37 @@ class GcMetrics {
   }
   uint64_t ConcurrentWorkNs() const { return concurrent_work_ns_.load(std::memory_order_relaxed); }
 
+  // Pause breakdown (young/mixed pauses): region/remset scanning, evacuation,
+  // and the profiler hook (merge + any in-pause inference). Cumulative ns;
+  // bench_pause divides by pause count.
+  void AddPauseScanNs(uint64_t n) { pause_scan_ns_.fetch_add(n, std::memory_order_relaxed); }
+  void AddPauseEvacNs(uint64_t n) { pause_evac_ns_.fetch_add(n, std::memory_order_relaxed); }
+  void AddPauseProfilerNs(uint64_t n) {
+    pause_profiler_ns_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t PauseScanNs() const { return pause_scan_ns_.load(std::memory_order_relaxed); }
+  uint64_t PauseEvacNs() const { return pause_evac_ns_.load(std::memory_order_relaxed); }
+  uint64_t PauseProfilerNs() const {
+    return pause_profiler_ns_.load(std::memory_order_relaxed);
+  }
+
+  // Per-worker evacuation copy volume: the work-balance signal. With static
+  // striding one worker can absorb a dense remset region (max share -> ~1.0);
+  // with stealing the shares even out regardless of input skew.
+  static constexpr uint32_t kMaxTrackedWorkers = 32;
+  void AddWorkerCopiedBytes(uint32_t worker, uint64_t n) {
+    if (worker < kMaxTrackedWorkers) {
+      worker_copied_bytes_[worker].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  uint64_t WorkerCopiedBytes(uint32_t worker) const {
+    return worker < kMaxTrackedWorkers
+               ? worker_copied_bytes_[worker].load(std::memory_order_relaxed)
+               : 0;
+  }
+  // Largest single-worker fraction of all copied bytes (1/num_workers = even).
+  double MaxWorkerCopiedShare() const;
+
   void Reset();
 
  private:
@@ -72,6 +103,10 @@ class GcMetrics {
   std::atomic<uint64_t> bytes_copied_{0};
   std::atomic<uint64_t> bytes_promoted_{0};
   std::atomic<uint64_t> concurrent_work_ns_{0};
+  std::atomic<uint64_t> pause_scan_ns_{0};
+  std::atomic<uint64_t> pause_evac_ns_{0};
+  std::atomic<uint64_t> pause_profiler_ns_{0};
+  std::atomic<uint64_t> worker_copied_bytes_[kMaxTrackedWorkers] = {};
 };
 
 }  // namespace rolp

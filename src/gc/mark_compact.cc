@@ -84,11 +84,25 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
     }
   });
   // Live objects: compacted ones are exactly `preserved`; humongous live
-  // objects are walked separately.
-  for (auto& [obj, mark] : preserved) {
+  // objects are walked separately. Distinct objects' slots are disjoint and
+  // fix_slot only reads forwarding info, so the fix-up shards freely across
+  // GC workers.
+  auto fix_object_fields = [&](Object* obj) {
     // Iterate fields using the original object location (class info comes
     // from non-mark header words, still intact).
     heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) { fix_slot(slot); });
+  };
+  if (workers != nullptr) {
+    workers->ParallelFor(preserved.size(), 1024,
+                         [&](uint32_t, size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; i++) {
+                             fix_object_fields(preserved[i].first);
+                           }
+                         });
+  } else {
+    for (auto& [obj, mark] : preserved) {
+      fix_object_fields(obj);
+    }
   }
   regions.ForEachRegion([&](Region* r) {
     if (r->kind() == RegionKind::kHumongous && r->live_bytes() > 0) {
@@ -120,8 +134,7 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
     if (r->used() == 0) {
       regions.FreeRegion(r);
     } else {
-      r->set_kind(RegionKind::kOld);
-      r->set_gen(0);
+      regions.RetireToOld(r);
       r->set_in_cset(false);
       r->set_live_bytes(r->used());
       occupied.push_back(r);
@@ -133,15 +146,16 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
     }
   });
 
-  RebuildRemsets(occupied);
+  RebuildRemsets(occupied, workers);
   bitmap_->ClearAll();
   return moved_bytes;
 }
 
-void MarkCompact::RebuildRemsets(const std::vector<Region*>& occupied) {
+void MarkCompact::RebuildRemsets(const std::vector<Region*>& occupied,
+                                 WorkerPool* workers) {
   RegionManager& regions = heap_->regions();
   regions.ForEachRegion([](Region* r) { r->ClearRemset(); });
-  for (Region* src : occupied) {
+  auto rebuild_one = [&](Region* src) {
     uint32_t src_index = src->index();
     src->ForEachObject([&](Object* obj) {
       heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
@@ -154,10 +168,23 @@ void MarkCompact::RebuildRemsets(const std::vector<Region*>& occupied) {
           return;
         }
         // Post-compaction there are no young regions; record all cross-region
-        // edges.
+        // edges. RemsetAddRegion is an atomic fetch_or, so source regions
+        // rebuild in parallel.
         vr->RemsetAddRegion(src_index);
       });
     });
+  };
+  if (workers != nullptr) {
+    workers->ParallelFor(occupied.size(), 1,
+                         [&](uint32_t, size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; i++) {
+                             rebuild_one(occupied[i]);
+                           }
+                         });
+  } else {
+    for (Region* src : occupied) {
+      rebuild_one(src);
+    }
   }
 }
 

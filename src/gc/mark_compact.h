@@ -28,7 +28,8 @@ class MarkCompact {
  private:
   // Rebuilds every region's remembered set from the post-compaction object
   // graph (coarse entries only exist for live cross-region references).
-  void RebuildRemsets(const std::vector<Region*>& occupied);
+  // Source regions shard across `workers` when provided (inserts are atomic).
+  void RebuildRemsets(const std::vector<Region*>& occupied, WorkerPool* workers);
 
   Heap* heap_;
   MarkBitmap* bitmap_;

@@ -1,7 +1,9 @@
 #include "src/gc/marking.h"
 
 #include <atomic>
+#include <thread>
 
+#include "src/gc/stealable_queue.h"
 #include "src/util/fault_injection.h"
 
 namespace rolp {
@@ -86,16 +88,24 @@ void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers,
     return;
   }
 
-  // Parallel: partition roots round-robin; workers claim objects via the
-  // atomic bitmap, so double-visits are impossible. Live-byte counters are
-  // atomic adds; marked_objects/bytes are reduced afterwards.
+  // Parallel: root slots are claimed in chunks from a shared cursor; each
+  // marked object goes onto the claiming worker's Chase-Lev deque, and idle
+  // workers steal from the others — a worker that lands on a root pointing at
+  // a huge structure no longer serializes the phase. Workers claim objects
+  // via the atomic bitmap, so double-visits are impossible even when an item
+  // is stolen concurrently with a retry. Termination: the pool's outstanding
+  // counter covers both the root chunks (pre-added) and every queued object.
   uint32_t n = workers->size();
+  WorkStealingPool<Object*> pool(n);
+  const size_t chunk = StealChunkSize();
+  const size_t num_units = (roots.size() + chunk - 1) / chunk;
+  pool.AddOutstanding(static_cast<int64_t>(num_units));
+  std::atomic<size_t> cursor{0};
   std::vector<uint64_t> objs(n, 0);
   std::vector<uint64_t> bytes(n, 0);
   workers->RunTask([&](uint32_t w) {
     // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
     (void)ROLP_FAULT_POINT("gc.phase.mark.stall");
-    std::vector<Object*> stack;
     uint64_t local_objs = 0;
     uint64_t local_bytes = 0;
     uint64_t steps = 0;
@@ -106,23 +116,44 @@ void Marker::MarkFromRoots(SafepointManager* safepoints, WorkerPool* workers,
       AccountingRegion(heap_->regions(), obj)->AddLiveBytes(obj->size_bytes);
       local_objs++;
       local_bytes += obj->size_bytes;
-      stack.push_back(obj);
+      pool.Push(w, obj);
     };
-    for (size_t i = w; i < roots.size(); i += n) {
-      visit(roots[i]->load(std::memory_order_relaxed));
-    }
-    while (!stack.empty()) {
-      if ((++steps & 63) == 0) {
-        workers->Heartbeat(w);
-        if (cancel != nullptr && cancel->IsCancelled()) {
-          return;  // partial marking; caller discards and falls back
-        }
+    for (;;) {
+      size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= roots.size()) {
+        break;
       }
-      Object* obj = stack.back();
-      stack.pop_back();
-      heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
-        visit(slot->load(std::memory_order_relaxed));
-      });
+      workers->Heartbeat(w);
+      size_t end = begin + chunk < roots.size() ? begin + chunk : roots.size();
+      for (size_t i = begin; i < end; i++) {
+        visit(roots[i]->load(std::memory_order_relaxed));
+      }
+      pool.FinishOne();
+    }
+    Object* obj = nullptr;
+    bool bailed = false;
+    while (!bailed) {
+      if (pool.TryGet(w, &obj)) {
+        heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+          visit(slot->load(std::memory_order_relaxed));
+        });
+        pool.FinishOne();
+        if ((++steps & 63) == 0) {
+          workers->Heartbeat(w);
+          bailed = cancel != nullptr && cancel->IsCancelled();
+        }
+        continue;
+      }
+      if (pool.Done()) {
+        break;
+      }
+      // All queues looked empty but a straggler still holds work: spin
+      // politely, keep publishing liveness, and watch for cancellation.
+      workers->Heartbeat(w);
+      if (cancel != nullptr && cancel->IsCancelled()) {
+        break;  // partial marking; caller discards and falls back
+      }
+      std::this_thread::yield();
     }
     objs[w] = local_objs;
     bytes[w] = local_bytes;

@@ -10,10 +10,15 @@
 
 namespace rolp {
 
+class WorkerPool;
+
 struct GcEndInfo {
   uint64_t gc_cycle = 0;      // completed GC cycles so far
   uint64_t pause_ns = 0;
   PauseKind kind = PauseKind::kYoung;
+  // GC worker pool the profiler may use to parallelize its safepoint-side
+  // work (worker-table merge). Null: run serially (tests, poolless paths).
+  WorkerPool* workers = nullptr;
 };
 
 class ProfilerHooks {

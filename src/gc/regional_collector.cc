@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/gc/evacuation.h"
 #include "src/gc/mark_compact.h"
 #include "src/gc/marking.h"
+#include "src/gc/stealable_queue.h"
 #include "src/util/clock.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
@@ -36,10 +38,9 @@ RegionalCollector::RegionalCollector(Heap* heap, const GcConfig& config,
 }
 
 double RegionalCollector::TenuredOccupancy() const {
-  auto usage = const_cast<Heap*>(heap_)->regions().ComputeUsage();
-  size_t tenured = usage.old_regions + usage.gen_regions + usage.humongous_regions;
-  return static_cast<double>(tenured) /
-         static_cast<double>(heap_->regions().num_regions());
+  const RegionManager& regions = heap_->regions();
+  return static_cast<double>(regions.tenured_regions()) /
+         static_cast<double>(regions.num_regions());
 }
 
 Region* RegionalCollector::RefillTlab(MutatorContext* ctx) {
@@ -188,21 +189,71 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
     }
     mark_ns = NowNs() - mark_t0;
     metrics_.AddConcurrentWorkNs(mark_ns);
-    // Fragmentation feedback for the profiler (paper section 6). Fully-dead
-    // generation regions are the pretenuring success case (reclaimed whole,
-    // zero copying), so fragmentation is measured only over regions that are
-    // still pinned by live objects: a low ratio there means objects died
-    // earlier than their generation and left sparse, unreclaimable regions.
-    if (dynamic_gens_ && profiler_ != nullptr) {
+  }
+
+  // ---- Pause-side region scans (parallel) ---------------------------------
+  // One fused sweep over the region table, sharded across the GC workers,
+  // replaces four serial walks: per-generation fragmentation accounting,
+  // dead-humongous discovery, young-cset collection, and mixed-cset candidate
+  // gathering. Workers fill private partials; the reductions below run after
+  // the ParallelFor barrier on the pause thread.
+  std::vector<Region*> cset;
+  std::vector<Region*> remset_sources;
+  const uint32_t n = workers_->size();
+  {
+    WatchdogPhaseScope scan_scope(watchdog_.get(), GcPhase::kScan, nullptr);
+    struct ScanPartial {
       size_t used[kNumDynamicGens + 1] = {};
       size_t live[kNumDynamicGens + 1] = {};
-      regions.ForEachRegion([&](Region* r) {
-        if (r->kind() == RegionKind::kGen && r->gen() >= 1 && r->gen() <= kNumDynamicGens &&
-            r->live_bytes() > 0) {
-          used[r->gen()] += r->used();
-          live[r->gen()] += r->live_bytes();
+      std::vector<Region*> young;
+      std::vector<Region*> candidates;
+      std::vector<Region*> dead_humongous;
+    };
+    std::vector<ScanPartial> partials(n);
+    const bool want_frag = mixed && dynamic_gens_ && profiler_ != nullptr;
+    workers_->ParallelFor(
+        regions.num_regions(), StealChunkSize(), [&](uint32_t w, size_t begin, size_t end) {
+          ScanPartial& p = partials[w];
+          for (size_t i = begin; i < end; i++) {
+            Region* r = &regions.region(i);
+            if (r->IsYoung()) {
+              p.young.push_back(r);
+              continue;
+            }
+            if (!mixed) {
+              continue;
+            }
+            RegionKind k = r->kind();
+            // Fragmentation feedback input (paper section 6). Fully-dead
+            // generation regions are the pretenuring success case (reclaimed
+            // whole, zero copying), so fragmentation is measured only over
+            // regions still pinned by live objects: a low ratio there means
+            // objects died earlier than their generation and left sparse,
+            // unreclaimable regions.
+            if (want_frag && k == RegionKind::kGen && r->gen() >= 1 &&
+                r->gen() <= kNumDynamicGens && r->live_bytes() > 0) {
+              p.used[r->gen()] += r->used();
+              p.live[r->gen()] += r->live_bytes();
+            }
+            if (k == RegionKind::kHumongous && r->live_bytes() == 0) {
+              p.dead_humongous.push_back(r);
+              continue;
+            }
+            if ((k == RegionKind::kOld || k == RegionKind::kGen) && r->used() > 0 &&
+                r->LiveRatio() <= config_.cset_live_ratio_max) {
+              p.candidates.push_back(r);
+            }
+          }
+        });
+    if (want_frag) {
+      size_t used[kNumDynamicGens + 1] = {};
+      size_t live[kNumDynamicGens + 1] = {};
+      for (ScanPartial& p : partials) {
+        for (uint8_t g = 1; g <= kNumDynamicGens; g++) {
+          used[g] += p.used[g];
+          live[g] += p.live[g];
         }
-      });
+      }
       for (uint8_t g = 1; g <= kNumDynamicGens; g++) {
         if (used[g] > 0) {
           profiler_->OnGenFragmentation(
@@ -210,43 +261,55 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
         }
       }
     }
-    // Reclaim dead humongous objects.
-    std::vector<Region*> dead_humongous;
-    regions.ForEachRegion([&](Region* r) {
-      if (r->kind() == RegionKind::kHumongous && r->live_bytes() == 0) {
-        dead_humongous.push_back(r);
-      }
-    });
-    for (Region* r : dead_humongous) {
-      regions.FreeRegion(r);
-    }
-  }
-
-  // Collection set: all young regions, plus (mixed) the emptiest tenured
-  // regions.
-  std::vector<Region*> cset;
-  regions.ForEachRegion([&](Region* r) {
-    if (r->IsYoung()) {
-      cset.push_back(r);
-    }
-  });
-  if (mixed) {
+    // Collection set: all young regions, plus (mixed) the emptiest tenured
+    // regions. Dead humongous objects are reclaimed on the spot.
     std::vector<Region*> candidates;
-    regions.ForEachRegion([&](Region* r) {
-      if ((r->kind() == RegionKind::kOld || r->kind() == RegionKind::kGen) &&
-          r->used() > 0 && r->LiveRatio() <= config_.cset_live_ratio_max) {
-        candidates.push_back(r);
+    for (ScanPartial& p : partials) {
+      for (Region* r : p.dead_humongous) {
+        regions.FreeRegion(r);
+      }
+      cset.insert(cset.end(), p.young.begin(), p.young.end());
+      candidates.insert(candidates.end(), p.candidates.begin(), p.candidates.end());
+    }
+    if (mixed) {
+      // Tie-break on index: partial concatenation order depends on chunk
+      // claiming, and the sort decides which candidates survive truncation.
+      std::sort(candidates.begin(), candidates.end(), [](Region* a, Region* b) {
+        return a->live_bytes() != b->live_bytes() ? a->live_bytes() < b->live_bytes()
+                                                  : a->index() < b->index();
+      });
+      if (candidates.size() > config_.max_old_cset_regions) {
+        candidates.resize(config_.max_old_cset_regions);
+      }
+      cset.insert(cset.end(), candidates.begin(), candidates.end());
+    }
+    for (Region* r : cset) {
+      r->set_in_cset(true);
+    }
+
+    // Remembered-set source regions: regions recorded as holding references
+    // into any collection-set region. Sharded over the cset; a region's first
+    // claimant (atomic exchange on its seen byte) publishes it.
+    std::unique_ptr<std::atomic<uint8_t>[]> seen(
+        new std::atomic<uint8_t>[regions.num_regions()]());
+    std::vector<std::vector<Region*>> source_partials(n);
+    workers_->ParallelFor(cset.size(), 4, [&](uint32_t w, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; i++) {
+        cset[i]->ForEachRemsetRegion([&](uint32_t idx) {
+          if (seen[idx].load(std::memory_order_relaxed) != 0 ||
+              seen[idx].exchange(1, std::memory_order_relaxed) != 0) {
+            return;
+          }
+          Region* s = &regions.region(idx);
+          if (!s->IsFree() && !s->in_cset() && s->kind() != RegionKind::kHumongousCont) {
+            source_partials[w].push_back(s);
+          }
+        });
       }
     });
-    std::sort(candidates.begin(), candidates.end(),
-              [](Region* a, Region* b) { return a->live_bytes() < b->live_bytes(); });
-    if (candidates.size() > config_.max_old_cset_regions) {
-      candidates.resize(config_.max_old_cset_regions);
+    for (auto& v : source_partials) {
+      remset_sources.insert(remset_sources.end(), v.begin(), v.end());
     }
-    cset.insert(cset.end(), candidates.begin(), candidates.end());
-  }
-  for (Region* r : cset) {
-    r->set_in_cset(true);
   }
 
   // Roots.
@@ -258,85 +321,116 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
     }
   });
 
-  // Remembered-set source regions: regions recorded as holding references
-  // into any collection-set region.
-  std::vector<bool> seen(regions.num_regions(), false);
-  std::vector<Region*> remset_sources;
-  for (Region* r : cset) {
-    r->ForEachRemsetRegion([&](uint32_t idx) {
-      if (seen[idx]) {
-        return;
-      }
-      seen[idx] = true;
-      Region* s = &regions.region(idx);
-      if (!s->IsFree() && !s->in_cset() && s->kind() != RegionKind::kHumongousCont) {
-        remset_sources.push_back(s);
-      }
-    });
-  }
+  // Everything since pause start except marking was pause-side scanning
+  // (occupancy, fragmentation, dead-humongous, cset selection, roots, remset
+  // sources).
+  uint64_t evac_t0 = NowNs();
+  metrics_.AddPauseScanNs(evac_t0 - t0 - mark_ns);
 
-  // Parallel evacuation.
+  // ---- Work-stealing evacuation -------------------------------------------
+  // Scan units (root-slot chunks, then one unit per remset source region) are
+  // claimed from a shared cursor; every object needing a referent scan —
+  // to-space copies and live source-region objects alike — becomes an item on
+  // the claiming worker's Chase-Lev deque, stealable by idle workers. The
+  // pool's outstanding counter (scan units pre-added, items counted at Push)
+  // provides termination: a worker whose queues all look empty spins until
+  // the counter drains, since a straggler may still publish work.
   bool survivor_tracking =
       profiler_ != nullptr && profiler_->SurvivorTrackingEnabled();
   CancellationToken evac_cancel;
   EvacuationTask task(heap_, &config_, profiler_, survivor_tracking, &evac_cancel);
-  uint32_t n = workers_->size();
+  WorkStealingPool<Object*> pool(n);
+  task.set_pool(&pool);
   std::vector<EvacuationTask::Worker> eworkers;
   eworkers.reserve(n);
   for (uint32_t w = 0; w < n; w++) {
     eworkers.push_back(task.MakeWorker(w));
   }
+  const size_t chunk = StealChunkSize();
+  const size_t root_units = (roots.size() + chunk - 1) / chunk;
+  const size_t total_units = root_units + remset_sources.size();
+  pool.AddOutstanding(static_cast<int64_t>(total_units));
+  std::atomic<size_t> unit_cursor{0};
   {
     WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &evac_cancel);
     workers_->RunTask([&](uint32_t w) {
       // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
       (void)ROLP_FAULT_POINT("gc.phase.evacuate.stall");
       EvacuationTask::Worker& ew = eworkers[w];
-      uint64_t steps = 0;
-      for (size_t i = w; i < roots.size(); i += n) {
-        if ((++steps & 63) == 0) {
-          workers_->Heartbeat(w);
+      for (;;) {
+        size_t u = unit_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (u >= total_units) {
+          break;
         }
-        ew.ProcessRootSlot(roots[i], nullptr);
-      }
-      for (size_t i = w; i < remset_sources.size(); i += n) {
         workers_->Heartbeat(w);
-        Region* s = remset_sources[i];
-        s->ForEachObject([&](Object* obj) {
-          if (mixed && !bitmap_.IsMarked(obj)) {
-            return;  // precise: skip dead objects when marks are fresh
+        if (u < root_units) {
+          size_t begin = u * chunk;
+          size_t end = begin + chunk < roots.size() ? begin + chunk : roots.size();
+          for (size_t i = begin; i < end; i++) {
+            ew.ProcessRootSlot(roots[i], nullptr);
           }
-          heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
-            ew.ProcessRootSlot(slot, s);
+        } else {
+          // Source regions enqueue their live objects as stealable items
+          // rather than scanning inline: one dense region no longer
+          // serializes the phase on whichever worker claimed it.
+          Region* s = remset_sources[u - root_units];
+          s->ForEachObject([&](Object* obj) {
+            if (mixed && !bitmap_.IsMarked(obj)) {
+              return;  // precise: skip dead objects when marks are fresh
+            }
+            pool.Push(w, obj);
           });
-        });
+        }
+        pool.FinishOne();
       }
-      ew.Drain();
+      // Drain: keep scanning until the whole phase is done. No cancellation
+      // bail-out here — once cancelled, EvacuateOrForward self-forwards
+      // everything it meets, so the remaining work is bounded slot healing
+      // that must still happen for the heap to stay parsable.
+      uint64_t steps = 0;
+      Object* obj = nullptr;
+      for (;;) {
+        if (pool.TryGet(w, &obj)) {
+          ew.ScanObject(obj);
+          pool.FinishOne();
+          if ((++steps & 63) == 0) {
+            workers_->Heartbeat(w);
+          }
+          continue;
+        }
+        if (pool.Done()) {
+          break;
+        }
+        workers_->Heartbeat(w);
+        std::this_thread::yield();
+      }
       ew.Finish();
     });
   }
 
-  std::vector<Region*> failed_regions = task.RestoreSelfForwarded(eworkers);
+  task.RestoreSelfForwarded(eworkers);
   for (Region* r : cset) {
-    bool failed = std::find(failed_regions.begin(), failed_regions.end(), r) !=
-                  failed_regions.end();
-    if (failed) {
+    if (r->evac_failed()) {
       // In-place survivors: the region is retired to old and cleaned by the
       // upcoming full collection.
+      r->set_evac_failed(false);
       r->set_in_cset(false);
-      r->set_kind(RegionKind::kOld);
-      r->set_gen(0);
+      regions.RetireToOld(r);
       r->set_live_bytes(r->used());
     } else {
       regions.FreeRegion(r);
     }
   }
 
+  metrics_.AddPauseEvacNs(NowNs() - evac_t0);
+
   uint64_t copied = 0;
   uint64_t promoted = 0;
-  for (auto& ew : eworkers) {
+  for (uint32_t w = 0; w < n; w++) {
+    EvacuationTask::Worker& ew = eworkers[w];
     copied += ew.bytes_copied();
     promoted += ew.bytes_promoted();
+    metrics_.AddWorkerCopiedBytes(w, ew.bytes_copied());
   }
   metrics_.AddBytesCopied(copied);
   metrics_.AddBytesPromoted(promoted);
@@ -352,7 +446,9 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   metrics_.RecordPause(rec);
   if (profiler_ != nullptr) {
     WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
-    profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind});
+    uint64_t prof_t0 = NowNs();
+    profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});
+    metrics_.AddPauseProfilerNs(NowNs() - prof_t0);
   }
 
   if (task.failed()) {
@@ -386,7 +482,7 @@ void RegionalCollector::DoFull(uint64_t t0) {
   metrics_.RecordPause(rec);
   if (profiler_ != nullptr) {
     WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
-    profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind});
+    profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});
   }
   ReportOverrunToProfiler();
 }

@@ -36,6 +36,13 @@ class RegionalCollector : public Collector {
   size_t eden_target_regions() const { return eden_target_; }
   size_t eden_regions_in_use() const { return eden_in_use_.load(std::memory_order_relaxed); }
 
+  // Runs one stop-the-world collection right now (benches/tests): young or
+  // mixed by the usual occupancy trigger, or the full fallback when
+  // force_full. Returns false if another thread's collection ran instead.
+  bool CollectNow(MutatorContext* ctx, bool force_full = false) {
+    return TryCollect(ctx, force_full);
+  }
+
  private:
   // Stops the world and collects. Returns false if another thread's collection
   // ran instead (caller should retry its allocation).

@@ -16,6 +16,8 @@ const char* GcPhaseName(GcPhase phase) {
       return "idle";
     case GcPhase::kMark:
       return "mark";
+    case GcPhase::kScan:
+      return "scan";
     case GcPhase::kEvacuate:
       return "evacuate";
     case GcPhase::kCompact:

@@ -35,7 +35,7 @@
 
 namespace rolp {
 
-enum class GcPhase : uint8_t { kIdle, kMark, kEvacuate, kCompact, kProfilerMerge };
+enum class GcPhase : uint8_t { kIdle, kMark, kScan, kEvacuate, kCompact, kProfilerMerge };
 
 const char* GcPhaseName(GcPhase phase);
 

@@ -185,6 +185,32 @@ void WorkerPool::RunTask(const std::function<void(uint32_t)>& task) {
   s.task = nullptr;
 }
 
+void WorkerPool::ParallelFor(size_t count, size_t chunk,
+                             const std::function<void(uint32_t, size_t, size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (chunk == 0) {
+    chunk = 1;
+  }
+  if (num_workers_ == 1 || count <= chunk) {
+    fn(0, 0, count);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  RunTask([&](uint32_t item) {
+    for (;;) {
+      size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) {
+        return;
+      }
+      Heartbeat(item);
+      size_t end = begin + chunk < count ? begin + chunk : count;
+      fn(item, begin, end);
+    }
+  });
+}
+
 void WorkerPool::WorkerLoop(std::shared_ptr<PoolState> state, uint32_t thread_index) {
   PoolState& s = *state;
   while (true) {

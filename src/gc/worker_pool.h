@@ -53,6 +53,15 @@ class WorkerPool {
   // Must not be called re-entrantly.
   void RunTask(const std::function<void(uint32_t)>& task);
 
+  // Runs fn(item_id, begin, end) over [0, count) in chunks claimed from a
+  // shared cursor — self-balancing where a static stride is not. Runs inline
+  // on the calling thread when the range fits one chunk or the pool has a
+  // single worker. Blocks until the whole range is processed; the usual
+  // RunTask dead-worker requeue applies (chunks are claimed inside the item
+  // body, so a worker dying at the fail points never strands a chunk).
+  void ParallelFor(size_t count, size_t chunk,
+                   const std::function<void(uint32_t, size_t, size_t)>& fn);
+
   uint32_t size() const { return num_workers_; }
 
   // --- Heartbeats (watchdog) ----------------------------------------------

@@ -51,6 +51,7 @@ class Heap {
 
   const HeapConfig& config() const { return config_; }
   RegionManager& regions() { return *regions_; }
+  const RegionManager& regions() const { return *regions_; }
   ClassRegistry& classes() { return *classes_; }
   GlobalRoots& roots() { return roots_; }
 

@@ -54,6 +54,7 @@ class Region {
     kind_.store(RegionKind::kFree, std::memory_order_relaxed);
     gen_.store(0, std::memory_order_relaxed);
     in_cset_ = false;
+    evac_failed_ = false;
     humongous_span_ = 0;
     top_.store(begin_, std::memory_order_relaxed);
     live_bytes_.store(0, std::memory_order_relaxed);
@@ -96,6 +97,12 @@ class Region {
 
   bool in_cset() const { return in_cset_; }
   void set_in_cset(bool v) { in_cset_ = v; }
+
+  // Set by RestoreSelfForwarded (serial, after evacuation workers join) on
+  // regions holding self-forwarded survivors; read and cleared by the
+  // collector's cset sweep in the same pause.
+  bool evac_failed() const { return evac_failed_; }
+  void set_evac_failed(bool v) { evac_failed_ = v; }
 
   uint32_t humongous_span() const { return humongous_span_; }
   void set_humongous_span(uint32_t n) { humongous_span_ = n; }
@@ -205,6 +212,7 @@ class Region {
   std::atomic<RegionKind> kind_{RegionKind::kFree};
   std::atomic<uint8_t> gen_{0};
   bool in_cset_ = false;
+  bool evac_failed_ = false;
   uint32_t humongous_span_ = 0;
   std::atomic<size_t> live_bytes_{0};
   uint32_t remset_words_ = 0;

@@ -75,6 +75,9 @@ Region* RegionManager::AllocateRegion(RegionKind kind, uint8_t gen) {
   ROLP_DCHECK(r->IsFree());
   r->set_kind(kind);
   r->set_gen(gen);
+  if (IsTenuredKind(kind)) {
+    tenured_regions_.fetch_add(1, std::memory_order_relaxed);
+  }
   return r;
 }
 
@@ -108,6 +111,7 @@ Region* RegionManager::AllocateHumongous(size_t object_bytes) {
         Region* head = &regions_[start];
         head->set_humongous_span(static_cast<uint32_t>(needed));
         head->set_top(head->begin() + object_bytes);
+        tenured_regions_.fetch_add(needed, std::memory_order_relaxed);
         return head;
       }
     } else {
@@ -128,9 +132,20 @@ void RegionManager::FreeRegion(Region* region) {
   for (size_t j = 0; j < span; j++) {
     Region* r = &regions_[first + j];
     ROLP_DCHECK(!r->IsFree());
+    if (IsTenuredKind(r->kind())) {
+      tenured_regions_.fetch_sub(1, std::memory_order_relaxed);
+    }
     r->Reset();
     free_list_.push_back(r->index());
   }
+}
+
+void RegionManager::RetireToOld(Region* region) {
+  if (!IsTenuredKind(region->kind())) {
+    tenured_regions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  region->set_kind(RegionKind::kOld);
+  region->set_gen(0);
 }
 
 Region* RegionManager::RegionFor(const void* p) {

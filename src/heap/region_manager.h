@@ -2,6 +2,7 @@
 #ifndef SRC_HEAP_REGION_MANAGER_H_
 #define SRC_HEAP_REGION_MANAGER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -32,6 +33,11 @@ class RegionManager {
   // Returns a region (and its humongous continuations) to the free pool.
   void FreeRegion(Region* region);
 
+  // Pause-time promotion: transitions a region to kOld (gen 0), keeping the
+  // incremental tenured count coherent. Used by evacuation-failure recovery
+  // and mark-compact instead of raw set_kind.
+  void RetireToOld(Region* region);
+
   Region* RegionFor(const void* p);
   const Region* RegionFor(const void* p) const;
   bool Contains(const void* p) const {
@@ -44,7 +50,21 @@ class RegionManager {
   size_t free_regions() const;
   size_t committed_bytes() const { return num_regions_ * region_bytes_; }
 
+  // Regions currently in a tenured kind (old, dynamic gen, humongous head or
+  // continuation), maintained incrementally at every kind transition — the
+  // O(1) replacement for walking the region table with ComputeUsage just to
+  // answer the mixed-collection occupancy trigger.
+  size_t tenured_regions() const {
+    return tenured_regions_.load(std::memory_order_relaxed);
+  }
+
+  static bool IsTenuredKind(RegionKind k) {
+    return k == RegionKind::kOld || k == RegionKind::kGen ||
+           k == RegionKind::kHumongous || k == RegionKind::kHumongousCont;
+  }
+
   Region& region(size_t i) { return regions_[i]; }
+  const Region& region(size_t i) const { return regions_[i]; }
 
   template <typename Fn>
   void ForEachRegion(Fn&& fn) {
@@ -71,6 +91,7 @@ class RegionManager {
   std::unique_ptr<Region[]> regions_;
   mutable SpinLock lock_;
   std::vector<uint32_t> free_list_;
+  std::atomic<size_t> tenured_regions_{0};
 };
 
 }  // namespace rolp

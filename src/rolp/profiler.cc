@@ -1,5 +1,6 @@
 #include "src/rolp/profiler.h"
 
+#include "src/gc/worker_pool.h"
 #include "src/heap/object.h"
 #include "src/util/check.h"
 #include "src/util/fault_injection.h"
@@ -28,9 +29,21 @@ Profiler::Profiler(const RolpConfig& config)
   worker_tables_.resize(config.max_gc_workers);
   live_decisions_ = std::make_unique<DecisionMap>();
   decisions_.store(live_decisions_.get(), std::memory_order_release);
+  if (config_.async_inference) {
+    inf_thread_ = std::thread([this] { InferenceThreadLoop(); });
+  }
 }
 
-Profiler::~Profiler() = default;
+Profiler::~Profiler() {
+  if (inf_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> guard(inf_mu_);
+      inf_stop_ = true;
+    }
+    inf_cv_.notify_all();
+    inf_thread_.join();
+  }
+}
 
 void Profiler::SetCallSiteControl(CallSiteControl* control) {
   callsites_ = control;
@@ -65,11 +78,12 @@ void Profiler::OnSurvivor(uint32_t worker_id, uint64_t old_mark) {
   survivors_seen_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Profiler::MergeWorkerTables() {
+void Profiler::MergeWorkerTables(WorkerPool* workers) {
   // Stall-only fail point: watchdog tests inject hangs into the merge step
-  // (the profiler-merge GC phase) with a delay:<ms> arm.
+  // (the profiler-merge GC phase) with a delay:<ms> arm. Fired on the pause
+  // thread so the watchdog sees the stall regardless of pool dispatch.
   (void)ROLP_FAULT_POINT("rolp.merge.stall");
-  for (WorkerTable& table : worker_tables_) {
+  auto flush = [this](WorkerTable& table) {
     for (auto& [context, by_age] : table) {
       for (uint32_t age = 0; age < 16; age++) {
         if (by_age[age] > 0) {
@@ -78,7 +92,24 @@ void Profiler::MergeWorkerTables() {
       }
     }
     table.clear();
+  };
+  if (workers == nullptr || workers->size() <= 1) {
+    for (WorkerTable& table : worker_tables_) {
+      flush(table);
+    }
+    return;
   }
+  // Each pool item flushes a disjoint stride of worker tables; RecordSurvivor
+  // is lock-free (read-only probe + CAS/fetch_add), so rows shared between
+  // tables merge correctly under concurrency.
+  uint32_t n = workers->size();
+  size_t num_tables = worker_tables_.size();
+  workers->RunTask([&](uint32_t item) {
+    for (size_t i = item; i < num_tables; i += n) {
+      workers->Heartbeat(item);
+      flush(worker_tables_[i]);
+    }
+  });
 }
 
 void Profiler::PublishDecisions(std::unique_ptr<DecisionMap> next) {
@@ -92,13 +123,19 @@ void Profiler::PublishDecisions(std::unique_ptr<DecisionMap> next) {
   decisions_.store(next.get(), std::memory_order_release);
   retired_decisions_.push_back(std::move(live_decisions_));
   live_decisions_ = std::move(next);
+  // Any async snapshot taken before this publish is now based on a superseded
+  // decision set; invalidate it so its staged output gets discarded.
+  table_epoch_++;
 }
 
 void Profiler::OnGcEnd(const GcEndInfo& info) {
   // A safepoint separates us from any mutator that read a since-retired
   // decision map: free the retirees.
   ReclaimRetiredDecisions();
-  MergeWorkerTables();
+  // This pause is the "next safepoint" the async pipeline stages decisions
+  // for: publish them before merging this cycle's survivors.
+  TryPublishStagedInference();
+  MergeWorkerTables(info.workers);
 
   // Pause EMA drives the survivor-tracking re-enable heuristic.
   double pause = static_cast<double>(info.pause_ns);
@@ -132,11 +169,18 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
   }
 
   if (config_.inference_period != 0 && info.gc_cycle % config_.inference_period == 0) {
-    RunInference();
-    if (first_decision_cycle_ == 0 &&
-        !decisions_.load(std::memory_order_relaxed)->empty()) {
-      first_decision_cycle_ = info.gc_cycle;
+    if (config_.async_inference) {
+      StartAsyncInference();
+    } else {
+      RunInference();
     }
+  }
+  // Checked every cycle (not just at boundaries): with async inference the
+  // first non-empty decision set appears at the staged-publish safepoint, one
+  // or more cycles after the boundary that snapshotted it.
+  if (first_decision_cycle_ == 0 &&
+      !decisions_.load(std::memory_order_relaxed)->empty()) {
+    first_decision_cycle_ = info.gc_cycle;
   }
 
   if (config_.auto_survivor_tracking && !degraded_.load(std::memory_order_relaxed) &&
@@ -154,6 +198,14 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
   }
 }
 
+void Profiler::WaitForStagedInference() {
+  if (!config_.async_inference) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(inf_mu_);
+  inf_done_cv_.wait(lock, [&] { return !inf_busy_; });
+}
+
 void Profiler::RunInferenceNow() {
   // Tests drive inference without GC cycles; this stands in for the
   // world-stopped point, so retired maps are reclaimed here too.
@@ -161,33 +213,62 @@ void Profiler::RunInferenceNow() {
   RunInference();
 }
 
-void Profiler::RunInference() {
-  inferences_++;
-  demotion_churn_ = 0;  // fresh churn window (see OnGenFragmentation)
+void Profiler::ReclaimRetiredDecisions() {
+  if (config_.async_inference) {
+    std::lock_guard<std::mutex> guard(inf_mu_);
+    if (inf_busy_) {
+      return;  // the in-flight analysis may still read a retired map
+    }
+  }
+  retired_decisions_.clear();
+}
+
+Profiler::InferenceInput Profiler::SnapshotInferenceInput() {
+  InferenceInput in;
+  in.epoch = table_epoch_;
+  in.seq = inferences_ + 1;
+  in.rows.reserve(last_snapshot_rows_ + 64);
+  old_table_.ForEachRow([&](uint32_t context, const std::array<uint64_t, 16>& counts) {
+    // All-zero rows carry no signal and trivially pass the implausibility
+    // check: skipping them keeps the snapshot proportional to the active
+    // context set, not the table capacity.
+    for (uint64_t c : counts) {
+      if (c != 0) {
+        in.rows.emplace_back(context, counts);
+        break;
+      }
+    }
+  });
+  in.base = decisions_.load(std::memory_order_relaxed);
+  last_snapshot_rows_ = in.rows.size();
+  return in;
+}
+
+Profiler::InferenceOutput Profiler::AnalyzeRows(const InferenceInput& in) const {
+  InferenceOutput out;
+  out.epoch = in.epoch;
 
   // Sanity pass: a per-age count beyond any physical allocation rate means a
   // corrupt header or counter leaked into the table. Decisions derived from it
   // would be garbage — drop everything and ride out the storm degraded.
-  bool implausible = ROLP_FAULT_POINT("rolp.inference.implausible");
-  if (!implausible) {
-    old_table_.ForEachRow([&](uint32_t, const std::array<uint64_t, 16>& counts) {
+  out.implausible = ROLP_FAULT_POINT("rolp.inference.implausible");
+  if (!out.implausible) {
+    for (const auto& [context, counts] : in.rows) {
+      (void)context;
       for (uint64_t c : counts) {
         if (c > config_.implausible_count) {
-          implausible = true;
+          out.implausible = true;
         }
       }
-    });
+    }
   }
-  if (implausible) {
-    EnterDegraded(DegradeReason::kImplausibleHistogram);
-    return;
+  if (out.implausible) {
+    return out;
   }
 
-  const DecisionMap* current = decisions_.load(std::memory_order_relaxed);
-  auto next = std::make_unique<DecisionMap>(*current);
-
-  std::vector<uint32_t> conflicted_sites;
-  old_table_.ForEachRow([&](uint32_t context, const std::array<uint64_t, 16>& counts) {
+  out.next = std::make_unique<DecisionMap>(*in.base);
+  DecisionMap* next = out.next.get();
+  for (const auto& [context, counts] : in.rows) {
     // Contexts that already pretenure produce no young-survivor signal (their
     // objects never pass through the young generation again), so their rows
     // degenerate to an age-0 spike. Paper section 6: curves can only raise an
@@ -196,11 +277,11 @@ void Profiler::RunInference() {
     auto existing = next->find(context);
     CurveResult curve = CurveAnalysis::Analyze(counts);
     if (!curve.HasSignal()) {
-      return;
+      continue;
     }
     if (existing == next->end() && curve.IsConflict()) {
-      conflicted_sites.push_back(markword::ContextSite(context));
-      return;  // no decision from an ambiguous curve
+      out.conflicted_sites.push_back(markword::ContextSite(context));
+      continue;  // no decision from an ambiguous curve
     }
     int lifetime = curve.EstimatedLifetime();
     uint8_t gen;
@@ -218,51 +299,63 @@ void Profiler::RunInference() {
       if (gen > existing->second) {
         existing->second = gen;  // lifetime increased (section 6, case 1)
       }
-      return;
+      continue;
     }
     if (gen > 0) {
       (*next)[context] = gen;
     }
-  });
+  }
 
   if (LogEnabled(LogLevel::kInfo)) {
-    uint64_t rows = 0;
     uint64_t with_signal = 0;
-    old_table_.ForEachRow([&](uint32_t ctx, const std::array<uint64_t, 16>& counts) {
-      rows++;
+    for (const auto& [context, counts] : in.rows) {
       CurveResult c = CurveAnalysis::Analyze(counts);
       if (c.HasSignal()) {
         with_signal++;
         ROLP_LOG_INFO(
             "inference %llu: ctx site=%u tss=%u peak=%d conflict=%d total=%llu "
             "[%llu %llu %llu %llu %llu %llu %llu %llu]",
-            (unsigned long long)inferences_, markword::ContextSite(ctx),
-            markword::ContextTss(ctx), c.EstimatedLifetime(), c.IsConflict() ? 1 : 0,
+            (unsigned long long)in.seq, markword::ContextSite(context),
+            markword::ContextTss(context), c.EstimatedLifetime(), c.IsConflict() ? 1 : 0,
             (unsigned long long)c.total, (unsigned long long)counts[0],
             (unsigned long long)counts[1], (unsigned long long)counts[2],
             (unsigned long long)counts[3], (unsigned long long)counts[4],
             (unsigned long long)counts[5], (unsigned long long)counts[6],
             (unsigned long long)counts[7]);
       }
-    });
-    ROLP_LOG_INFO("inference %llu: rows=%llu signal=%llu conflicts=%zu decisions=%zu",
-                  (unsigned long long)inferences_, (unsigned long long)rows,
-                  (unsigned long long)with_signal, conflicted_sites.size(), next->size());
+    }
+    ROLP_LOG_INFO("inference %llu: rows=%zu signal=%llu conflicts=%zu decisions=%zu",
+                  (unsigned long long)in.seq, in.rows.size(),
+                  (unsigned long long)with_signal, out.conflicted_sites.size(),
+                  next->size());
   }
   if (ROLP_FAULT_POINT("rolp.inference.conflict")) {
     // Simulated ambiguous curve: exercises table growth + conflict resolution.
-    conflicted_sites.push_back(0);
+    out.conflicted_sites.push_back(0);
   }
-  conflicts_total_ += conflicted_sites.size();
-  if (!conflicted_sites.empty()) {
+  out.changed = *out.next != *in.base;
+  return out;
+}
+
+void Profiler::ApplyInferenceOutput(InferenceOutput out) {
+  inferences_++;
+  demotion_churn_ = 0;  // fresh churn window (see OnGenFragmentation)
+
+  if (out.implausible) {
+    EnterDegraded(DegradeReason::kImplausibleHistogram);
+    return;
+  }
+
+  conflicts_total_ += out.conflicted_sites.size();
+  if (!out.conflicted_sites.empty()) {
     old_table_.GrowForConflict();
   }
   if (resolver_ != nullptr) {
-    resolver_->OnInference(conflicted_sites);
+    resolver_->OnInference(out.conflicted_sites);
   }
 
-  bool changed = *next != *current;
-  PublishDecisions(std::move(next));
+  bool changed = out.changed;
+  PublishDecisions(std::move(out.next));
 
   // Survivor-tracking shut-off (paper section 7.4): disable when the workload
   // is stable, i.e. two consecutive inferences produced identical decisions.
@@ -282,9 +375,91 @@ void Profiler::RunInference() {
     }
     decisions_changed_since_last_inference_ = changed;
   }
+}
 
-  // Freshness: clear all counters for the next window (paper section 4).
+void Profiler::RunInference() {
+  InferenceInput in = SnapshotInferenceInput();
+  InferenceOutput out = AnalyzeRows(in);
+  // Freshness: clear all counters for the next window (paper section 4). The
+  // snapshot carries the closing window, so the apply step never re-reads the
+  // table.
   old_table_.ClearCounts();
+  ApplyInferenceOutput(std::move(out));
+}
+
+void Profiler::StartAsyncInference() {
+  {
+    std::lock_guard<std::mutex> guard(inf_mu_);
+    if (inf_busy_ || inf_staged_ != nullptr) {
+      // The previous snapshot is still being analyzed (or awaits publication):
+      // skip this boundary rather than queue a second window behind it.
+      return;
+    }
+    inf_input_ = std::make_unique<InferenceInput>(SnapshotInferenceInput());
+    inf_busy_ = true;
+    async_inferences_started_++;
+  }
+  inf_cv_.notify_one();
+  // Fresh counting window starts immediately; the handed-off snapshot owns
+  // the window that just closed. No epoch bump — clearing counts here is part
+  // of the snapshot protocol, not an invalidation.
+  old_table_.ClearCounts();
+}
+
+bool Profiler::TryPublishStagedInference() {
+  std::unique_ptr<InferenceOutput> out;
+  {
+    std::lock_guard<std::mutex> guard(inf_mu_);
+    if (inf_staged_ == nullptr) {
+      return false;
+    }
+    out = std::move(inf_staged_);
+    if (out->epoch != table_epoch_ || degraded_.load(std::memory_order_relaxed)) {
+      // The table moved under the analysis (degraded-mode transition,
+      // fragmentation demotion, forced sync inference): applying this output
+      // would resurrect pre-mutation decisions. Drop it; the next boundary
+      // snapshots fresh state.
+      stale_inferences_discarded_++;
+      return false;
+    }
+  }
+  ApplyInferenceOutput(std::move(*out));
+  return true;
+}
+
+void Profiler::InferenceThreadLoop() {
+  std::unique_lock<std::mutex> lock(inf_mu_);
+  for (;;) {
+    inf_cv_.wait(lock, [&] { return inf_stop_ || inf_input_ != nullptr; });
+    if (inf_stop_) {
+      return;
+    }
+    std::unique_ptr<InferenceInput> in = std::move(inf_input_);
+    lock.unlock();
+    // The pure analysis runs with no profiler locks held: mutators keep
+    // allocating into the (cleared) table and GC pauses proceed; only the
+    // publish waits for a safepoint.
+    auto out = std::make_unique<InferenceOutput>(AnalyzeRows(*in));
+    lock.lock();
+    inf_staged_ = std::move(out);
+    inf_busy_ = false;
+    inf_done_cv_.notify_all();
+  }
+}
+
+uint64_t Profiler::async_inferences_started() const {
+  std::lock_guard<std::mutex> guard(inf_mu_);
+  return async_inferences_started_;
+}
+
+uint64_t Profiler::stale_inferences_discarded() const {
+  std::lock_guard<std::mutex> guard(inf_mu_);
+  return stale_inferences_discarded_;
+}
+
+bool Profiler::staged_inference_pending() const {
+  std::lock_guard<std::mutex> guard(inf_mu_);
+  return inf_staged_ != nullptr;
 }
 
 void Profiler::OnGenFragmentation(uint8_t gen, double live_ratio) {

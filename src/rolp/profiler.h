@@ -18,8 +18,12 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/gc/profiler_hooks.h"
@@ -81,6 +85,13 @@ struct RolpConfig {
   // deadline while we are profiling survivors, stop adding profiler weight
   // to the pause).
   uint32_t degrade_overrun_threshold = 2;
+  // Run lifetime inference on a background thread: OnGcEnd only snapshots the
+  // OLD table at an inference boundary; the analysis happens off-pause and the
+  // resulting decisions are staged for publication at the NEXT safepoint.
+  // Default off so directly-constructed profilers (unit tests) keep the
+  // synchronous run-inference-inside-OnGcEnd semantics; the VM wires this from
+  // ROLP_ASYNC_INFERENCE (default on).
+  bool async_inference = false;
 };
 
 // Why the profiler last entered degraded mode.
@@ -170,16 +181,67 @@ class Profiler : public ProfilerHooks {
   }
   // Retired decision maps awaiting safepoint reclamation (tests: bounded).
   size_t retired_decision_maps() const { return retired_decisions_.size(); }
-  // Force one inference now (tests).
+  // Force one inference now (tests). Always synchronous, even with
+  // async_inference on; any in-flight async snapshot becomes stale.
   void RunInferenceNow();
+  // Blocks until the background inference thread has no snapshot in flight
+  // (benches/tests). No-op when async inference is off.
+  void WaitForStagedInference();
+  // Async-inference introspection. Started counts snapshots handed to the
+  // background thread; discarded counts staged outputs dropped because the
+  // table epoch moved (degraded-mode transition, demotion, sync inference)
+  // between snapshot and the publish safepoint.
+  uint64_t async_inferences_started() const;
+  uint64_t stale_inferences_discarded() const;
+  // True while an analyzed decision set is staged awaiting the next safepoint.
+  bool staged_inference_pending() const;
 
  private:
   using DecisionMap = std::unordered_map<uint32_t, uint8_t>;
   // worker -> context -> survivor counts by (pre-increment) age
   using WorkerTable = std::unordered_map<uint32_t, std::array<uint32_t, 16>>;
 
-  void MergeWorkerTables();
+  // --- Off-pause inference pipeline -----------------------------------------
+  // The analysis is a pure function over an immutable snapshot, so it can run
+  // either inline (sync mode) or on the background thread (async mode):
+  //   snapshot (safepoint) -> AnalyzeRows (anywhere) -> apply (safepoint).
+  // `epoch` stamps the snapshot; any safepoint-side mutation of the decision
+  // set or histograms bumps table_epoch_, so a staged output whose epoch no
+  // longer matches is discarded instead of resurrecting pre-mutation state.
+  struct InferenceInput {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;  // inference ordinal (logging only)
+    std::vector<std::pair<uint32_t, std::array<uint64_t, 16>>> rows;
+    // Decisions at snapshot time, by pointer: copying the map would put its
+    // full cost back inside the pause. The pointee stays valid for the whole
+    // analysis because decision maps are only freed by ReclaimRetiredDecisions,
+    // which defers while an analysis is in flight.
+    const DecisionMap* base = nullptr;
+  };
+  struct InferenceOutput {
+    uint64_t epoch = 0;
+    bool implausible = false;
+    // next != base, computed during analysis so the publish safepoint does
+    // not pay a full map comparison. Valid under the epoch guard: no publish
+    // separated the snapshot from the apply, so base still equals the live
+    // map.
+    bool changed = false;
+    std::unique_ptr<DecisionMap> next;
+    std::vector<uint32_t> conflicted_sites;
+  };
+
+  void MergeWorkerTables(WorkerPool* workers);
   void RunInference();
+  InferenceInput SnapshotInferenceInput();
+  InferenceOutput AnalyzeRows(const InferenceInput& in) const;
+  void ApplyInferenceOutput(InferenceOutput out);
+  // Snapshots the OLD table at an inference boundary and wakes the background
+  // thread; skipped (no-op) while a previous snapshot is still in the pipe.
+  void StartAsyncInference();
+  // Publishes a staged output if its epoch is still current; returns whether
+  // decisions were applied. World stopped.
+  bool TryPublishStagedInference();
+  void InferenceThreadLoop();
 
   // Publishes `next` as the current decision set: swaps the safepoint-side
   // map, writes the decisions back into OLD-table rows (the fast lane's
@@ -188,8 +250,10 @@ class Profiler : public ProfilerHooks {
   void PublishDecisions(std::unique_ptr<DecisionMap> next);
   // Frees retired maps. Safe once a safepoint separates retirement from the
   // last possible mutator read (TargetGen holds the pointer only within one
-  // call, never across a pause).
-  void ReclaimRetiredDecisions() { retired_decisions_.clear(); }
+  // call, never across a pause). Defers while a background analysis is in
+  // flight: its snapshot references a decision map by pointer, and that map
+  // may have been retired since.
+  void ReclaimRetiredDecisions();
 
   // Both run with the world stopped (called from the GC hooks only).
   void EnterDegraded(DegradeReason reason);
@@ -234,6 +298,21 @@ class Profiler : public ProfilerHooks {
   uint32_t demotion_churn_ = 0;     // demotions since the last inference
   uint32_t rearm_grace_left_ = 0;   // inferences left with shut-off suppressed
   uint32_t overruns_while_tracking_ = 0;  // watchdog overruns with tracking on
+
+  // Off-pause inference state. table_epoch_ is only touched by safepoint-side
+  // code; everything else crossing the background thread sits under inf_mu_.
+  uint64_t table_epoch_ = 1;
+  size_t last_snapshot_rows_ = 0;  // reserve hint for the next snapshot
+  mutable std::mutex inf_mu_;
+  std::condition_variable inf_cv_;       // wakes the thread: input or stop
+  std::condition_variable inf_done_cv_;  // wakes waiters: analysis finished
+  bool inf_stop_ = false;
+  bool inf_busy_ = false;  // snapshot handed off, analysis not yet staged
+  std::unique_ptr<InferenceInput> inf_input_;
+  std::unique_ptr<InferenceOutput> inf_staged_;
+  uint64_t async_inferences_started_ = 0;
+  uint64_t stale_inferences_discarded_ = 0;
+  std::thread inf_thread_;  // last member: joined in dtor before state dies
 };
 
 }  // namespace rolp

@@ -154,6 +154,9 @@ VM::VM(const VmConfig& config) : config_(config) {
         rc.alloc_buffer_slots = static_cast<uint32_t>(
             EnvInt64("ROLP_ALLOC_BUFFER_SLOTS", rc.alloc_buffer_slots));
       }
+      // Off-pause lifetime inference (DESIGN.md §10): analysis runs on a
+      // background thread; decisions publish at the next safepoint.
+      rc.async_inference = EnvBool("ROLP_ASYNC_INFERENCE", true);
       profiler_ = std::make_unique<Profiler>(rc);
       profiler_->SetCallSiteControl(jit_.get());
       break;

@@ -3,6 +3,8 @@
 #ifndef SRC_UTIL_CLOCK_H_
 #define SRC_UTIL_CLOCK_H_
 
+#include <ctime>
+
 #include <chrono>
 #include <cstdint>
 
@@ -13,6 +15,16 @@ inline uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// CPU time consumed by the calling thread only. Distinguishes work a thread
+// did itself from wall-clock time lost to preemption — the metric that
+// matters when background threads share a core with a measured one.
+inline uint64_t ThreadCpuNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
 }
 
 inline double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }

@@ -191,10 +191,13 @@ TEST_F(WatchdogTest, MarkingStallCancelledAndFallsBackToFull) {
   ExpectHeapConsistent();
 }
 
-// Injected stall in evacuation: cancellation funnels survivors through the
-// self-forward path and the existing evacuation-failure escalation finishes
-// the cycle with a full collection.
-TEST_F(WatchdogTest, EvacuationStallCancelledAndFallsBackToFull) {
+// Injected stall in ONE evacuation worker: the watchdog detects the overrun
+// and cancels the phase, but with work stealing the surviving worker claims
+// every scan unit and finishes the evacuation on its own — nothing is left
+// for the self-forward path, so no full-collection fallback is required and
+// no data is lost. (Before work stealing, the stalled worker's static stride
+// of roots could only be processed after it woke, forcing the fallback.)
+TEST_F(WatchdogTest, EvacuationStallSurvivorStealsAllWork) {
   GcConfig cfg;
   cfg.num_workers = 2;
   cfg.mixed_trigger_occupancy = 2.0;  // young-only: evacuation is the phase
@@ -204,6 +207,29 @@ TEST_F(WatchdogTest, EvacuationStallCancelledAndFallsBackToFull) {
 
   fi().ArmDelayOnceAtHit("gc.phase.evacuate.stall", 400, 1);
   env_->ChurnYoung(12 * 1024 * 1024);
+
+  auto stats = watchdog()->stats();
+  EXPECT_GE(stats.overruns_detected, 1u);
+  EXPECT_GE(stats.phases_cancelled, 1u);
+  EXPECT_EQ(VerifyChain(head), before);
+  ExpectHeapConsistent();
+}
+
+// Every evacuation worker stalls past the deadline: once the watchdog cancels
+// the phase, the woken workers funnel all survivors through the self-forward
+// path and the existing evacuation-failure escalation finishes the cycle with
+// a full collection.
+TEST_F(WatchdogTest, EvacuationStallCancelledAndFallsBackToFull) {
+  GcConfig cfg;
+  cfg.num_workers = 2;
+  cfg.mixed_trigger_occupancy = 2.0;  // young-only: evacuation is the phase
+  Start(cfg, 40);
+  size_t head = BuildChain(200);
+  int before = VerifyChain(head);
+
+  fi().ArmDelay("gc.phase.evacuate.stall", 400);  // every worker, every pause
+  env_->ChurnYoung(12 * 1024 * 1024);
+  fi().Disarm("gc.phase.evacuate.stall");
 
   auto stats = watchdog()->stats();
   EXPECT_GE(stats.overruns_detected, 1u);

@@ -1,0 +1,154 @@
+// Off-pause lifetime inference: OnGcEnd snapshots the OLD table at an
+// inference boundary, a background thread runs the curve analysis, and the
+// staged decision set publishes at the NEXT safepoint — unless the table
+// moved underneath it (degraded-mode transition, forced sync inference), in
+// which case the stale output is discarded.
+#include <gtest/gtest.h>
+
+#include "src/heap/object.h"
+#include "src/rolp/profiler.h"
+
+namespace rolp {
+namespace {
+
+uint64_t MarkFor(uint32_t context, uint32_t age) {
+  return markword::SetAge(markword::SetContext(0, context), age);
+}
+
+RolpConfig AsyncConfig() {
+  RolpConfig cfg;
+  cfg.old_table_entries = 4096;
+  cfg.inference_period = 4;
+  cfg.async_inference = true;
+  return cfg;
+}
+
+// Builds the age triangle for a context that reliably survives to age 3, over
+// GC cycles 1..3 (so cycle 4 is the inference boundary).
+void FeedLongLivedContext(Profiler& p, uint32_t ctx) {
+  for (int i = 0; i < 1000; i++) {
+    p.RecordAllocation(ctx);
+  }
+  for (uint32_t age = 0; age < 3; age++) {
+    for (int i = 0; i < 1000; i++) {
+      p.OnSurvivor(0, MarkFor(ctx, age));
+    }
+    p.OnGcEnd({age + 1, 1000, PauseKind::kYoung});
+  }
+}
+
+TEST(AsyncInferenceTest, StagedDecisionsPublishAtNextSafepoint) {
+  Profiler p(AsyncConfig());
+  uint32_t ctx = markword::MakeContext(20, 0);
+  FeedLongLivedContext(p, ctx);
+
+  // Cycle 4 is the boundary: the snapshot is handed off, but no decisions may
+  // appear inside this pause — the analysis runs off-pause.
+  p.OnGcEnd({4, 1000, PauseKind::kYoung});
+  EXPECT_EQ(p.async_inferences_started(), 1u);
+  EXPECT_EQ(p.inferences_run(), 0u);
+  EXPECT_EQ(p.decisions_count(), 0u);
+  EXPECT_EQ(p.TargetGen(ctx), 0u);
+
+  p.WaitForStagedInference();
+  EXPECT_TRUE(p.staged_inference_pending());
+  // Still unpublished: publication waits for a safepoint.
+  EXPECT_EQ(p.decisions_count(), 0u);
+
+  // The next pause is that safepoint.
+  p.OnGcEnd({5, 1000, PauseKind::kYoung});
+  EXPECT_FALSE(p.staged_inference_pending());
+  EXPECT_EQ(p.inferences_run(), 1u);
+  EXPECT_EQ(p.TargetGen(ctx), 3u);
+  EXPECT_EQ(p.first_decision_cycle(), 5u);
+  EXPECT_EQ(p.stale_inferences_discarded(), 0u);
+}
+
+TEST(AsyncInferenceTest, DegradedEntryDiscardsStagedOutput) {
+  RolpConfig cfg = AsyncConfig();
+  cfg.degrade_overrun_threshold = 1;  // one overrun while tracking degrades
+  Profiler p(cfg);
+  uint32_t ctx = markword::MakeContext(21, 0);
+  FeedLongLivedContext(p, ctx);
+
+  p.OnGcEnd({4, 1000, PauseKind::kYoung});
+  p.WaitForStagedInference();
+  ASSERT_TRUE(p.staged_inference_pending());
+
+  // The profiler degrades between snapshot and the publish safepoint: the
+  // staged decisions were derived from pre-degrade state and must not
+  // resurrect it.
+  p.OnGcOverrun(/*survivor_tracking_active=*/true);
+  ASSERT_TRUE(p.degraded());
+
+  p.OnGcEnd({5, 1000, PauseKind::kYoung});
+  EXPECT_FALSE(p.staged_inference_pending());
+  EXPECT_EQ(p.stale_inferences_discarded(), 1u);
+  EXPECT_EQ(p.inferences_run(), 0u);
+  EXPECT_EQ(p.decisions_count(), 0u);
+  EXPECT_EQ(p.TargetGen(ctx), 0u);
+}
+
+TEST(AsyncInferenceTest, SyncInferenceInvalidatesInFlightSnapshot) {
+  Profiler p(AsyncConfig());
+  uint32_t ctx = markword::MakeContext(22, 0);
+  FeedLongLivedContext(p, ctx);
+
+  p.OnGcEnd({4, 1000, PauseKind::kYoung});
+  p.WaitForStagedInference();
+  ASSERT_TRUE(p.staged_inference_pending());
+
+  // A forced synchronous inference publishes (and bumps the table epoch):
+  // the staged async output is now based on a superseded decision set. Note
+  // the boundary snapshot already cleared the counters, so the sync pass sees
+  // an empty window and publishes no decisions of its own.
+  p.RunInferenceNow();
+  EXPECT_EQ(p.inferences_run(), 1u);
+
+  p.OnGcEnd({5, 1000, PauseKind::kYoung});
+  EXPECT_FALSE(p.staged_inference_pending());
+  EXPECT_EQ(p.stale_inferences_discarded(), 1u);
+  EXPECT_EQ(p.inferences_run(), 1u);  // the stale output was not applied
+}
+
+TEST(AsyncInferenceTest, BoundaryWhileBusySkipsSnapshot) {
+  Profiler p(AsyncConfig());
+  uint32_t ctx = markword::MakeContext(23, 0);
+  FeedLongLivedContext(p, ctx);
+
+  p.OnGcEnd({4, 1000, PauseKind::kYoung});
+  p.WaitForStagedInference();
+  ASSERT_TRUE(p.staged_inference_pending());
+
+  // Publishes the staged set AND hits the next boundary in the same pause:
+  // period 4 divides 8, and the pipeline (now empty) accepts a new snapshot.
+  p.OnGcEnd({8, 1000, PauseKind::kYoung});
+  EXPECT_EQ(p.inferences_run(), 1u);
+  EXPECT_EQ(p.TargetGen(ctx), 3u);
+  EXPECT_EQ(p.async_inferences_started(), 2u);
+
+  p.WaitForStagedInference();
+  // The second window had no survivors; raise-only analysis keeps decisions.
+  p.OnGcEnd({9, 1000, PauseKind::kYoung});
+  EXPECT_EQ(p.inferences_run(), 2u);
+  EXPECT_EQ(p.TargetGen(ctx), 3u);
+  EXPECT_EQ(p.stale_inferences_discarded(), 0u);
+}
+
+TEST(AsyncInferenceTest, SyncModeRunsInferenceInsidePause) {
+  RolpConfig cfg = AsyncConfig();
+  cfg.async_inference = false;
+  Profiler p(cfg);
+  uint32_t ctx = markword::MakeContext(24, 0);
+  FeedLongLivedContext(p, ctx);
+
+  p.OnGcEnd({4, 1000, PauseKind::kYoung});
+  EXPECT_EQ(p.inferences_run(), 1u);
+  EXPECT_EQ(p.TargetGen(ctx), 3u);
+  EXPECT_EQ(p.first_decision_cycle(), 4u);
+  EXPECT_EQ(p.async_inferences_started(), 0u);
+  p.WaitForStagedInference();  // no-op when async is off
+}
+
+}  // namespace
+}  // namespace rolp

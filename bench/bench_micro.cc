@@ -18,6 +18,7 @@
 #include "src/rolp/old_table.h"
 #include "src/runtime/frame.h"
 #include "src/runtime/vm.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 namespace {
@@ -130,6 +131,34 @@ void BM_WorkerHeartbeatEnabled(benchmark::State& state) {
   benchmark::DoNotOptimize(pool.HeartbeatValue(0));
 }
 BENCHMARK(BM_WorkerHeartbeatEnabled);
+
+// The observability overhead budget (DESIGN.md §11): a disabled trace point is
+// one relaxed load + branch, same discipline as the disabled heartbeat above.
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  Trace::Disable();
+  for (auto _ : state) {
+    ROLP_TRACE_SCOPE("bench", "bench.scope");
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+void BM_TraceInstantDisabled(benchmark::State& state) {
+  Trace::Disable();
+  for (auto _ : state) {
+    ROLP_TRACE_INSTANT("bench", "bench.instant", 0);
+  }
+}
+BENCHMARK(BM_TraceInstantDisabled);
+
+void BM_TraceScopeEnabled(benchmark::State& state) {
+  Trace::Enable();
+  for (auto _ : state) {
+    ROLP_TRACE_SCOPE("bench", "bench.scope");
+  }
+  Trace::Disable();
+  Trace::Reset();
+}
+BENCHMARK(BM_TraceScopeEnabled);
 
 struct VmFixture {
   VmFixture(ProfilingLevel level, bool track) {

@@ -2,15 +2,19 @@
 """Compare two google-benchmark JSON files and fail on large regressions.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
-       [--filter REGEX ...]
+       [--filter REGEX ...] [--require REGEX ...]
 
 For every benchmark present in both files (matched by name, preferring the
 "_median" aggregate when repetitions were used), fail if the current time is
-more than `threshold` slower than the baseline. Only benchmarks matching one
-of the --filter regexes are gated (all, if no filter given); everything else
-is reported informationally. Benchmarks missing from either side are skipped —
-this is a smoke gate against accidental large regressions on the latency-
-critical paths, not a statistics suite.
+more than `threshold` slower than the baseline. Times are normalized to
+nanoseconds via each entry's `time_unit` before the ratio is computed, so an
+ns-vs-us mismatch between files compares correctly instead of silently
+passing (or failing) on raw numbers. Only benchmarks matching one of the
+--filter regexes are gated (all, if no filter given); everything else is
+reported informationally. A --require regex asserts coverage: it must match
+at least one baseline benchmark, and every baseline benchmark it matches must
+also be present in the current run — a gated benchmark that silently vanished
+from the current run is a failure, not a skip.
 """
 
 import argparse
@@ -18,9 +22,12 @@ import json
 import re
 import sys
 
+# google-benchmark time_unit values, normalized to nanoseconds.
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
 
 def load_times(path):
-    """name -> (time, unit), preferring median aggregates over raw entries."""
+    """name -> time in ns, preferring median aggregates over raw entries."""
     with open(path) as f:
         data = json.load(f)
     times = {}
@@ -36,9 +43,13 @@ def load_times(path):
         t = b.get("real_time", b.get("cpu_time"))
         if t is None:
             continue
+        unit = b.get("time_unit", "ns")
+        if unit not in UNIT_TO_NS:
+            print(f"  warning: {name}: unknown time_unit '{unit}', assuming ns")
+        ns = float(t) * UNIT_TO_NS.get(unit, 1.0)
         # Median aggregates overwrite raw entries of the same run_name.
         if b.get("run_type") == "aggregate" or name not in times:
-            times[name] = (float(t), b.get("time_unit", "ns"))
+            times[name] = ns
     return times
 
 
@@ -50,16 +61,32 @@ def main():
                     help="fail when current > baseline * (1 + threshold)")
     ap.add_argument("--filter", action="append", default=[],
                     help="regex; only matching benchmark names are gated")
+    ap.add_argument("--require", action="append", default=[],
+                    help="regex; must match a baseline benchmark, and every "
+                         "baseline match must be present in the current run")
     args = ap.parse_args()
 
     base = load_times(args.baseline)
     cur = load_times(args.current)
-    gates = [re.compile(p) for p in args.filter]
+    # Required benchmarks are always gated too.
+    gates = [re.compile(p) for p in args.filter + args.require]
 
     failures = []
+    for pattern in args.require:
+        rx = re.compile(pattern)
+        base_matches = sorted(n for n in base if rx.search(n))
+        if not base_matches:
+            print(f"  REQUIRED pattern '{pattern}' matches no baseline benchmark")
+            failures.append(f"require:{pattern}")
+            continue
+        missing = [n for n in base_matches if n not in cur]
+        for n in missing:
+            print(f"  {n}: REQUIRED but missing from current run")
+            failures.append(n)
+
     for name in sorted(base.keys() & cur.keys()):
-        b, unit = base[name]
-        c, _ = cur[name]
+        b = base[name]
+        c = cur[name]
         if b <= 0:
             continue
         ratio = c / b
@@ -69,11 +96,11 @@ def main():
             status = "REGRESSED" if gated else "regressed (ungated)"
             if gated:
                 failures.append(name)
-        print(f"  {name}: {b:.1f} -> {c:.1f} {unit} "
+        print(f"  {name}: {b:.1f} -> {c:.1f} ns "
               f"({(ratio - 1.0) * 100.0:+.1f}%) {status}")
 
     if failures:
-        print(f"FAIL: {len(failures)} benchmark(s) regressed more than "
+        print(f"FAIL: {len(failures)} benchmark check(s) failed at threshold "
               f"{args.threshold * 100:.0f}%: {', '.join(failures)}")
         return 1
     print("bench regression check passed")

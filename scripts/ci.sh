@@ -47,7 +47,7 @@ if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
       --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_micro.json >/dev/null
     python3 scripts/check_bench_regression.py BENCH_micro.json /tmp/ci_bench_micro.json \
-      --threshold 0.25 --filter 'BM_AllocProfiled'
+      --threshold 0.25 --require 'BM_AllocProfiled'
   fi
   if [ -f BENCH_pause.json ] && [ -x build/bench/bench_pause ]; then
     build/bench/bench_pause \
@@ -55,8 +55,22 @@ if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
       --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_pause.json >/dev/null
     python3 scripts/check_bench_regression.py BENCH_pause.json /tmp/ci_bench_pause.json \
-      --threshold 0.25 --filter 'BM_ProfilerGcEndInference'
+      --threshold 0.25 --require 'BM_ProfilerGcEndInference'
   fi
+fi
+
+# Observability smoke (DESIGN.md §11): run the kvstore service with tracing,
+# metrics dump, and the OLD-table dump enabled, then validate every artifact —
+# well-formed JSON, the required GC/watchdog/profiler event names, the
+# required gauges, and a non-empty introspection dump.
+if command -v python3 >/dev/null && [ -x build/examples/kvstore_service ]; then
+  echo "=== observability smoke"
+  ROLP_TRACE=/tmp/ci_rolp_trace.json \
+  ROLP_METRICS_DUMP=/tmp/ci_rolp_metrics.json \
+  ROLP_DUMP_OLD_TABLE=/tmp/ci_rolp_old_table.txt \
+    build/examples/kvstore_service rolp 2 >/dev/null
+  python3 scripts/validate_observability.py \
+    /tmp/ci_rolp_trace.json /tmp/ci_rolp_metrics.json /tmp/ci_rolp_old_table.txt
 fi
 
 echo "=== all presets passed: ${PRESETS[*]}"

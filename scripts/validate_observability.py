@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a traced workload run emits.
+
+Usage: validate_observability.py TRACE.json METRICS.json OLD_TABLE.txt
+
+Checks, failing loudly instead of letting CI pass on an empty file:
+  * TRACE.json is well-formed chrome://tracing JSON ({"traceEvents": [...]}),
+    non-empty, every event carries the required fields for its phase, and the
+    required event-name families (GC pauses/phases, watchdog coverage,
+    profiler inference) are all present.
+  * METRICS.json is well-formed ({"counters"/"gauges"/"histograms"}) and the
+    required gauge names are present.
+  * OLD_TABLE.txt is a non-empty introspection dump with the expected section
+    headers.
+"""
+
+import json
+import sys
+
+REQUIRED_TRACE_NAMES = [
+    # exact name, or prefix when ending in '.'
+    "gc.pause",
+    "gc.phase.",
+    "watchdog.",
+    "rolp.inference.",
+    "workload.run",
+]
+
+REQUIRED_GAUGES = [
+    "gc.cycles",
+    "gc.pauses",
+    "gc.pause.p99_ns",
+    "vm.allocations",
+    "rolp.inferences",
+    "rolp.old_table.occupied",
+    "watchdog.overruns",
+]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        data = json.load(f)
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    names = set()
+    for e in events:
+        for field in ("name", "cat", "ph", "pid", "tid", "ts"):
+            if field not in e:
+                fail(f"{path}: event missing '{field}': {e}")
+        if e["ph"] == "X" and "dur" not in e:
+            fail(f"{path}: complete event missing 'dur': {e}")
+        if e["ph"] == "i" and e.get("s") != "t":
+            fail(f"{path}: instant event missing thread scope: {e}")
+        names.add(e["name"])
+    for req in REQUIRED_TRACE_NAMES:
+        if req.endswith("."):
+            if not any(n.startswith(req) for n in names):
+                fail(f"{path}: no event name with prefix '{req}' "
+                     f"(have: {sorted(names)})")
+        elif req not in names:
+            fail(f"{path}: required event '{req}' absent (have: {sorted(names)})")
+    print(f"  trace ok: {len(events)} events, {len(names)} distinct names")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        data = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(data.get(section), dict):
+            fail(f"{path}: missing '{section}' section")
+    gauges = data["gauges"]
+    for name in REQUIRED_GAUGES:
+        if name not in gauges:
+            fail(f"{path}: required gauge '{name}' absent "
+                 f"(have: {sorted(gauges)})")
+    if gauges["gc.cycles"] <= 0:
+        fail(f"{path}: gc.cycles is {gauges['gc.cycles']}; the workload run "
+             "recorded no GC activity")
+    print(f"  metrics ok: {len(data['counters'])} counters, "
+          f"{len(gauges)} gauges, {len(data['histograms'])} histograms")
+
+
+def check_old_table(path):
+    with open(path) as f:
+        text = f.read()
+    if not text.strip():
+        fail(f"{path}: empty dump")
+    for header in ("== ROLP profiler introspection ==", "old_table:",
+                   "degraded:", "decisions:", "rows:"):
+        if header not in text:
+            fail(f"{path}: expected section '{header}' absent")
+    print(f"  old-table dump ok: {len(text.splitlines())} lines")
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__)
+        return 2
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+    check_old_table(sys.argv[3])
+    print("observability validation passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "src/util/clock.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -287,6 +288,8 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
   heap_->UpdateMaxUsedBytes();
   uint64_t t1 = NowNs();
   metrics_.RecordPause({t0, t1 - t0, PauseKind::kYoung, copied});
+  Trace::EmitComplete("gc", "gc.pause", t0, t1 - t0,
+                      static_cast<uint64_t>(PauseKind::kYoung));
   if (profiler_ != nullptr) {
     profiler_->OnGcEnd({metrics_.GcCycles(), t1 - t0, PauseKind::kYoung});
   }
@@ -493,6 +496,8 @@ void CmsCollector::RemarkAndSweep(uint64_t t0) {
   heap_->UpdateMaxUsedBytes();
   uint64_t t1 = NowNs();
   metrics_.RecordPause({t0, t1 - t0, PauseKind::kCmsRemark, 0});
+  Trace::EmitComplete("gc", "gc.pause", t0, t1 - t0,
+                      static_cast<uint64_t>(PauseKind::kCmsRemark));
   metrics_.IncrementGcCycles();
   if (profiler_ != nullptr) {
     profiler_->OnGcEnd({metrics_.GcCycles(), t1 - t0, PauseKind::kCmsRemark});
@@ -525,6 +530,8 @@ void CmsCollector::DoFull(uint64_t t0) {
   heap_->UpdateMaxUsedBytes();
   uint64_t t1 = NowNs();
   metrics_.RecordPause({t0, t1 - t0, PauseKind::kFull, moved});
+  Trace::EmitComplete("gc", "gc.pause", t0, t1 - t0,
+                      static_cast<uint64_t>(PauseKind::kFull));
   if (profiler_ != nullptr) {
     profiler_->OnGcEnd({metrics_.GcCycles(), t1 - t0, PauseKind::kFull});
   }

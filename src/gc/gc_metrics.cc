@@ -1,5 +1,7 @@
 #include "src/gc/gc_metrics.h"
 
+#include "src/util/env.h"
+
 namespace rolp {
 
 const char* PauseKindName(PauseKind kind) {
@@ -24,29 +26,57 @@ const char* PauseKindName(PauseKind kind) {
   return "?";
 }
 
+GcMetrics::GcMetrics() {
+  int64_t cap = EnvInt64("ROLP_PAUSE_LOG_CAP", static_cast<int64_t>(kDefaultPauseLogCap));
+  pause_log_cap_ = cap < 1 ? 1 : static_cast<size_t>(cap);
+}
+
+void GcMetrics::set_pause_log_cap(size_t cap) {
+  std::lock_guard<SpinLock> guard(lock_);
+  pause_log_cap_ = cap < 1 ? 1 : cap;
+  if (pauses_.size() > pause_log_cap_) {
+    // Shrink: keep the newest pause_log_cap_ records, oldest first.
+    std::vector<PauseRecord> kept;
+    kept.reserve(pause_log_cap_);
+    for (size_t i = pauses_.size() - pause_log_cap_; i < pauses_.size(); i++) {
+      kept.push_back(pauses_[(ring_head_ + i) % pauses_.size()]);
+    }
+    pauses_ = std::move(kept);
+    ring_head_ = 0;
+  }
+}
+
 void GcMetrics::RecordPause(const PauseRecord& record) {
   std::lock_guard<SpinLock> guard(lock_);
-  pauses_.push_back(record);
+  if (pauses_.size() < pause_log_cap_) {
+    pauses_.push_back(record);
+  } else {
+    pauses_[ring_head_] = record;
+    ring_head_ = (ring_head_ + 1) % pause_log_cap_;
+  }
+  pauses_total_++;
+  total_pause_ns_ += record.duration_ns;
   pause_hist_.Record(record.duration_ns);
 }
 
 std::vector<PauseRecord> GcMetrics::Pauses() const {
   std::lock_guard<SpinLock> guard(lock_);
-  return pauses_;
+  std::vector<PauseRecord> out;
+  out.reserve(pauses_.size());
+  for (size_t i = 0; i < pauses_.size(); i++) {
+    out.push_back(pauses_[(ring_head_ + i) % pauses_.size()]);
+  }
+  return out;
 }
 
 uint64_t GcMetrics::PauseCount() const {
   std::lock_guard<SpinLock> guard(lock_);
-  return pauses_.size();
+  return pauses_total_;
 }
 
 uint64_t GcMetrics::TotalPauseNs() const {
   std::lock_guard<SpinLock> guard(lock_);
-  uint64_t total = 0;
-  for (const auto& p : pauses_) {
-    total += p.duration_ns;
-  }
-  return total;
+  return total_pause_ns_;
 }
 
 uint64_t GcMetrics::MaxPauseNs() const {
@@ -59,6 +89,11 @@ uint64_t GcMetrics::PausePercentileNs(double p) const {
   return pause_hist_.Percentile(p);
 }
 
+LogHistogram GcMetrics::PauseHistogramSnapshot() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return pause_hist_;
+}
+
 double GcMetrics::RecentMeanPauseNs(size_t n) const {
   std::lock_guard<SpinLock> guard(lock_);
   if (pauses_.empty() || n == 0) {
@@ -67,7 +102,7 @@ double GcMetrics::RecentMeanPauseNs(size_t n) const {
   size_t count = n < pauses_.size() ? n : pauses_.size();
   uint64_t sum = 0;
   for (size_t i = pauses_.size() - count; i < pauses_.size(); i++) {
-    sum += pauses_[i].duration_ns;
+    sum += pauses_[(ring_head_ + i) % pauses_.size()].duration_ns;
   }
   return static_cast<double>(sum) / static_cast<double>(count);
 }
@@ -88,6 +123,9 @@ double GcMetrics::MaxWorkerCopiedShare() const {
 void GcMetrics::Reset() {
   std::lock_guard<SpinLock> guard(lock_);
   pauses_.clear();
+  ring_head_ = 0;
+  pauses_total_ = 0;
+  total_pause_ns_ = 0;
   pause_hist_.Reset();
   gc_cycles_.store(0, std::memory_order_relaxed);
   bytes_copied_.store(0, std::memory_order_relaxed);

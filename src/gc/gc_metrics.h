@@ -35,17 +35,36 @@ struct PauseRecord {
 
 class GcMetrics {
  public:
+  // Retained per-pause records are capped: a long-running service would
+  // otherwise accumulate one PauseRecord per pause forever. The default keeps
+  // every pause a bench-scale run produces; ROLP_PAUSE_LOG_CAP overrides it
+  // (values < 1 clamp to 1). pause_hist_ stays the authoritative all-time
+  // aggregate regardless of the cap.
+  static constexpr size_t kDefaultPauseLogCap = 1u << 16;
+
+  GcMetrics();
+
   void RecordPause(const PauseRecord& record);
 
-  // Snapshot of all pauses so far (copy; cheap at bench scale).
+  // Snapshot of the retained pause window, oldest first. Once more than
+  // pause_log_cap() pauses have been recorded this is the most recent
+  // pause_log_cap() of them, not the full history — all-time aggregates come
+  // from PauseCount/TotalPauseNs/MaxPauseNs/PausePercentileNs.
   std::vector<PauseRecord> Pauses() const;
 
+  size_t pause_log_cap() const { return pause_log_cap_; }
+  // Tests only: shrinking the cap drops the oldest retained records.
+  void set_pause_log_cap(size_t cap);
+
+  // All-time counts (not limited to the retained window).
   uint64_t PauseCount() const;
   uint64_t TotalPauseNs() const;
   uint64_t MaxPauseNs() const;
   // Value such that p% of pauses are <= it (log-bucketed approximation).
   uint64_t PausePercentileNs(double p) const;
-  // Mean duration of the most recent n pauses.
+  // Copy of the all-time pause histogram (metrics-registry snapshot source).
+  LogHistogram PauseHistogramSnapshot() const;
+  // Mean duration of the most recent n pauses (within the retained window).
   double RecentMeanPauseNs(size_t n) const;
 
   // Completed GC cycles: the profiler's unit of time (paper section 3).
@@ -96,8 +115,14 @@ class GcMetrics {
   void Reset();
 
  private:
+  // Index into pauses_ of the oldest retained record once the ring is full
+  // (pauses_.size() == pause_log_cap_); 0 while still filling.
   mutable SpinLock lock_;
+  size_t pause_log_cap_;
+  size_t ring_head_ = 0;
   std::vector<PauseRecord> pauses_;
+  uint64_t pauses_total_ = 0;
+  uint64_t total_pause_ns_ = 0;
   LogHistogram pause_hist_;
   std::atomic<uint64_t> gc_cycles_{0};
   std::atomic<uint64_t> bytes_copied_{0};

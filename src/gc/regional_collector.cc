@@ -12,6 +12,7 @@
 #include "src/util/clock.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -176,6 +177,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
     CancellationToken mark_cancel;
     {
       WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kMark, &mark_cancel);
+      ROLP_TRACE_SCOPE("gc", "gc.phase.mark");
       marker.MarkFromRoots(safepoints_, workers_.get(), &mark_cancel);
     }
     if (marker.cancelled()) {
@@ -202,6 +204,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   const uint32_t n = workers_->size();
   {
     WatchdogPhaseScope scan_scope(watchdog_.get(), GcPhase::kScan, nullptr);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.scan");
     struct ScanPartial {
       size_t used[kNumDynamicGens + 1] = {};
       size_t live[kNumDynamicGens + 1] = {};
@@ -353,6 +356,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   std::atomic<size_t> unit_cursor{0};
   {
     WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &evac_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.evacuate");
     workers_->RunTask([&](uint32_t w) {
       // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
       (void)ROLP_FAULT_POINT("gc.phase.evacuate.stall");
@@ -444,8 +448,11 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   }
   PauseRecord rec{t0, pause_ns, mixed ? PauseKind::kMixed : PauseKind::kYoung, copied};
   metrics_.RecordPause(rec);
+  Trace::EmitComplete("gc", "gc.pause", rec.start_ns, rec.duration_ns,
+                      static_cast<uint64_t>(rec.kind));
   if (profiler_ != nullptr) {
     WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.profiler-merge");
     uint64_t prof_t0 = NowNs();
     profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});
     metrics_.AddPauseProfilerNs(NowNs() - prof_t0);
@@ -470,6 +477,7 @@ void RegionalCollector::DoFull(uint64_t t0) {
     // The STW fallback is not cancellable (no token): it must finish. The
     // watchdog still times it — repeated overruns here abort (ladder rung 5).
     WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kCompact, nullptr);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.compact");
     // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
     (void)ROLP_FAULT_POINT("gc.phase.compact.stall");
     moved = compactor.Collect(safepoints_, workers_.get());
@@ -480,6 +488,8 @@ void RegionalCollector::DoFull(uint64_t t0) {
   uint64_t t1 = NowNs();
   PauseRecord rec{t0, t1 - t0, PauseKind::kFull, moved};
   metrics_.RecordPause(rec);
+  Trace::EmitComplete("gc", "gc.pause", rec.start_ns, rec.duration_ns,
+                      static_cast<uint64_t>(rec.kind));
   if (profiler_ != nullptr) {
     WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
     profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});

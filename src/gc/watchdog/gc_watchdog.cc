@@ -7,6 +7,7 @@
 #include "src/util/clock.h"
 #include "src/util/env.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -100,6 +101,9 @@ GcWatchdog::~GcWatchdog() {
 
 void GcWatchdog::BeginPhase(GcPhase phase, CancellationToken* token) {
   uint64_t now = NowNs();
+  // Fires on every watched phase, so even healthy runs carry watchdog
+  // coverage markers in the trace (arg = GcPhase ordinal).
+  ROLP_TRACE_INSTANT("watchdog", "watchdog.phase.begin", static_cast<uint64_t>(phase));
   std::lock_guard<std::mutex> guard(mu_);
   phase_ = phase;
   phase_start_ns_ = now;
@@ -133,6 +137,7 @@ void GcWatchdog::EscalateLocked(uint64_t now_ns) {
   stats_.overruns_detected++;
   stats_.last_overrun_elapsed_ns = elapsed;
   overrun_since_take_.store(true, std::memory_order_relaxed);
+  ROLP_TRACE_INSTANT("watchdog", "watchdog.overrun", static_cast<uint64_t>(phase_));
 
   // Rung 1: log with enough state to diagnose post-mortem (the same data is
   // exported via the "gc-watchdog" crash-context section if we later abort).
@@ -149,6 +154,8 @@ void GcWatchdog::EscalateLocked(uint64_t now_ns) {
   if (token_ != nullptr) {
     token_->Cancel();
     stats_.phases_cancelled++;
+    ROLP_TRACE_INSTANT("watchdog", "watchdog.phase.cancelled",
+                       static_cast<uint64_t>(phase_));
   }
 
   // Rung 3: hand a dead worker's abandoned items to survivors so the phase

@@ -7,6 +7,7 @@
 #include "src/util/clock.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -190,6 +191,8 @@ bool ZgcCollector::StartCycle(MutatorContext* ctx) {
   phase_.store(Phase::kMarking, std::memory_order_release);
   uint64_t t1 = NowNs();
   metrics_.RecordPause({t0, t1 - t0, PauseKind::kZMark, 0});
+  Trace::EmitComplete("gc", "gc.pause", t0, t1 - t0,
+                      static_cast<uint64_t>(PauseKind::kZMark));
   metrics_.IncrementGcCycles();
   safepoints_->EndOperation(ctx);
   return true;
@@ -406,6 +409,8 @@ bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
   heap_->UpdateMaxUsedBytes();
   uint64_t t1 = NowNs();
   metrics_.RecordPause({t0, t1 - t0, PauseKind::kZRemark, 0});
+  Trace::EmitComplete("gc", "gc.pause", t0, t1 - t0,
+                      static_cast<uint64_t>(PauseKind::kZRemark));
   metrics_.IncrementGcCycles();
   safepoints_->EndOperation(ctx);
   return true;
@@ -537,6 +542,8 @@ void ZgcCollector::FinishCycle(MutatorContext* ctx) {
   heap_->UpdateMaxUsedBytes();
   uint64_t t1 = NowNs();
   metrics_.RecordPause({t0, t1 - t0, PauseKind::kZRelocateStart, 0});
+  Trace::EmitComplete("gc", "gc.pause", t0, t1 - t0,
+                      static_cast<uint64_t>(PauseKind::kZRelocateStart));
   metrics_.IncrementGcCycles();
   safepoints_->EndOperation(ctx);
 }
@@ -576,6 +583,8 @@ void ZgcCollector::DoFull(MutatorContext* ctx) {
   heap_->UpdateMaxUsedBytes();
   uint64_t t1 = NowNs();
   metrics_.RecordPause({t0, t1 - t0, PauseKind::kFull, moved});
+  Trace::EmitComplete("gc", "gc.pause", t0, t1 - t0,
+                      static_cast<uint64_t>(PauseKind::kFull));
   safepoints_->EndOperation(ctx);
 }
 

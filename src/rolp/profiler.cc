@@ -1,10 +1,13 @@
 #include "src/rolp/profiler.h"
 
+#include <algorithm>
+
 #include "src/gc/worker_pool.h"
 #include "src/heap/object.h"
 #include "src/util/check.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -79,6 +82,7 @@ void Profiler::OnSurvivor(uint32_t worker_id, uint64_t old_mark) {
 }
 
 void Profiler::MergeWorkerTables(WorkerPool* workers) {
+  ROLP_TRACE_SCOPE("rolp", "rolp.profiler.merge-workers");
   // Stall-only fail point: watchdog tests inject hangs into the merge step
   // (the profiler-merge GC phase) with a delay:<ms> arm. Fired on the pause
   // thread so the watchdog sees the stall regardless of pool dispatch.
@@ -113,6 +117,7 @@ void Profiler::MergeWorkerTables(WorkerPool* workers) {
 }
 
 void Profiler::PublishDecisions(std::unique_ptr<DecisionMap> next) {
+  ROLP_TRACE_INSTANT("rolp", "rolp.inference.publish", next->size());
   // Write the decisions into OLD-table rows first (RCU-style: the world is
   // stopped, so mutators observe the full new set when they resume and their
   // flushed sample buffers re-read it).
@@ -378,6 +383,7 @@ void Profiler::ApplyInferenceOutput(InferenceOutput out) {
 }
 
 void Profiler::RunInference() {
+  ROLP_TRACE_SCOPE("rolp", "rolp.inference.sync");
   InferenceInput in = SnapshotInferenceInput();
   InferenceOutput out = AnalyzeRows(in);
   // Freshness: clear all counters for the next window (paper section 4). The
@@ -395,7 +401,10 @@ void Profiler::StartAsyncInference() {
       // skip this boundary rather than queue a second window behind it.
       return;
     }
-    inf_input_ = std::make_unique<InferenceInput>(SnapshotInferenceInput());
+    {
+      ROLP_TRACE_SCOPE("rolp", "rolp.inference.snapshot");
+      inf_input_ = std::make_unique<InferenceInput>(SnapshotInferenceInput());
+    }
     inf_busy_ = true;
     async_inferences_started_++;
   }
@@ -420,6 +429,7 @@ bool Profiler::TryPublishStagedInference() {
       // would resurrect pre-mutation decisions. Drop it; the next boundary
       // snapshots fresh state.
       stale_inferences_discarded_++;
+      ROLP_TRACE_INSTANT("rolp", "rolp.inference.stale-discard", out->epoch);
       return false;
     }
   }
@@ -439,7 +449,11 @@ void Profiler::InferenceThreadLoop() {
     // The pure analysis runs with no profiler locks held: mutators keep
     // allocating into the (cleared) table and GC pauses proceed; only the
     // publish waits for a safepoint.
-    auto out = std::make_unique<InferenceOutput>(AnalyzeRows(*in));
+    std::unique_ptr<InferenceOutput> out;
+    {
+      ROLP_TRACE_SCOPE_ARG("rolp", "rolp.inference.analyze", in->seq);
+      out = std::make_unique<InferenceOutput>(AnalyzeRows(*in));
+    }
     lock.lock();
     inf_staged_ = std::move(out);
     inf_busy_ = false;
@@ -526,6 +540,7 @@ void Profiler::EnterDegraded(DegradeReason reason) {
   degraded_.store(true, std::memory_order_relaxed);
   degraded_entries_++;
   last_degrade_reason_ = reason;
+  ROLP_TRACE_INSTANT("rolp", "rolp.degraded.enter", static_cast<uint64_t>(reason));
   clean_cycles_ = 0;
   demotion_churn_ = 0;
 
@@ -554,6 +569,7 @@ void Profiler::ExitDegraded() {
   degraded_.store(false, std::memory_order_relaxed);
   clean_cycles_ = 0;
   overruns_while_tracking_ = 0;
+  ROLP_TRACE_INSTANT("rolp", "rolp.degraded.exit", 0);
   // Start rebuilding the signal; decisions repopulate at the next inference.
   if (!survivor_tracking_.exchange(true, std::memory_order_relaxed)) {
     tracking_toggles_++;
@@ -561,6 +577,73 @@ void Profiler::ExitDegraded() {
   decisions_changed_since_last_inference_ = true;
   rearm_grace_left_ = config_.rearm_grace_inferences;
   ROLP_LOG_INFO("profiler re-armed after %u clean cycles", config_.rearm_clean_cycles);
+}
+
+void Profiler::DumpIntrospection(std::FILE* out) const {
+  const OldTable& table = old_table_;
+  std::fprintf(out, "== ROLP profiler introspection ==\n");
+  std::fprintf(out,
+               "old_table: capacity=%zu occupied=%zu dropped=%llu rejected=%llu "
+               "grows=%zu paper_bytes=%zu\n",
+               table.capacity(), table.occupied(),
+               (unsigned long long)table.dropped_samples(),
+               (unsigned long long)table.rejected_contexts(), table.grow_count(),
+               table.PaperMemoryBytes());
+  std::fprintf(out, "degraded: %s (entries=%llu, last_reason=%s)\n",
+               degraded() ? "yes" : "no", (unsigned long long)degraded_entries_,
+               DegradeReasonName(last_degrade_reason_));
+  std::fprintf(out, "survivor_tracking: %s (toggles=%llu)\n",
+               SurvivorTrackingEnabled() ? "on" : "off",
+               (unsigned long long)tracking_toggles_);
+  std::fprintf(out, "inferences: %llu (async_started=%llu, stale_discarded=%llu)\n",
+               (unsigned long long)inferences_,
+               (unsigned long long)async_inferences_started(),
+               (unsigned long long)stale_inferences_discarded());
+  std::fprintf(out, "conflicts_total: %llu\n", (unsigned long long)conflicts_total_);
+
+  auto decision_map = DecisionsSnapshot();
+  std::vector<std::pair<uint32_t, uint8_t>> decisions(decision_map.begin(),
+                                                      decision_map.end());
+  std::sort(decisions.begin(), decisions.end());
+  std::fprintf(out, "decisions: %zu\n", decisions.size());
+  for (const auto& [ctx, gen] : decisions) {
+    std::fprintf(out, "  ctx=0x%08x site=%u tss=%u gen=%u\n", ctx,
+                 markword::ContextSite(ctx), markword::ContextTss(ctx), gen);
+  }
+
+  std::vector<std::pair<uint32_t, std::array<uint64_t, OldTable::kAges>>> rows;
+  table.ForEachRow([&rows](uint32_t ctx, const std::array<uint64_t, OldTable::kAges>& counts) {
+    rows.emplace_back(ctx, counts);
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::fprintf(out, "rows: %zu\n", rows.size());
+  for (const auto& [ctx, counts] : rows) {
+    uint64_t total = 0;
+    for (uint64_t c : counts) {
+      total += c;
+    }
+    std::fprintf(out, "  ctx=0x%08x site=%u tss=%u decision=%u total=%llu ages:", ctx,
+                 markword::ContextSite(ctx), markword::ContextTss(ctx),
+                 table.DecisionFor(ctx), (unsigned long long)total);
+    for (int a = 0; a < OldTable::kAges; a++) {
+      if (counts[a] != 0) {
+        std::fprintf(out, " %d:%llu", a, (unsigned long long)counts[a]);
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+bool Profiler::WriteIntrospection(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    ROLP_LOG_ERROR("profiler: cannot open %s for introspection dump", path.c_str());
+    return false;
+  }
+  DumpIntrospection(f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace rolp

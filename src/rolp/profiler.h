@@ -19,8 +19,10 @@
 #include <array>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -195,6 +197,16 @@ class Profiler : public ProfilerHooks {
   uint64_t stale_inferences_discarded() const;
   // True while an analyzed decision set is staged awaiting the next safepoint.
   bool staged_inference_pending() const;
+
+  // Writes a human-readable introspection dump: OLD-table stats, degraded
+  // state, the current DecisionMap, and every occupied row with its age
+  // histogram (rows and decisions sorted by context, so output is
+  // deterministic for a given profiler state). Call from a quiesced state
+  // (no mutators allocating, no GC running) for an exact snapshot; the VM
+  // wires ROLP_DUMP_OLD_TABLE=<path> to this at teardown.
+  void DumpIntrospection(std::FILE* out) const;
+  // DumpIntrospection to a file; returns false (and logs) on I/O failure.
+  bool WriteIntrospection(const std::string& path) const;
 
  private:
   using DecisionMap = std::unordered_map<uint32_t, uint8_t>;

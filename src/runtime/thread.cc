@@ -2,6 +2,7 @@
 
 #include "src/runtime/vm.h"
 #include "src/util/check.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -157,6 +158,7 @@ void RuntimeThread::BiasUnlock(Object* obj) {
 
 void RuntimeThread::FlushAllocBuffer() {
   if (profiler_ != nullptr) {
+    ROLP_TRACE_INSTANT("rolp", "rolp.alloc_buffer.flush", gc_ctx_.thread_id);
     alloc_buffer_.Flush(profiler_->old_table());
   }
   if (pending_allocated_bytes_ != 0) {

@@ -1,5 +1,6 @@
 #include "src/runtime/vm.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 
@@ -11,6 +12,7 @@
 #include "src/util/env.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -198,12 +200,126 @@ VM::VM(const VmConfig& config) : config_(config) {
                        (unsigned long long)profiler_->decisions_count());
         }
       });
+
+  // Observability (DESIGN.md §11): ROLP_TRACE arms the trace layer for the
+  // whole process; the metrics/old-table dumps below write at VM teardown.
+  Trace::InitFromEnv();
+  RegisterMetrics();
+  metrics_dump_path_ = EnvString("ROLP_METRICS_DUMP", "");
+  old_table_dump_path_ = EnvString("ROLP_DUMP_OLD_TABLE", "");
+  int64_t interval_ms = EnvInt64("ROLP_METRICS_INTERVAL_MS", 0);
+  if (!metrics_dump_path_.empty() && interval_ms > 0) {
+    dump_thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(dump_mu_);
+      while (!dump_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                                [this] { return dump_stop_; })) {
+        MetricsRegistry::Instance().WriteSnapshotFiles(metrics_dump_path_);
+      }
+    });
+  }
 }
 
 VM::~VM() {
+  if (dump_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> guard(dump_mu_);
+      dump_stop_ = true;
+    }
+    dump_cv_.notify_all();
+    dump_thread_.join();
+  }
+  WriteObservabilityDumps();
   // Threads must be detached by their owners before the VM dies.
   std::lock_guard<SpinLock> guard(threads_lock_);
   ROLP_CHECK(threads_.empty());
+}
+
+void VM::RegisterMetrics() {
+  ScopedMetrics& m = metrics_publisher_;
+  GcMetrics& gm = collector_->metrics();
+  m.Gauge("gc.cycles", [&gm] { return static_cast<double>(gm.GcCycles()); });
+  m.Gauge("gc.pauses", [&gm] { return static_cast<double>(gm.PauseCount()); });
+  m.Gauge("gc.pause.total_ns", [&gm] { return static_cast<double>(gm.TotalPauseNs()); });
+  m.Gauge("gc.pause.max_ns", [&gm] { return static_cast<double>(gm.MaxPauseNs()); });
+  m.Gauge("gc.pause.p50_ns",
+          [&gm] { return static_cast<double>(gm.PausePercentileNs(50.0)); });
+  m.Gauge("gc.pause.p99_ns",
+          [&gm] { return static_cast<double>(gm.PausePercentileNs(99.0)); });
+  m.Gauge("gc.bytes_copied", [&gm] { return static_cast<double>(gm.BytesCopied()); });
+  m.Gauge("gc.bytes_promoted", [&gm] { return static_cast<double>(gm.BytesPromoted()); });
+  m.Gauge("gc.pause.scan_ns", [&gm] { return static_cast<double>(gm.PauseScanNs()); });
+  m.Gauge("gc.pause.evac_ns", [&gm] { return static_cast<double>(gm.PauseEvacNs()); });
+  m.Gauge("gc.pause.profiler_ns",
+          [&gm] { return static_cast<double>(gm.PauseProfilerNs()); });
+  m.Gauge("gc.concurrent_work_ns",
+          [&gm] { return static_cast<double>(gm.ConcurrentWorkNs()); });
+  m.Histogram("gc.pause_ns",
+              [&gm] { return SnapshotLogHistogram(gm.PauseHistogramSnapshot()); });
+
+  m.Gauge("vm.allocations", [this] { return static_cast<double>(total_allocations()); });
+  m.Gauge("vm.osr_injected", [this] { return static_cast<double>(total_osr_injected()); });
+  m.Gauge("vm.osr_repaired", [this] { return static_cast<double>(total_osr_repaired()); });
+  m.Gauge("vm.exception_fixups",
+          [this] { return static_cast<double>(total_exception_fixups()); });
+  m.Gauge("vm.recoverable_ooms",
+          [this] { return static_cast<double>(total_recoverable_ooms()); });
+
+  m.Gauge("faults.total_fires",
+          [] { return static_cast<double>(FaultInjection::Instance().TotalFires()); });
+
+  // Sampled through the collector so ROLP_WATCHDOG=0 (null watchdog) reads 0.
+  Collector* c = collector_.get();
+  m.Gauge("watchdog.overruns", [c] {
+    GcWatchdog* w = c->watchdog();
+    return w == nullptr ? 0.0 : static_cast<double>(w->stats().overruns_detected);
+  });
+  m.Gauge("watchdog.phases_cancelled", [c] {
+    GcWatchdog* w = c->watchdog();
+    return w == nullptr ? 0.0 : static_cast<double>(w->stats().phases_cancelled);
+  });
+  m.Gauge("watchdog.worker_stalls", [c] {
+    GcWatchdog* w = c->watchdog();
+    return w == nullptr ? 0.0 : static_cast<double>(w->stats().worker_stalls_detected);
+  });
+  m.Gauge("watchdog.items_requeued", [c] {
+    GcWatchdog* w = c->watchdog();
+    return w == nullptr ? 0.0 : static_cast<double>(w->stats().items_requeued);
+  });
+
+  if (profiler_ != nullptr) {
+    Profiler* p = profiler_.get();
+    m.Gauge("rolp.inferences", [p] { return static_cast<double>(p->inferences_run()); });
+    m.Gauge("rolp.decisions", [p] { return static_cast<double>(p->decisions_count()); });
+    m.Gauge("rolp.conflicts", [p] { return static_cast<double>(p->conflicts_total()); });
+    m.Gauge("rolp.survivors_seen",
+            [p] { return static_cast<double>(p->survivors_seen()); });
+    m.Gauge("rolp.degraded", [p] { return p->degraded() ? 1.0 : 0.0; });
+    m.Gauge("rolp.degraded_entries",
+            [p] { return static_cast<double>(p->degraded_entries()); });
+    m.Gauge("rolp.tracking_toggles",
+            [p] { return static_cast<double>(p->survivor_tracking_toggles()); });
+    m.Gauge("rolp.async_inferences_started",
+            [p] { return static_cast<double>(p->async_inferences_started()); });
+    m.Gauge("rolp.stale_inferences_discarded",
+            [p] { return static_cast<double>(p->stale_inferences_discarded()); });
+    m.Gauge("rolp.old_table.occupied",
+            [p] { return static_cast<double>(p->old_table().occupied()); });
+    m.Gauge("rolp.old_table.capacity",
+            [p] { return static_cast<double>(p->old_table().capacity()); });
+    m.Gauge("rolp.old_table.dropped",
+            [p] { return static_cast<double>(p->old_table().dropped_samples()); });
+    m.Gauge("rolp.old_table.rejected",
+            [p] { return static_cast<double>(p->old_table().rejected_contexts()); });
+  }
+}
+
+void VM::WriteObservabilityDumps() {
+  if (!metrics_dump_path_.empty()) {
+    MetricsRegistry::Instance().WriteSnapshotFiles(metrics_dump_path_);
+  }
+  if (!old_table_dump_path_.empty() && profiler_ != nullptr) {
+    profiler_->WriteIntrospection(old_table_dump_path_);
+  }
 }
 
 RuntimeThread* VM::AttachThread() {

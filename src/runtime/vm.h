@@ -5,14 +5,18 @@
 #ifndef SRC_RUNTIME_VM_H_
 #define SRC_RUNTIME_VM_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/gc/collector.h"
 #include "src/rolp/profiler.h"
 #include "src/runtime/jit.h"
 #include "src/util/crash_context.h"
+#include "src/util/metrics_registry.h"
 #include "src/util/spinlock.h"
 
 namespace rolp {
@@ -90,6 +94,13 @@ class VM : public ProfilerHooks {
   uint64_t total_recoverable_ooms() const;
 
  private:
+  // Publishes the VM's scattered statistics (GcMetrics, profiler, thread
+  // totals, watchdog, fault injection) as named gauges/histograms in the
+  // process metrics registry (DESIGN.md §11).
+  void RegisterMetrics();
+  // Writes the ROLP_METRICS_DUMP / ROLP_DUMP_OLD_TABLE files if configured.
+  void WriteObservabilityDumps();
+
   VmConfig config_;
   std::unique_ptr<Heap> heap_;
   SafepointManager safepoints_;
@@ -106,6 +117,16 @@ class VM : public ProfilerHooks {
   // with the world stopped; the crash path reads it best-effort.
   GcEndInfo last_gc_end_{};
   std::unique_ptr<ScopedCrashContextProvider> crash_provider_;
+
+  // Observability (DESIGN.md §11). Declared last so the gauge registrations
+  // are torn down before the subsystems their callbacks read.
+  std::string metrics_dump_path_;     // ROLP_METRICS_DUMP
+  std::string old_table_dump_path_;   // ROLP_DUMP_OLD_TABLE
+  ScopedMetrics metrics_publisher_;
+  std::mutex dump_mu_;
+  std::condition_variable dump_cv_;
+  bool dump_stop_ = false;
+  std::thread dump_thread_;  // periodic ROLP_METRICS_INTERVAL_MS dumper
 };
 
 }  // namespace rolp

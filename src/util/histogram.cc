@@ -36,6 +36,12 @@ uint64_t LogHistogram::BucketUpperBound(size_t index) {
 void LogHistogram::Record(uint64_t value) { RecordN(value, 1); }
 
 void LogHistogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    // A zero-count record must not touch min_/max_: they clamp Percentile(),
+    // and a phantom extremum from a value that was never recorded corrupts
+    // every percentile read after it.
+    return;
+  }
   buckets_[BucketIndex(value)] += count;
   total_count_ += count;
   total_sum_ += value * count;

@@ -1,0 +1,218 @@
+#include "src/util/metrics_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "src/util/histogram.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+HistogramSnapshot SnapshotLogHistogram(const LogHistogram& hist) {
+  HistogramSnapshot s;
+  s.count = hist.Count();
+  s.min = hist.Min();
+  s.max = hist.Max();
+  s.mean = hist.Mean();
+  s.p50 = hist.Percentile(50.0);
+  s.p90 = hist.Percentile(90.0);
+  s.p99 = hist.Percentile(99.0);
+  s.p999 = hist.Percentile(99.9);
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+MetricCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<MetricCounter>();
+  }
+  return slot.get();
+}
+
+int MetricsRegistry::RegisterGauge(const std::string& name, GaugeFn fn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->second.name == name ? entries_.erase(it) : std::next(it);
+  }
+  int id = next_id_++;
+  entries_[id] = Entry{name, std::move(fn), nullptr};
+  return id;
+}
+
+int MetricsRegistry::RegisterHistogram(const std::string& name, HistogramFn fn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->second.name == name ? entries_.erase(it) : std::next(it);
+  }
+  int id = next_id_++;
+  entries_[id] = Entry{name, nullptr, std::move(fn)};
+  return id;
+}
+
+void MetricsRegistry::Unregister(int id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  entries_.erase(id);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+  // Copy the callbacks under the lock, sample them outside it: a gauge that
+  // itself touches a registry counter (or a slow histogram provider) must not
+  // deadlock or stall registration.
+  std::vector<std::pair<std::string, GaugeFn>> gauges;
+  std::vector<std::pair<std::string, HistogramFn>> hists;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->Value());
+    }
+    for (const auto& [id, entry] : entries_) {
+      (void)id;
+      if (entry.gauge) {
+        gauges.emplace_back(entry.name, entry.gauge);
+      } else if (entry.histogram) {
+        hists.emplace_back(entry.name, entry.histogram);
+      }
+    }
+  }
+  for (auto& [name, fn] : gauges) {
+    snap.gauges.emplace_back(name, fn());
+  }
+  for (auto& [name, fn] : hists) {
+    snap.histograms.emplace_back(name, fn());
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+namespace {
+
+// Gauges sample arbitrary doubles; %.6g keeps integers exact up to 2^33 and
+// round-trips typical ratios without trailing-zero noise.
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendHistJson(std::string* out, const HistogramSnapshot& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%" PRIu64 ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+                ",\"mean\":%.6g,\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+                ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64 "}",
+                h.count, h.min, h.max, h.mean, h.p50, h.p90, h.p99, h.p999);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  Snapshot snap = Collect();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    AppendDouble(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    AppendHistJson(&out, h);
+  }
+  out += "}}\n";
+  return out;
+}
+
+void MetricsRegistry::WriteText(std::FILE* out) const {
+  Snapshot snap = Collect();
+  std::fprintf(out, "== metrics snapshot ==\n");
+  std::fprintf(out, "[counters]\n");
+  for (const auto& [name, value] : snap.counters) {
+    std::fprintf(out, "  %-40s %" PRIu64 "\n", name.c_str(), value);
+  }
+  std::fprintf(out, "[gauges]\n");
+  for (const auto& [name, value] : snap.gauges) {
+    std::fprintf(out, "  %-40s %.6g\n", name.c_str(), value);
+  }
+  std::fprintf(out, "[histograms]\n");
+  for (const auto& [name, h] : snap.histograms) {
+    std::fprintf(out,
+                 "  %-40s count=%" PRIu64 " min=%" PRIu64 " max=%" PRIu64
+                 " mean=%.6g p50=%" PRIu64 " p90=%" PRIu64 " p99=%" PRIu64
+                 " p999=%" PRIu64 "\n",
+                 name.c_str(), h.count, h.min, h.max, h.mean, h.p50, h.p90,
+                 h.p99, h.p999);
+  }
+}
+
+bool MetricsRegistry::WriteSnapshotFiles(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    ROLP_LOG_ERROR("metrics: cannot open %s for writing", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    ROLP_LOG_ERROR("metrics: short write to %s", path.c_str());
+    return false;
+  }
+  std::string text_path = path + ".txt";
+  f = std::fopen(text_path.c_str(), "w");
+  if (f == nullptr) {
+    ROLP_LOG_ERROR("metrics: cannot open %s for writing", text_path.c_str());
+    return false;
+  }
+  WriteText(f);
+  std::fclose(f);
+  return true;
+}
+
+size_t MetricsRegistry::num_counters() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return counters_.size();
+}
+
+size_t MetricsRegistry::num_gauges() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    (void)id;
+    n += e.gauge ? 1 : 0;
+  }
+  return n;
+}
+
+size_t MetricsRegistry::num_histograms() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    (void)id;
+    n += e.histogram ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace rolp

@@ -1,0 +1,252 @@
+#include "src/util/trace.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/env.h"
+#include "src/util/log.h"
+
+namespace rolp {
+
+std::atomic<bool> Trace::enabled_{false};
+
+namespace {
+
+// Single-writer ring. The owner thread writes the slot, then release-stores
+// the cursor; the exporter acquire-loads the cursor and reads only slots below
+// it. Slot re-writes after a wrap race with a concurrent exporter by design
+// (flight-recorder semantics, see Trace::ToJson contract); within one thread
+// the ring is exact.
+class TraceBuffer {
+ public:
+  TraceBuffer(uint32_t tid, size_t capacity)
+      : tid_(tid), mask_(capacity - 1), events_(new TraceEvent[capacity]) {}
+
+  void Emit(const TraceEvent& e) {
+    uint64_t i = head_.load(std::memory_order_relaxed);
+    events_[i & mask_] = e;
+    head_.store(i + 1, std::memory_order_release);
+  }
+
+  uint32_t tid() const { return tid_; }
+
+  // Copies retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t count = head <= mask_ + 1 ? head : mask_ + 1;
+    std::vector<TraceEvent> out;
+    out.reserve(count);
+    for (uint64_t i = head - count; i < head; i++) {
+      out.push_back(events_[i & mask_]);
+    }
+    return out;
+  }
+
+  uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint32_t tid_;
+  const uint64_t mask_;
+  std::unique_ptr<TraceEvent[]> events_;
+  std::atomic<uint64_t> head_{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;  // includes exited threads'
+  size_t events_per_thread = Trace::kDefaultEventsPerThread;
+  // Bumped by Reset so thread-local pointers re-acquire; atomic because the
+  // emit path checks it without the mutex.
+  std::atomic<uint64_t> epoch{1};
+  uint32_t next_tid = 1;
+  std::string atexit_path;
+  bool atexit_registered = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed: threads may outlive main
+  return *r;
+}
+
+struct ThreadSlot {
+  TraceBuffer* buffer = nullptr;
+  uint64_t epoch = 0;
+};
+thread_local ThreadSlot t_slot;
+
+TraceBuffer* AcquireBuffer() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> guard(r.mu);
+  r.buffers.push_back(
+      std::make_unique<TraceBuffer>(r.next_tid++, std::bit_ceil(r.events_per_thread)));
+  t_slot.buffer = r.buffers.back().get();
+  t_slot.epoch = r.epoch.load(std::memory_order_relaxed);
+  return t_slot.buffer;
+}
+
+void AppendJsonEvent(std::string* out, const TraceEvent& e, uint32_t tid) {
+  char buf[256];
+  double ts_us = static_cast<double>(e.ts_ns) / 1e3;
+  // Names/categories are trusted string literals from this codebase (the
+  // naming convention has no characters needing JSON escaping).
+  if (e.phase == 'X') {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"v\":%llu}}",
+                  e.name, e.cat, tid, ts_us, static_cast<double>(e.dur_ns) / 1e3,
+                  static_cast<unsigned long long>(e.arg));
+  } else if (e.phase == 'C') {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"args\":{\"value\":%llu}}",
+                  e.name, e.cat, tid, ts_us, static_cast<unsigned long long>(e.arg));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+                  "\"tid\":%u,\"ts\":%.3f,\"args\":{\"v\":%llu}}",
+                  e.name, e.cat, tid, ts_us, static_cast<unsigned long long>(e.arg));
+  }
+  *out += buf;
+}
+
+void AtExitDump() {
+  std::string path;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> guard(r.mu);
+    path = r.atexit_path;
+  }
+  if (!path.empty()) {
+    Trace::WriteJson(path);
+  }
+}
+
+}  // namespace
+
+void Trace::Enable(size_t events_per_thread) {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> guard(r.mu);
+    r.events_per_thread = events_per_thread < 2 ? 2 : events_per_thread;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+bool Trace::InitFromEnv() {
+  std::string path = EnvString("ROLP_TRACE", "");
+  if (path.empty()) {
+    return enabled();
+  }
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> guard(r.mu);
+    r.atexit_path = path;
+    if (!r.atexit_registered) {
+      r.atexit_registered = true;
+      std::atexit(AtExitDump);
+    }
+  }
+  Enable();
+  return true;
+}
+
+void Trace::Emit(const TraceEvent& event) {
+  TraceBuffer* buf = t_slot.buffer;
+  if (buf == nullptr ||
+      t_slot.epoch != registry().epoch.load(std::memory_order_relaxed)) {
+    buf = AcquireBuffer();
+  }
+  buf->Emit(event);
+}
+
+void Trace::EmitComplete(const char* cat, const char* name, uint64_t ts_ns,
+                         uint64_t dur_ns, uint64_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Emit(TraceEvent{name, cat, ts_ns, dur_ns, arg, 'X'});
+}
+
+void Trace::EmitInstant(const char* cat, const char* name, uint64_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Emit(TraceEvent{name, cat, NowNs(), 0, arg, 'i'});
+}
+
+void Trace::EmitCounter(const char* cat, const char* name, uint64_t value) {
+  if (!enabled()) {
+    return;
+  }
+  Emit(TraceEvent{name, cat, NowNs(), 0, value, 'C'});
+}
+
+std::string Trace::ToJson() {
+  Registry& r = registry();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> guard(r.mu);
+  for (const auto& buf : r.buffers) {
+    for (const TraceEvent& e : buf->Snapshot()) {
+      if (e.name == nullptr) {
+        continue;  // torn slot from a concurrent wrap; drop it
+      }
+      if (!first) {
+        out += ",\n";
+      }
+      first = false;
+      AppendJsonEvent(&out, e, buf->tid());
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Trace::WriteJson(const std::string& path) {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    ROLP_LOG_ERROR("trace: cannot open %s for writing", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    ROLP_LOG_ERROR("trace: short write to %s", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void Trace::Reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> guard(r.mu);
+  r.buffers.clear();
+  r.epoch.fetch_add(1, std::memory_order_relaxed);
+  r.next_tid = 1;
+}
+
+uint64_t Trace::events_recorded() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> guard(r.mu);
+  uint64_t n = 0;
+  for (const auto& buf : r.buffers) {
+    n += buf->recorded();
+  }
+  return n;
+}
+
+size_t Trace::thread_buffers() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> guard(r.mu);
+  return r.buffers.size();
+}
+
+}  // namespace rolp

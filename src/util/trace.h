@@ -1,0 +1,156 @@
+// Structured trace event layer: lock-free per-thread ring buffers recording
+// scoped (duration), instant, and counter events, exported as
+// chrome://tracing-compatible JSON ("trace event format", JSON-array flavor).
+//
+// Cost model, in line with the watchdog heartbeat discipline (DESIGN.md §8):
+// every trace point is gated on one relaxed atomic load and a predictable
+// branch, so a *disabled* trace point costs well under a nanosecond and may
+// sit anywhere except the allocation fast lane itself (bench_micro's
+// BM_TraceScopeDisabled pins the number). When enabled, an event is a NowNs()
+// read plus a handful of plain stores into a thread-local ring — no locks, no
+// shared cache lines between recording threads.
+//
+// Each recording thread owns one TraceBuffer (created on first emit,
+// registered under a mutex that is only taken on thread-first-emit and at
+// export). The ring overwrites its oldest events when full: tracing is a
+// flight recorder, not an unbounded log.
+//
+// Event names and categories must be string literals (stored by pointer,
+// never copied). Naming convention matches the fail-point catalog:
+// "<layer>.<component>.<event>", e.g. "gc.phase.mark", "rolp.inference.analyze".
+//
+// Activation: ROLP_TRACE=<path> (read by Trace::InitFromEnv, called from the
+// VM constructor) enables recording and arranges a JSON dump to <path> at
+// process exit. Tests drive Enable/Disable/ToJson directly.
+#ifndef SRC_UTIL_TRACE_H_
+#define SRC_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/util/clock.h"
+
+namespace rolp {
+
+struct TraceEvent {
+  const char* name = nullptr;  // string literal
+  const char* cat = nullptr;   // string literal
+  uint64_t ts_ns = 0;          // NowNs() at event start
+  uint64_t dur_ns = 0;         // complete events only
+  uint64_t arg = 0;            // optional numeric payload ("args":{"v":N})
+  char phase = 'i';            // 'X' complete, 'i' instant, 'C' counter
+};
+
+class Trace {
+ public:
+  static constexpr size_t kDefaultEventsPerThread = 1u << 13;  // 8192
+
+  // The gate every trace point checks first. Relaxed: a trace point racing an
+  // Enable/Disable merely records or skips one event.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  // Starts recording. events_per_thread is rounded up to a power of two;
+  // buffers created before an Enable keep their original capacity.
+  static void Enable(size_t events_per_thread = kDefaultEventsPerThread);
+  static void Disable();
+
+  // Reads ROLP_TRACE; if set, enables tracing and registers an atexit hook
+  // that writes the JSON to that path. Idempotent. Returns whether tracing is
+  // enabled afterwards.
+  static bool InitFromEnv();
+
+  // Appends one event to the calling thread's ring (creating and registering
+  // the ring on first use). Call only when enabled() — the macros below do.
+  static void Emit(const TraceEvent& event);
+
+  // Convenience emitters (no-ops when disabled).
+  static void EmitComplete(const char* cat, const char* name, uint64_t ts_ns,
+                           uint64_t dur_ns, uint64_t arg = 0);
+  static void EmitInstant(const char* cat, const char* name, uint64_t arg = 0);
+  static void EmitCounter(const char* cat, const char* name, uint64_t value);
+
+  // Serializes every buffered event as a chrome://tracing JSON object
+  // ({"traceEvents":[...]}). Safe to call while recording continues (each
+  // ring is read through its release-published cursor), but events written
+  // during the export may be missed or, if a ring wraps mid-read, partially
+  // torn — exports are best-effort flight-recorder dumps, exact only once
+  // recording threads have quiesced.
+  static std::string ToJson();
+  // ToJson to a file; returns false (and logs) on I/O failure.
+  static bool WriteJson(const std::string& path);
+
+  // Drops every registered buffer and all recorded events. Tests only: no
+  // thread may be emitting concurrently, and thread-local buffers of live
+  // threads are re-created on their next emit.
+  static void Reset();
+
+  // Events recorded since Enable (monotonic, includes overwritten ones) and
+  // the number of registered thread buffers. Introspection/tests.
+  static uint64_t events_recorded();
+  static size_t thread_buffers();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+// RAII scoped event: records one complete ('X') event covering its lifetime.
+// Construction and destruction are both gated on Trace::enabled(); a scope
+// that straddles a Disable records nothing.
+class ScopedTrace {
+ public:
+  // Inline so the disabled path (gate load, branch, one store) is visible to
+  // the compiler at every trace point; see the overhead budget in DESIGN.md §11.
+  ScopedTrace(const char* cat, const char* name, uint64_t arg = 0) {
+    if (!Trace::enabled()) {
+      start_ns_ = 0;
+      return;
+    }
+    cat_ = cat;
+    name_ = name;
+    arg_ = arg;
+    start_ns_ = NowNs();
+  }
+  ~ScopedTrace() {
+    if (start_ns_ != 0 && Trace::enabled()) {
+      Trace::Emit(TraceEvent{name_, cat_, start_ns_, NowNs() - start_ns_, arg_, 'X'});
+    }
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  // cat_/name_/arg_ are deliberately left uninitialized when tracing is
+  // disabled (the ~1 ns budget for a disabled scope pays for one gate load,
+  // one branch, and the start_ns_ store — not four member writes); the
+  // destructor reads them only when start_ns_ != 0.
+  const char* cat_;
+  const char* name_;
+  uint64_t start_ns_;  // 0 = tracing was disabled at construction
+  uint64_t arg_;
+};
+
+}  // namespace rolp
+
+// Scoped trace point: one complete event covering the enclosing scope.
+#define ROLP_TRACE_CONCAT2(a, b) a##b
+#define ROLP_TRACE_CONCAT(a, b) ROLP_TRACE_CONCAT2(a, b)
+#define ROLP_TRACE_SCOPE(cat, name) \
+  ::rolp::ScopedTrace ROLP_TRACE_CONCAT(rolp_trace_scope_, __LINE__)(cat, name)
+#define ROLP_TRACE_SCOPE_ARG(cat, name, arg) \
+  ::rolp::ScopedTrace ROLP_TRACE_CONCAT(rolp_trace_scope_, __LINE__)(cat, name, arg)
+#define ROLP_TRACE_INSTANT(cat, name, arg) \
+  do {                                     \
+    if (::rolp::Trace::enabled()) {        \
+      ::rolp::Trace::EmitInstant(cat, name, arg); \
+    }                                      \
+  } while (0)
+#define ROLP_TRACE_COUNTER(cat, name, value) \
+  do {                                       \
+    if (::rolp::Trace::enabled()) {          \
+      ::rolp::Trace::EmitCounter(cat, name, value); \
+    }                                        \
+  } while (0)
+
+#endif  // SRC_UTIL_TRACE_H_

@@ -7,6 +7,7 @@
 #include "src/util/check.h"
 #include "src/util/clock.h"
 #include "src/util/log.h"
+#include "src/util/trace.h"
 
 namespace rolp {
 
@@ -56,10 +57,14 @@ RunResult RunWorkload(const VmConfig& vm_config, Workload& workload,
   VM vm(cfg);
 
   // Setup on an attached thread.
-  RuntimeThread* setup_thread = vm.AttachThread();
-  workload.Setup(vm, *setup_thread);
-  vm.DetachThread(setup_thread);
+  {
+    ROLP_TRACE_SCOPE("workload", "workload.setup");
+    RuntimeThread* setup_thread = vm.AttachThread();
+    workload.Setup(vm, *setup_thread);
+    vm.DetachThread(setup_thread);
+  }
 
+  ScopedTrace run_scope("workload", "workload.run");
   uint64_t start_ns = NowNs();
   uint64_t warmup_end_ns = start_ns + static_cast<uint64_t>(options.warmup_s * 1e9);
   uint64_t deadline_ns = start_ns + static_cast<uint64_t>(options.duration_s * 1e9);

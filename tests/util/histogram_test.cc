@@ -16,6 +16,30 @@ TEST(LogHistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.Mean(), 0.0);
 }
 
+TEST(LogHistogramTest, RecordNZeroCountLeavesStateUntouched) {
+  LogHistogram h;
+  // Regression: RecordN(v, 0) used to fold v into min_/max_ even though no
+  // sample was recorded, corrupting every later percentile read (Percentile
+  // clamps its result to max_).
+  h.RecordN(7, 0);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  h.Record(100);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 100u);
+  EXPECT_EQ(h.Max(), 100u);
+  EXPECT_GE(h.Percentile(99), 100u);
+
+  // The other direction: a zero-count record after real samples must not
+  // drag max_ up or min_ down.
+  h.RecordN(1, 0);
+  h.RecordN(1u << 30, 0);
+  EXPECT_EQ(h.Min(), 100u);
+  EXPECT_EQ(h.Max(), 100u);
+  EXPECT_LE(h.Percentile(100), 104u);
+}
+
 TEST(LogHistogramTest, SingleValue) {
   LogHistogram h;
   h.Record(42);

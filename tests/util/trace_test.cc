@@ -1,0 +1,177 @@
+#include "src/util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/clock.h"
+
+namespace rolp {
+namespace {
+
+// Every test leaves the global trace state disabled and empty.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Disable();
+    Trace::Reset();
+  }
+  void TearDown() override {
+    Trace::Disable();
+    Trace::Reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledEmitsNothing) {
+  ASSERT_FALSE(Trace::enabled());
+  ROLP_TRACE_INSTANT("test", "test.instant", 1);
+  ROLP_TRACE_COUNTER("test", "test.counter", 2);
+  {
+    ROLP_TRACE_SCOPE("test", "test.scope");
+  }
+  Trace::EmitComplete("test", "test.complete", 1, 2, 3);
+  EXPECT_EQ(Trace::events_recorded(), 0u);
+  EXPECT_EQ(Trace::thread_buffers(), 0u);
+  std::string json = Trace::ToJson();
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST_F(TraceTest, ScopedEventRecordsDuration) {
+  Trace::Enable(64);
+  uint64_t before = NowNs();
+  {
+    ROLP_TRACE_SCOPE("test", "test.scope");
+  }
+  uint64_t after = NowNs();
+  EXPECT_EQ(Trace::events_recorded(), 1u);
+  std::string json = Trace::ToJson();
+  EXPECT_NE(json.find("\"name\":\"test.scope\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  (void)before;
+  (void)after;
+}
+
+TEST_F(TraceTest, InstantAndCounterPhases) {
+  Trace::Enable(64);
+  ROLP_TRACE_INSTANT("test", "test.instant", 7);
+  ROLP_TRACE_COUNTER("test", "test.counter", 41);
+  std::string json = Trace::ToJson();
+  EXPECT_NE(json.find("\"name\":\"test.instant\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);  // instant scope field
+  EXPECT_NE(json.find("\"args\":{\"v\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":41}"), std::string::npos);
+}
+
+TEST_F(TraceTest, CompleteEventCarriesTimestampAndDuration) {
+  Trace::Enable(64);
+  // ts 3000 ns / dur 1500 ns render as 3.000 / 1.500 microseconds.
+  Trace::EmitComplete("test", "test.complete", 3000, 1500, 9);
+  std::string json = Trace::ToJson();
+  EXPECT_NE(json.find("\"ts\":3.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":9}"), std::string::npos);
+}
+
+TEST_F(TraceTest, ScopeStraddlingDisableRecordsNothing) {
+  Trace::Enable(64);
+  {
+    ROLP_TRACE_SCOPE("test", "test.scope");
+    Trace::Disable();
+  }
+  EXPECT_EQ(Trace::events_recorded(), 0u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestEvents) {
+  Trace::Enable(8);
+  for (int i = 0; i < 100; i++) {
+    ROLP_TRACE_INSTANT("test", "test.instant", static_cast<uint64_t>(i));
+  }
+  // Monotonic recorded count includes overwritten events...
+  EXPECT_EQ(Trace::events_recorded(), 100u);
+  // ...but the export only retains the ring's capacity, and it is the newest
+  // events that survive.
+  std::string json = Trace::ToJson();
+  EXPECT_EQ(json.find("\"args\":{\"v\":5}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":99}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":92}"), std::string::npos);
+}
+
+TEST_F(TraceTest, EventsWithinOneThreadStayOrdered) {
+  Trace::Enable(64);
+  for (uint64_t i = 0; i < 10; i++) {
+    ROLP_TRACE_INSTANT("test", "test.instant", i);
+  }
+  std::string json = Trace::ToJson();
+  size_t pos = 0;
+  for (uint64_t i = 0; i < 10; i++) {
+    std::string needle = "\"args\":{\"v\":" + std::to_string(i) + "}";
+    size_t at = json.find(needle, pos);
+    ASSERT_NE(at, std::string::npos) << "event " << i << " missing or out of order";
+    pos = at;
+  }
+}
+
+TEST_F(TraceTest, ConcurrentWritersEachGetOwnBuffer) {
+  Trace::Enable(1 << 12);
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 1000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kEventsPerThread; i++) {
+        ROLP_TRACE_INSTANT("test", "test.instant", static_cast<uint64_t>(t));
+        ROLP_TRACE_SCOPE("test", "test.scope");
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) {
+    th.join();
+  }
+  // Writers quiesced: the export is exact.
+  EXPECT_EQ(Trace::events_recorded(),
+            static_cast<uint64_t>(kThreads) * kEventsPerThread * 2);
+  EXPECT_EQ(Trace::thread_buffers(), static_cast<size_t>(kThreads));
+  std::string json = Trace::ToJson();
+  // Every thread's buffer got a distinct tid in the export.
+  for (int t = 1; t <= kThreads; t++) {
+    std::string needle = "\"tid\":" + std::to_string(t) + ",";
+    EXPECT_NE(json.find(needle), std::string::npos) << "tid " << t;
+  }
+}
+
+TEST_F(TraceTest, ResetDropsBuffersAndReacquires) {
+  Trace::Enable(64);
+  ROLP_TRACE_INSTANT("test", "test.instant", 1);
+  EXPECT_EQ(Trace::thread_buffers(), 1u);
+  Trace::Reset();
+  EXPECT_EQ(Trace::thread_buffers(), 0u);
+  EXPECT_EQ(Trace::events_recorded(), 0u);
+  // The thread's cached buffer pointer is stale; the next emit re-registers.
+  ROLP_TRACE_INSTANT("test", "test.instant", 2);
+  EXPECT_EQ(Trace::thread_buffers(), 1u);
+  EXPECT_EQ(Trace::events_recorded(), 1u);
+}
+
+TEST_F(TraceTest, JsonEnvelopeShape) {
+  Trace::Enable(64);
+  ROLP_TRACE_INSTANT("test", "test.instant", 1);
+  std::string json = Trace::ToJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rolp

@@ -244,6 +244,34 @@ BENCHMARK(BM_ProfilerGcEndInference)
     ->UseManualTime()
     ->Unit(benchmark::kMicrosecond);
 
+// In-pause heap verification cost at the default sampling rate. arg 0 runs
+// the identical pause loop with ROLP_VERIFY=off (the baseline), arg 1 with
+// pause-level verification sampling 1-in-8 regions. ci.sh gates arg 1 against
+// its committed baseline; the arg1/arg0 ratio is the <15% overhead budget
+// from DESIGN.md section 12, surfaced here as the verify_ms counter.
+void BM_VerifyPauseOverhead(benchmark::State& state) {
+  PauseBenchEnv env(/*workers=*/2);
+  VerifyOptions& vo = env.collector().mutable_verify_options();
+  vo.level = state.range(0) != 0 ? VerifyLevel::kPause : VerifyLevel::kOff;
+  vo.sample_period = 8;  // default ROLP_VERIFY_SAMPLE
+  for (auto _ : state) {
+    state.SetIterationTime(env.TimedCollect());
+    env.RefillYoungReferents();
+  }
+  const GcMetrics& m = env.collector().metrics();
+  double iters = static_cast<double>(state.iterations());
+  state.counters["verify_ms"] =
+      static_cast<double>(m.PauseVerifyNs()) * 1e-6 / iters;
+  state.counters["verify_passes"] =
+      static_cast<double>(env.collector().verify_stats().passes);
+}
+BENCHMARK(BM_VerifyPauseOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(16);
+
 }  // namespace
 }  // namespace rolp
 

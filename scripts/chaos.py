@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Seeded chaos campaign driver.
+
+Runs the chaos_campaign binary across a range of seeds, parses each run's
+CHAOS_RESULT line, classifies abnormal exits as crashes, shrinks every
+failing (crash-classified) seed's replay spec to a minimal ROLP_FAULTS spec
+that still reproduces the failure, and writes a JSON triage report.
+
+Usage:
+  scripts/chaos.py --seeds 100
+  scripts/chaos.py --seeds 20 --workload graph --rate 0.002 --points 'heap.*'
+  scripts/chaos.py --seeds 10 --binary build/tests/chaos_campaign --out report.json
+
+Exit status: 0 when no run crashed, 1 otherwise (any non-crash outcome —
+quarantined, degraded, watchdog-fallback, recovered, clean — is a success:
+the whole point is that injected faults are survived).
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+RESULT_PREFIX = "CHAOS_RESULT "
+
+
+def run_binary(binary, args, timeout_s):
+    """Runs one campaign; returns (outcome_dict_or_None, exit_code, detail)."""
+    try:
+        proc = subprocess.run(
+            [binary] + args,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            timeout=timeout_s,
+            text=True,
+        )
+    except subprocess.TimeoutExpired:
+        return None, None, "timeout after %gs" % timeout_s
+    result = None
+    for line in proc.stdout.splitlines():
+        if line.startswith(RESULT_PREFIX):
+            try:
+                result = json.loads(line[len(RESULT_PREFIX):])
+            except json.JSONDecodeError:
+                return None, proc.returncode, "unparseable CHAOS_RESULT line"
+    if proc.returncode != 0:
+        detail = "exit code %d" % proc.returncode
+        if proc.returncode < 0:
+            try:
+                detail = "killed by %s" % signal.Signals(-proc.returncode).name
+            except ValueError:
+                detail = "killed by signal %d" % -proc.returncode
+        tail = "\n".join(proc.stderr.splitlines()[-6:])
+        return None, proc.returncode, detail + (("\n" + tail) if tail else "")
+    if result is None:
+        return None, proc.returncode, "exited 0 without a CHAOS_RESULT line"
+    return result, proc.returncode, ""
+
+
+def crashes(binary, base_args, faults_spec, timeout_s):
+    """True when replaying `faults_spec` still crashes (or hangs) the run."""
+    result, _, _ = run_binary(
+        binary, base_args + ["--faults=" + faults_spec], timeout_s)
+    return result is None
+
+
+def shrink_spec(binary, base_args, spec, timeout_s, budget_s=120.0):
+    """Greedy one-at-a-time removal: drops every spec entry whose removal
+    keeps the run crashing. Each entry arms one fail point, so the survivor
+    set is the minimal (for this reduction order) set of points needed."""
+    entries = [e for e in spec.split(",") if e]
+    deadline = time.monotonic() + budget_s
+    i = 0
+    while i < len(entries) and len(entries) > 1:
+        if time.monotonic() > deadline:
+            break
+        candidate = entries[:i] + entries[i + 1:]
+        if crashes(binary, base_args, ",".join(candidate), timeout_s):
+            entries = candidate  # entry i was irrelevant; stay at index i
+        else:
+            i += 1  # entry i is load-bearing; keep it
+    return ",".join(entries)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", default="build/tests/chaos_campaign")
+    ap.add_argument("--seeds", type=int, default=20,
+                    help="number of seeds to run (1..N)")
+    ap.add_argument("--seed-base", type=int, default=1)
+    ap.add_argument("--workload", default="kvstore", choices=["kvstore", "graph"])
+    ap.add_argument("--seconds", type=float, default=2.0,
+                    help="workload duration per seed")
+    ap.add_argument("--threads", type=int, default=2)
+    ap.add_argument("--rate", type=float, default=0.0005,
+                    help="per-hit fault probability")
+    ap.add_argument("--points", default="",
+                    help="catalog glob, e.g. 'heap.*' (default: all points)")
+    ap.add_argument("--verify", default="pause", choices=["off", "pause", "full"])
+    ap.add_argument("--sample", type=int, default=1,
+                    help="ROLP_VERIFY_SAMPLE (1 = exhaustive)")
+    ap.add_argument("--gc", default="rolp")
+    ap.add_argument("--heap-mb", type=int, default=64)
+    ap.add_argument("--timeout", type=float, default=0.0,
+                    help="per-run timeout seconds (default: 30x --seconds + 30)")
+    ap.add_argument("--out", default="", help="write the JSON report here too")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.binary):
+        sys.stderr.write("chaos binary not found: %s (build the repo first)\n"
+                         % args.binary)
+        return 2
+
+    timeout_s = args.timeout or (30.0 * args.seconds + 30.0)
+    base_args = [
+        "--workload=%s" % args.workload,
+        "--seconds=%g" % args.seconds,
+        "--threads=%d" % args.threads,
+        "--verify=%s" % args.verify,
+        "--sample=%d" % args.sample,
+        "--gc=%s" % args.gc,
+        "--heap-mb=%d" % args.heap_mb,
+    ]
+
+    runs = []
+    tally = {}
+    for i in range(args.seeds):
+        seed = args.seed_base + i
+        seed_args = base_args + ["--seed=%d" % seed, "--rate=%g" % args.rate]
+        if args.points:
+            seed_args.append("--points=%s" % args.points)
+        result, code, detail = run_binary(args.binary, seed_args, timeout_s)
+        if result is None:
+            # Crash (or hang): recover the replay spec out-of-band, then
+            # shrink it to the minimal spec that still reproduces.
+            spec_proc = subprocess.run(
+                [args.binary] + seed_args + ["--print-spec"],
+                stdout=subprocess.PIPE, text=True, timeout=60)
+            full_spec = spec_proc.stdout.strip()
+            minimized = shrink_spec(args.binary, base_args, full_spec, timeout_s)
+            run = {
+                "seed": seed,
+                "outcome": "crash",
+                "detail": detail,
+                "replay_spec": full_spec,
+                "minimized_spec": minimized,
+                "repro": "%s %s --faults='%s'"
+                         % (args.binary, " ".join(base_args), minimized),
+            }
+        else:
+            run = result
+        runs.append(run)
+        tally[run["outcome"]] = tally.get(run["outcome"], 0) + 1
+        print("seed %4d: %-18s %s" % (seed, run["outcome"],
+                                      run.get("detail", "")), flush=True)
+
+    report = {
+        "binary": args.binary,
+        "workload": args.workload,
+        "seeds": args.seeds,
+        "rate": args.rate,
+        "points": args.points or "*",
+        "verify": args.verify,
+        "sample": args.sample,
+        "outcomes": tally,
+        "crashes": [r for r in runs if r["outcome"] == "crash"],
+        "runs": runs,
+    }
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    print(json.dumps({k: v for k, v in report.items() if k != "runs"}, indent=2))
+
+    if tally.get("crash", 0) > 0:
+        sys.stderr.write("FAIL: %d crash outcome(s); replay with the minimized "
+                         "--faults specs above\n" % tally["crash"])
+        return 1
+    print("OK: %d seeds, no crashes (%s)" % (args.seeds, ", ".join(
+        "%s=%d" % kv for kv in sorted(tally.items()))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,11 +51,12 @@ if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
   fi
   if [ -f BENCH_pause.json ] && [ -x build/bench/bench_pause ]; then
     build/bench/bench_pause \
-      --benchmark_filter='BM_ProfilerGcEndInference' \
+      --benchmark_filter='BM_ProfilerGcEndInference|BM_VerifyPauseOverhead' \
       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
       --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_pause.json >/dev/null
     python3 scripts/check_bench_regression.py BENCH_pause.json /tmp/ci_bench_pause.json \
-      --threshold 0.25 --require 'BM_ProfilerGcEndInference'
+      --threshold 0.25 --require 'BM_ProfilerGcEndInference' \
+      --require 'BM_VerifyPauseOverhead'
   fi
 fi
 
@@ -71,6 +72,39 @@ if command -v python3 >/dev/null && [ -x build/examples/kvstore_service ]; then
     build/examples/kvstore_service rolp 2 >/dev/null
   python3 scripts/validate_observability.py \
     /tmp/ci_rolp_trace.json /tmp/ci_rolp_metrics.json /tmp/ci_rolp_old_table.txt
+fi
+
+# Chaos smoke (DESIGN.md §12): fixed-seed campaigns over the kvstore workload
+# with in-pause verification on. Every injected-fault outcome must be
+# survivable (quarantined / degraded / watchdog-fallback / recovered / clean);
+# a crash-classified outcome fails, and chaos.py prints the minimized
+# ROLP_FAULTS spec that reproduces it. ROLP_CHAOS_EXTENDED=1 widens the sweep
+# for nightly runs; ROLP_CHAOS_CHECK=0 skips entirely.
+if [ "${ROLP_CHAOS_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
+   && [ -x build/tests/chaos_campaign ]; then
+  echo "=== chaos smoke"
+  CHAOS_SEEDS=6
+  CHAOS_SECONDS=1
+  if [ "${ROLP_CHAOS_EXTENDED:-0}" = "1" ]; then
+    CHAOS_SEEDS=100
+    CHAOS_SECONDS=2
+  fi
+  python3 scripts/chaos.py --seeds "$CHAOS_SEEDS" --seconds "$CHAOS_SECONDS" \
+    --rate 0.001 --verify pause --sample 1 --out /tmp/ci_chaos_report.json
+  # One deterministic lost-barrier replay: the exact acceptance scenario
+  # (remset drop caught in-pause, survived via quarantine), pinned by spec
+  # rather than by seed so it cannot rotate out of coverage.
+  build/tests/chaos_campaign --seconds=1 --sample=1 \
+    --faults='heap.remset.drop=every:64' \
+    | tail -1 | grep -q '^CHAOS_RESULT '
+fi
+
+# Verifier-enabled kvstore smoke under the sanitizer build: the quarantine
+# and healing paths must be clean under ASan, not just crash-free.
+if [ -x build-asan/examples/kvstore_service ]; then
+  echo "=== asan verifier smoke"
+  ROLP_VERIFY=pause ROLP_VERIFY_SAMPLE=1 \
+    build-asan/examples/kvstore_service rolp 1 >/dev/null
 fi
 
 echo "=== all presets passed: ${PRESETS[*]}"

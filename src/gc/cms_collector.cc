@@ -130,8 +130,16 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
   bool cycle_active = phase_.load(std::memory_order_relaxed) != Phase::kIdle;
 
   std::vector<Region*> cset;
+  const bool check_pinned = !regions.UnscannableQuarantined().empty();
   regions.ForEachRegion([&](Region* r) {
     if (r->IsYoung()) {
+      if (check_pinned && regions.PinnedByQuarantine(r)) {
+        // An unscannable quarantined region holds edges into this region that
+        // the scavenge cannot discover; keep the region in place.
+        regions.RetireToOld(r);
+        r->set_live_bytes(r->used());
+        return;
+      }
       r->set_in_cset(true);
       cset.push_back(r);
     }
@@ -241,7 +249,8 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
       }
       seen[idx] = true;
       Region* s = &regions.region(idx);
-      if (s->IsFree() || s->in_cset() || s->kind() == RegionKind::kHumongousCont) {
+      if (s->IsFree() || s->in_cset() || s->kind() == RegionKind::kHumongousCont ||
+          s->IsUnscannable()) {
         return;
       }
       s->ForEachObject([&](Object* obj) {
@@ -264,6 +273,7 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
   for (auto& [obj, mark] : preserved) {
     obj->StoreMark(mark);
   }
+  std::vector<Region*> doomed;
   for (Region* r : cset) {
     bool has_failures = false;
     for (auto& [obj, mark] : preserved) {
@@ -275,11 +285,35 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
     if (has_failures) {
       r->set_in_cset(false);
       regions.RetireToOld(r);
-      r->set_live_bytes(r->used());
+      ScrubRetiredEvacFailure(r);
     } else {
-      bitmap_.ClearRange(r->begin(), r->end());
-      regions.FreeRegion(r);
+      doomed.push_back(r);
     }
+  }
+  if (verify_options_.enabled() && !doomed.empty()) {
+    // Post-evacuation check before the doomed regions' memory is recycled.
+    // The scavenge is conservative (it evacuates everything reachable from
+    // roots and remset sources, live or not), so no liveness filter applies:
+    // any surviving reference into the collection set is a genuine miss.
+    uint64_t v0 = NowNs();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope vscope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    HeapVerifier verifier(heap_, safepoints_);
+    HeapVerifier::Report report = verifier.VerifyCollectionSet(
+        doomed, workers_.get(), verify_options_, NextVerifyPass(), &verify_cancel,
+        /*live_filter=*/nullptr);
+    if (ApplyVerification("cms-post-evacuation", report)) {
+      QuarantineFlagged(&verifier, doomed, &report);
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - v0);
+  }
+  for (Region* r : doomed) {
+    if (r->quarantined()) {
+      continue;
+    }
+    bitmap_.ClearRange(r->begin(), r->end());
+    regions.FreeRegion(r);
   }
 
   metrics_.AddBytesCopied(copied);
@@ -436,6 +470,9 @@ void CmsCollector::RemarkAndSweep(uint64_t t0) {
   old_space_.Clear();
   std::vector<Region*> to_free;
   regions.ForEachRegion([&](Region* r) {
+    if (r->quarantined()) {
+      return;  // pinned: never swept, freed, or free-listed
+    }
     if (r->kind() == RegionKind::kHumongous) {
       Object* head = reinterpret_cast<Object*>(r->begin());
       if (!bitmap_.IsMarked(head)) {

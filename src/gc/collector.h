@@ -8,6 +8,7 @@
 
 #include "src/gc/gc_config.h"
 #include "src/gc/gc_metrics.h"
+#include "src/gc/heap_verifier.h"
 #include "src/gc/profiler_hooks.h"
 #include "src/gc/thread_context.h"
 #include "src/gc/watchdog/gc_watchdog.h"
@@ -48,6 +49,16 @@ struct AllocResult {
   static AllocResult OutOfMemory(uint8_t attempts) {
     return AllocResult{nullptr, AllocStatus::kOutOfMemory, attempts};
   }
+};
+
+// Cumulative in-pause verification accounting (see DESIGN.md section 12).
+struct VerifyStats {
+  uint64_t passes = 0;
+  uint64_t findings = 0;
+  uint64_t refs_healed = 0;
+  uint64_t refs_nulled = 0;
+  uint64_t passes_cancelled = 0;
+  uint64_t regions_quarantined = 0;
 };
 
 class Collector {
@@ -91,7 +102,38 @@ class Collector {
   }
   WorkerPool* workers() const { return workers_.get(); }
 
+  // In-pause verification knobs (ROLP_VERIFY / ROLP_VERIFY_SAMPLE at
+  // construction; tests and the runtime override, e.g. to install the
+  // OLD-table cross-check or force exhaustive sampling).
+  const VerifyOptions& verify_options() const { return verify_options_; }
+  VerifyOptions& mutable_verify_options() { return verify_options_; }
+  const VerifyStats& verify_stats() const { return verify_stats_; }
+
  protected:
+  // Recovery policy for a completed verification pass: account the report,
+  // log findings, abort (with crash context) on fatal corruption, and push
+  // the profiler into degraded mode otherwise. Returns true if the report
+  // carried any finding.
+  bool ApplyVerification(const char* when, const HeapVerifier::Report& report);
+
+  // Quarantines every region the post-evacuation check flagged (closing the
+  // set over `doomed` first). Quarantined regions must not be freed by the
+  // caller. Returns the quarantined region indices.
+  std::vector<uint32_t> QuarantineFlagged(HeapVerifier* verifier,
+                                          const std::vector<Region*>& doomed,
+                                          HeapVerifier::Report* report);
+
+  // An evacuation-failure region retired to old still holds the stale
+  // originals of successfully-copied objects, and its in-place survivors'
+  // cross-region edges were recorded under young-to-young rules. Scrub the
+  // stale copies into free blocks, recount live bytes, and re-record the
+  // survivors' edges in the targets' remsets so the retired region is
+  // indistinguishable from a normal old region.
+  void ScrubRetiredEvacFailure(Region* region);
+
+  // Monotonic pass counter driving the rotating sampling offset.
+  uint64_t NextVerifyPass() { return verify_pass_++; }
+
   // Bounded backoff between failed allocation attempts: lets a competing
   // thread's collection finish instead of hammering the region lock, without
   // ever blocking indefinitely.
@@ -104,6 +146,10 @@ class Collector {
   ProfilerHooks* profiler_ = nullptr;
   std::unique_ptr<WorkerPool> workers_;
   std::unique_ptr<GcWatchdog> watchdog_;
+
+  VerifyOptions verify_options_;
+  VerifyStats verify_stats_;
+  uint64_t verify_pass_ = 0;
 };
 
 }  // namespace rolp

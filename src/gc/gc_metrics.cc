@@ -134,6 +134,7 @@ void GcMetrics::Reset() {
   pause_scan_ns_.store(0, std::memory_order_relaxed);
   pause_evac_ns_.store(0, std::memory_order_relaxed);
   pause_profiler_ns_.store(0, std::memory_order_relaxed);
+  pause_verify_ns_.store(0, std::memory_order_relaxed);
   for (uint32_t w = 0; w < kMaxTrackedWorkers; w++) {
     worker_copied_bytes_[w].store(0, std::memory_order_relaxed);
   }

@@ -89,11 +89,15 @@ class GcMetrics {
   void AddPauseProfilerNs(uint64_t n) {
     pause_profiler_ns_.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddPauseVerifyNs(uint64_t n) {
+    pause_verify_ns_.fetch_add(n, std::memory_order_relaxed);
+  }
   uint64_t PauseScanNs() const { return pause_scan_ns_.load(std::memory_order_relaxed); }
   uint64_t PauseEvacNs() const { return pause_evac_ns_.load(std::memory_order_relaxed); }
   uint64_t PauseProfilerNs() const {
     return pause_profiler_ns_.load(std::memory_order_relaxed);
   }
+  uint64_t PauseVerifyNs() const { return pause_verify_ns_.load(std::memory_order_relaxed); }
 
   // Per-worker evacuation copy volume: the work-balance signal. With static
   // striding one worker can absorb a dense remset region (max share -> ~1.0);
@@ -131,6 +135,7 @@ class GcMetrics {
   std::atomic<uint64_t> pause_scan_ns_{0};
   std::atomic<uint64_t> pause_evac_ns_{0};
   std::atomic<uint64_t> pause_profiler_ns_{0};
+  std::atomic<uint64_t> pause_verify_ns_{0};
   std::atomic<uint64_t> worker_copied_bytes_[kMaxTrackedWorkers] = {};
 };
 

@@ -9,6 +9,12 @@ namespace rolp {
 uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers) {
   RegionManager& regions = heap_->regions();
 
+  // Full collection recomputes liveness from roots without remsets, which
+  // removes the reason walkable quarantined regions were pinned: lift their
+  // quarantine so this cycle compacts them away like any other region.
+  // Unscannable regions (broken tiling) stay pinned and untouched forever.
+  regions.ForEachRegion([&](Region* r) { regions.Unquarantine(r); });
+
   // Phase 1: mark.
   Marker marker(heap_, bitmap_);
   marker.MarkFromRoots(safepoints, workers);
@@ -17,11 +23,12 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
   // address order.
   std::vector<Region*> sequence;
   regions.ForEachRegion([&](Region* r) {
-    if (r->kind() == RegionKind::kHumongous && r->live_bytes() == 0) {
+    if (r->kind() == RegionKind::kHumongous && r->live_bytes() == 0 &&
+        !r->quarantined()) {
       regions.FreeRegion(r);
       return;
     }
-    if (r->IsFree() || r->IsHumongous()) {
+    if (r->IsFree() || r->IsHumongous() || r->IsUnscannable()) {
       return;
     }
     sequence.push_back(r);

@@ -54,6 +54,13 @@ class ProfilerHooks {
   // on are the signal to degrade the profiler (escalation ladder rung 4).
   // Default no-op: collectors may run without a profiler.
   virtual void OnGcOverrun(bool survivor_tracking_active) { (void)survivor_tracking_active; }
+
+  // Called (world stopped) when in-pause heap verification found recoverable
+  // corruption (`finding_count` findings this pass). Profiling data derived
+  // from a corrupt heap is suspect, so implementations should degrade:
+  // disable survivor tracking and stop publishing new pretenuring decisions.
+  // Default no-op: collectors may run without a profiler.
+  virtual void OnHeapCorruption(size_t finding_count) { (void)finding_count; }
 };
 
 }  // namespace rolp

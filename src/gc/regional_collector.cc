@@ -193,6 +193,31 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
     metrics_.AddConcurrentWorkNs(mark_ns);
   }
 
+  // Post-mark verification: recount sampled regions' live bytes against the
+  // bitmap and probe that roots were marked. A disagreement is repaired in
+  // place, but it also means some part of the marking pipeline misbehaved —
+  // stop trusting marks for cset selection and dead-object filtering this
+  // pause (the collection degrades to young-only work).
+  bool trust_marks = mixed;
+  if (mixed && verify_options_.enabled()) {
+    uint64_t verify_t0 = NowNs();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    HeapVerifier verifier(heap_, safepoints_);
+    HeapVerifier::Report report = verifier.VerifyPostMark(
+        &bitmap_, workers_.get(), verify_options_, NextVerifyPass(), &verify_cancel);
+    if (ApplyVerification("post-mark", report)) {
+      for (const HeapVerifier::Finding& f : report.findings) {
+        if (f.kind == HeapVerifier::Finding::Kind::kBadMark) {
+          trust_marks = false;
+          break;
+        }
+      }
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - verify_t0);
+  }
+
   // ---- Pause-side region scans (parallel) ---------------------------------
   // One fused sweep over the region table, sharded across the GC workers,
   // replaces four serial walks: per-generation fragmentation accounting,
@@ -209,18 +234,26 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
       size_t used[kNumDynamicGens + 1] = {};
       size_t live[kNumDynamicGens + 1] = {};
       std::vector<Region*> young;
+      std::vector<Region*> pinned_young;
       std::vector<Region*> candidates;
       std::vector<Region*> dead_humongous;
     };
     std::vector<ScanPartial> partials(n);
     const bool want_frag = mixed && dynamic_gens_ && profiler_ != nullptr;
+    // Only unscannable quarantined regions can pin young regions (their
+    // outgoing references can never be rescanned or healed).
+    const bool check_pinned = !regions.UnscannableQuarantined().empty();
     workers_->ParallelFor(
         regions.num_regions(), StealChunkSize(), [&](uint32_t w, size_t begin, size_t end) {
           ScanPartial& p = partials[w];
           for (size_t i = begin; i < end; i++) {
             Region* r = &regions.region(i);
             if (r->IsYoung()) {
-              p.young.push_back(r);
+              if (check_pinned && regions.PinnedByQuarantine(r)) {
+                p.pinned_young.push_back(r);
+              } else {
+                p.young.push_back(r);
+              }
               continue;
             }
             if (!mixed) {
@@ -238,12 +271,15 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
               p.used[r->gen()] += r->used();
               p.live[r->gen()] += r->live_bytes();
             }
-            if (k == RegionKind::kHumongous && r->live_bytes() == 0) {
+            if (r->quarantined()) {
+              continue;  // pinned: never a cset candidate, never freed
+            }
+            if (k == RegionKind::kHumongous && r->live_bytes() == 0 && trust_marks) {
               p.dead_humongous.push_back(r);
               continue;
             }
-            if ((k == RegionKind::kOld || k == RegionKind::kGen) && r->used() > 0 &&
-                r->LiveRatio() <= config_.cset_live_ratio_max) {
+            if (trust_marks && (k == RegionKind::kOld || k == RegionKind::kGen) &&
+                r->used() > 0 && r->LiveRatio() <= config_.cset_live_ratio_max) {
               p.candidates.push_back(r);
             }
           }
@@ -270,6 +306,12 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
     for (ScanPartial& p : partials) {
       for (Region* r : p.dead_humongous) {
         regions.FreeRegion(r);
+      }
+      for (Region* r : p.pinned_young) {
+        // Referenced from an unscannable quarantined region: the reference
+        // can never be healed, so the objects must stay put. Pin in place.
+        regions.RetireToOld(r);
+        r->set_live_bytes(r->used());
       }
       cset.insert(cset.end(), p.young.begin(), p.young.end());
       candidates.insert(candidates.end(), p.candidates.begin(), p.candidates.end());
@@ -304,7 +346,8 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
             return;
           }
           Region* s = &regions.region(idx);
-          if (!s->IsFree() && !s->in_cset() && s->kind() != RegionKind::kHumongousCont) {
+          if (!s->IsFree() && !s->in_cset() && s->kind() != RegionKind::kHumongousCont &&
+              !s->IsUnscannable()) {
             source_partials[w].push_back(s);
           }
         });
@@ -379,7 +422,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
           // serializes the phase on whichever worker claimed it.
           Region* s = remset_sources[u - root_units];
           s->ForEachObject([&](Object* obj) {
-            if (mixed && !bitmap_.IsMarked(obj)) {
+            if (trust_marks && !bitmap_.IsMarked(obj)) {
               return;  // precise: skip dead objects when marks are fresh
             }
             pool.Push(w, obj);
@@ -413,20 +456,72 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   }
 
   task.RestoreSelfForwarded(eworkers);
+  std::vector<Region*> doomed;
+  doomed.reserve(cset.size());
   for (Region* r : cset) {
     if (r->evac_failed()) {
-      // In-place survivors: the region is retired to old and cleaned by the
-      // upcoming full collection.
+      // In-place survivors: the region is retired to old; scrubbing turns the
+      // stale originals of copied objects into free blocks and re-records the
+      // survivors' remset edges under the region's new (old) kind.
       r->set_evac_failed(false);
       r->set_in_cset(false);
       regions.RetireToOld(r);
-      r->set_live_bytes(r->used());
+      ScrubRetiredEvacFailure(r);
     } else {
-      regions.FreeRegion(r);
+      doomed.push_back(r);
     }
   }
 
   metrics_.AddPauseEvacNs(NowNs() - evac_t0);
+
+  // Post-evacuation verification: no root and no surviving object may still
+  // reference an unforwarded object in a region about to be freed. Regions
+  // that fail the check are quarantined (kept, pinned as old) instead of
+  // freed — the process keeps serving with bounded garbage retention.
+  if (verify_options_.enabled() && !doomed.empty()) {
+    uint64_t verify_t0 = NowNs();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    HeapVerifier verifier(heap_, safepoints_);
+    HeapVerifier::Report report = verifier.VerifyCollectionSet(
+        doomed, workers_.get(), verify_options_, NextVerifyPass(), &verify_cancel,
+        trust_marks ? &bitmap_ : nullptr);
+    if (ApplyVerification("post-evacuation", report)) {
+      QuarantineFlagged(&verifier, doomed, &report);
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - verify_t0);
+  }
+  for (Region* r : doomed) {
+    if (!r->quarantined()) {
+      regions.FreeRegion(r);
+    }
+  }
+
+  // Sampled structural walk (rotating 1-in-N coverage): region tiling,
+  // reference plausibility, stale forwarding, remset completeness, and the
+  // OLD-table cross-check. Runs with repair on — dangling references are
+  // nulled and missing remset entries re-added rather than only reported.
+  if (verify_options_.enabled()) {
+    uint64_t verify_t0 = NowNs();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    HeapVerifier verifier(heap_, safepoints_);
+    HeapVerifier::Report report = verifier.VerifySampledWalk(
+        workers_.get(), verify_options_, NextVerifyPass(), /*repair=*/true, &verify_cancel);
+    if (ApplyVerification("sampled-walk", report)) {
+      for (const HeapVerifier::Finding& f : report.findings) {
+        if (f.kind == HeapVerifier::Finding::Kind::kRegionCorrupt &&
+            f.region != HeapVerifier::Finding::kNoRegion) {
+          // Broken tiling: the region can never be walked again.
+          regions.Quarantine(&regions.region(f.region), /*walkable=*/false);
+          verify_stats_.regions_quarantined++;
+        }
+      }
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - verify_t0);
+  }
 
   uint64_t copied = 0;
   uint64_t promoted = 0;
@@ -481,6 +576,30 @@ void RegionalCollector::DoFull(uint64_t t0) {
     // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
     (void)ROLP_FAULT_POINT("gc.phase.compact.stall");
     moved = compactor.Collect(safepoints_, workers_.get());
+  }
+  // Post-compaction sampled walk: the full collection just rewrote every
+  // region and rebuilt every remembered set, so check the result before
+  // resuming the mutators. Walkable quarantined regions were rehabilitated by
+  // the compactor; anything still broken gets re-quarantined here.
+  if (verify_options_.enabled()) {
+    uint64_t verify_t0 = NowNs();
+    RegionManager& regions = heap_->regions();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope vscope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    HeapVerifier verifier(heap_, safepoints_);
+    HeapVerifier::Report report = verifier.VerifySampledWalk(
+        workers_.get(), verify_options_, NextVerifyPass(), /*repair=*/true, &verify_cancel);
+    if (ApplyVerification("post-compaction", report)) {
+      for (const HeapVerifier::Finding& f : report.findings) {
+        if (f.kind == HeapVerifier::Finding::Kind::kRegionCorrupt &&
+            f.region != HeapVerifier::Finding::kNoRegion) {
+          regions.Quarantine(&regions.region(f.region), /*walkable=*/false);
+          verify_stats_.regions_quarantined++;
+        }
+      }
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - verify_t0);
   }
   metrics_.AddBytesCopied(moved);
   metrics_.IncrementGcCycles();

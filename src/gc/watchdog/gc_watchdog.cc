@@ -23,6 +23,8 @@ const char* GcPhaseName(GcPhase phase) {
       return "evacuate";
     case GcPhase::kCompact:
       return "compact";
+    case GcPhase::kVerify:
+      return "verify";
     case GcPhase::kProfilerMerge:
       return "profiler-merge";
   }

@@ -35,7 +35,15 @@
 
 namespace rolp {
 
-enum class GcPhase : uint8_t { kIdle, kMark, kScan, kEvacuate, kCompact, kProfilerMerge };
+enum class GcPhase : uint8_t {
+  kIdle,
+  kMark,
+  kScan,
+  kEvacuate,
+  kCompact,
+  kVerify,
+  kProfilerMerge,
+};
 
 const char* GcPhaseName(GcPhase phase);
 

@@ -309,7 +309,7 @@ bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
   // Reclaim dead humongous objects.
   std::vector<Region*> dead_humongous;
   regions.ForEachRegion([&](Region* r) {
-    if (r->kind() == RegionKind::kHumongous &&
+    if (r->kind() == RegionKind::kHumongous && !r->quarantined() &&
         !bitmap_.IsMarked(reinterpret_cast<Object*>(r->begin()))) {
       dead_humongous.push_back(r);
     }
@@ -335,7 +335,7 @@ bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
     }
   }
   regions.ForEachRegion([&](Region* r) {
-    if (r->kind() != RegionKind::kOld || r->used() == 0) {
+    if (r->kind() != RegionKind::kOld || r->used() == 0 || r->quarantined()) {
       return;
     }
     if (r->LiveRatio() > config_.z_relocate_live_ratio_max) {
@@ -377,7 +377,8 @@ bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
   }
   remap_snapshot_.clear();
   regions.ForEachRegion([&](Region* r) {
-    if (!r->IsFree() && !r->in_cset() && r->kind() != RegionKind::kHumongousCont) {
+    if (!r->IsFree() && !r->in_cset() && r->kind() != RegionKind::kHumongousCont &&
+        !r->IsUnscannable()) {
       remap_snapshot_.push_back(r->index());
     }
   });
@@ -450,7 +451,8 @@ void ZgcCollector::RemapSlice(size_t budget_bytes) {
   while (done < budget_bytes && remap_cursor_ < remap_snapshot_.size()) {
     Region* r = &regions.region(remap_snapshot_[remap_cursor_]);
     remap_cursor_++;
-    if (r->IsFree() || r->in_cset() || r->kind() == RegionKind::kHumongousCont) {
+    if (r->IsFree() || r->in_cset() || r->kind() == RegionKind::kHumongousCont ||
+        r->IsUnscannable()) {
       continue;
     }
     r->ForEachObject([&](Object* obj) {
@@ -492,7 +494,7 @@ void ZgcCollector::FinishCycle(MutatorContext* ctx) {
   }
   regions.ForEachRegion([&](Region* r) {
     if (r->IsFree() || r->in_cset() || in_snapshot[r->index()] ||
-        r->kind() == RegionKind::kHumongousCont) {
+        r->kind() == RegionKind::kHumongousCont || r->IsUnscannable()) {
       return;
     }
     r->ForEachObject([&](Object* obj) {
@@ -518,6 +520,7 @@ void ZgcCollector::FinishCycle(MutatorContext* ctx) {
     }
   });
 
+  std::vector<Region*> doomed;
   for (Region* r : relocation_set_) {
     bool fully_evacuated = true;
     r->ForEachObject([&](Object* obj) {
@@ -530,11 +533,35 @@ void ZgcCollector::FinishCycle(MutatorContext* ctx) {
       }
     });
     if (fully_evacuated) {
-      bitmap_.ClearRange(r->begin(), r->end());
-      regions.FreeRegion(r);
+      doomed.push_back(r);
     } else {
       r->set_in_cset(false);  // stays as a normal old region
     }
+  }
+  if (verify_options_.enabled() && !doomed.empty()) {
+    uint64_t v0 = NowNs();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope vscope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    // ZGC keeps no remembered sets, and Relocate copies marks verbatim so
+    // to-space copies are unmarked at their new addresses. Restrict the sweep
+    // to marked objects: unmarked ones are either dead or already-healed
+    // copies (and lost-race duplicates are walkable dead data by design).
+    HeapVerifier verifier(heap_, safepoints_, /*check_remsets=*/false);
+    HeapVerifier::Report report = verifier.VerifyCollectionSet(
+        doomed, workers_.get(), verify_options_, NextVerifyPass(), &verify_cancel,
+        /*live_filter=*/&bitmap_);
+    if (ApplyVerification("z-relocate-finish", report)) {
+      QuarantineFlagged(&verifier, doomed, &report);
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - v0);
+  }
+  for (Region* r : doomed) {
+    if (r->quarantined()) {
+      continue;
+    }
+    bitmap_.ClearRange(r->begin(), r->end());
+    regions.FreeRegion(r);
   }
   relocation_set_.clear();
   phase_.store(Phase::kIdle, std::memory_order_release);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/util/fault_injection.h"
 #include "src/util/random.h"
 
 namespace rolp {
@@ -98,6 +99,9 @@ void RemsetBarrierSet::StoreBarrier(Object* src, std::atomic<Object*>* slot, Obj
   // always collected as a whole.
   if (src_region->IsYoung() && dst_region->IsYoung()) {
     return;
+  }
+  if (ROLP_FAULT_POINT("heap.remset.drop")) {
+    return;  // simulated lost barrier: the edge is never recorded
   }
   dst_region->RemsetAddRegion(src_region->index());
 }

@@ -55,6 +55,8 @@ class Region {
     gen_.store(0, std::memory_order_relaxed);
     in_cset_ = false;
     evac_failed_ = false;
+    quarantined_.store(false, std::memory_order_relaxed);
+    quarantine_walkable_ = false;
     humongous_span_ = 0;
     top_.store(begin_, std::memory_order_relaxed);
     live_bytes_.store(0, std::memory_order_relaxed);
@@ -103,6 +105,20 @@ class Region {
   // collector's cset sweep in the same pause.
   bool evac_failed() const { return evac_failed_; }
   void set_evac_failed(bool v) { evac_failed_ = v; }
+
+  // Quarantine (set via RegionManager::Quarantine after a verifier finding):
+  // the region is pinned — never a collection-set candidate, never freed —
+  // so its surviving objects and any healed references into them stay valid.
+  // `walkable` records whether the object tiling was still intact when the
+  // region was quarantined; only walkable quarantined regions may be scanned
+  // (as remset sources or for slot fix-up). Atomic because collectors read it
+  // from parallel scan/evacuation workers.
+  bool quarantined() const { return quarantined_.load(std::memory_order_relaxed); }
+  void set_quarantined(bool v) { quarantined_.store(v, std::memory_order_relaxed); }
+  bool quarantine_walkable() const { return quarantine_walkable_; }
+  void set_quarantine_walkable(bool v) { quarantine_walkable_ = v; }
+  // A quarantined region whose contents cannot be walked: skip in every scan.
+  bool IsUnscannable() const { return quarantined() && !quarantine_walkable_; }
 
   uint32_t humongous_span() const { return humongous_span_; }
   void set_humongous_span(uint32_t n) { humongous_span_ = n; }
@@ -213,6 +229,8 @@ class Region {
   std::atomic<uint8_t> gen_{0};
   bool in_cset_ = false;
   bool evac_failed_ = false;
+  std::atomic<bool> quarantined_{false};
+  bool quarantine_walkable_ = false;
   uint32_t humongous_span_ = 0;
   std::atomic<size_t> live_bytes_{0};
   uint32_t remset_words_ = 0;

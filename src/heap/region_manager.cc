@@ -122,6 +122,9 @@ Region* RegionManager::AllocateHumongous(size_t object_bytes) {
 }
 
 void RegionManager::FreeRegion(Region* region) {
+  // Quarantined regions are pinned: freeing one would invalidate the healed
+  // references that made quarantine survivable.
+  ROLP_CHECK_MSG(!region->quarantined(), "attempt to free a quarantined region");
   std::lock_guard<SpinLock> guard(lock_);
   size_t span = 1;
   if (region->kind() == RegionKind::kHumongous) {
@@ -146,6 +149,58 @@ void RegionManager::RetireToOld(Region* region) {
   }
   region->set_kind(RegionKind::kOld);
   region->set_gen(0);
+}
+
+void RegionManager::Quarantine(Region* region, bool walkable) {
+  if (region->quarantined()) {
+    if (!walkable && region->quarantine_walkable()) {
+      // Escalation: a later finding showed the tiling is broken after all.
+      region->set_quarantine_walkable(false);
+      std::lock_guard<SpinLock> guard(lock_);
+      unscannable_quarantined_.push_back(region->index());
+    }
+    return;
+  }
+  ROLP_LOG_ERROR("quarantining region %u (%s, %zu bytes used, walkable=%d)",
+                 region->index(), RegionKindName(region->kind()), region->used(), walkable);
+  if (!region->IsHumongous()) {
+    RetireToOld(region);
+  }
+  region->set_in_cset(false);
+  region->set_evac_failed(false);
+  region->set_quarantine_walkable(walkable);
+  region->set_quarantined(true);
+  quarantined_regions_.fetch_add(1, std::memory_order_relaxed);
+  if (!walkable) {
+    std::lock_guard<SpinLock> guard(lock_);
+    unscannable_quarantined_.push_back(region->index());
+  }
+}
+
+void RegionManager::Unquarantine(Region* region) {
+  if (!region->quarantined() || !region->quarantine_walkable()) {
+    return;
+  }
+  ROLP_LOG_INFO("rehabilitating quarantined region %u (full-liveness collection)",
+                region->index());
+  region->set_quarantined(false);
+  region->set_quarantine_walkable(false);
+  quarantined_regions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::vector<uint32_t> RegionManager::UnscannableQuarantined() const {
+  std::lock_guard<SpinLock> guard(lock_);
+  return unscannable_quarantined_;
+}
+
+bool RegionManager::PinnedByQuarantine(const Region* region) const {
+  std::lock_guard<SpinLock> guard(lock_);
+  for (uint32_t idx : unscannable_quarantined_) {
+    if (region->RemsetContainsRegion(idx)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Region* RegionManager::RegionFor(const void* p) {

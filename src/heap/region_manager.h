@@ -38,6 +38,29 @@ class RegionManager {
   // and mark-compact instead of raw set_kind.
   void RetireToOld(Region* region);
 
+  // Verifier recovery: pins the region out of all future collection sets and
+  // out of the free pool. Young regions are retired to old first so the
+  // barrier and cset selection treat them as tenured. `walkable` states
+  // whether the region's object tiling was intact at quarantine time (only
+  // walkable quarantined regions may ever be scanned again). Idempotent;
+  // must run inside a pause.
+  void Quarantine(Region* region, bool walkable);
+  // Lifts a *walkable* quarantine. Only the full mark-compact cycle may call
+  // this: it recomputes liveness from roots without remsets, which removes
+  // the reason the region was pinned. Unscannable regions stay quarantined
+  // forever. No-op for regions that are not quarantined.
+  void Unquarantine(Region* region);
+  size_t quarantined_regions() const {
+    return quarantined_regions_.load(std::memory_order_relaxed);
+  }
+  // Indices of quarantined regions that cannot be walked. Small (each entry
+  // is a distinct corruption event); callers use it to keep unscannable
+  // regions out of remset-source scans and collection sets.
+  std::vector<uint32_t> UnscannableQuarantined() const;
+  // True when `region` has a remset entry naming an unscannable quarantined
+  // region: collecting it would require scanning a region we cannot walk.
+  bool PinnedByQuarantine(const Region* region) const;
+
   Region* RegionFor(const void* p);
   const Region* RegionFor(const void* p) const;
   bool Contains(const void* p) const {
@@ -92,6 +115,8 @@ class RegionManager {
   mutable SpinLock lock_;
   std::vector<uint32_t> free_list_;
   std::atomic<size_t> tenured_regions_{0};
+  std::atomic<size_t> quarantined_regions_{0};
+  std::vector<uint32_t> unscannable_quarantined_;  // guarded by lock_
 };
 
 }  // namespace rolp

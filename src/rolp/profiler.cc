@@ -23,6 +23,8 @@ const char* DegradeReasonName(DegradeReason reason) {
       return "demotion-churn";
     case DegradeReason::kGcOverrun:
       return "gc-overrun";
+    case DegradeReason::kHeapCorruption:
+      return "heap-corruption";
   }
   return "unknown";
 }
@@ -151,6 +153,9 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
   uint64_t dropped_now = old_table_.dropped_samples();
   uint64_t dropped_delta = dropped_now - last_dropped_seen_;
   last_dropped_seen_ = dropped_now;
+  // Corruption watch: did the heap verifier report damage this cycle?
+  uint64_t corruption_delta = heap_corruption_reports_ - last_corruption_seen_;
+  last_corruption_seen_ = heap_corruption_reports_;
 
   bool degraded = degraded_.load(std::memory_order_relaxed);
   if (!degraded && config_.degrade_dropped_per_cycle != 0 &&
@@ -163,7 +168,7 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
     // Re-arm once the trouble signal has been quiet long enough. Inference is
     // suspended meanwhile: decisions built from a saturated or corrupt table
     // would be worse than none.
-    if (dropped_delta <= config_.degrade_dropped_per_cycle / 8) {
+    if (dropped_delta <= config_.degrade_dropped_per_cycle / 8 && corruption_delta == 0) {
       if (++clean_cycles_ >= config_.rearm_clean_cycles) {
         ExitDegraded();
       }
@@ -527,6 +532,17 @@ void Profiler::OnGcOverrun(bool survivor_tracking_active) {
     overruns_while_tracking_ = 0;
     EnterDegraded(DegradeReason::kGcOverrun);
   }
+}
+
+void Profiler::OnHeapCorruption(size_t finding_count) {
+  // World stopped (called from the in-pause verifier). The heap survived —
+  // the damage was repaired or quarantined — but lifetime evidence gathered
+  // from a corrupt heap is untrustworthy: stop steering allocation until
+  // verification stays quiet for rearm_clean_cycles cycles.
+  heap_corruption_reports_++;
+  ROLP_TRACE_INSTANT("rolp", "rolp.heap_corruption", static_cast<uint64_t>(finding_count));
+  EnterDegraded(DegradeReason::kHeapCorruption);
+  clean_cycles_ = 0;
 }
 
 void Profiler::PublishEmptyDecisions() {

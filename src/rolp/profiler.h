@@ -103,6 +103,7 @@ enum class DegradeReason : uint8_t {
   kImplausibleHistogram,  // per-age count beyond any physical rate
   kDemotionChurn,         // fragmentation feedback thrashing decisions
   kGcOverrun,             // watchdog overruns correlated with survivor tracking
+  kHeapCorruption,        // in-pause heap verification found (and repaired) damage
 };
 
 const char* DegradeReasonName(DegradeReason reason);
@@ -151,6 +152,7 @@ class Profiler : public ProfilerHooks {
   void OnGcEnd(const GcEndInfo& info) override;
   void OnGenFragmentation(uint8_t gen, double live_ratio) override;
   void OnGcOverrun(bool survivor_tracking_active) override;
+  void OnHeapCorruption(size_t finding_count) override;
 
   // --- Introspection (tables, benches, tests) ------------------------------
   OldTable& old_table() { return old_table_; }
@@ -175,6 +177,8 @@ class Profiler : public ProfilerHooks {
   uint64_t survivors_dropped() const {
     return survivors_dropped_.load(std::memory_order_relaxed);
   }
+  // Heap-verifier corruption reports delivered via OnHeapCorruption.
+  uint64_t heap_corruption_reports() const { return heap_corruption_reports_; }
   // First GC cycle at which a non-empty decision set existed (warmup metric,
   // Fig. 10); 0 if never.
   uint64_t first_decision_cycle() const { return first_decision_cycle_; }
@@ -310,6 +314,8 @@ class Profiler : public ProfilerHooks {
   uint32_t demotion_churn_ = 0;     // demotions since the last inference
   uint32_t rearm_grace_left_ = 0;   // inferences left with shut-off suppressed
   uint32_t overruns_while_tracking_ = 0;  // watchdog overruns with tracking on
+  uint64_t heap_corruption_reports_ = 0;  // OnHeapCorruption calls (world stopped)
+  uint64_t last_corruption_seen_ = 0;     // reports at the previous GC end
 
   // Off-pause inference state. table_epoch_ is only touched by safepoint-side
   // code; everything else crossing the background thread sits under inf_mu_.

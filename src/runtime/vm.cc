@@ -119,8 +119,10 @@ bool VmConfig::ParseFlags(const std::vector<std::string>& flags, VmConfig* out,
 }
 
 VM::VM(const VmConfig& config) : config_(config) {
-  // Fail points requested via ROLP_FAULTS arm before any subsystem runs.
+  // Fail points requested via ROLP_FAULTS arm before any subsystem runs;
+  // ROLP_CHAOS then arms its seeded probability campaign on top.
   FaultInjection::Instance().LoadFromEnv();
+  FaultInjection::Instance().LoadChaosFromEnv();
 
   HeapConfig hc;
   hc.heap_bytes = config_.heap_mb * 1024 * 1024;
@@ -171,6 +173,19 @@ VM::VM(const VmConfig& config) : config_(config) {
       break;
   }
   collector_->set_profiler(this);
+  if (profiler_ != nullptr) {
+    // OLD-table cross-check for the sampled verification walk. Suppressed
+    // whenever a row may be legitimately absent: degraded mode cleared the
+    // table, saturation shed samples, or contexts were rejected outright.
+    Profiler* p = profiler_.get();
+    collector_->mutable_verify_options().context_known = [p](uint32_t context) {
+      if (p->degraded() || p->old_table().dropped_samples() > 0 ||
+          p->old_table().rejected_contexts() > 0) {
+        return true;
+      }
+      return p->old_table().Contains(context);
+    };
+  }
 
   crash_provider_ = std::make_unique<ScopedCrashContextProvider>(
       "vm", [this](std::FILE* out) {
@@ -266,9 +281,31 @@ void VM::RegisterMetrics() {
 
   m.Gauge("faults.total_fires",
           [] { return static_cast<double>(FaultInjection::Instance().TotalFires()); });
+  // Per-fail-point hit/fire counters: one gauge pair per catalog entry, so a
+  // ROLP_METRICS_DUMP snapshot records exactly which points a chaos campaign
+  // exercised and how often they fired.
+  for (const auto& entry : FaultInjection::Catalog()) {
+    const char* point = entry.name;
+    m.Gauge(std::string("faults.point.") + point + ".hits", [point] {
+      return static_cast<double>(FaultInjection::Instance().Hits(point));
+    });
+    m.Gauge(std::string("faults.point.") + point + ".fires", [point] {
+      return static_cast<double>(FaultInjection::Instance().Fires(point));
+    });
+  }
+
+  Heap* h = heap_.get();
+  m.Gauge("heap.quarantined_regions", [h] {
+    return static_cast<double>(h->regions().quarantined_regions());
+  });
+  m.Gauge("gc.pause.verify_ns", [&gm] { return static_cast<double>(gm.PauseVerifyNs()); });
 
   // Sampled through the collector so ROLP_WATCHDOG=0 (null watchdog) reads 0.
   Collector* c = collector_.get();
+  m.Gauge("verify.refs_healed",
+          [c] { return static_cast<double>(c->verify_stats().refs_healed); });
+  m.Gauge("verify.refs_nulled",
+          [c] { return static_cast<double>(c->verify_stats().refs_nulled); });
   m.Gauge("watchdog.overruns", [c] {
     GcWatchdog* w = c->watchdog();
     return w == nullptr ? 0.0 : static_cast<double>(w->stats().overruns_detected);
@@ -316,6 +353,17 @@ void VM::RegisterMetrics() {
 void VM::WriteObservabilityDumps() {
   if (!metrics_dump_path_.empty()) {
     MetricsRegistry::Instance().WriteSnapshotFiles(metrics_dump_path_);
+    // Companion fault-catalog dump: per-point mode and hit/fire counters in
+    // human-readable form (the JSON snapshot carries the same numbers as
+    // faults.point.* gauges).
+    std::string faults_path = metrics_dump_path_ + ".faults";
+    std::FILE* f = std::fopen(faults_path.c_str(), "w");
+    if (f != nullptr) {
+      FaultInjection::Instance().DumpTo(f);
+      std::fclose(f);
+    } else {
+      ROLP_LOG_ERROR("metrics: cannot open %s for writing", faults_path.c_str());
+    }
   }
   if (!old_table_dump_path_.empty() && profiler_ != nullptr) {
     profiler_->WriteIntrospection(old_table_dump_path_);
@@ -397,6 +445,12 @@ void VM::OnGenFragmentation(uint8_t gen, double live_ratio) {
 void VM::OnGcOverrun(bool survivor_tracking_active) {
   if (profiler_ != nullptr) {
     profiler_->OnGcOverrun(survivor_tracking_active);
+  }
+}
+
+void VM::OnHeapCorruption(size_t finding_count) {
+  if (profiler_ != nullptr) {
+    profiler_->OnHeapCorruption(finding_count);
   }
 }
 

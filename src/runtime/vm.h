@@ -85,6 +85,7 @@ class VM : public ProfilerHooks {
   void OnGcEnd(const GcEndInfo& info) override;
   void OnGenFragmentation(uint8_t gen, double live_ratio) override;
   void OnGcOverrun(bool survivor_tracking_active) override;
+  void OnHeapCorruption(size_t finding_count) override;
 
   // Aggregated runtime stats (live + detached threads).
   uint64_t total_exception_fixups() const;

@@ -29,7 +29,42 @@ struct FaultInjection::Impl {
   mutable SpinLock lock;
   std::unordered_map<std::string, Point> points;
   uint64_t total_fires = 0;
+  std::string chaos_spec;  // ROLP_FAULTS-equivalent of the last chaos arming
 };
+
+const std::vector<FaultInjection::CatalogEntry>& FaultInjection::Catalog() {
+  // Leaked for the same reason as the singleton.
+  static const auto* catalog = new std::vector<CatalogEntry>{
+      {"heap.region.oom", "region allocation reports heap exhaustion"},
+      {"heap.humongous.oom", "no contiguous run for a humongous allocation"},
+      {"heap.tlab.alloc", "TLAB refill fails, forcing the slow path"},
+      {"heap.remset.drop", "write barrier skips a remembered-set insert"},
+      {"gc.collect.skip", "a requested collection is skipped"},
+      {"gc.pause.inflate", "pause bookkeeping inflates the recorded time"},
+      {"gc.phase.mark.stall", "marking worker stalls mid-trace"},
+      {"gc.phase.evacuate.stall", "evacuation worker stalls mid-copy"},
+      {"gc.phase.compact.stall", "full-compaction phase stalls"},
+      {"gc.verify.stall", "in-pause heap verification stalls"},
+      {"gc.worker.stall", "GC pool worker stalls inside a task"},
+      {"gc.worker.die", "GC pool worker dies; task is requeued"},
+      {"rolp.old_table.drop", "OLD-table sample is shed"},
+      {"rolp.survivor.drop", "survivor-tracking update is dropped"},
+      {"rolp.merge.stall", "profiler worker-table merge stalls"},
+      {"rolp.inference.implausible", "inference sees an implausible histogram"},
+      {"rolp.inference.conflict", "inference flags a context conflict"},
+      {"rolp.resolver.spurious_conflict", "conflict resolver reports a spurious conflict"},
+  };
+  return *catalog;
+}
+
+bool FaultInjection::IsCatalogPoint(const std::string& point) {
+  for (const CatalogEntry& e : Catalog()) {
+    if (point == e.name) {
+      return true;
+    }
+  }
+  return false;
+}
 
 FaultInjection& FaultInjection::Instance() {
   // Leaked singleton: fail points are hit from GC worker threads that may
@@ -260,6 +295,21 @@ bool FaultInjection::ParseSpec(const std::string& spec, std::string* error) {
     }
     std::string point = entry.substr(0, eq);
     std::string mode = entry.substr(eq + 1);
+    // A misspelled point would otherwise arm silently and never fire; names
+    // must come from the registered catalog unless escaped with '!'.
+    if (point[0] == '!') {
+      point = point.substr(1);
+      if (point.empty()) {
+        return fail("bad fault entry (empty point name): " + entry);
+      }
+      if (!IsCatalogPoint(point)) {
+        std::fprintf(stderr, "ROLP_FAULTS: warning: arming uncatalogued fail point '%s'\n",
+                     point.c_str());
+      }
+    } else if (!IsCatalogPoint(point)) {
+      return fail("unknown fail point '" + point +
+                  "' (not in the registered catalog; prefix with '!' to arm anyway)");
+    }
     if (mode == "always") {
       ArmAlways(point);
       continue;
@@ -344,6 +394,145 @@ bool FaultInjection::LoadFromEnv() {
     return false;
   }
   return true;
+}
+
+namespace {
+
+// Simple shell-style glob over point names: '*' matches any run (including
+// across '.'), '?' matches one character.
+bool GlobMatch(const char* pat, const char* str) {
+  if (*pat == '\0') {
+    return *str == '\0';
+  }
+  if (*pat == '*') {
+    while (*pat == '*') {
+      pat++;
+    }
+    for (const char* s = str;; s++) {
+      if (GlobMatch(pat, s)) {
+        return true;
+      }
+      if (*s == '\0') {
+        return false;
+      }
+    }
+  }
+  if (*str == '\0') {
+    return false;
+  }
+  if (*pat != '?' && *pat != *str) {
+    return false;
+  }
+  return GlobMatch(pat + 1, str + 1);
+}
+
+uint64_t Fnv1a64(const char* s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (; *s != '\0'; s++) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*s));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool FaultInjection::ParseChaosSpec(const std::string& spec, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+  bool have_seed = false;
+  bool have_rate = false;
+  uint64_t seed = 0;
+  double rate = 0.0;
+  std::string glob = "*";
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return fail("bad chaos entry (want key:value): " + entry);
+    }
+    std::string key = entry.substr(0, colon);
+    std::string value = entry.substr(colon + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return fail("bad chaos seed: " + entry);
+      }
+      have_seed = true;
+    } else if (key == "rate") {
+      char* end = nullptr;
+      rate = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || rate <= 0.0 || rate > 1.0) {
+        return fail("bad chaos rate (want (0,1]): " + entry);
+      }
+      have_rate = true;
+    } else if (key == "points") {
+      if (value.empty()) {
+        return fail("empty chaos points glob");
+      }
+      glob = value;
+    } else {
+      return fail("unknown chaos key '" + key + "' (want seed/rate/points)");
+    }
+  }
+  if (!have_seed || !have_rate) {
+    return fail("chaos spec needs both seed:<s> and rate:<p>");
+  }
+  // Arm every matching catalog point with a per-point derived seed: the
+  // campaign seed fans out deterministically, and the equivalent ROLP_FAULTS
+  // spec replays the exact same firing sequences without the chaos engine.
+  std::string replay;
+  char buf[160];
+  for (const CatalogEntry& e : Catalog()) {
+    if (!GlobMatch(glob.c_str(), e.name)) {
+      continue;
+    }
+    uint64_t point_seed = seed ^ Fnv1a64(e.name);
+    ArmProbability(e.name, rate, point_seed);
+    std::snprintf(buf, sizeof(buf), "%s%s=prob:%.17g:%llu", replay.empty() ? "" : ",",
+                  e.name, rate, (unsigned long long)point_seed);
+    replay += buf;
+  }
+  if (replay.empty()) {
+    return fail("chaos points glob '" + glob + "' matches no catalog point");
+  }
+  Impl* im = impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  im->chaos_spec = replay;
+  return true;
+}
+
+bool FaultInjection::LoadChaosFromEnv() {
+  const char* spec = std::getenv("ROLP_CHAOS");
+  if (spec == nullptr || *spec == '\0') {
+    return true;
+  }
+  std::string error;
+  if (!ParseChaosSpec(spec, &error)) {
+    std::fprintf(stderr, "ROLP_CHAOS: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string FaultInjection::ChaosReplaySpec() const {
+  Impl* im = const_cast<FaultInjection*>(this)->impl();
+  std::lock_guard<SpinLock> guard(im->lock);
+  return im->chaos_spec;
 }
 
 }  // namespace rolp

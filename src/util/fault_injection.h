@@ -27,7 +27,16 @@
 //   <point>=always | <point>=every:<N> | <point>=once:<K> |
 //   <point>=prob:<P>[:<seed>] |
 //   <point>=delay:<ms> | <point>=delay:<ms>:every:<N> | <point>=delay:<ms>:once:<K>
-// parsed once by the VM at startup (FaultInjection::LoadFromEnv).
+// parsed once by the VM at startup (FaultInjection::LoadFromEnv). Point names
+// are validated against the registered catalog so a typo fails loudly instead
+// of arming a point that never fires; prefix a name with '!' to arm an
+// uncatalogued point anyway (tests of the framework itself).
+//
+// Chaos campaigns: ROLP_CHAOS=seed:<s>,rate:<p>[,points:<glob>] arms every
+// catalog point matching the glob in probability mode with a per-point seed
+// derived deterministically from <s> and the point name. ChaosReplaySpec()
+// returns the equivalent ROLP_FAULTS spec, so any seeded campaign run can be
+// replayed — and shrunk — without the chaos engine.
 //
 // Configuring the ROLP_FAULT_INJECTION=OFF CMake option defines
 // ROLP_NO_FAULT_INJECTION and compiles every fail point to a constant false.
@@ -68,6 +77,17 @@ class FaultInjection {
   // Disarms everything and forgets all hit/fire statistics.
   void Reset();
 
+  // --- Registered catalog ---------------------------------------------------
+  // Every fail point compiled into the tree, with a one-line description.
+  // ROLP_FAULTS and ROLP_CHAOS only accept these names (modulo the '!'
+  // escape); keep in sync with DESIGN.md "Failure model and degraded modes".
+  struct CatalogEntry {
+    const char* name;
+    const char* description;
+  };
+  static const std::vector<CatalogEntry>& Catalog();
+  static bool IsCatalogPoint(const std::string& point);
+
   // --- Introspection -------------------------------------------------------
   bool IsArmed(const std::string& point) const;
   // Hits/fires observed since the point was first armed (survive Disarm,
@@ -80,10 +100,24 @@ class FaultInjection {
   void DumpTo(std::FILE* out) const;
 
   // Parses a ROLP_FAULTS-style spec and arms accordingly. Returns false and
-  // fills *error on a malformed entry (earlier entries stay armed).
+  // fills *error on a malformed entry or an uncatalogued point name (earlier
+  // entries stay armed). A '!' prefix on the point name skips the catalog
+  // check with a warning.
   bool ParseSpec(const std::string& spec, std::string* error);
   // Reads and parses the ROLP_FAULTS environment variable (no-op if unset).
   bool LoadFromEnv();
+
+  // Parses a ROLP_CHAOS spec "seed:<s>,rate:<p>[,points:<glob>]" and arms
+  // every matching catalog point with probability `rate` and a seed derived
+  // from <s> and the point name (so the same <s> replays the same campaign).
+  // Returns false and fills *error on a malformed spec or a glob matching no
+  // catalog point.
+  bool ParseChaosSpec(const std::string& spec, std::string* error);
+  // Reads and parses the ROLP_CHAOS environment variable (no-op if unset).
+  bool LoadChaosFromEnv();
+  // The ROLP_FAULTS-equivalent spec of the last ParseChaosSpec arming
+  // ("a=prob:r:seed1,b=prob:r:seed2,..."), empty if chaos was never armed.
+  std::string ChaosReplaySpec() const;
 
   // --- Hot path (via ROLP_FAULT_POINT) -------------------------------------
   static bool ShouldFail(const char* point) {

@@ -6,6 +6,7 @@
 
 #include "src/util/check.h"
 #include "src/util/clock.h"
+#include "src/util/fault_injection.h"
 #include "src/util/log.h"
 #include "src/util/trace.h"
 
@@ -156,6 +157,23 @@ RunResult RunWorkload(const VmConfig& vm_config, Workload& workload,
   result.exception_fixups = vm.total_exception_fixups();
   result.osr_repaired = vm.total_osr_repaired();
   result.recoverable_ooms = vm.total_recoverable_ooms();
+
+  const VerifyStats& vs = vm.collector().verify_stats();
+  result.verify_passes = vs.passes;
+  result.verify_findings = vs.findings;
+  result.verify_refs_healed = vs.refs_healed;
+  result.verify_refs_nulled = vs.refs_nulled;
+  result.verify_passes_cancelled = vs.passes_cancelled;
+  result.quarantined_regions = vm.heap().regions().quarantined_regions();
+  if (vm.profiler() != nullptr) {
+    result.heap_corruption_reports = vm.profiler()->heap_corruption_reports();
+  }
+  if (vm.collector().watchdog() != nullptr) {
+    result.watchdog_overruns = vm.collector().watchdog()->stats().overruns_detected;
+    result.watchdog_phases_cancelled =
+        vm.collector().watchdog()->stats().phases_cancelled;
+  }
+  result.fault_fires = FaultInjection::Instance().TotalFires();
 
   workload.Teardown();
   return result;

@@ -62,6 +62,19 @@ struct RunResult {
   uint64_t old_table_dropped = 0;
   uint64_t decisions_at_end = 0;
 
+  // In-pause verification and recovery summary (chaos campaigns classify
+  // outcomes from these).
+  uint64_t verify_passes = 0;
+  uint64_t verify_findings = 0;
+  uint64_t verify_refs_healed = 0;
+  uint64_t verify_refs_nulled = 0;
+  uint64_t verify_passes_cancelled = 0;
+  uint64_t quarantined_regions = 0;
+  uint64_t heap_corruption_reports = 0;
+  uint64_t watchdog_overruns = 0;
+  uint64_t watchdog_phases_cancelled = 0;
+  uint64_t fault_fires = 0;
+
   // Exact percentile (ms) over post-warmup pause records.
   double PausePercentileMs(double p) const;
   double MaxPauseMs() const;

@@ -208,7 +208,9 @@ void KvStoreWorkload::Get(RuntimeThread& t, uint64_t key) {
 }
 
 void KvStoreWorkload::Flush(RuntimeThread& t) {
-  std::lock_guard<SpinLock> guard(maintenance_lock_);
+  // Flush allocates while holding the lock; waiters must keep polling.
+  LockAtSafepoint(maintenance_lock_, t);
+  std::lock_guard<SpinLock> guard(maintenance_lock_, std::adopt_lock);
   uint64_t rows = memtable_rows_.load(std::memory_order_relaxed);
   if (rows < options_.memtable_flush_rows) {
     return;  // another thread flushed first

@@ -138,7 +138,9 @@ void TextIndexWorkload::IndexDoc(RuntimeThread& t) {
 }
 
 void TextIndexWorkload::SealSegment(RuntimeThread& t) {
-  std::lock_guard<SpinLock> guard(maintenance_lock_);
+  // Sealing allocates while holding the lock; waiters must keep polling.
+  LockAtSafepoint(maintenance_lock_, t);
+  std::lock_guard<SpinLock> guard(maintenance_lock_, std::adopt_lock);
   if (docs_in_open_.load(std::memory_order_relaxed) < options_.docs_per_segment) {
     return;
   }

@@ -10,12 +10,27 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "src/rolp/package_filter.h"
 #include "src/runtime/thread.h"
 #include "src/runtime/vm.h"
+#include "src/util/spinlock.h"
 
 namespace rolp {
+
+// Acquires a workload-internal lock from mutator code when the holder may
+// allocate. An allocation under the lock can initiate a stop-the-world
+// collection, and the safepoint initiator then waits for every mutator to
+// park — so a waiter that blocks blindly on the same lock deadlocks the VM
+// (it never reaches a poll, the initiator never releases the lock). Spinning
+// through Poll() lets the waiter park mid-acquisition.
+inline void LockAtSafepoint(SpinLock& lock, RuntimeThread& t) {
+  while (!lock.try_lock()) {
+    t.Poll();
+    std::this_thread::yield();
+  }
+}
 
 class Workload {
  public:

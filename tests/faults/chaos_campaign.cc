@@ -1,0 +1,239 @@
+// Chaos campaign runner: boots a VM with a seeded fault-injection campaign,
+// drives a real workload for a bounded time, and reports a machine-readable
+// outcome classification on stdout.
+//
+//   chaos_campaign --workload=kvstore --seconds=2 --seed=42 --rate=0.001
+//   chaos_campaign --workload=kvstore --faults="heap.remset.drop=every:64"
+//   chaos_campaign --list-points
+//
+// The final stdout line is
+//   CHAOS_RESULT {...json...}
+// with "outcome" one of (in decreasing severity; a crash never prints this
+// line — the harness classifies abnormal exits itself):
+//   quarantined        verification quarantined at least one region
+//   watchdog-fallback  the GC watchdog cancelled phases / verify passes
+//   degraded           the profiler entered degraded mode
+//   recovered          faults fired (or refs were healed) with no lasting effect
+//   clean              nothing fired, nothing found
+//
+// "replay_spec" is always a ROLP_FAULTS-equivalent spec that reproduces the
+// exact firing sequence without the chaos engine; "minimized_spec" keeps only
+// the entries whose points actually fired. scripts/chaos.py shrinks further.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/util/fault_injection.h"
+#include "src/workloads/driver.h"
+#include "src/workloads/graph.h"
+#include "src/workloads/kvstore.h"
+
+namespace {
+
+struct Args {
+  std::string workload = "kvstore";
+  double seconds = 2.0;
+  int threads = 2;
+  uint64_t seed = 1;
+  double rate = 0.0005;
+  std::string points;  // ROLP_CHAOS points glob (empty = all catalog points)
+  std::string faults;  // explicit ROLP_FAULTS spec; overrides chaos arming
+  std::string verify = "pause";
+  int sample = 1;      // ROLP_VERIFY_SAMPLE (1 = exhaustive detection)
+  std::string gc = "rolp";
+  size_t heap_mb = 64;
+  bool print_spec = false;
+  bool list_points = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    const char* v;
+    if ((v = value("--workload="))) {
+      out->workload = v;
+    } else if ((v = value("--seconds="))) {
+      out->seconds = std::atof(v);
+    } else if ((v = value("--threads="))) {
+      out->threads = std::atoi(v);
+    } else if ((v = value("--seed="))) {
+      out->seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--rate="))) {
+      out->rate = std::atof(v);
+    } else if ((v = value("--points="))) {
+      out->points = v;
+    } else if ((v = value("--faults="))) {
+      out->faults = v;
+    } else if ((v = value("--verify="))) {
+      out->verify = v;
+    } else if ((v = value("--sample="))) {
+      out->sample = std::atoi(v);
+    } else if ((v = value("--gc="))) {
+      out->gc = v;
+    } else if ((v = value("--heap-mb="))) {
+      out->heap_mb = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--print-spec") {
+      out->print_spec = true;
+    } else if (arg == "--list-points") {
+      out->list_points = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* Classify(const rolp::RunResult& r) {
+  if (r.quarantined_regions > 0) {
+    return "quarantined";
+  }
+  if (r.watchdog_phases_cancelled > 0 || r.verify_passes_cancelled > 0) {
+    return "watchdog-fallback";
+  }
+  if (r.profiler_degraded_entries > 0 || r.heap_corruption_reports > 0) {
+    return "degraded";
+  }
+  if (r.fault_fires > 0 || r.verify_findings > 0 || r.verify_refs_healed > 0 ||
+      r.verify_refs_nulled > 0 || r.recoverable_ooms > 0) {
+    return "recovered";
+  }
+  return "clean";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return 2;
+  }
+
+  if (args.list_points) {
+    for (const auto& entry : rolp::FaultInjection::Catalog()) {
+      std::printf("%s\t%s\n", entry.name, entry.description);
+    }
+    return 0;
+  }
+
+  // Verification knobs are read from the environment by the collector; the
+  // flags just forward there so one command line fully describes a run.
+  setenv("ROLP_VERIFY", args.verify.c_str(), 1);
+  setenv("ROLP_VERIFY_SAMPLE", std::to_string(args.sample).c_str(), 1);
+
+  rolp::FaultInjection& faults = rolp::FaultInjection::Instance();
+  std::string replay_spec;
+  std::string error;
+  if (!args.faults.empty()) {
+    // Replay / shrink mode: an explicit spec IS its own replay spec.
+    if (!faults.ParseSpec(args.faults, &error)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", error.c_str());
+      return 2;
+    }
+    replay_spec = args.faults;
+  } else {
+    char spec[256];
+    if (args.points.empty()) {
+      std::snprintf(spec, sizeof(spec), "seed:%llu,rate:%g",
+                    (unsigned long long)args.seed, args.rate);
+    } else {
+      std::snprintf(spec, sizeof(spec), "seed:%llu,rate:%g,points:%s",
+                    (unsigned long long)args.seed, args.rate, args.points.c_str());
+    }
+    if (!faults.ParseChaosSpec(spec, &error)) {
+      std::fprintf(stderr, "bad chaos spec %s: %s\n", spec, error.c_str());
+      return 2;
+    }
+    replay_spec = faults.ChaosReplaySpec();
+  }
+  if (args.print_spec) {
+    std::printf("%s\n", replay_spec.c_str());
+    return 0;
+  }
+
+  rolp::VmConfig cfg;
+  cfg.heap_mb = args.heap_mb;
+  std::string gc_err;
+  if (!rolp::VmConfig::ParseFlags({"-XX:GC=" + args.gc}, &cfg, &gc_err)) {
+    std::fprintf(stderr, "%s\n", gc_err.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<rolp::Workload> workload;
+  if (args.workload == "kvstore") {
+    rolp::KvStoreOptions opt;
+    opt.seed = args.seed;
+    workload = std::make_unique<rolp::KvStoreWorkload>(opt);
+  } else if (args.workload == "graph") {
+    rolp::GraphOptions opt;
+    opt.seed = args.seed;
+    workload = std::make_unique<rolp::GraphWorkload>(opt);
+  } else {
+    std::fprintf(stderr, "unknown workload: %s (kvstore|graph)\n", args.workload.c_str());
+    return 2;
+  }
+
+  rolp::DriverOptions opts;
+  opts.threads = args.threads;
+  opts.duration_s = args.seconds;
+  rolp::RunResult result = rolp::RunWorkload(cfg, *workload, opts);
+
+  // Minimized spec: the replay entries whose points actually fired. Replaying
+  // only these (same per-point seeds) reproduces every injected failure this
+  // run experienced; armed-but-silent points are noise for triage.
+  std::string minimized;
+  {
+    rolp::FaultInjection& fx = rolp::FaultInjection::Instance();
+    size_t pos = 0;
+    while (pos <= replay_spec.size() && !replay_spec.empty()) {
+      size_t comma = replay_spec.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = replay_spec.size();
+      }
+      std::string entry = replay_spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      std::string point = entry.substr(0, entry.find('='));
+      if (!point.empty() && point[0] == '!') {
+        point.erase(0, 1);
+      }
+      if (!point.empty() && fx.Fires(point.c_str()) > 0) {
+        minimized += (minimized.empty() ? "" : ",") + entry;
+      }
+      if (comma == replay_spec.size()) {
+        break;
+      }
+    }
+  }
+
+  // One machine-readable line; the process exiting normally with this line
+  // present is what separates every recoverable outcome from a crash.
+  std::printf(
+      "CHAOS_RESULT {\"workload\":\"%s\",\"collector\":\"%s\",\"outcome\":\"%s\","
+      "\"seed\":%llu,\"rate\":%g,\"ops\":%llu,\"gc_cycles\":%llu,"
+      "\"fault_fires\":%llu,\"verify_passes\":%llu,\"verify_findings\":%llu,"
+      "\"refs_healed\":%llu,\"refs_nulled\":%llu,\"passes_cancelled\":%llu,"
+      "\"quarantined_regions\":%llu,\"degraded_entries\":%llu,"
+      "\"heap_corruption_reports\":%llu,\"watchdog_cancelled\":%llu,"
+      "\"recoverable_ooms\":%llu,\"replay_spec\":\"%s\","
+      "\"minimized_spec\":\"%s\"}\n",
+      result.workload.c_str(), result.collector.c_str(), Classify(result),
+      (unsigned long long)args.seed, args.rate, (unsigned long long)result.ops,
+      (unsigned long long)result.gc_cycles, (unsigned long long)result.fault_fires,
+      (unsigned long long)result.verify_passes,
+      (unsigned long long)result.verify_findings,
+      (unsigned long long)result.verify_refs_healed,
+      (unsigned long long)result.verify_refs_nulled,
+      (unsigned long long)result.verify_passes_cancelled,
+      (unsigned long long)result.quarantined_regions,
+      (unsigned long long)result.profiler_degraded_entries,
+      (unsigned long long)result.heap_corruption_reports,
+      (unsigned long long)result.watchdog_phases_cancelled,
+      (unsigned long long)result.recoverable_ooms, replay_spec.c_str(),
+      minimized.c_str());
+  return 0;
+}

@@ -133,10 +133,11 @@ TEST_F(FaultInjectionTest, ArmedPointsListsActivePoints) {
   EXPECT_EQ(points.size(), 2u);
 }
 
+// Uncatalogued names need the '!' escape (see ParseSpecValidatesCatalog).
 TEST_F(FaultInjectionTest, ParseSpecArmsAllModes) {
   std::string error;
   ASSERT_TRUE(fi().ParseSpec(
-      "p.always=always,p.nth=every:5,p.once=once:3,p.prob=prob:0.25:99", &error))
+      "!p.always=always,!p.nth=every:5,!p.once=once:3,!p.prob=prob:0.25:99", &error))
       << error;
   EXPECT_TRUE(fi().IsArmed("p.always"));
   EXPECT_TRUE(fi().IsArmed("p.nth"));
@@ -150,19 +151,86 @@ TEST_F(FaultInjectionTest, ParseSpecArmsAllModes) {
 TEST_F(FaultInjectionTest, ParseSpecOffDisarms) {
   fi().ArmAlways("p.off");
   std::string error;
-  ASSERT_TRUE(fi().ParseSpec("p.off=off", &error)) << error;
+  ASSERT_TRUE(fi().ParseSpec("!p.off=off", &error)) << error;
   EXPECT_FALSE(fi().IsArmed("p.off"));
+}
+
+TEST_F(FaultInjectionTest, ParseSpecValidatesCatalog) {
+  std::string error;
+  // A typo'd point name fails loudly instead of arming a point that never
+  // fires...
+  EXPECT_FALSE(fi().ParseSpec("heap.region.ooom=always", &error));
+  EXPECT_NE(error.find("heap.region.ooom"), std::string::npos);
+  EXPECT_FALSE(fi().IsArmed("heap.region.ooom"));
+  // ...catalog names arm without escape...
+  ASSERT_TRUE(fi().ParseSpec("heap.region.oom=once:5", &error)) << error;
+  EXPECT_TRUE(fi().IsArmed("heap.region.oom"));
+  // ...and '!' escapes the check for framework self-tests.
+  ASSERT_TRUE(fi().ParseSpec("!heap.region.ooom=always", &error)) << error;
+  EXPECT_TRUE(fi().IsArmed("heap.region.ooom"));
+}
+
+TEST_F(FaultInjectionTest, CatalogIsNonEmptyAndQueryable) {
+  const auto& catalog = FaultInjection::Catalog();
+  ASSERT_FALSE(catalog.empty());
+  for (const auto& entry : catalog) {
+    EXPECT_TRUE(FaultInjection::IsCatalogPoint(entry.name)) << entry.name;
+    EXPECT_NE(entry.description, nullptr);
+  }
+  EXPECT_TRUE(FaultInjection::IsCatalogPoint("heap.remset.drop"));
+  EXPECT_FALSE(FaultInjection::IsCatalogPoint("no.such.point"));
+}
+
+TEST_F(FaultInjectionTest, ChaosSpecArmsMatchingPointsDeterministically) {
+  std::string error;
+  ASSERT_TRUE(fi().ParseChaosSpec("seed:7,rate:0.5,points:heap.*", &error)) << error;
+  EXPECT_TRUE(fi().IsArmed("heap.region.oom"));
+  EXPECT_TRUE(fi().IsArmed("heap.remset.drop"));
+  EXPECT_FALSE(fi().IsArmed("gc.phase.compact.stall"));  // glob excluded it
+  std::string replay = fi().ChaosReplaySpec();
+  EXPECT_NE(replay.find("heap.remset.drop=prob:0.5:"), std::string::npos);
+
+  // Replaying the emitted spec reproduces the identical firing sequence.
+  std::vector<bool> campaign;
+  for (int i = 0; i < 64; i++) {
+    campaign.push_back(ROLP_FAULT_POINT("heap.remset.drop"));
+  }
+  fi().Reset();
+  ASSERT_TRUE(fi().ParseSpec(replay, &error)) << error;
+  std::vector<bool> replayed;
+  for (int i = 0; i < 64; i++) {
+    replayed.push_back(ROLP_FAULT_POINT("heap.remset.drop"));
+  }
+  EXPECT_EQ(campaign, replayed);
+
+  // Different master seeds derive different per-point sequences.
+  fi().Reset();
+  ASSERT_TRUE(fi().ParseChaosSpec("seed:8,rate:0.5,points:heap.*", &error)) << error;
+  std::vector<bool> other;
+  for (int i = 0; i < 64; i++) {
+    other.push_back(ROLP_FAULT_POINT("heap.remset.drop"));
+  }
+  EXPECT_NE(campaign, other);
+}
+
+TEST_F(FaultInjectionTest, ChaosSpecRejectsMalformedAndEmptyGlobs) {
+  std::string error;
+  EXPECT_FALSE(fi().ParseChaosSpec("rate:0.5", &error));            // missing seed
+  EXPECT_FALSE(fi().ParseChaosSpec("seed:1", &error));              // missing rate
+  EXPECT_FALSE(fi().ParseChaosSpec("seed:1,rate:2.0", &error));     // p > 1
+  EXPECT_FALSE(fi().ParseChaosSpec("seed:1,rate:0.5,points:zz.*", &error));
+  EXPECT_TRUE(fi().ArmedPoints().empty());
 }
 
 TEST_F(FaultInjectionTest, ParseSpecRejectsMalformedEntries) {
   std::string error;
   EXPECT_FALSE(fi().ParseSpec("noequals", &error));
-  EXPECT_FALSE(fi().ParseSpec("p=unknownmode", &error));
-  EXPECT_FALSE(fi().ParseSpec("p=every:0", &error));
-  EXPECT_FALSE(fi().ParseSpec("p=prob:1.5", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=unknownmode", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=every:0", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=prob:1.5", &error));
   // Earlier entries in a list stay armed when a later one is malformed.
   fi().Reset();
-  EXPECT_FALSE(fi().ParseSpec("p.good=always,p.bad=every:x", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p.good=always,!p.bad=every:x", &error));
   EXPECT_TRUE(fi().IsArmed("p.good"));
 }
 
@@ -196,7 +264,7 @@ TEST_F(FaultInjectionTest, DelayOnceStallsExactlyOneHit) {
 TEST_F(FaultInjectionTest, ParseSpecArmsDelayVariants) {
   std::string error;
   ASSERT_TRUE(fi().ParseSpec(
-      "d.always=delay:10,d.nth=delay:10:every:4,d.once=delay:10:once:2", &error))
+      "!d.always=delay:10,!d.nth=delay:10:every:4,!d.once=delay:10:once:2", &error))
       << error;
   EXPECT_TRUE(fi().IsArmed("d.always"));
   EXPECT_TRUE(fi().IsArmed("d.nth"));
@@ -214,11 +282,11 @@ TEST_F(FaultInjectionTest, ParseSpecArmsDelayVariants) {
 
 TEST_F(FaultInjectionTest, ParseSpecRejectsMalformedDelay) {
   std::string error;
-  EXPECT_FALSE(fi().ParseSpec("p=delay", &error));
-  EXPECT_FALSE(fi().ParseSpec("p=delay:0", &error));
-  EXPECT_FALSE(fi().ParseSpec("p=delay:x", &error));
-  EXPECT_FALSE(fi().ParseSpec("p=delay:10:every:0", &error));
-  EXPECT_FALSE(fi().ParseSpec("p=delay:10:sometimes:3", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=delay", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=delay:0", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=delay:x", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=delay:10:every:0", &error));
+  EXPECT_FALSE(fi().ParseSpec("!p=delay:10:sometimes:3", &error));
   EXPECT_FALSE(fi().IsArmed("p"));
 }
 

@@ -60,6 +60,25 @@ TEST(KvStoreWorkloadTest, ReadsFindWrites) {
   EXPECT_GT(w.reads_hit(), 10u);
 }
 
+TEST(KvStoreWorkloadTest, ConcurrentFlushDoesNotDeadlockWithGc) {
+  // Regression: Flush() allocates while holding the maintenance lock. A
+  // second thread blocked on that lock used to spin without polling, so when
+  // the flushing thread's allocation initiated a stop-the-world collection,
+  // the safepoint initiator waited forever for the spinning waiter to park.
+  // Flushing constantly from several threads makes that collision near-certain
+  // within a second.
+  KvStoreOptions kv;
+  kv.num_keys = 4000;
+  kv.memtable_flush_rows = 64;
+  KvStoreWorkload w(kv);
+  DriverOptions opt;
+  opt.threads = 3;
+  opt.duration_s = 1.0;
+  RunResult r = RunWorkload(TestVm(GcKind::kG1, 48), w, opt);
+  EXPECT_GT(r.ops, 100u);
+  EXPECT_GT(w.flushes(), 4u);
+}
+
 TEST(KvStoreWorkloadTest, RolpProfilesTheDataPath) {
   KvStoreOptions kv;
   kv.num_keys = 8000;

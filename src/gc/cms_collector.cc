@@ -135,9 +135,12 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
     if (r->IsYoung()) {
       if (check_pinned && regions.PinnedByQuarantine(r)) {
         // An unscannable quarantined region holds edges into this region that
-        // the scavenge cannot discover; keep the region in place.
+        // the scavenge cannot discover; keep the region in place, and record
+        // its outgoing edges (never recorded while young) so references into
+        // this pause's collection set are discovered.
         regions.RetireToOld(r);
         r->set_live_bytes(r->used());
+        RecordCrossRegionEdges(r);
         return;
       }
       r->set_in_cset(true);

@@ -83,6 +83,26 @@ std::vector<uint32_t> Collector::QuarantineFlagged(HeapVerifier* verifier,
   return kept;
 }
 
+void Collector::RecordCrossRegionEdges(Region* region) {
+  RegionManager& regions = heap_->regions();
+  uint32_t index = region->index();
+  region->ForEachObject([&](Object* obj) {
+    if (obj->class_id == kFreeBlockClassId) {
+      return;
+    }
+    heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) {
+      Object* v = slot->load(std::memory_order_relaxed);
+      if (v == nullptr || !regions.Contains(v)) {
+        return;
+      }
+      Region* vr = regions.RegionFor(v);
+      if (vr != region && !vr->IsFree()) {
+        vr->RemsetAddRegion(index);
+      }
+    });
+  });
+}
+
 void Collector::ScrubRetiredEvacFailure(Region* region) {
   RegionManager& regions = heap_->regions();
   size_t live = 0;

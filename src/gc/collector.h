@@ -131,6 +131,14 @@ class Collector {
   // indistinguishable from a normal old region.
   void ScrubRetiredEvacFailure(Region* region);
 
+  // Records every cross-region edge held by `region`'s objects in the
+  // targets' remsets. Needed when a young region is retired in place (pinned
+  // by quarantine): its outgoing edges were recorded under young-source rules
+  // — i.e. never — so without this, references into the same pause's
+  // collection set would go undiscovered and later pauses could not rescan
+  // the region as a remset source.
+  void RecordCrossRegionEdges(Region* region);
+
   // Monotonic pass counter driving the rotating sampling offset.
   uint64_t NextVerifyPass() { return verify_pass_++; }
 

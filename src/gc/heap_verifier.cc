@@ -692,6 +692,9 @@ HeapVerifier::Report HeapVerifier::VerifySampledWalk(WorkerPool* workers,
                                                      uint64_t pass, bool repair,
                                                      CancellationToken* cancel) {
   Report report;
+  if (opts.on_pass_begin != nullptr) {
+    opts.on_pass_begin();
+  }
   RegionManager& regions = heap_->regions();
   ForEachSampledRegion(
       regions, workers, opts, pass, cancel, &report, [&](Region* r, Report* local) {

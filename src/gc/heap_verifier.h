@@ -61,6 +61,12 @@ struct VerifyOptions {
   // nonzero allocation context seen on a live object. Null disables the
   // check.
   std::function<bool(uint32_t)> context_known;
+  // Invoked once at the start of each sampled-walk pass, before any
+  // context_known call, on the pause thread. Lets the installer refresh
+  // per-pass state (the VM uses it to suppress the OLD-table check only for
+  // passes where the table shed samples since the previous pass, instead of
+  // forever after the first drop).
+  std::function<void()> on_pass_begin;
 
   bool enabled() const { return level != VerifyLevel::kOff; }
   uint32_t EffectivePeriod() const {

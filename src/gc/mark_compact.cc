@@ -20,8 +20,14 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
   marker.MarkFromRoots(safepoints, workers);
 
   // Free dead humongous objects; collect the compactable region sequence in
-  // address order.
+  // address order. Regions whose remset names an unscannable quarantined
+  // region are pinned out of compaction: the references held inside the
+  // unscannable region can never be fixed up, so the objects they name must
+  // not move. (Marking still traced *through* those objects, so everything
+  // they reference is marked and gets normal treatment.)
+  const bool check_pinned = !regions.UnscannableQuarantined().empty();
   std::vector<Region*> sequence;
+  std::vector<Region*> pinned;  // walkable, but immovable this cycle
   regions.ForEachRegion([&](Region* r) {
     if (r->kind() == RegionKind::kHumongous && r->live_bytes() == 0 &&
         !r->quarantined()) {
@@ -29,6 +35,10 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
       return;
     }
     if (r->IsFree() || r->IsHumongous() || r->IsUnscannable()) {
+      return;
+    }
+    if (check_pinned && regions.PinnedByQuarantine(r)) {
+      pinned.push_back(r);
       return;
     }
     sequence.push_back(r);
@@ -112,12 +122,20 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
     }
   }
   regions.ForEachRegion([&](Region* r) {
-    if (r->kind() == RegionKind::kHumongous && r->live_bytes() > 0) {
+    if (r->kind() == RegionKind::kHumongous && r->live_bytes() > 0 &&
+        !r->IsUnscannable()) {
       r->ForEachObject([&](Object* obj) {
         heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) { fix_slot(slot); });
       });
     }
   });
+  // Pinned regions don't move, but their fields may point at compacted
+  // objects; they are walkable, so fix them in place.
+  for (Region* r : pinned) {
+    r->ForEachObject([&](Object* obj) {
+      heap_->ForEachRefSlot(obj, [&](std::atomic<Object*>* slot) { fix_slot(slot); });
+    });
+  }
 
   // Phase 4: move objects and restore marks. `preserved` is in source-walk
   // order, which equals destination order, so memmove is always safe.
@@ -148,10 +166,22 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
     }
   }
   regions.ForEachRegion([&](Region* r) {
-    if (r->kind() == RegionKind::kHumongous && r->live_bytes() > 0) {
+    if (r->kind() == RegionKind::kHumongous && r->live_bytes() > 0 &&
+        !r->IsUnscannable()) {
       occupied.push_back(r);
     }
   });
+  // Pinned regions survive in place, treated as fully live (the unscannable
+  // references keeping them pinned cannot be enumerated). They are walkable
+  // rebuild sources like any other surviving region.
+  for (Region* r : pinned) {
+    if (r->IsYoung()) {
+      regions.RetireToOld(r);
+    }
+    r->set_in_cset(false);
+    r->set_live_bytes(r->used());
+    occupied.push_back(r);
+  }
 
   RebuildRemsets(occupied, workers);
   bitmap_->ClearAll();
@@ -161,7 +191,25 @@ uint64_t MarkCompact::Collect(SafepointManager* safepoints, WorkerPool* workers)
 void MarkCompact::RebuildRemsets(const std::vector<Region*>& occupied,
                                  WorkerPool* workers) {
   RegionManager& regions = heap_->regions();
+  // A remset entry naming an unscannable quarantined region is the only
+  // record that the unscannable region holds references into the target
+  // (PinnedByQuarantine depends on it), and it cannot be recomputed — the
+  // source can never be walked again. Carry those entries across the rebuild.
+  std::vector<uint32_t> unscannable = regions.UnscannableQuarantined();
+  std::vector<std::pair<Region*, uint32_t>> quarantine_edges;
+  if (!unscannable.empty()) {
+    regions.ForEachRegion([&](Region* r) {
+      for (uint32_t u : unscannable) {
+        if (r->RemsetContainsRegion(u)) {
+          quarantine_edges.emplace_back(r, u);
+        }
+      }
+    });
+  }
   regions.ForEachRegion([](Region* r) { r->ClearRemset(); });
+  for (auto& [r, u] : quarantine_edges) {
+    r->RemsetAddRegion(u);
+  }
   auto rebuild_one = [&](Region* src) {
     uint32_t src_index = src->index();
     src->ForEachObject([&](Object* obj) {

@@ -279,7 +279,11 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
               continue;
             }
             if (trust_marks && (k == RegionKind::kOld || k == RegionKind::kGen) &&
-                r->used() > 0 && r->LiveRatio() <= config_.cset_live_ratio_max) {
+                r->used() > 0 && r->LiveRatio() <= config_.cset_live_ratio_max &&
+                !(check_pinned && regions.PinnedByQuarantine(r))) {
+              // Pinned-by-quarantine regions can never be evacuated: the
+              // unscannable source holding edges into them is excluded from
+              // the remset-source rescan, so those edges could not be healed.
               p.candidates.push_back(r);
             }
           }
@@ -309,9 +313,12 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
       }
       for (Region* r : p.pinned_young) {
         // Referenced from an unscannable quarantined region: the reference
-        // can never be healed, so the objects must stay put. Pin in place.
+        // can never be healed, so the objects must stay put. Pin in place,
+        // and record its outgoing edges (never recorded while young) so
+        // references into this pause's collection set are discovered.
         regions.RetireToOld(r);
         r->set_live_bytes(r->used());
+        RecordCrossRegionEdges(r);
       }
       cset.insert(cset.end(), p.young.begin(), p.young.end());
       candidates.insert(candidates.end(), p.candidates.begin(), p.candidates.end());

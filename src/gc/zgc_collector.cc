@@ -334,11 +334,18 @@ bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
       excluded.push_back(to_space_region_);
     }
   }
+  const bool check_pinned = !regions.UnscannableQuarantined().empty();
   regions.ForEachRegion([&](Region* r) {
     if (r->kind() != RegionKind::kOld || r->used() == 0 || r->quarantined()) {
       return;
     }
     if (r->LiveRatio() > config_.z_relocate_live_ratio_max) {
+      return;
+    }
+    if (check_pinned && regions.PinnedByQuarantine(r)) {
+      // Referenced from an unscannable quarantined region, which the GC-side
+      // remap walk skips: a stale reference held there would never be healed
+      // before the forwarding tables are dropped at cycle end. Keep it put.
       return;
     }
     for (Region* ex : excluded) {

@@ -1,7 +1,9 @@
 #include "src/runtime/vm.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 
 #include "src/gc/cms_collector.h"
@@ -176,11 +178,28 @@ VM::VM(const VmConfig& config) : config_(config) {
   if (profiler_ != nullptr) {
     // OLD-table cross-check for the sampled verification walk. Suppressed
     // whenever a row may be legitimately absent: degraded mode cleared the
-    // table, saturation shed samples, or contexts were rejected outright.
+    // table, or the table shed samples / rejected contexts since the previous
+    // pass. The shed counters are compared as per-pass deltas (baseline
+    // refreshed by on_pass_begin on the pause thread) so a single drop early
+    // in the run does not disable the check for the rest of the process.
     Profiler* p = profiler_.get();
-    collector_->mutable_verify_options().context_known = [p](uint32_t context) {
-      if (p->degraded() || p->old_table().dropped_samples() > 0 ||
-          p->old_table().rejected_contexts() > 0) {
+    struct OldCheckState {
+      uint64_t dropped = 0;
+      uint64_t rejected = 0;
+      std::atomic<bool> suppress{false};
+    };
+    auto st = std::make_shared<OldCheckState>();
+    VerifyOptions& vo = collector_->mutable_verify_options();
+    vo.on_pass_begin = [p, st] {
+      uint64_t d = p->old_table().dropped_samples();
+      uint64_t r = p->old_table().rejected_contexts();
+      st->suppress.store(d != st->dropped || r != st->rejected,
+                         std::memory_order_relaxed);
+      st->dropped = d;
+      st->rejected = r;
+    };
+    vo.context_known = [p, st](uint32_t context) {
+      if (p->degraded() || st->suppress.load(std::memory_order_relaxed)) {
         return true;
       }
       return p->old_table().Contains(context);

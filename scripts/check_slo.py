@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate CI on the machine-readable SLO verdict an open-loop run prints.
+
+Usage: check_slo.py RUN_OUTPUT.txt [--max-p999-ms MS] [--require-shed]
+
+Reads the last `SLO_VERDICT {...}` line from a captured kvstore_service (or
+chaos_campaign --service) run and fails unless:
+  * the verdict's own pass bit is set (thresholds were met),
+  * the run survived (zero VM aborts — the zero-OOM guarantee),
+  * all-time p99.9 lateness is within --max-p999-ms (defaults to the
+    threshold the binary itself applied),
+  * with --require-shed: the overload actually exercised backpressure
+    (rejected + shed > 0), so a passing verdict can't come from an
+    accidentally under-loaded run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("output", help="captured run output containing SLO_VERDICT")
+    parser.add_argument("--max-p999-ms", type=float, default=None,
+                        help="explicit all-time p99.9 lateness gate (ms)")
+    parser.add_argument("--require-shed", action="store_true",
+                        help="fail unless the run rejected or shed load")
+    args = parser.parse_args()
+
+    verdict = None
+    with open(args.output) as f:
+        for line in f:
+            if line.startswith("SLO_VERDICT "):
+                verdict = line[len("SLO_VERDICT "):].strip()
+    if verdict is None:
+        fail(f"{args.output}: no SLO_VERDICT line found")
+    try:
+        v = json.loads(verdict)
+    except json.JSONDecodeError as e:
+        fail(f"{args.output}: SLO_VERDICT is not valid JSON: {e}")
+
+    for key in ("collector", "pass", "survived", "alltime", "counts", "thresholds"):
+        if key not in v:
+            fail(f"SLO_VERDICT missing '{key}': {verdict}")
+
+    if not v["survived"]:
+        fail("run did not survive (VM abort during overload)")
+    if not v["pass"]:
+        fail(f"SLO verdict failed: checks={v.get('checks')}")
+
+    p999 = v["alltime"].get("p999_ms")
+    limit = args.max_p999_ms
+    if limit is None:
+        limit = v["thresholds"].get("p999_ms")
+    if p999 is None or limit is None:
+        fail("verdict lacks p999 data")
+    if p999 > limit:
+        fail(f"all-time p99.9 lateness {p999:.1f}ms exceeds limit {limit:.1f}ms")
+
+    counts = v["counts"]
+    if args.require_shed and counts.get("rejected", 0) + counts.get("shed", 0) == 0:
+        fail("overload run neither rejected nor shed anything; "
+             "the system was not actually saturated")
+
+    print(f"SLO ok [{v['collector']}]: p99.9={p999:.1f}ms (limit {limit:.1f}ms) "
+          f"ok={counts.get('ok')} rejected={counts.get('rejected')} "
+          f"shed={counts.get('shed')} survived=true")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,17 +61,40 @@ if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
 fi
 
 # Observability smoke (DESIGN.md §11): run the kvstore service with tracing,
-# metrics dump, and the OLD-table dump enabled, then validate every artifact —
-# well-formed JSON, the required GC/watchdog/profiler event names, the
-# required gauges, and a non-empty introspection dump.
+# metrics dump (JSON + Prometheus exposition), and the OLD-table dump enabled,
+# then validate every artifact — well-formed JSON, the required GC/watchdog/
+# profiler event names, the required gauges, a parseable Prometheus payload,
+# and a non-empty introspection dump.
 if command -v python3 >/dev/null && [ -x build/examples/kvstore_service ]; then
   echo "=== observability smoke"
   ROLP_TRACE=/tmp/ci_rolp_trace.json \
   ROLP_METRICS_DUMP=/tmp/ci_rolp_metrics.json \
+  ROLP_METRICS_FORMAT=prom \
   ROLP_DUMP_OLD_TABLE=/tmp/ci_rolp_old_table.txt \
-    build/examples/kvstore_service rolp 2 >/dev/null
+    build/examples/kvstore_service rolp 2 closed >/dev/null
   python3 scripts/validate_observability.py \
-    /tmp/ci_rolp_trace.json /tmp/ci_rolp_metrics.json /tmp/ci_rolp_old_table.txt
+    /tmp/ci_rolp_trace.json /tmp/ci_rolp_metrics.json /tmp/ci_rolp_old_table.txt \
+    /tmp/ci_rolp_metrics.json.prom
+fi
+
+# Overload smoke (DESIGN.md §13): open-loop kvstore at 2x the calibrated
+# closed-loop capacity on a small heap. The run must survive without a VM
+# abort, actually shed/reject load (--require-shed), and meet the SLO verdict
+# it prints; check_slo.py gates on the all-time p99.9 lateness. The unit-test
+# version of this lives in tests/service/service_test.cc; this one exercises
+# the full calibrate -> overload -> verdict path end to end.
+# ROLP_OVERLOAD_EXTENDED=1 stretches it to the 60s acceptance soak;
+# ROLP_OVERLOAD_CHECK=0 skips.
+if [ "${ROLP_OVERLOAD_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
+   && [ -x build/examples/kvstore_service ]; then
+  echo "=== overload smoke"
+  OVERLOAD_SECONDS=8
+  if [ "${ROLP_OVERLOAD_EXTENDED:-0}" = "1" ]; then
+    OVERLOAD_SECONDS=60
+  fi
+  build/examples/kvstore_service rolp "$OVERLOAD_SECONDS" open \
+    | tee /tmp/ci_overload.txt | tail -3
+  python3 scripts/check_slo.py /tmp/ci_overload.txt --require-shed
 fi
 
 # Chaos smoke (DESIGN.md §12): fixed-seed campaigns over the kvstore workload

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the observability artifacts a traced workload run emits.
 
-Usage: validate_observability.py TRACE.json METRICS.json OLD_TABLE.txt
+Usage: validate_observability.py TRACE.json METRICS.json OLD_TABLE.txt [METRICS.prom]
 
 Checks, failing loudly instead of letting CI pass on an empty file:
   * TRACE.json is well-formed chrome://tracing JSON ({"traceEvents": [...]}),
@@ -12,9 +12,14 @@ Checks, failing loudly instead of letting CI pass on an empty file:
     required gauge names are present.
   * OLD_TABLE.txt is a non-empty introspection dump with the expected section
     headers.
+  * METRICS.prom (optional, written when ROLP_METRICS_FORMAT=prom) parses as
+    Prometheus text exposition 0.0.4: every sample line references a declared
+    TYPE, names carry the rolp_ prefix, values parse as numbers, and summaries
+    come with a _count series.
 """
 
 import json
+import re
 import sys
 
 REQUIRED_TRACE_NAMES = [
@@ -98,13 +103,69 @@ def check_old_table(path):
     print(f"  old-table dump ok: {len(text.splitlines())} lines")
 
 
+PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$")
+
+
+def check_prometheus(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty exposition")
+    types = {}       # metric name -> declared type
+    samples = set()  # bare sample names seen
+    n_samples = 0
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                       "summary", "histogram"):
+                    fail(f"{path}:{i}: malformed TYPE line: {line!r}")
+                if not PROM_NAME_RE.match(parts[2]):
+                    fail(f"{path}:{i}: invalid metric name {parts[2]!r}")
+                types[parts[2]] = parts[3]
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{path}:{i}: unparseable sample line: {line!r}")
+        name = m.group("name")
+        if not name.startswith("rolp_"):
+            fail(f"{path}:{i}: sample {name!r} lacks the rolp_ prefix")
+        base = name
+        for suffix in ("_count", "_sum"):
+            if base.endswith(suffix) and base[: -len(suffix)] in types:
+                base = base[: -len(suffix)]
+        if base not in types:
+            fail(f"{path}:{i}: sample {name!r} has no preceding TYPE line")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            fail(f"{path}:{i}: non-numeric value {m.group('value')!r}")
+        samples.add(base)
+        n_samples += 1
+    for name, kind in types.items():
+        if name not in samples:
+            fail(f"{path}: TYPE declared for {name!r} but no samples follow")
+        if kind == "summary" and not any(
+                l.startswith(name + "_count ") for l in lines):
+            fail(f"{path}: summary {name!r} missing its _count series")
+    print(f"  prometheus ok: {len(types)} metrics, {n_samples} samples")
+
+
 def main():
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__)
         return 2
     check_trace(sys.argv[1])
     check_metrics(sys.argv[2])
     check_old_table(sys.argv[3])
+    if len(sys.argv) == 5:
+        check_prometheus(sys.argv[4])
     print("observability validation passed")
     return 0
 

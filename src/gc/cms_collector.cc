@@ -41,7 +41,9 @@ char* CmsCollector::AllocateOld(size_t bytes, size_t* actual) {
   if (p != nullptr) {
     return p;
   }
-  Region* fresh = heap_->regions().AllocateRegion(RegionKind::kOld);
+  // Pause-time promotion destination: may dip into the evacuation reserve.
+  Region* fresh =
+      heap_->regions().AllocateRegion(RegionKind::kOld, 0, /*gc_internal=*/true);
   if (fresh == nullptr) {
     return nullptr;
   }
@@ -175,7 +177,8 @@ void CmsCollector::DoYoung(MutatorContext* ctx) {
         to = survivor_buf->BumpAlloc(size);
       }
       if (to == nullptr) {
-        survivor_buf = regions.AllocateRegion(RegionKind::kSurvivor);
+        survivor_buf =
+            regions.AllocateRegion(RegionKind::kSurvivor, 0, /*gc_internal=*/true);
         to = survivor_buf != nullptr ? survivor_buf->BumpAlloc(size) : nullptr;
       }
       if (to == nullptr) {

@@ -24,7 +24,8 @@ char* EvacuationTask::Worker::AllocInDest(int space, size_t bytes) {
     }
   }
   RegionKind kind = space == kDestSurvivor ? RegionKind::kSurvivor : RegionKind::kOld;
-  Region* fresh = task_->heap_->regions().AllocateRegion(kind);
+  Region* fresh =
+      task_->heap_->regions().AllocateRegion(kind, 0, /*gc_internal=*/true);
   if (fresh == nullptr) {
     return nullptr;
   }

@@ -45,6 +45,14 @@ double RegionalCollector::TenuredOccupancy() const {
 }
 
 Region* RegionalCollector::RefillTlab(MutatorContext* ctx) {
+  // Heap-pressure governor rung 1: trigger collection early (before the eden
+  // budget is exhausted) when occupancy crosses the GC watermark, so tenured
+  // garbage is reclaimed while there is still evacuation headroom.
+  HeapGovernor& governor = heap_->governor();
+  governor.Update();
+  if (governor.TakeGcRequest(NowNs())) {
+    TryCollect(ctx, /*force_full=*/false);
+  }
   for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
     if (eden_in_use_.load(std::memory_order_relaxed) < eden_target_) {
       Region* r = heap_->regions().AllocateRegion(RegionKind::kEden);

@@ -35,7 +35,9 @@ char* ZgcCollector::AllocToSpace(size_t bytes) {
       return p;
     }
   }
-  Region* fresh = heap_->regions().AllocateRegion(RegionKind::kOld);
+  // Relocation destination: may dip into the evacuation reserve.
+  Region* fresh =
+      heap_->regions().AllocateRegion(RegionKind::kOld, 0, /*gc_internal=*/true);
   if (fresh == nullptr) {
     return nullptr;
   }

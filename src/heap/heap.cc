@@ -9,6 +9,15 @@ namespace rolp {
 
 Heap::Heap(const HeapConfig& config) : config_(config) {
   regions_ = std::make_unique<RegionManager>(config.heap_bytes, config.region_bytes);
+  if (config.evac_reserve_regions > 0 &&
+      config.evac_reserve_regions < regions_->num_regions() / 2) {
+    regions_->set_evac_reserve(config.evac_reserve_regions);
+  }
+  RegionManager* rm = regions_.get();
+  governor_ = std::make_unique<HeapGovernor>(GovernorConfig::FromEnv(), [rm] {
+    return 1.0 - static_cast<double>(rm->free_regions()) /
+                     static_cast<double>(rm->num_regions());
+  });
   classes_ = std::make_unique<ClassRegistry>();
   barriers_ = std::make_unique<RemsetBarrierSet>(regions_.get());
 }

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "src/heap/class_registry.h"
+#include "src/heap/heap_governor.h"
 #include "src/heap/object.h"
 #include "src/heap/region_manager.h"
 #include "src/heap/roots.h"
@@ -22,6 +23,11 @@ struct HeapConfig {
   double young_fraction = 0.25;
   // HotSpot-style tenuring threshold: survivors older than this are promoted.
   uint32_t tenuring_threshold = 15;
+  // Regions reserved for GC evacuation destinations; mutator allocation fails
+  // (recoverable, GC-and-retry) before the free pool dips below this, so
+  // copying never starves under mutator pressure. 0 disables. The VM sizes
+  // this from ROLP_GOV_EVAC_RESERVE.
+  size_t evac_reserve_regions = 0;
 };
 
 // Reference access barriers. The default implementation records cross-region
@@ -54,6 +60,9 @@ class Heap {
   const RegionManager& regions() const { return *regions_; }
   ClassRegistry& classes() { return *classes_; }
   GlobalRoots& roots() { return roots_; }
+  // Heap-pressure governor (DESIGN.md section 13); always present.
+  HeapGovernor& governor() { return *governor_; }
+  const HeapGovernor& governor() const { return *governor_; }
 
   BarrierSet& barriers() { return *barriers_; }
   // Takes ownership. Installed by the collector before mutators start.
@@ -139,6 +148,7 @@ class Heap {
  private:
   HeapConfig config_;
   std::unique_ptr<RegionManager> regions_;
+  std::unique_ptr<HeapGovernor> governor_;
   std::unique_ptr<ClassRegistry> classes_;
   GlobalRoots roots_;
   std::unique_ptr<BarrierSet> barriers_;

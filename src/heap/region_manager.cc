@@ -61,13 +61,13 @@ RegionManager::~RegionManager() {
   }
 }
 
-Region* RegionManager::AllocateRegion(RegionKind kind, uint8_t gen) {
+Region* RegionManager::AllocateRegion(RegionKind kind, uint8_t gen, bool gc_internal) {
   ROLP_CHECK(kind != RegionKind::kFree && kind != RegionKind::kHumongousCont);
   if (ROLP_FAULT_POINT("heap.region.oom")) {
     return nullptr;  // simulated heap exhaustion
   }
   std::lock_guard<SpinLock> guard(lock_);
-  if (free_list_.empty()) {
+  if (free_list_.size() <= (gc_internal ? 0 : evac_reserve_)) {
     return nullptr;
   }
   Region* r = &regions_[free_list_.back()];
@@ -87,6 +87,9 @@ Region* RegionManager::AllocateHumongous(size_t object_bytes) {
   }
   size_t needed = (object_bytes + region_bytes_ - 1) / region_bytes_;
   std::lock_guard<SpinLock> guard(lock_);
+  if (free_list_.size() < needed + evac_reserve_) {
+    return nullptr;  // would eat into the evacuation reserve
+  }
   // Find a run of `needed` contiguous free regions (first fit).
   size_t run = 0;
   size_t start = 0;

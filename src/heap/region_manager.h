@@ -23,12 +23,24 @@ class RegionManager {
   RegionManager& operator=(const RegionManager&) = delete;
 
   // Takes a free region and transitions it to the given kind. Returns nullptr
-  // if the heap is exhausted.
-  Region* AllocateRegion(RegionKind kind, uint8_t gen = 0);
+  // if the heap is exhausted. Mutator-sourced requests (the default) also fail
+  // once the free pool would dip into the evacuation reserve; GC-internal
+  // requests (evacuation/promotion destinations) pass gc_internal=true and may
+  // consume the reserve — that is what it is for: an evacuation that cannot
+  // get a destination region self-forwards and the failed region is retired or
+  // quarantined, which under sustained pressure cascades toward full-heap
+  // quarantine. The reserve keeps copying alive while mutators are shed.
+  Region* AllocateRegion(RegionKind kind, uint8_t gen = 0, bool gc_internal = false);
 
   // Allocates ceil(bytes / region_size) contiguous regions for one humongous
-  // object. Returns the head region or nullptr.
+  // object. Returns the head region or nullptr. Mutator-sourced (never dips
+  // into the evacuation reserve).
   Region* AllocateHumongous(size_t object_bytes);
+
+  // Regions held back from mutator allocation so GC evacuation always has
+  // destinations (0 disables). Set once at heap construction.
+  void set_evac_reserve(size_t regions) { evac_reserve_ = regions; }
+  size_t evac_reserve() const { return evac_reserve_; }
 
   // Returns a region (and its humongous continuations) to the free pool.
   void FreeRegion(Region* region);
@@ -114,6 +126,7 @@ class RegionManager {
   std::unique_ptr<Region[]> regions_;
   mutable SpinLock lock_;
   std::vector<uint32_t> free_list_;
+  size_t evac_reserve_ = 0;
   std::atomic<size_t> tenured_regions_{0};
   std::atomic<size_t> quarantined_regions_{0};
   std::vector<uint32_t> unscannable_quarantined_;  // guarded by lock_

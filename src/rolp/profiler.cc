@@ -25,6 +25,8 @@ const char* DegradeReasonName(DegradeReason reason) {
       return "gc-overrun";
     case DegradeReason::kHeapCorruption:
       return "heap-corruption";
+    case DegradeReason::kHeapPressure:
+      return "heap-pressure";
   }
   return "unknown";
 }
@@ -168,7 +170,8 @@ void Profiler::OnGcEnd(const GcEndInfo& info) {
     // Re-arm once the trouble signal has been quiet long enough. Inference is
     // suspended meanwhile: decisions built from a saturated or corrupt table
     // would be worse than none.
-    if (dropped_delta <= config_.degrade_dropped_per_cycle / 8 && corruption_delta == 0) {
+    if (dropped_delta <= config_.degrade_dropped_per_cycle / 8 && corruption_delta == 0 &&
+        !heap_pressure_) {
       if (++clean_cycles_ >= config_.rearm_clean_cycles) {
         ExitDegraded();
       }
@@ -543,6 +546,17 @@ void Profiler::OnHeapCorruption(size_t finding_count) {
   ROLP_TRACE_INSTANT("rolp", "rolp.heap_corruption", static_cast<uint64_t>(finding_count));
   EnterDegraded(DegradeReason::kHeapCorruption);
   clean_cycles_ = 0;
+}
+
+void Profiler::OnHeapPressure(bool under_pressure) {
+  // World stopped (VM::OnGcEnd). While the governor sits at or above the
+  // degrade rung, the profiler's survivor tracking and inference are weight
+  // the overloaded heap cannot afford; shed them. Re-arm is automatic: once
+  // the pressure flag clears, the normal quiet-cycle counting resumes.
+  heap_pressure_ = under_pressure;
+  if (under_pressure) {
+    EnterDegraded(DegradeReason::kHeapPressure);
+  }
 }
 
 void Profiler::PublishEmptyDecisions() {

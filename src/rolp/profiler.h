@@ -104,6 +104,7 @@ enum class DegradeReason : uint8_t {
   kDemotionChurn,         // fragmentation feedback thrashing decisions
   kGcOverrun,             // watchdog overruns correlated with survivor tracking
   kHeapCorruption,        // in-pause heap verification found (and repaired) damage
+  kHeapPressure,          // governor at/above the degrade watermark
 };
 
 const char* DegradeReasonName(DegradeReason reason);
@@ -153,6 +154,11 @@ class Profiler : public ProfilerHooks {
   void OnGenFragmentation(uint8_t gen, double live_ratio) override;
   void OnGcOverrun(bool survivor_tracking_active) override;
   void OnHeapCorruption(size_t finding_count) override;
+  // Heap-pressure governor rung 3 (called world-stopped from VM::OnGcEnd):
+  // under_pressure=true sheds the profiler's pause and memory weight by
+  // entering degraded mode; re-arm is held off until the pressure clears AND
+  // the usual quiet condition holds for rearm_clean_cycles cycles.
+  void OnHeapPressure(bool under_pressure);
 
   // --- Introspection (tables, benches, tests) ------------------------------
   OldTable& old_table() { return old_table_; }
@@ -316,6 +322,7 @@ class Profiler : public ProfilerHooks {
   uint32_t overruns_while_tracking_ = 0;  // watchdog overruns with tracking on
   uint64_t heap_corruption_reports_ = 0;  // OnHeapCorruption calls (world stopped)
   uint64_t last_corruption_seen_ = 0;     // reports at the previous GC end
+  bool heap_pressure_ = false;            // governor >= degrade rung right now
 
   // Off-pause inference state. table_epoch_ is only touched by safepoint-side
   // code; everything else crossing the background thread sits under inf_mu_.

@@ -1,7 +1,11 @@
 #include "src/runtime/thread.h"
 
+#include <chrono>
+#include <thread>
+
 #include "src/runtime/vm.h"
 #include "src/util/check.h"
+#include "src/util/fault_injection.h"
 #include "src/util/trace.h"
 
 namespace rolp {
@@ -54,6 +58,19 @@ Object* RuntimeThread::Allocate(uint32_t alloc_site, ClassId cls, size_t total_b
       pending_allocated_bytes_ += total_bytes;
       return heap.InitializeObject(mem, cls, total_bytes, array_length, context);
     }
+  }
+  // Heap-pressure governor rung 2: above the throttle watermark every
+  // slow-path allocation pays a bounded stall, slowing mutators down so the
+  // collector can keep up instead of hitting the OOM wall. The sleep happens
+  // inside a safe region so a concurrent pause never waits on it.
+  uint64_t stall_ns = heap.governor().ThrottleStallNs();
+  if (ROLP_FAULT_POINT("service.alloc.throttle") && stall_ns == 0) {
+    stall_ns = 200 * 1000;  // injected stall: same magnitude as one base rung
+  }
+  if (stall_ns != 0) {
+    SafepointManager::ScopedSafeRegion safe(&vm_->safepoints(), &gc_ctx_);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(stall_ns));
+    heap.governor().CountThrottleStall();
   }
   AllocRequest req;
   req.cls = cls;

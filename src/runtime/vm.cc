@@ -131,6 +131,13 @@ VM::VM(const VmConfig& config) : config_(config) {
   hc.region_bytes = config_.region_kb * 1024;
   hc.young_fraction = config_.young_fraction;
   hc.tenuring_threshold = config_.gc_config.tenuring_threshold;
+  // Evacuation reserve (DESIGN.md §13): regions only GC-internal allocation
+  // may consume, so evacuation under pressure always has a destination.
+  // Default: 2 regions once the heap is large enough that losing them to the
+  // mutator budget is noise; ROLP_GOV_EVAC_RESERVE overrides (0 disables).
+  size_t total_regions = hc.heap_bytes / hc.region_bytes;
+  hc.evac_reserve_regions = static_cast<size_t>(
+      EnvInt64("ROLP_GOV_EVAC_RESERVE", total_regions >= 64 ? 2 : 0));
   heap_ = std::make_unique<Heap>(hc);
 
   jit_ = std::make_unique<JitEngine>(config_.jit, config_.filter);
@@ -317,6 +324,21 @@ void VM::RegisterMetrics() {
   m.Gauge("heap.quarantined_regions", [h] {
     return static_cast<double>(h->regions().quarantined_regions());
   });
+  m.Gauge("governor.level", [h] {
+    return static_cast<double>(static_cast<uint8_t>(h->governor().level()));
+  });
+  m.Gauge("governor.max_level", [h] {
+    return static_cast<double>(static_cast<uint8_t>(h->governor().max_level()));
+  });
+  m.Gauge("governor.occupancy", [h] { return h->governor().last_occupancy(); });
+  m.Gauge("governor.transitions",
+          [h] { return static_cast<double>(h->governor().transitions()); });
+  m.Gauge("governor.gc_requests",
+          [h] { return static_cast<double>(h->governor().gc_requests()); });
+  m.Gauge("governor.throttle_stalls",
+          [h] { return static_cast<double>(h->governor().throttle_stalls()); });
+  m.Gauge("heap.evac_reserve_regions",
+          [h] { return static_cast<double>(h->regions().evac_reserve()); });
   m.Gauge("gc.pause.verify_ns", [&gm] { return static_cast<double>(gm.PauseVerifyNs()); });
 
   // Sampled through the collector so ROLP_WATCHDOG=0 (null watchdog) reads 0.
@@ -450,7 +472,12 @@ void VM::OnGcEnd(const GcEndInfo& info) {
       t->FlushAllocBuffer();
     }
   }
+  // Refresh the pressure ladder on the exact post-collection occupancy and,
+  // while the world is still stopped, let rung 3 shed the profiler's weight.
+  HeapGovernor& governor = heap_->governor();
+  PressureLevel level = governor.Update();
   if (profiler_ != nullptr) {
+    profiler_->OnHeapPressure(level >= PressureLevel::kDegrade);
     profiler_->OnGcEnd(info);
   }
 }

@@ -1,0 +1,496 @@
+#include "src/service/open_loop.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/env.h"
+#include "src/util/fault_injection.h"
+#include "src/util/metrics_registry.h"
+#include "src/util/random.h"
+#include "src/util/trace.h"
+
+namespace rolp {
+
+namespace {
+
+struct Request {
+  uint64_t id = 0;
+  uint64_t scheduled_ns = 0;  // planned arrival; never moves across retries
+  uint64_t ready_ns = 0;      // when this attempt becomes issueable
+  uint64_t enqueue_ns = 0;
+  uint64_t deadline_ns = 0;   // per-attempt deadline
+  uint64_t op_index = 0;
+  uint32_t attempt = 1;
+  uint8_t klass = 0;
+};
+
+struct RetryLater {
+  bool operator()(const Request& a, const Request& b) const {
+    return a.ready_ns > b.ready_ns;
+  }
+};
+
+// Everything the generator, workers, and drain share.
+struct ServiceState {
+  SpinLock queue_lock;
+  std::deque<Request> queue;
+  std::atomic<size_t> depth{0};
+
+  SpinLock retry_lock;
+  std::priority_queue<Request, std::vector<Request>, RetryLater> retries;
+
+  std::atomic<bool> stop{false};
+
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_deadline{0};
+  std::atomic<uint64_t> shed_governor{0};
+  std::atomic<uint64_t> completed_ok{0};
+  std::atomic<uint64_t> deadline_miss{0};
+  std::atomic<uint64_t> retries_granted{0};
+  std::atomic<uint64_t> retry_denied{0};
+};
+
+// Closed-loop capacity probe: `workers` threads spin Op back-to-back for
+// calibrate_s; the measured rate is what this VM+workload can actually do, so
+// overload_factor x capacity is over-capacity by construction.
+double CalibrateClosedLoop(VM& vm, Workload& workload, const ServiceOptions& options) {
+  std::atomic<uint64_t> ops{0};
+  uint64_t start = NowNs();
+  uint64_t end = start + static_cast<uint64_t>(options.calibrate_s * 1e9);
+  std::vector<std::thread> threads;
+  threads.reserve(options.workers);
+  for (int i = 0; i < options.workers; i++) {
+    threads.emplace_back([&, i] {
+      RuntimeThread* t = vm.AttachThread();
+      // High op_index base so calibration keys never collide with the ids the
+      // open-loop phase hands out.
+      uint64_t op = (0x100ULL + static_cast<uint64_t>(i)) << 40;
+      while (NowNs() < end) {
+        workload.Op(*t, op++);
+        ops.fetch_add(1, std::memory_order_relaxed);
+        t->Poll();
+      }
+      vm.DetachThread(t);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  double elapsed_s = static_cast<double>(NowNs() - start) / 1e9;
+  return elapsed_s > 0 ? static_cast<double>(ops.load()) / elapsed_s : 0.0;
+}
+
+}  // namespace
+
+ServiceOptions ServiceOptions::FromEnv() {
+  ServiceOptions o;
+  o.workers = static_cast<int>(EnvInt64("ROLP_SERVICE_WORKERS", o.workers));
+  o.rate_rps = EnvDouble("ROLP_SERVICE_RATE", o.rate_rps);
+  o.overload_factor = EnvDouble("ROLP_SERVICE_OVERLOAD_FACTOR", o.overload_factor);
+  o.calibrate_s = EnvDouble("ROLP_SERVICE_CALIBRATE_S", o.calibrate_s);
+  o.poisson_arrivals = EnvBool("ROLP_SERVICE_POISSON", o.poisson_arrivals);
+  o.write_fraction = EnvDouble("ROLP_SERVICE_WRITE_FRACTION", o.write_fraction);
+  o.drain_grace_s = EnvDouble("ROLP_SERVICE_DRAIN_S", o.drain_grace_s);
+  o.seed = static_cast<uint64_t>(EnvInt64("ROLP_SERVICE_SEED", 0x5eed));
+  o.retry_ratio = EnvDouble("ROLP_SVC_RETRY_RATIO", o.retry_ratio);
+  o.admission = AdmissionConfig::FromEnv();
+  o.retry = RetryPolicy::FromEnv();
+  o.slo = SloThresholds::FromEnv();
+  return o;
+}
+
+ServiceResult RunService(const VmConfig& vm_config, Workload& workload,
+                         const ServiceOptions& options) {
+  VmConfig cfg = vm_config;
+  if (options.use_workload_filter && cfg.gc == GcKind::kRolp) {
+    workload.ConfigureFilter(&cfg.filter);
+  }
+  VM vm(cfg);
+  {
+    ROLP_TRACE_SCOPE("workload", "workload.setup");
+    RuntimeThread* setup_thread = vm.AttachThread();
+    workload.Setup(vm, *setup_thread);
+    vm.DetachThread(setup_thread);
+  }
+
+  ServiceResult result;
+  result.run.workload = workload.name();
+  result.run.collector = GcKindName(cfg.gc);
+
+  double rate = options.rate_rps;
+  if (rate <= 0.0) {
+    result.calibrated_rps = CalibrateClosedLoop(vm, workload, options);
+    rate = std::max(1.0, result.calibrated_rps * options.overload_factor);
+  }
+  result.offered_rps = rate;
+
+  ServiceState st;
+  AdmissionController admission(options.admission);
+  // deque: RetryBudget holds a lock and atomics, so it is not movable.
+  std::deque<RetryBudget> budgets;
+  for (int i = 0; i < kNumRequestClasses; i++) {
+    // Burst: let the budget bank up to ~1 s of retry allowance.
+    budgets.emplace_back(options.retry_ratio,
+                         std::max(8.0, options.retry_ratio * rate));
+  }
+
+  ScopedTrace run_scope("workload", "workload.run");
+  uint64_t start_ns = NowNs();
+  uint64_t warmup_end_ns = start_ns + static_cast<uint64_t>(options.warmup_s * 1e9);
+  uint64_t gen_end_ns = start_ns + static_cast<uint64_t>(options.duration_s * 1e9);
+  SloReporter reporter(start_ns);
+
+  // Shed/throttle/degrade activity is visible live through the registry, so
+  // periodic ROLP_METRICS_DUMP snapshots (and the chaos engine) can watch the
+  // overload unfold.
+  ScopedMetrics sm;
+  sm.Gauge("service.offered",
+           [&st] { return static_cast<double>(st.offered.load(std::memory_order_relaxed)); });
+  sm.Gauge("service.queue_depth",
+           [&st] { return static_cast<double>(st.depth.load(std::memory_order_relaxed)); });
+  sm.Gauge("service.shed_queue_full", [&st] {
+    return static_cast<double>(st.shed_queue_full.load(std::memory_order_relaxed));
+  });
+  sm.Gauge("service.shed_deadline", [&st] {
+    return static_cast<double>(st.shed_deadline.load(std::memory_order_relaxed));
+  });
+  sm.Gauge("service.shed_governor", [&st] {
+    return static_cast<double>(st.shed_governor.load(std::memory_order_relaxed));
+  });
+  sm.Gauge("service.completed_ok", [&st] {
+    return static_cast<double>(st.completed_ok.load(std::memory_order_relaxed));
+  });
+  sm.Gauge("service.deadline_miss", [&st] {
+    return static_cast<double>(st.deadline_miss.load(std::memory_order_relaxed));
+  });
+  sm.Gauge("service.retries", [&st] {
+    return static_cast<double>(st.retries_granted.load(std::memory_order_relaxed));
+  });
+  sm.Gauge("service.admitted",
+           [&admission] { return static_cast<double>(admission.admitted()); });
+  sm.Gauge("service.rejected",
+           [&admission] { return static_cast<double>(admission.rejected()); });
+  sm.Gauge("service.ewma_service_ns",
+           [&admission] { return static_cast<double>(admission.ewma_service_ns()); });
+
+  uint64_t deadline_budget_ns = options.admission.deadline_ms * 1000 * 1000;
+
+  auto worker_body = [&](int worker_index) {
+    RuntimeThread* t = vm.AttachThread();
+    uint64_t rng_state = options.seed ^ (0xd1b54a32d192ed03ULL * (worker_index + 1));
+    while (!st.stop.load(std::memory_order_relaxed)) {
+      Request req;
+      bool got = false;
+      LockAtSafepoint(st.queue_lock, *t);
+      if (!st.queue.empty()) {
+        req = st.queue.front();
+        st.queue.pop_front();
+        st.depth.fetch_sub(1, std::memory_order_relaxed);
+        got = true;
+      }
+      st.queue_lock.unlock();
+      if (!got) {
+        // Idle wait in a safe region: a pause never waits on a sleeping
+        // worker, and the worker re-polls on wake.
+        SafepointManager::ScopedSafeRegion safe(&vm.safepoints(), &t->gc_context());
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      uint64_t dq = NowNs();
+      if (dq > req.deadline_ns) {
+        // Expired in the queue: drop without executing. The retry budget
+        // decides whether the client's backoff retry is worth scheduling.
+        bool retry = req.attempt < options.retry.max_attempts &&
+                     budgets[req.klass].TryAcquire();
+        if (retry) {
+          Request again = req;
+          again.attempt++;
+          again.ready_ns = dq + options.retry.BackoffNs(req.attempt, &rng_state);
+          again.deadline_ns = again.ready_ns + deadline_budget_ns;
+          {
+            std::lock_guard<SpinLock> guard(st.retry_lock);
+            st.retries.push(again);
+          }
+          st.retries_granted.fetch_add(1, std::memory_order_relaxed);
+          reporter.CountRetry();
+          ROLP_TRACE_INSTANT("service", "service.retry", req.id);
+        } else {
+          st.retry_denied.fetch_add(1, std::memory_order_relaxed);
+          st.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+          RequestTimeline tl;
+          tl.id = req.id;
+          tl.scheduled_ns = req.scheduled_ns;
+          tl.enqueue_ns = req.enqueue_ns;
+          tl.dequeue_ns = dq;
+          tl.respond_ns = dq;
+          tl.attempts = req.attempt;
+          reporter.Record(tl, RequestOutcome::kShed);
+          ROLP_TRACE_INSTANT("service", "service.shed", req.id);
+        }
+        continue;
+      }
+      workload.Op(*t, req.op_index);
+      uint64_t ex = NowNs();
+      uint64_t resp = NowNs();
+      admission.ObserveService(ex - dq);
+      RequestTimeline tl;
+      tl.id = req.id;
+      tl.scheduled_ns = req.scheduled_ns;
+      tl.enqueue_ns = req.enqueue_ns;
+      tl.dequeue_ns = dq;
+      tl.execute_ns = ex;
+      tl.respond_ns = resp;
+      tl.attempts = req.attempt;
+      if (resp > req.deadline_ns) {
+        st.deadline_miss.fetch_add(1, std::memory_order_relaxed);
+        reporter.Record(tl, RequestOutcome::kDeadlineMiss);
+      } else {
+        st.completed_ok.fetch_add(1, std::memory_order_relaxed);
+        reporter.Record(tl, RequestOutcome::kOk);
+      }
+      t->Poll();
+    }
+    vm.DetachThread(t);
+  };
+
+  auto generator_body = [&] {
+    // Unattached on purpose: the generator must never be parked by a
+    // safepoint, or the arrival schedule would coordinate with GC pauses —
+    // the exact omission this harness exists to avoid.
+    uint64_t rng = options.seed ^ 0x9e3779b97f4a7c15ULL;
+    double mean_gap_ns = 1e9 / rate;
+    uint64_t next_arrival = start_ns;
+    uint64_t next_id = 0;
+    while (true) {
+      uint64_t evt = next_arrival;
+      bool is_retry = false;
+      {
+        std::lock_guard<SpinLock> guard(st.retry_lock);
+        if (!st.retries.empty() && st.retries.top().ready_ns < evt) {
+          evt = st.retries.top().ready_ns;
+          is_retry = true;
+        }
+      }
+      if (evt >= gen_end_ns) {
+        break;
+      }
+      uint64_t now = NowNs();
+      if (evt > now) {
+        uint64_t wait = std::min<uint64_t>(evt - now, 1000 * 1000);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+        continue;
+      }
+      Request req;
+      if (is_retry) {
+        std::lock_guard<SpinLock> guard(st.retry_lock);
+        if (st.retries.empty()) {
+          continue;  // raced with nothing in practice; be defensive
+        }
+        req = st.retries.top();
+        st.retries.pop();
+      } else {
+        req.id = next_id++;
+        req.scheduled_ns = next_arrival;
+        req.ready_ns = next_arrival;
+        req.deadline_ns = next_arrival + deadline_budget_ns;
+        req.op_index = req.id;
+        req.attempt = 1;
+        double u = static_cast<double>(SplitMix64(&rng) >> 11) * 0x1.0p-53;
+        req.klass = u < options.write_fraction
+                        ? static_cast<uint8_t>(RequestClass::kWrite)
+                        : static_cast<uint8_t>(RequestClass::kRead);
+        st.offered.fetch_add(1, std::memory_order_relaxed);
+        budgets[req.klass].OnRequest();
+        // Advance the schedule: fixed in advance, never a function of
+        // completions. Falling behind real time only means issuing late with
+        // the planned scheduled_ns — i.e. the lateness is charged.
+        double u2 = static_cast<double>(SplitMix64(&rng) >> 11) * 0x1.0p-53;
+        double gap = options.poisson_arrivals
+                         ? -std::log(1.0 - u2) * mean_gap_ns
+                         : mean_gap_ns;
+        if (ROLP_FAULT_POINT("service.arrival.burst")) {
+          gap = 0.0;  // injected burst: the next arrival lands immediately
+        }
+        next_arrival += std::max<uint64_t>(static_cast<uint64_t>(gap), 1);
+      }
+      now = NowNs();
+      size_t depth = st.depth.load(std::memory_order_relaxed);
+      bool queue_full = depth >= options.admission.queue_capacity ||
+                        ROLP_FAULT_POINT("service.queue.full");
+      bool governor_shed = vm.heap().governor().level() >= PressureLevel::kShed;
+      if (queue_full || governor_shed) {
+        // Terminal shed at the front door; charged from the planned arrival.
+        (queue_full ? st.shed_queue_full : st.shed_governor)
+            .fetch_add(1, std::memory_order_relaxed);
+        RequestTimeline tl;
+        tl.id = req.id;
+        tl.scheduled_ns = req.scheduled_ns;
+        tl.enqueue_ns = now;
+        tl.respond_ns = now;
+        tl.attempts = req.attempt;
+        reporter.Record(tl, RequestOutcome::kShed);
+        ROLP_TRACE_INSTANT("service", "service.shed", req.id);
+      } else if (ROLP_FAULT_POINT("service.admit.reject") ||
+                 !admission.Admit(depth, now, req.deadline_ns)) {
+        RequestTimeline tl;
+        tl.id = req.id;
+        tl.scheduled_ns = req.scheduled_ns;
+        tl.enqueue_ns = now;
+        tl.respond_ns = now;
+        tl.attempts = req.attempt;
+        reporter.Record(tl, RequestOutcome::kRejected);
+        ROLP_TRACE_INSTANT("service", "service.reject", req.id);
+      } else {
+        req.enqueue_ns = now;
+        std::lock_guard<SpinLock> guard(st.queue_lock);
+        st.queue.push_back(req);
+        st.depth.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.workers);
+  for (int i = 0; i < options.workers; i++) {
+    workers.emplace_back(worker_body, i);
+  }
+  std::thread generator(generator_body);
+  generator.join();
+
+  // Drain grace: let workers finish what is queued, then stop them and record
+  // whatever is left as shed (those requests still get their lateness).
+  uint64_t drain_end = NowNs() + static_cast<uint64_t>(options.drain_grace_s * 1e9);
+  while (st.depth.load(std::memory_order_relaxed) > 0 && NowNs() < drain_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  st.stop.store(true, std::memory_order_relaxed);
+  for (auto& th : workers) {
+    th.join();
+  }
+  uint64_t end_ns = NowNs();
+  {
+    std::lock_guard<SpinLock> guard(st.queue_lock);
+    for (const Request& req : st.queue) {
+      RequestTimeline tl;
+      tl.id = req.id;
+      tl.scheduled_ns = req.scheduled_ns;
+      tl.enqueue_ns = req.enqueue_ns;
+      tl.respond_ns = end_ns;
+      tl.attempts = req.attempt;
+      reporter.Record(tl, RequestOutcome::kShed);
+      result.shed_drain++;
+    }
+    st.queue.clear();
+    st.depth.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<SpinLock> guard(st.retry_lock);
+    while (!st.retries.empty()) {
+      const Request& req = st.retries.top();
+      RequestTimeline tl;
+      tl.id = req.id;
+      tl.scheduled_ns = req.scheduled_ns;
+      tl.respond_ns = end_ns;
+      tl.attempts = req.attempt;
+      reporter.Record(tl, RequestOutcome::kShed);
+      result.shed_drain++;
+      st.retries.pop();
+    }
+  }
+
+  result.offered = st.offered.load();
+  result.admitted = admission.admitted();
+  result.rejected = admission.rejected();
+  result.shed_queue_full = st.shed_queue_full.load() + st.shed_governor.load();
+  result.shed_deadline = st.shed_deadline.load();
+  result.completed_ok = st.completed_ok.load();
+  result.deadline_miss = st.deadline_miss.load();
+  result.retries = st.retries_granted.load();
+  result.retry_denied = st.retry_denied.load();
+
+  HeapGovernor& governor = vm.heap().governor();
+  result.governor_max_level = static_cast<uint64_t>(governor.max_level());
+  result.governor_transitions = governor.transitions();
+  result.governor_gc_requests = governor.gc_requests();
+  result.throttle_stalls = governor.throttle_stalls();
+
+  // Reaching this line is the zero-abort proof: an aborting VM never returns.
+  result.survived = true;
+  SloReporter::Verdict verdict =
+      reporter.Evaluate(result.run.collector, options.slo, result.survived, end_ns);
+  result.slo_pass = verdict.pass;
+  result.verdict_json = verdict.json;
+  result.slo = reporter.Collect(end_ns);
+
+  result.run.run_start_ns = start_ns;
+  result.run.ops = result.completed_ok + result.deadline_miss;
+  result.run.measured_s = static_cast<double>(end_ns - start_ns) / 1e9;
+  if (result.run.measured_s > 0) {
+    result.run.throughput =
+        static_cast<double>(result.run.ops) / result.run.measured_s;
+  }
+  CollectVmStats(vm, warmup_end_ns, &result.run);
+
+  workload.Teardown();
+  return result;
+}
+
+void PrintServiceReport(std::FILE* out, const ServiceResult& r) {
+  const SloReporter::Snapshot& s = r.slo;
+  std::fprintf(out,
+               "service [%s/%s] offered=%" PRIu64 " (%.0f rps%s) admitted=%" PRIu64
+               " rejected=%" PRIu64 " shed=%" PRIu64 " drained=%" PRIu64 "\n",
+               r.run.workload.c_str(), r.run.collector.c_str(), r.offered, r.offered_rps,
+               r.calibrated_rps > 0 ? " calibrated" : "", r.admitted, r.rejected,
+               r.shed_queue_full + r.shed_deadline, r.shed_drain);
+  std::fprintf(out,
+               "  completed_ok=%" PRIu64 " deadline_miss=%" PRIu64 " retries=%" PRIu64
+               " retry_denied=%" PRIu64 " throughput=%.0f ops/s\n",
+               r.completed_ok, r.deadline_miss, r.retries, r.retry_denied,
+               r.run.throughput);
+  std::fprintf(out,
+               "  governor: max_level=%s transitions=%" PRIu64 " gc_requests=%" PRIu64
+               " throttle_stalls=%" PRIu64 "\n",
+               PressureLevelName(static_cast<PressureLevel>(r.governor_max_level)),
+               r.governor_transitions, r.governor_gc_requests, r.throttle_stalls);
+  std::fprintf(out,
+               "  gc: cycles=%" PRIu64 " pauses=%" PRIu64 " total_pause=%.1fms "
+               "max_pause=%.2fms p99_pause=%.2fms recoverable_ooms=%" PRIu64 "%s\n",
+               r.run.gc_cycles, r.run.pause_count_alltime, r.run.TotalPauseMs(),
+               r.run.MaxPauseMs(), r.run.PausePercentileMs(99.0), r.run.recoverable_ooms,
+               r.run.pause_log_truncated ? " (ring truncated; all-time aggregates)" : "");
+  std::fprintf(out,
+               "  profiler: degraded_entries=%" PRIu64 " degraded_at_end=%d "
+               "decisions=%" PRIu64 "\n",
+               r.run.profiler_degraded_entries, r.run.profiler_degraded_at_end ? 1 : 0,
+               r.run.decisions_at_end);
+  auto print_window = [out](const char* label, const SloReporter::WindowStats& w) {
+    std::fprintf(out,
+                 "  lateness %-8s p50=%.2fms p95=%.2fms p99=%.2fms p99.9=%.2fms "
+                 "max=%.2fms (n=%" PRIu64 ")\n",
+                 label, w.p50_ms, w.p95_ms, w.p99_ms, w.p999_ms, w.max_ms, w.count);
+  };
+  print_window("1min", s.win_1min);
+  print_window("15min", s.win_15min);
+  print_window("alltime", s.alltime);
+  auto print_segment = [out](const char* label, const SloReporter::SegmentStats& g) {
+    std::fprintf(out,
+                 "  segment %-14s mean=%.3fms p99=%.2fms max=%.2fms (n=%" PRIu64 ")\n",
+                 label, g.mean_ms, g.p99_ms, g.max_ms, g.count);
+  };
+  print_segment("sched->enqueue", s.seg_sched_to_enqueue);
+  print_segment("queue-wait", s.seg_queue_wait);
+  print_segment("execute", s.seg_execute);
+  print_segment("respond", s.seg_respond);
+}
+
+}  // namespace rolp

@@ -53,6 +53,10 @@ const std::vector<FaultInjection::CatalogEntry>& FaultInjection::Catalog() {
       {"rolp.inference.implausible", "inference sees an implausible histogram"},
       {"rolp.inference.conflict", "inference flags a context conflict"},
       {"rolp.resolver.spurious_conflict", "conflict resolver reports a spurious conflict"},
+      {"service.queue.full", "service request queue reports itself full"},
+      {"service.admit.reject", "admission control rejects an admissible request"},
+      {"service.alloc.throttle", "allocation slow path pays a governor-style stall"},
+      {"service.arrival.burst", "open-loop generator schedules an arrival burst"},
   };
   return *catalog;
 }

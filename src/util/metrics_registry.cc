@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "src/util/env.h"
 #include "src/util/histogram.h"
 #include "src/util/log.h"
 
@@ -103,6 +104,19 @@ void AppendDouble(std::string* out, double v) {
   *out += buf;
 }
 
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names use
+// dotted namespaces; map every other character to '_' and prefix "rolp_".
+std::string PromName(const std::string& name) {
+  std::string out = "rolp_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
 void AppendHistJson(std::string* out, const HistogramSnapshot& h) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -141,6 +155,34 @@ std::string MetricsRegistry::ToJson() const {
     AppendHistJson(&out, h);
   }
   out += "}}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  Snapshot snap = Collect();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    std::string n = PromName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string n = PromName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    AppendDouble(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string n = PromName(name);
+    out += "# TYPE " + n + " summary\n";
+    const std::pair<const char*, uint64_t> quantiles[] = {
+        {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}, {"0.999", h.p999}};
+    for (const auto& [q, v] : quantiles) {
+      out += n + "{quantile=\"" + q + "\"} " + std::to_string(v) + "\n";
+    }
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
   return out;
 }
 
@@ -187,6 +229,21 @@ bool MetricsRegistry::WriteSnapshotFiles(const std::string& path) const {
   }
   WriteText(f);
   std::fclose(f);
+  if (EnvString("ROLP_METRICS_FORMAT", "") == "prom") {
+    std::string prom = ToPrometheus();
+    std::string prom_path = path + ".prom";
+    f = std::fopen(prom_path.c_str(), "w");
+    if (f == nullptr) {
+      ROLP_LOG_ERROR("metrics: cannot open %s for writing", prom_path.c_str());
+      return false;
+    }
+    written = std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+    if (written != prom.size()) {
+      ROLP_LOG_ERROR("metrics: short write to %s", prom_path.c_str());
+      return false;
+    }
+  }
   return true;
 }
 

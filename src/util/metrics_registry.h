@@ -88,8 +88,14 @@ class MetricsRegistry {
 
   std::string ToJson() const;
   void WriteText(std::FILE* out) const;
-  // JSON to `path` and the text table to `path`.txt; false (logged) on I/O
-  // failure.
+  // Prometheus text exposition format (version 0.0.4): counters as `counter`,
+  // gauges as `gauge`, histogram snapshots as `summary` (quantile series plus
+  // _count). Metric names are sanitized (dots/dashes -> underscores, `rolp_`
+  // prefix) so any Prometheus scraper/promtool accepts the payload.
+  std::string ToPrometheus() const;
+  // JSON to `path` and the text table to `path`.txt; additionally, when
+  // ROLP_METRICS_FORMAT=prom, the Prometheus exposition to `path`.prom.
+  // Returns false (logged) on I/O failure.
   bool WriteSnapshotFiles(const std::string& path) const;
 
   size_t num_counters() const;

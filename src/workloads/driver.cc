@@ -31,9 +31,17 @@ double PercentileMsOf(const std::vector<PauseRecord>& pauses, double p) {
   return ns / 1e6;
 }
 
-double RunResult::PausePercentileMs(double p) const { return PercentileMsOf(pauses, p); }
+double RunResult::PausePercentileMs(double p) const {
+  if (pause_log_truncated) {
+    return static_cast<double>(pause_hist.Percentile(p)) / 1e6;
+  }
+  return PercentileMsOf(pauses, p);
+}
 
 double RunResult::MaxPauseMs() const {
+  if (pause_log_truncated) {
+    return static_cast<double>(max_pause_ns_alltime) / 1e6;
+  }
   uint64_t max_ns = 0;
   for (const auto& rec : pauses) {
     max_ns = std::max(max_ns, rec.duration_ns);
@@ -42,6 +50,9 @@ double RunResult::MaxPauseMs() const {
 }
 
 double RunResult::TotalPauseMs() const {
+  if (pause_log_truncated) {
+    return static_cast<double>(total_pause_ns_alltime) / 1e6;
+  }
   uint64_t total = 0;
   for (const auto& rec : pauses) {
     total += rec.duration_ns;
@@ -124,16 +135,32 @@ RunResult RunWorkload(const VmConfig& vm_config, Workload& workload,
     result.throughput = static_cast<double>(result.ops) / result.measured_s;
   }
 
-  result.all_pauses = vm.collector().metrics().Pauses();
+  CollectVmStats(vm, warmup_end_ns, &result);
+
+  workload.Teardown();
+  return result;
+}
+
+void CollectVmStats(VM& vm, uint64_t warmup_end_ns, RunResult* out) {
+  RunResult& result = *out;
+  GcMetrics& gm = vm.collector().metrics();
+  result.all_pauses = gm.Pauses();
   for (const auto& rec : result.all_pauses) {
     if (rec.start_ns >= warmup_end_ns) {
       result.pauses.push_back(rec);
     }
   }
+  // Exact all-time aggregates: the record vectors above are bounded by the
+  // pause-log ring and lose history on long runs.
+  result.pause_count_alltime = gm.PauseCount();
+  result.total_pause_ns_alltime = gm.TotalPauseNs();
+  result.max_pause_ns_alltime = gm.MaxPauseNs();
+  result.pause_hist = gm.PauseHistogramSnapshot();
+  result.pause_log_truncated = result.pause_count_alltime > result.all_pauses.size();
   result.max_used_bytes = vm.heap().max_used_bytes();
   result.total_allocated_bytes = vm.heap().total_allocated_bytes();
-  result.gc_cycles = vm.collector().metrics().GcCycles();
-  result.bytes_copied = vm.collector().metrics().BytesCopied();
+  result.gc_cycles = gm.GcCycles();
+  result.bytes_copied = gm.BytesCopied();
 
   JitEngine& jit = vm.jit();
   result.total_alloc_sites = jit.num_alloc_sites();
@@ -174,9 +201,6 @@ RunResult RunWorkload(const VmConfig& vm_config, Workload& workload,
         vm.collector().watchdog()->stats().phases_cancelled;
   }
   result.fault_fires = FaultInjection::Instance().TotalFires();
-
-  workload.Teardown();
-  return result;
 }
 
 }  // namespace rolp

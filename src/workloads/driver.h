@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/histogram.h"
 #include "src/workloads/workload.h"
 
 namespace rolp {
@@ -32,6 +33,17 @@ struct RunResult {
   std::vector<PauseRecord> pauses;      // post-warmup
   std::vector<PauseRecord> all_pauses;  // full run (warmup analysis, Fig. 10)
   uint64_t run_start_ns = 0;
+
+  // Exact all-time pause aggregates from GcMetrics. The per-record vectors
+  // above come from a ring bounded by ROLP_PAUSE_LOG_CAP: on a long service
+  // run they silently hold only the most recent window, so every long-run
+  // pause report must be built from these instead. pause_log_truncated flags
+  // when the two views diverge.
+  uint64_t pause_count_alltime = 0;
+  uint64_t total_pause_ns_alltime = 0;
+  uint64_t max_pause_ns_alltime = 0;
+  LogHistogram pause_hist;           // all-time, log-bucketed (~3% rel. error)
+  bool pause_log_truncated = false;  // ring overflowed; all_pauses is partial
 
   uint64_t max_used_bytes = 0;
   uint64_t total_allocated_bytes = 0;
@@ -75,11 +87,20 @@ struct RunResult {
   uint64_t watchdog_phases_cancelled = 0;
   uint64_t fault_fires = 0;
 
-  // Exact percentile (ms) over post-warmup pause records.
+  // Pause percentile / max / total in ms. Exact over the post-warmup records
+  // while the ring held every pause; once the ring has overflowed
+  // (pause_log_truncated) they switch to the all-time aggregates — max and
+  // total stay exact, the percentile comes from the log histogram and covers
+  // the whole run including warmup.
   double PausePercentileMs(double p) const;
   double MaxPauseMs() const;
   double TotalPauseMs() const;
 };
+
+// Fills the VM-derived half of a RunResult (pauses, heap/GC counters,
+// profiling summary, robustness + verification counters). Shared between the
+// closed-loop bench driver and the open-loop service harness.
+void CollectVmStats(VM& vm, uint64_t warmup_end_ns, RunResult* result);
 
 // Runs `workload` under the given VM configuration. The workload object is
 // single-use (Setup is called once).

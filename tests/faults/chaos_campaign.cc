@@ -13,17 +13,26 @@
 //   quarantined        verification quarantined at least one region
 //   watchdog-fallback  the GC watchdog cancelled phases / verify passes
 //   degraded           the profiler entered degraded mode
+//   overloaded         (--service only) the harness shed/throttled/rejected
+//                      load but met its SLO verdict — overload handled, not
+//                      a fault escape
 //   recovered          faults fired (or refs were healed) with no lasting effect
 //   clean              nothing fired, nothing found
+//
+// --service swaps the closed-loop driver for the open-loop service harness
+// (admission control, bounded queue, heap-pressure governor), so the campaign
+// can inject service.* faults and classify the outcome overload-aware.
 //
 // "replay_spec" is always a ROLP_FAULTS-equivalent spec that reproduces the
 // exact firing sequence without the chaos engine; "minimized_spec" keeps only
 // the entries whose points actually fired. scripts/chaos.py shrinks further.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/service/open_loop.h"
 #include "src/util/fault_injection.h"
 #include "src/workloads/driver.h"
 #include "src/workloads/graph.h"
@@ -45,6 +54,7 @@ struct Args {
   size_t heap_mb = 64;
   bool print_spec = false;
   bool list_points = false;
+  bool service = false;  // open-loop harness instead of the bench driver
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -81,6 +91,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->print_spec = true;
     } else if (arg == "--list-points") {
       out->list_points = true;
+    } else if (arg == "--service") {
+      out->service = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -89,7 +101,7 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   return true;
 }
 
-const char* Classify(const rolp::RunResult& r) {
+const char* Classify(const rolp::RunResult& r, const rolp::ServiceResult* svc) {
   if (r.quarantined_regions > 0) {
     return "quarantined";
   }
@@ -98,6 +110,14 @@ const char* Classify(const rolp::RunResult& r) {
   }
   if (r.profiler_degraded_entries > 0 || r.heap_corruption_reports > 0) {
     return "degraded";
+  }
+  // Overload handled by design (shed/throttle/reject with the SLO verdict
+  // still green) outranks "recovered": load was refused, not faults absorbed.
+  if (svc != nullptr && svc->slo_pass &&
+      (svc->shed_queue_full + svc->shed_deadline + svc->rejected +
+           svc->throttle_stalls >
+       0)) {
+    return "overloaded";
   }
   if (r.fault_fires > 0 || r.verify_findings > 0 || r.verify_refs_healed > 0 ||
       r.verify_refs_nulled > 0 || r.recoverable_ooms > 0) {
@@ -178,10 +198,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  rolp::DriverOptions opts;
-  opts.threads = args.threads;
-  opts.duration_s = args.seconds;
-  rolp::RunResult result = rolp::RunWorkload(cfg, *workload, opts);
+  rolp::RunResult result;
+  rolp::ServiceResult service_result;
+  bool have_service = false;
+  if (args.service) {
+    rolp::ServiceOptions sopt = rolp::ServiceOptions::FromEnv();
+    sopt.workers = args.threads;
+    sopt.duration_s = args.seconds;
+    sopt.seed = args.seed;
+    sopt.calibrate_s = std::min(sopt.calibrate_s, args.seconds / 2.0);
+    sopt.drain_grace_s = std::min(sopt.drain_grace_s, 1.0);
+    service_result = rolp::RunService(cfg, *workload, sopt);
+    result = service_result.run;
+    have_service = true;
+  } else {
+    rolp::DriverOptions opts;
+    opts.threads = args.threads;
+    opts.duration_s = args.seconds;
+    result = rolp::RunWorkload(cfg, *workload, opts);
+  }
 
   // Minimized spec: the replay entries whose points actually fired. Replaying
   // only these (same per-point seeds) reproduces every injected failure this
@@ -210,6 +245,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Service-mode extras: shed/admission/governor activity plus the SLO
+  // verdict bit, so scripts/chaos.py can triage overload runs without
+  // re-parsing the SLO_VERDICT line.
+  std::string service_json;
+  if (have_service) {
+    char sbuf[256];
+    std::snprintf(sbuf, sizeof(sbuf),
+                  ",\"service\":{\"offered\":%llu,\"rejected\":%llu,"
+                  "\"shed\":%llu,\"throttle_stalls\":%llu,"
+                  "\"governor_max_level\":%llu,\"slo_pass\":%s,\"survived\":%s}",
+                  (unsigned long long)service_result.offered,
+                  (unsigned long long)service_result.rejected,
+                  (unsigned long long)(service_result.shed_queue_full +
+                                       service_result.shed_deadline +
+                                       service_result.shed_drain),
+                  (unsigned long long)service_result.throttle_stalls,
+                  (unsigned long long)service_result.governor_max_level,
+                  service_result.slo_pass ? "true" : "false",
+                  service_result.survived ? "true" : "false");
+    service_json = sbuf;
+  }
+
   // One machine-readable line; the process exiting normally with this line
   // present is what separates every recoverable outcome from a crash.
   std::printf(
@@ -219,9 +276,10 @@ int main(int argc, char** argv) {
       "\"refs_healed\":%llu,\"refs_nulled\":%llu,\"passes_cancelled\":%llu,"
       "\"quarantined_regions\":%llu,\"degraded_entries\":%llu,"
       "\"heap_corruption_reports\":%llu,\"watchdog_cancelled\":%llu,"
-      "\"recoverable_ooms\":%llu,\"replay_spec\":\"%s\","
+      "\"recoverable_ooms\":%llu%s,\"replay_spec\":\"%s\","
       "\"minimized_spec\":\"%s\"}\n",
-      result.workload.c_str(), result.collector.c_str(), Classify(result),
+      result.workload.c_str(), result.collector.c_str(),
+      Classify(result, have_service ? &service_result : nullptr),
       (unsigned long long)args.seed, args.rate, (unsigned long long)result.ops,
       (unsigned long long)result.gc_cycles, (unsigned long long)result.fault_fires,
       (unsigned long long)result.verify_passes,
@@ -233,7 +291,7 @@ int main(int argc, char** argv) {
       (unsigned long long)result.profiler_degraded_entries,
       (unsigned long long)result.heap_corruption_reports,
       (unsigned long long)result.watchdog_phases_cancelled,
-      (unsigned long long)result.recoverable_ooms, replay_spec.c_str(),
-      minimized.c_str());
+      (unsigned long long)result.recoverable_ooms, service_json.c_str(),
+      replay_spec.c_str(), minimized.c_str());
   return 0;
 }

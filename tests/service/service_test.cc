@@ -1,0 +1,257 @@
+// Deterministic tests for the open-loop service harness building blocks
+// (admission decisions, retry budgets and backoff, SLO window rotation and
+// verdicts) plus a short real overload run: 2x-style over-capacity arrivals
+// into a small VM must shed/reject load and finish without aborting.
+#include <gtest/gtest.h>
+
+#include "src/rolp/profiler.h"
+#include "src/service/admission.h"
+#include "src/service/open_loop.h"
+#include "src/service/slo_reporter.h"
+#include "src/workloads/kvstore.h"
+
+namespace rolp {
+namespace {
+
+constexpr uint64_t kMs = 1000ull * 1000;
+constexpr uint64_t kSec = 1000ull * kMs;
+
+TEST(AdmissionControllerTest, AdmitsWhenDeadlineIsMeetable) {
+  AdmissionConfig cfg;
+  cfg.init_service_us = 200.0;  // ewma seeds at 200us
+  AdmissionController ac(cfg);
+  uint64_t now = 10 * kSec;
+  // Empty queue, 200ms of headroom: trivially admissible.
+  EXPECT_TRUE(ac.Admit(/*queue_depth=*/0, now, now + 200 * kMs));
+  // 100 queued * 200us = 20ms expected wait, deadline 200ms away: still fine.
+  EXPECT_TRUE(ac.Admit(/*queue_depth=*/100, now, now + 200 * kMs));
+  EXPECT_EQ(ac.admitted(), 2u);
+  EXPECT_EQ(ac.rejected(), 0u);
+}
+
+TEST(AdmissionControllerTest, RejectsWhenQueueMakesDeadlineUnmeetable) {
+  AdmissionConfig cfg;
+  cfg.init_service_us = 200.0;
+  AdmissionController ac(cfg);
+  uint64_t now = 10 * kSec;
+  // 2000 queued * 200us = 400ms expected wait against a 200ms deadline.
+  EXPECT_FALSE(ac.Admit(/*queue_depth=*/2000, now, now + 200 * kMs));
+  // A deadline already in the past is rejected even with an empty queue...
+  EXPECT_FALSE(ac.Admit(/*queue_depth=*/0, now, now - 1));
+  // ...but exactly-at-deadline still squeaks in (start <= deadline).
+  EXPECT_TRUE(ac.Admit(/*queue_depth=*/0, now, now));
+  EXPECT_EQ(ac.rejected(), 2u);
+}
+
+TEST(AdmissionControllerTest, EwmaTracksObservedServiceTime) {
+  AdmissionConfig cfg;
+  cfg.init_service_us = 200.0;
+  AdmissionController ac(cfg);
+  uint64_t seed = ac.ewma_service_ns();
+  EXPECT_EQ(seed, 200u * 1000);
+  // Feed consistently slower executions; the EWMA must climb toward them.
+  for (int i = 0; i < 64; i++) {
+    ac.ObserveService(2 * kMs);
+  }
+  EXPECT_GT(ac.ewma_service_ns(), kMs);
+  EXPECT_LE(ac.ewma_service_ns(), 2 * kMs + seed);
+  // And admission now prices the queue with the new estimate: 200 queued at
+  // ~2ms each cannot make a 200ms deadline.
+  uint64_t now = 10 * kSec;
+  EXPECT_FALSE(ac.Admit(/*queue_depth=*/200, now, now + 200 * kMs));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryPolicy p;
+  p.base_backoff_ms = 10;
+  p.max_backoff_ms = 200;
+  p.jitter = 0.5;
+  uint64_t rng = 42;
+  for (uint32_t attempt = 1; attempt <= 8; attempt++) {
+    uint64_t nominal_ms = std::min(p.base_backoff_ms << (attempt - 1), p.max_backoff_ms);
+    uint64_t nominal_ns = nominal_ms * kMs;
+    for (int i = 0; i < 32; i++) {
+      uint64_t b = p.BackoffNs(attempt, &rng);
+      // Full jitter over half the backoff: [nominal/2, nominal).
+      EXPECT_GE(b, nominal_ns / 2) << "attempt " << attempt;
+      EXPECT_LT(b, nominal_ns + 1) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicPerRngStream) {
+  RetryPolicy p;
+  uint64_t rng_a = 7;
+  uint64_t rng_b = 7;
+  for (uint32_t attempt = 1; attempt <= 4; attempt++) {
+    EXPECT_EQ(p.BackoffNs(attempt, &rng_a), p.BackoffNs(attempt, &rng_b));
+  }
+}
+
+TEST(RetryBudgetTest, TokensAccrueAtRatioAndCapAtBurst) {
+  RetryBudget budget(/*ratio=*/0.5, /*burst=*/3.0);
+  // No traffic yet: no retries.
+  EXPECT_FALSE(budget.TryAcquire());
+  // Two requests deposit exactly one token.
+  budget.OnRequest();
+  budget.OnRequest();
+  EXPECT_TRUE(budget.TryAcquire());
+  EXPECT_FALSE(budget.TryAcquire());
+  // Heavy traffic cannot bank more than `burst` retries.
+  for (int i = 0; i < 1000; i++) {
+    budget.OnRequest();
+  }
+  int granted = 0;
+  while (budget.TryAcquire()) {
+    granted++;
+  }
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(budget.granted(), 4u);
+  EXPECT_GE(budget.denied(), 2u);
+}
+
+RequestTimeline AtTime(uint64_t id, uint64_t scheduled_ns, uint64_t respond_ns) {
+  RequestTimeline t;
+  t.id = id;
+  t.scheduled_ns = scheduled_ns;
+  t.enqueue_ns = scheduled_ns;
+  t.dequeue_ns = respond_ns;
+  t.execute_ns = respond_ns;
+  t.respond_ns = respond_ns;
+  return t;
+}
+
+TEST(SloReporterTest, WindowsRotateOutOldSamplesButAlltimeKeepsThem) {
+  SloReporter rep(/*epoch_ns=*/0);
+  // 100 requests responding at t=1s, each 5ms late.
+  for (uint64_t i = 0; i < 100; i++) {
+    rep.Record(AtTime(i, 1 * kSec, 1 * kSec + 5 * kMs), RequestOutcome::kOk);
+  }
+  SloReporter::Snapshot s = rep.Collect(/*now_ns=*/2 * kSec);
+  EXPECT_EQ(s.win_1min.count, 100u);
+  EXPECT_EQ(s.alltime.count, 100u);
+  EXPECT_NEAR(s.win_1min.p50_ms, 5.0, 1.0);
+  // 90 seconds later the 1-minute ring has rotated those slots out; the
+  // 15-minute ring and the all-time distribution still hold them.
+  s = rep.Collect(/*now_ns=*/92 * kSec);
+  EXPECT_EQ(s.win_1min.count, 0u);
+  EXPECT_EQ(s.win_15min.count, 100u);
+  EXPECT_EQ(s.alltime.count, 100u);
+}
+
+TEST(SloReporterTest, CountsOutcomesAndErrorRate) {
+  SloReporter rep(0);
+  rep.Record(AtTime(1, kSec, kSec + kMs), RequestOutcome::kOk);
+  rep.Record(AtTime(2, kSec, kSec + kMs), RequestOutcome::kDeadlineMiss);
+  rep.Record(AtTime(3, kSec, kSec + kMs), RequestOutcome::kRejected);
+  rep.Record(AtTime(4, kSec, kSec + kMs), RequestOutcome::kShed);
+  rep.CountRetry();
+  SloReporter::Snapshot s = rep.Collect(2 * kSec);
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_EQ(s.ok, 1u);
+  EXPECT_EQ(s.deadline_miss, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.shed, 1u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_NEAR(s.error_rate, 0.5, 1e-9);
+}
+
+TEST(SloReporterTest, VerdictGatesOnLatenessThresholdsAndSurvival) {
+  SloThresholds th;
+  th.p50_ms = 400.0;
+  th.p95_ms = 600.0;
+  th.p99_ms = 800.0;
+  th.p999_ms = 1500.0;
+  th.max_error_rate = 0.95;
+  {
+    SloReporter rep(0);
+    for (uint64_t i = 0; i < 100; i++) {
+      rep.Record(AtTime(i, kSec, kSec + 5 * kMs), RequestOutcome::kOk);
+    }
+    SloReporter::Verdict v = rep.Evaluate("rolp", th, /*survived=*/true, 2 * kSec);
+    EXPECT_TRUE(v.pass);
+    EXPECT_NE(v.json.find("\"pass\":true"), std::string::npos);
+    EXPECT_NE(v.json.find("\"collector\":\"rolp\""), std::string::npos);
+    // A dead process can't pass no matter how good the numbers were.
+    EXPECT_FALSE(rep.Evaluate("rolp", th, /*survived=*/false, 2 * kSec).pass);
+  }
+  {
+    // 2.5s lateness blows the p50 threshold -> fail.
+    SloReporter rep(0);
+    for (uint64_t i = 0; i < 100; i++) {
+      rep.Record(AtTime(i, kSec, kSec + 2500 * kMs), RequestOutcome::kOk);
+    }
+    SloReporter::Verdict v = rep.Evaluate("rolp", th, /*survived=*/true, 2 * kSec);
+    EXPECT_FALSE(v.pass);
+    EXPECT_NE(v.json.find("\"p50\":false"), std::string::npos);
+  }
+}
+
+TEST(ProfilerHeapPressureTest, DegradesUnderPressureAndReArmsOnlyAfterItClears) {
+  // The governor's kDegrade rung: OnHeapPressure(true) suspends the profiler
+  // immediately; re-arm goes through the normal quiet-cycle machinery and is
+  // blocked for as long as the pressure flag stays up.
+  RolpConfig cfg;
+  cfg.old_table_entries = 4096;
+  cfg.inference_period = 4;
+  cfg.rearm_clean_cycles = 2;
+  Profiler p(cfg);
+  EXPECT_FALSE(p.degraded());
+  p.OnHeapPressure(true);
+  EXPECT_TRUE(p.degraded());
+  // Arbitrarily many otherwise-quiet cycles cannot re-arm under pressure.
+  uint64_t cycle = 1;
+  for (int i = 0; i < 10; i++) {
+    p.OnGcEnd({cycle++, 1000, PauseKind::kYoung});
+  }
+  EXPECT_TRUE(p.degraded());
+  // Pressure clears: still degraded until the quiet-cycle count is met...
+  p.OnHeapPressure(false);
+  EXPECT_TRUE(p.degraded());
+  p.OnGcEnd({cycle++, 1000, PauseKind::kYoung});
+  EXPECT_TRUE(p.degraded());
+  // ...then the configured clean cycles re-arm it.
+  p.OnGcEnd({cycle++, 1000, PauseKind::kYoung});
+  EXPECT_FALSE(p.degraded());
+  // And renewed pressure degrades again — the cycle is repeatable.
+  p.OnHeapPressure(true);
+  EXPECT_TRUE(p.degraded());
+}
+
+TEST(OpenLoopServiceTest, OverloadRunShedsWithoutAborting) {
+  // Arrivals far beyond what one worker can execute on a small heap: the
+  // harness must reject/shed the excess, keep every counter consistent, and
+  // reach the end alive. This is the unit-sized version of the CI soak.
+  VmConfig cfg;
+  cfg.heap_mb = 48;
+  cfg.gc = GcKind::kRolp;
+  KvStoreOptions kv;
+  kv.num_keys = 8000;
+  kv.memtable_flush_rows = 1000;
+  KvStoreWorkload workload(kv);
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.duration_s = 1.5;
+  opt.rate_rps = 60000.0;  // >> single-worker capacity: guaranteed overload
+  opt.calibrate_s = 0.0;
+  opt.drain_grace_s = 0.3;
+  opt.admission.queue_capacity = 128;
+  opt.admission.deadline_ms = 50;
+  ServiceResult r = RunService(cfg, workload, opt);
+
+  EXPECT_TRUE(r.survived);
+  EXPECT_GT(r.offered, 10000u);
+  EXPECT_GT(r.completed_ok, 0u);
+  // Overload must be refused somewhere: admission, queue, or deadline sheds.
+  EXPECT_GT(r.rejected + r.shed_queue_full + r.shed_deadline, 0u);
+  // Every offered request terminates exactly once.
+  EXPECT_EQ(r.offered, r.completed_ok + r.deadline_miss + r.rejected +
+                           r.shed_queue_full + r.shed_deadline + r.shed_drain);
+  // The reporter saw the same totals the counters did.
+  EXPECT_EQ(r.slo.total, r.offered);
+  EXPECT_GT(r.slo.alltime.count, 0u);
+  EXPECT_FALSE(r.verdict_json.empty());
+}
+
+}  // namespace
+}  // namespace rolp

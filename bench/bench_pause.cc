@@ -37,7 +37,7 @@ constexpr uint32_t kContexts = 256;
 
 class PauseBenchEnv {
  public:
-  explicit PauseBenchEnv(uint32_t workers) {
+  explicit PauseBenchEnv(uint32_t workers, bool concurrent_evac = false) {
     HeapConfig hc;
     hc.heap_bytes = kHeapMb * 1024 * 1024;
     hc.region_bytes = kRegionBytes;
@@ -48,6 +48,7 @@ class PauseBenchEnv {
     GcConfig gc;
     gc.num_workers = workers;
     gc.use_dynamic_gens = true;
+    gc.concurrent_evac = concurrent_evac;
     // One past the mark word's maximum age: survivors never tenure, so every
     // iteration re-copies the same live set (steady-state copy load).
     gc.tenuring_threshold = 16;
@@ -66,6 +67,7 @@ class PauseBenchEnv {
     // Warmup pause so the measured iterations start from the steady state
     // (survivor regions exist, remsets are established).
     collector_->CollectNow(&ctx_);
+    collector_->WaitForConcurrentCycle(&ctx_);
     RefillYoungReferents();
   }
 
@@ -80,6 +82,25 @@ class PauseBenchEnv {
     collector_->CollectNow(&ctx_);
     uint64_t t1 = NowNs();
     return static_cast<double>(t1 - t0) * 1e-9;
+  }
+
+  // One full collection cycle, timed by summed STW pause time as recorded in
+  // the metrics (arming pause + remap pause for a concurrent cycle; the one
+  // pause for the STW path). Waits out the concurrent window so successive
+  // iterations do not overlap. Tracks the largest single pause seen.
+  double TimedStwCollect(uint64_t* max_stw_ns) {
+    size_t before = collector_->metrics().Pauses().size();
+    collector_->CollectNow(&ctx_);
+    collector_->WaitForConcurrentCycle(&ctx_);
+    auto pauses = collector_->metrics().Pauses();
+    uint64_t stw = 0;
+    for (size_t i = before; i < pauses.size(); i++) {
+      stw += pauses[i].duration_ns;
+      if (pauses[i].duration_ns > *max_stw_ns) {
+        *max_stw_ns = pauses[i].duration_ns;
+      }
+    }
+    return static_cast<double>(stw) * 1e-9;
   }
 
   void RefillYoungReferents() {
@@ -191,6 +212,35 @@ BENCHMARK(BM_PauseYoungSkewedRemset)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(16);
+
+// Concurrent evacuation (DESIGN.md section 14): same skewed-remset live set
+// as BM_PauseYoungSkewedRemset, timed by summed STW time per cycle. arg 0 =
+// classic STW evacuation, arg 1 = ROLP_CONCURRENT_EVAC (copying off-pause;
+// STW shrinks to the arming root-scan plus the final remap). max_stw_ms is
+// the acceptance number — the worst single pause a mutator can observe —
+// and the CPU counters show where the copying work went.
+void BM_PauseConcurrentEvac(benchmark::State& state) {
+  PauseBenchEnv env(/*workers=*/2, /*concurrent_evac=*/state.range(0) != 0);
+  uint64_t max_stw_ns = 0;
+  for (auto _ : state) {
+    state.SetIterationTime(env.TimedStwCollect(&max_stw_ns));
+    env.RefillYoungReferents();
+  }
+  state.counters["full_gcs"] = static_cast<double>(env.FullPauses());
+  state.counters["max_stw_ms"] = static_cast<double>(max_stw_ns) * 1e-6;
+  const GcMetrics& m = env.collector().metrics();
+  double iters = static_cast<double>(state.iterations());
+  state.counters["evac_cpu_us"] =
+      static_cast<double>(m.EvacCpuNs()) * 1e-3 / iters;
+  state.counters["remap_cpu_us"] =
+      static_cast<double>(m.RemapCpuNs()) * 1e-3 / iters;
+}
+BENCHMARK(BM_PauseConcurrentEvac)
+    ->Arg(0)
+    ->Arg(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(16);

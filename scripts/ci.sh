@@ -51,12 +51,13 @@ if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
   fi
   if [ -f BENCH_pause.json ] && [ -x build/bench/bench_pause ]; then
     build/bench/bench_pause \
-      --benchmark_filter='BM_ProfilerGcEndInference|BM_VerifyPauseOverhead' \
+      --benchmark_filter='BM_ProfilerGcEndInference|BM_VerifyPauseOverhead|BM_PauseConcurrentEvac' \
       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
       --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_pause.json >/dev/null
     python3 scripts/check_bench_regression.py BENCH_pause.json /tmp/ci_bench_pause.json \
       --threshold 0.25 --require 'BM_ProfilerGcEndInference' \
-      --require 'BM_VerifyPauseOverhead'
+      --require 'BM_VerifyPauseOverhead' \
+      --require 'BM_PauseConcurrentEvac'
   fi
 fi
 
@@ -119,6 +120,21 @@ if [ "${ROLP_CHAOS_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
   # rather than by seed so it cannot rotate out of coverage.
   build/tests/chaos_campaign --seconds=1 --sample=1 \
     --faults='heap.remset.drop=every:64' \
+    | tail -1 | grep -q '^CHAOS_RESULT '
+  # Concurrent-evacuation chaos leg: same campaign with ROLP_CONCURRENT_EVAC
+  # on so the gc.concurrent_evac.* points arm and fire while the load barrier
+  # is hot (copy stalls, mutator copy failures, mid-flight cancellation). The
+  # rare-hit points need a higher rate than the broad sweep to fire within
+  # the smoke window.
+  ROLP_CONCURRENT_EVAC=on python3 scripts/chaos.py \
+    --seeds "$CHAOS_SEEDS" --seconds "$CHAOS_SECONDS" \
+    --rate 0.05 --points 'gc.concurrent_evac.*' --verify pause --sample 1 \
+    --out /tmp/ci_chaos_concurrent_report.json
+  # Pinned replay of the cancellation ladder: cancel the second concurrent
+  # window mid-flight; the cycle must finish STW via the full-collection
+  # fallback with no lost objects.
+  ROLP_CONCURRENT_EVAC=on build/tests/chaos_campaign --seconds=1 --sample=1 \
+    --faults='gc.concurrent_evac.cancel=once:2' \
     | tail -1 | grep -q '^CHAOS_RESULT '
 fi
 

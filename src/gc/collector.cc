@@ -130,4 +130,20 @@ void Collector::ScrubRetiredEvacFailure(Region* region) {
   region->set_live_bytes(live);
 }
 
+size_t Collector::ScrubDeadObjects(Region* region, const MarkBitmap& bitmap) {
+  size_t scrubbed = 0;
+  region->ForEachObject([&](Object* obj) {
+    if (obj->class_id == kFreeBlockClassId || bitmap.IsMarked(obj)) {
+      return;
+    }
+    obj->StoreMark(0);
+    obj->class_id = kFreeBlockClassId;
+    scrubbed += obj->size_bytes;
+  });
+  if (scrubbed > 0) {
+    MetricsRegistry::Instance().Counter("gc.scrubbed_bytes")->Add(scrubbed);
+  }
+  return scrubbed;
+}
+
 }  // namespace rolp

@@ -131,6 +131,18 @@ class Collector {
   // indistinguishable from a normal old region.
   void ScrubRetiredEvacFailure(Region* region);
 
+  // Region scrubbing (G1-style, post-remark): overwrite every unmarked object
+  // in a tenured region with a free-block header. Precise (marks-trusted)
+  // collections skip dead objects when scanning remset sources, so dead
+  // objects keep whatever references they held when they died — stale edges
+  // into regions the cycle frees. Nothing live ever reads those slots, but
+  // the conservative heap walk does, and conservative young scans would
+  // resurrect their referents. Scrubbing removes the stale slots from the
+  // parsable heap. Safe to run concurrently with mutators: unmarked objects
+  // are unreachable, and region iteration reads only size_bytes, which
+  // scrubbing never changes. Returns the number of bytes scrubbed.
+  size_t ScrubDeadObjects(Region* region, const MarkBitmap& bitmap);
+
   // Records every cross-region edge held by `region`'s objects in the
   // targets' remsets. Needed when a young region is retired in place (pinned
   // by quarantine): its outgoing edges were recorded under young-source rules

@@ -38,6 +38,12 @@ struct GcConfig {
   // NG2C: enable the 14 dynamic generations (paper section 7.1).
   bool use_dynamic_gens = false;
 
+  // Regional collector: copy the collection set concurrently with the
+  // mutators (ZGC-style load barrier with reference healing), leaving only
+  // root scan + cset selection and a short final remap/retire pause STW
+  // (ROLP_CONCURRENT_EVAC; off = the classic fully-STW evacuation pause).
+  bool concurrent_evac = false;
+
   // CMS: start a concurrent mark-sweep cycle at this tenured occupancy.
   double cms_trigger_occupancy = 0.55;
   // CMS: concurrent work performed per byte allocated (pacing).

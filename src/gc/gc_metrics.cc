@@ -22,6 +22,8 @@ const char* PauseKindName(PauseKind kind) {
       return "z-remark";
     case PauseKind::kZRelocateStart:
       return "z-relocate-start";
+    case PauseKind::kRemap:
+      return "remap";
   }
   return "?";
 }
@@ -135,6 +137,9 @@ void GcMetrics::Reset() {
   pause_evac_ns_.store(0, std::memory_order_relaxed);
   pause_profiler_ns_.store(0, std::memory_order_relaxed);
   pause_verify_ns_.store(0, std::memory_order_relaxed);
+  pause_remap_ns_.store(0, std::memory_order_relaxed);
+  evac_cpu_ns_.store(0, std::memory_order_relaxed);
+  remap_cpu_ns_.store(0, std::memory_order_relaxed);
   for (uint32_t w = 0; w < kMaxTrackedWorkers; w++) {
     worker_copied_bytes_[w].store(0, std::memory_order_relaxed);
   }

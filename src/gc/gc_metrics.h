@@ -22,6 +22,10 @@ enum class PauseKind : uint8_t {
   kZMark,
   kZRemark,
   kZRelocateStart,
+  // Regional concurrent evacuation (ROLP_CONCURRENT_EVAC): the short final
+  // handshake that drains leftover heals, retires/frees the collection set,
+  // and disarms the load barrier.
+  kRemap,
 };
 
 const char* PauseKindName(PauseKind kind);
@@ -98,6 +102,16 @@ class GcMetrics {
     return pause_profiler_ns_.load(std::memory_order_relaxed);
   }
   uint64_t PauseVerifyNs() const { return pause_verify_ns_.load(std::memory_order_relaxed); }
+  // Concurrent-evacuation breakdown: wall time of the final remap/retire
+  // pause, plus CPU time (CLOCK_THREAD_CPUTIME_ID deltas summed over the
+  // copy workers / pause thread). CPU counters make the cost attributable
+  // even on 1-CPU bench boxes where wall-clock parallel scaling is invisible.
+  void AddPauseRemapNs(uint64_t n) { pause_remap_ns_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t PauseRemapNs() const { return pause_remap_ns_.load(std::memory_order_relaxed); }
+  void AddEvacCpuNs(uint64_t n) { evac_cpu_ns_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t EvacCpuNs() const { return evac_cpu_ns_.load(std::memory_order_relaxed); }
+  void AddRemapCpuNs(uint64_t n) { remap_cpu_ns_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t RemapCpuNs() const { return remap_cpu_ns_.load(std::memory_order_relaxed); }
 
   // Per-worker evacuation copy volume: the work-balance signal. With static
   // striding one worker can absorb a dense remset region (max share -> ~1.0);
@@ -136,6 +150,9 @@ class GcMetrics {
   std::atomic<uint64_t> pause_evac_ns_{0};
   std::atomic<uint64_t> pause_profiler_ns_{0};
   std::atomic<uint64_t> pause_verify_ns_{0};
+  std::atomic<uint64_t> pause_remap_ns_{0};
+  std::atomic<uint64_t> evac_cpu_ns_{0};
+  std::atomic<uint64_t> remap_cpu_ns_{0};
   std::atomic<uint64_t> worker_copied_bytes_[kMaxTrackedWorkers] = {};
 };
 

@@ -20,11 +20,45 @@ namespace {
 constexpr int kMaxAllocationAttempts = 16;
 }  // namespace
 
+// Everything one concurrent evacuation cycle owns, alive from the arming
+// pause to the end of the final remap pause. Mutators reach it through
+// HealSlot; the pointer itself only changes inside pauses, so no lock guards
+// it (a mutator cannot be mid-heal across a pause — there is no safepoint
+// poll inside the load barrier).
+struct RegionalCollector::ConcurrentCycle {
+  ConcurrentCycle(Heap* heap, const GcConfig* config, ProfilerHooks* profiler,
+                  bool survivor_tracking, uint32_t num_workers)
+      : task(heap, config, profiler, survivor_tracking, &cancel), pool(num_workers) {
+    task.set_concurrent(true);
+    task.set_pool(&pool);
+    eworkers.reserve(num_workers);
+    for (uint32_t w = 0; w < num_workers; w++) {
+      eworkers.push_back(task.MakeWorker(w));
+    }
+  }
+
+  CancellationToken cancel;  // must precede task (task holds a pointer to it)
+  EvacuationTask task;
+  WorkStealingPool<Object*> pool;
+  std::vector<EvacuationTask::Worker> eworkers;
+  std::vector<Region*> cset;
+  std::vector<Region*> remset_sources;
+  std::vector<Region*> scrub_list;
+  bool mixed = false;
+  bool trust_marks = false;
+  std::atomic<size_t> unit_cursor{0};
+};
+
 RegionalCollector::RegionalCollector(Heap* heap, const GcConfig& config,
                                      SafepointManager* safepoints)
     : Collector(heap, config, safepoints),
       dynamic_gens_(config.use_dynamic_gens),
       bitmap_(heap->regions().heap_base(), heap->regions().committed_bytes()) {
+  if (config.concurrent_evac) {
+    // Installed before mutators start; loads stay on the fast path until a
+    // cycle arms (needs_load_barrier() is false while disarmed).
+    heap->SetBarrierSet(std::make_unique<RegionalBarrierSet>(&heap->regions(), this));
+  }
   size_t total = heap->regions().num_regions();
   eden_target_ = config_.young_regions != 0
                      ? config_.young_regions
@@ -35,6 +69,15 @@ RegionalCollector::RegionalCollector(Heap* heap, const GcConfig& config,
   }
   if (eden_target_ > total / 2) {
     eden_target_ = total / 2;
+  }
+}
+
+RegionalCollector::~RegionalCollector() {
+  // The driver thread of the last cycle may still be running; it only needs
+  // the mutators to quiesce (VM teardown unregisters them) to finish its
+  // final pause.
+  if (concurrent_thread_.joinable()) {
+    concurrent_thread_.join();
   }
 }
 
@@ -50,7 +93,12 @@ Region* RegionalCollector::RefillTlab(MutatorContext* ctx) {
   // garbage is reclaimed while there is still evacuation headroom.
   HeapGovernor& governor = heap_->governor();
   governor.Update();
-  if (governor.TakeGcRequest(NowNs())) {
+  if (governor.TakeGcRequest(NowNs()) &&
+      !concurrent_active_.load(std::memory_order_relaxed)) {
+    // With a concurrent cycle already in flight, a collection is effectively
+    // in progress — swallow the governor request rather than stalling this
+    // allocator behind the cycle (the governor re-requests if pressure
+    // persists).
     TryCollect(ctx, /*force_full=*/false);
   }
   for (int attempt = 0; attempt < kMaxAllocationAttempts; attempt++) {
@@ -144,8 +192,22 @@ AllocResult RegionalCollector::AllocateHumongousObject(MutatorContext* ctx,
 }
 
 bool RegionalCollector::TryCollect(MutatorContext* ctx, bool force_full) {
+  // A concurrent evacuation cycle is a collection in progress: wait for it to
+  // retire (it frees the old eden / cset) instead of stacking a second cycle
+  // on a cset that is still being copied.
+  if (concurrent_active_.load(std::memory_order_acquire)) {
+    WaitForConcurrentCycle(ctx);
+    return true;
+  }
   if (!safepoints_->BeginOperation(ctx)) {
     return false;  // someone else collected while we waited
+  }
+  if (concurrent_active_.load(std::memory_order_acquire)) {
+    // Lost a race: another thread's pause armed a cycle between our check
+    // and our winning the stopped world.
+    safepoints_->EndOperation(ctx);
+    WaitForConcurrentCycle(ctx);
+    return true;
   }
   if (ROLP_FAULT_POINT("gc.collect.skip")) {
     // Simulated collection failure: the pause happens but nothing is freed.
@@ -234,6 +296,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   // the ParallelFor barrier on the pause thread.
   std::vector<Region*> cset;
   std::vector<Region*> remset_sources;
+  std::vector<Region*> scrub_list;
   const uint32_t n = workers_->size();
   {
     WatchdogPhaseScope scan_scope(watchdog_.get(), GcPhase::kScan, nullptr);
@@ -343,8 +406,47 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
       }
       cset.insert(cset.end(), candidates.begin(), candidates.end());
     }
+    if (config_.concurrent_evac && mixed && trust_marks) {
+      // NG2C whole-region fast path (pretenuring payoff): a tenured cset
+      // region with zero marked live bytes has nothing to copy and nothing
+      // referencing it (marking is complete and trusted) — reclaim it right
+      // here in the arming pause instead of dragging it through the
+      // concurrent copy protocol.
+      size_t kept = 0;
+      for (Region* r : cset) {
+        if (!r->IsYoung() && r->live_bytes() == 0) {
+          regions.FreeRegion(r);
+          whole_regions_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cset[kept++] = r;
+        }
+      }
+      cset.resize(kept);
+    }
     for (Region* r : cset) {
       r->set_in_cset(true);
+    }
+
+    // Scrub list: tenured regions surviving this precise cycle that hold dead
+    // objects. The evacuation scan skips dead objects (marks are trusted), so
+    // their stale references into regions this cycle frees would linger in
+    // the parsable heap; scrubbing turns them into free blocks instead. Runs
+    // off-pause in concurrent mode, in-pause for the STW baseline. Built here
+    // — after the cset is final and pinned-young retirements have run — so
+    // every listed region existed at mark time and stays put all cycle.
+    if (mixed && trust_marks) {
+      for (size_t i = 0; i < regions.num_regions(); i++) {
+        Region* r = &regions.region(i);
+        RegionKind k = r->kind();
+        if ((k == RegionKind::kOld || k == RegionKind::kGen) && !r->in_cset() &&
+            !r->quarantined() && r->live_bytes() < r->used() &&
+            // Unmarked is not dead in a pinned region: the unscannable
+            // quarantined region holding edges into it could not be marked
+            // through, so its objects' liveness is unknown.
+            !(check_pinned && regions.PinnedByQuarantine(r))) {
+          scrub_list.push_back(r);
+        }
+      }
     }
 
     // Remembered-set source regions: regions recorded as holding references
@@ -388,6 +490,18 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   uint64_t evac_t0 = NowNs();
   metrics_.AddPauseScanNs(evac_t0 - t0 - mark_ns);
 
+  bool survivor_tracking_on =
+      profiler_ != nullptr && profiler_->SurvivorTrackingEnabled();
+  if (config_.concurrent_evac && !cset.empty()) {
+    // Hand the copying off-pause: flag the cset, heal the roots, arm the
+    // barrier, and return — TryCollect's EndOperation resumes the mutators
+    // while the driver thread runs the copy workers.
+    StartConcurrentEvacuation(std::move(cset), std::move(remset_sources),
+                              std::move(scrub_list), std::move(roots), mixed, trust_marks,
+                              survivor_tracking_on, t0, mark_ns, evac_t0);
+    return;
+  }
+
   // ---- Work-stealing evacuation -------------------------------------------
   // Scan units (root-slot chunks, then one unit per remset source region) are
   // claimed from a shared cursor; every object needing a referent scan —
@@ -396,10 +510,8 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   // pool's outstanding counter (scan units pre-added, items counted at Push)
   // provides termination: a worker whose queues all look empty spins until
   // the counter drains, since a straggler may still publish work.
-  bool survivor_tracking =
-      profiler_ != nullptr && profiler_->SurvivorTrackingEnabled();
   CancellationToken evac_cancel;
-  EvacuationTask task(heap_, &config_, profiler_, survivor_tracking, &evac_cancel);
+  EvacuationTask task(heap_, &config_, profiler_, survivor_tracking_on, &evac_cancel);
   WorkStealingPool<Object*> pool(n);
   task.set_pool(&pool);
   std::vector<EvacuationTask::Worker> eworkers;
@@ -467,6 +579,16 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
         std::this_thread::yield();
       }
       ew.Finish();
+    });
+  }
+
+  if (!scrub_list.empty()) {
+    WatchdogPhaseScope scrub_scope(watchdog_.get(), GcPhase::kEvacuate, nullptr);
+    workers_->ParallelFor(scrub_list.size(), 1, [&](uint32_t w, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; i++) {
+        workers_->Heartbeat(w);
+        ScrubDeadObjects(scrub_list[i], bitmap_);
+      }
     });
   }
 
@@ -579,6 +701,296 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   ReportOverrunToProfiler();
 }
 
+void RegionalCollector::StartConcurrentEvacuation(std::vector<Region*> cset,
+                                                  std::vector<Region*> remset_sources,
+                                                  std::vector<Region*> scrub_list,
+                                                  std::vector<std::atomic<Object*>*> roots,
+                                                  bool mixed, bool trust_marks,
+                                                  bool survivor_tracking, uint64_t t0,
+                                                  uint64_t mark_ns, uint64_t evac_t0) {
+  // The previous cycle's driver has long retired (a new pause cannot start
+  // while one is active); reap its thread.
+  if (concurrent_thread_.joinable()) {
+    concurrent_thread_.join();
+  }
+  const uint32_t n = workers_->size();
+  cycle_ = std::make_unique<ConcurrentCycle>(heap_, &config_, profiler_, survivor_tracking, n);
+  ConcurrentCycle& c = *cycle_;
+  c.cset = std::move(cset);
+  c.remset_sources = std::move(remset_sources);
+  c.scrub_list = std::move(scrub_list);
+  c.mixed = mixed;
+  c.trust_marks = trust_marks;
+  for (Region* r : c.cset) {
+    r->set_evacuating(true);
+  }
+  // One claimable unit per remset source region and per scrub region; roots
+  // are healed right here instead. Count the units before any worker can
+  // observe the pool.
+  c.pool.AddOutstanding(
+      static_cast<int64_t>(c.remset_sources.size() + c.scrub_list.size()));
+
+  {
+    // Eager root healing (to-space invariant): after this loop no root holds
+    // a from-space cset pointer, so a mutator can only ever meet one through
+    // a heap slot — which its load barrier heals. Copies made here land on
+    // eworkers[0]'s deque (the pause thread owns it until worker 0 starts)
+    // for the off-pause workers to scan.
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &c.cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.evacuate");
+    for (std::atomic<Object*>* slot : roots) {
+      c.eworkers[0].ProcessRootSlot(slot, nullptr);
+    }
+  }
+
+  evac_armed_.store(true, std::memory_order_release);
+  heap_->RefreshBarrierMode();
+  concurrent_active_.store(true, std::memory_order_release);
+
+  metrics_.AddPauseEvacNs(NowNs() - evac_t0);
+  uint64_t t1 = NowNs();
+  uint64_t pause_ns = t1 - t0 - mark_ns;
+  if (ROLP_FAULT_POINT("gc.pause.inflate")) {
+    pause_ns += 10 * 1000 * 1000;  // report +10ms (drives pause-regression heuristics)
+  }
+  PauseRecord rec{t0, pause_ns, c.mixed ? PauseKind::kMixed : PauseKind::kYoung,
+                  /*bytes_copied=*/0};
+  metrics_.RecordPause(rec);
+  Trace::EmitComplete("gc", "gc.pause", rec.start_ns, rec.duration_ns,
+                      static_cast<uint64_t>(rec.kind));
+
+  concurrent_thread_ = std::thread([this] { ConcurrentDriver(); });
+}
+
+void RegionalCollector::ConcurrentDriver() {
+  // The driver registers as a mutator so it can run the final pause through
+  // the standard safepoint protocol.
+  MutatorContext dctx;
+  dctx.thread_id = 0xFFFFFFFFu;
+  safepoints_->RegisterThread(&dctx);
+  ConcurrentCycle& c = *cycle_;
+  if (ROLP_FAULT_POINT("gc.concurrent_evac.cancel")) {
+    c.cancel.Cancel();  // chaos: the cycle self-forwards everything it meets
+  }
+  {
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kConcurrentEvac, &c.cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.concurrent-evac");
+    workers_->RunTask([&](uint32_t w) {
+      // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
+      (void)ROLP_FAULT_POINT("gc.concurrent_evac.stall");
+      uint64_t cpu0 = ThreadCpuNs();
+      EvacuationTask::Worker& ew = c.eworkers[w];
+      const size_t src_units = c.remset_sources.size();
+      const size_t total_units = src_units + c.scrub_list.size();
+      for (;;) {
+        size_t u = c.unit_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (u >= total_units) {
+          break;
+        }
+        workers_->Heartbeat(w);
+        if (u < src_units) {
+          // Safe to walk off-pause: mutators only allocate into regions that
+          // were free at the arming pause, which are never remset sources, and
+          // object sizes never change in place.
+          Region* s = c.remset_sources[u];
+          s->ForEachObject([&](Object* obj) {
+            if (c.trust_marks && !bitmap_.IsMarked(obj)) {
+              return;  // precise: skip dead objects when marks are fresh
+            }
+            c.pool.Push(w, obj);
+          });
+        } else {
+          // Scrub units: dead objects are unreachable, so the free-block
+          // rewrite races with nothing — a source-scan unit walking the same
+          // region concurrently reads only size_bytes and marked objects.
+          ScrubDeadObjects(c.scrub_list[u - src_units], bitmap_);
+        }
+        c.pool.FinishOne();
+      }
+      // Drain: items from the deques plus objects injected by mutator heals
+      // (pre-counted in the outstanding counter). No cancellation bail-out —
+      // once cancelled, copying degrades to bounded self-forward healing that
+      // must still run for the heap to stay parsable.
+      uint64_t steps = 0;
+      Object* obj = nullptr;
+      for (;;) {
+        if (c.pool.TryGet(w, &obj) || c.task.TakeInjected(&obj)) {
+          ew.ScanObject(obj);
+          c.pool.FinishOne();
+          if ((++steps & 63) == 0) {
+            workers_->Heartbeat(w);
+          }
+          continue;
+        }
+        if (c.pool.Done()) {
+          break;
+        }
+        workers_->Heartbeat(w);
+        std::this_thread::yield();
+      }
+      ew.Finish();
+      metrics_.AddEvacCpuNs(ThreadCpuNs() - cpu0);
+    });
+  }
+  // Final remap pause. BeginOperation returning false means another
+  // mutator's operation ran first — but the TryCollect/CollectFull guards
+  // make any such operation a no-op while the cycle is active, so retrying
+  // always converges.
+  while (!safepoints_->BeginOperation(&dctx)) {
+  }
+  FinishConcurrentCycle();
+  safepoints_->EndOperation(&dctx);
+  {
+    // Empty critical section orders the notify after any in-flight waiter's
+    // predicate check, so no wakeup is lost.
+    std::lock_guard<std::mutex> guard(cycle_mu_);
+  }
+  cycle_cv_.notify_all();
+  safepoints_->UnregisterThread(&dctx);
+}
+
+void RegionalCollector::FinishConcurrentCycle() {
+  ConcurrentCycle& c = *cycle_;
+  RegionManager& regions = heap_->regions();
+  uint64_t t0 = NowNs();
+  uint64_t cpu0 = ThreadCpuNs();
+  PreparePause();
+
+  {
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, nullptr);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.remap");
+    // Drain objects injected after the workers exited, then re-heal the
+    // roots: handles created during the window already hold healed values
+    // (every mutator load passed the barrier), so this pass only matters for
+    // cancelled cycles and costs one in-cset check per root otherwise.
+    c.task.set_pool(nullptr);
+    EvacuationTask::Worker& w0 = c.eworkers[0];
+    Object* obj = nullptr;
+    while (c.task.TakeInjected(&obj)) {
+      w0.ScanObject(obj);
+    }
+    w0.Drain();
+    std::vector<std::atomic<Object*>*> roots;
+    heap_->roots().ForEach([&](std::atomic<Object*>* slot) { roots.push_back(slot); });
+    safepoints_->ForEachThread([&](MutatorContext* t) {
+      for (auto& slot : t->local_roots) {
+        roots.push_back(&slot);
+      }
+    });
+    for (std::atomic<Object*>* slot : roots) {
+      w0.ProcessRootSlot(slot, nullptr);
+    }
+    w0.Drain();
+    w0.Finish();
+  }
+
+  c.task.RestoreSelfForwarded(c.eworkers);
+  c.task.FinishShared();
+  std::vector<Region*> doomed;
+  doomed.reserve(c.cset.size());
+  for (Region* r : c.cset) {
+    r->set_evacuating(false);
+    if (r->evac_failed()) {
+      r->set_evac_failed(false);
+      r->set_in_cset(false);
+      regions.RetireToOld(r);
+      ScrubRetiredEvacFailure(r);
+    } else {
+      doomed.push_back(r);
+    }
+  }
+
+  if (verify_options_.enabled() && !doomed.empty()) {
+    uint64_t verify_t0 = NowNs();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    HeapVerifier verifier(heap_, safepoints_);
+    HeapVerifier::Report report = verifier.VerifyCollectionSet(
+        doomed, workers_.get(), verify_options_, NextVerifyPass(), &verify_cancel,
+        c.trust_marks ? &bitmap_ : nullptr);
+    if (ApplyVerification("post-concurrent-evacuation", report)) {
+      QuarantineFlagged(&verifier, doomed, &report);
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - verify_t0);
+  }
+  for (Region* r : doomed) {
+    if (!r->quarantined()) {
+      regions.FreeRegion(r);
+    }
+  }
+
+  if (verify_options_.enabled()) {
+    uint64_t verify_t0 = NowNs();
+    CancellationToken verify_cancel;
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
+    HeapVerifier verifier(heap_, safepoints_);
+    HeapVerifier::Report report = verifier.VerifySampledWalk(
+        workers_.get(), verify_options_, NextVerifyPass(), /*repair=*/true, &verify_cancel);
+    if (ApplyVerification("sampled-walk", report)) {
+      for (const HeapVerifier::Finding& f : report.findings) {
+        if (f.kind == HeapVerifier::Finding::Kind::kRegionCorrupt &&
+            f.region != HeapVerifier::Finding::kNoRegion) {
+          regions.Quarantine(&regions.region(f.region), /*walkable=*/false);
+          verify_stats_.regions_quarantined++;
+        }
+      }
+    }
+    metrics_.AddPauseVerifyNs(NowNs() - verify_t0);
+  }
+
+  uint64_t copied = c.task.mutator_bytes_copied();
+  uint64_t promoted = c.task.mutator_bytes_promoted();
+  for (uint32_t w = 0; w < c.eworkers.size(); w++) {
+    EvacuationTask::Worker& ew = c.eworkers[w];
+    copied += ew.bytes_copied();
+    promoted += ew.bytes_promoted();
+    metrics_.AddWorkerCopiedBytes(w, ew.bytes_copied());
+  }
+  metrics_.AddBytesCopied(copied);
+  metrics_.AddBytesPromoted(promoted);
+  metrics_.IncrementGcCycles();
+  heap_->UpdateMaxUsedBytes();
+
+  // Disarm before the mutators resume; from their perspective the barrier
+  // state only ever changes across a pause.
+  evac_armed_.store(false, std::memory_order_release);
+  heap_->RefreshBarrierMode();
+
+  uint64_t t1 = NowNs();
+  metrics_.AddPauseRemapNs(t1 - t0);
+  metrics_.AddRemapCpuNs(ThreadCpuNs() - cpu0);
+  PauseRecord rec{t0, t1 - t0, PauseKind::kRemap, copied};
+  metrics_.RecordPause(rec);
+  Trace::EmitComplete("gc", "gc.pause", rec.start_ns, rec.duration_ns,
+                      static_cast<uint64_t>(rec.kind));
+  if (profiler_ != nullptr) {
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
+    ROLP_TRACE_SCOPE("gc", "gc.phase.profiler-merge");
+    uint64_t prof_t0 = NowNs();
+    profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});
+    metrics_.AddPauseProfilerNs(NowNs() - prof_t0);
+  }
+
+  bool failed = c.task.failed();
+  bool cancelled = c.cancel.IsCancelled();
+  concurrent_active_.store(false, std::memory_order_release);
+  cycle_.reset();
+
+  if (failed) {
+    if (cancelled) {
+      ROLP_LOG_ERROR(
+          "concurrent evacuation cancelled; finished self-forwarded, "
+          "falling back to full collection");
+    } else {
+      ROLP_LOG_INFO("concurrent evacuation failure; escalating to full collection");
+    }
+    DoFull(NowNs());
+  }
+  ReportOverrunToProfiler();
+}
+
 void RegionalCollector::DoFull(uint64_t t0) {
   PreparePause();
   MarkCompact compactor(heap_, &bitmap_);
@@ -641,10 +1053,60 @@ void RegionalCollector::ReportOverrunToProfiler() {
 }
 
 void RegionalCollector::CollectFull(MutatorContext* ctx) {
-  while (!safepoints_->BeginOperation(ctx)) {
+  for (;;) {
+    WaitForConcurrentCycle(ctx);
+    if (!safepoints_->BeginOperation(ctx)) {
+      continue;
+    }
+    if (!concurrent_active_.load(std::memory_order_acquire)) {
+      break;  // we own a stopped world with no cycle in flight
+    }
+    safepoints_->EndOperation(ctx);
   }
   DoFull(NowNs());
   safepoints_->EndOperation(ctx);
+}
+
+void RegionalCollector::WaitForConcurrentCycle(MutatorContext* ctx) {
+  if (!concurrent_active_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Park as safe for the whole wait: the driver's final pause needs every
+  // mutator stopped, including the ones blocked here.
+  SafepointManager::ScopedSafeRegion safe(safepoints_, ctx);
+  std::unique_lock<std::mutex> lock(cycle_mu_);
+  cycle_cv_.wait(lock,
+                 [&] { return !concurrent_active_.load(std::memory_order_acquire); });
+}
+
+Object* RegionalCollector::HealSlot(std::atomic<Object*>* slot, Object* v) {
+  RegionManager& regions = heap_->regions();
+  Region* vr = regions.RegionFor(v);
+  if (!vr->evacuating()) {
+    return v;
+  }
+  Object* healed = cycle_->task.MutatorHeal(v);
+  if (healed != v) {
+    mutator_healed_objects_.fetch_add(1, std::memory_order_relaxed);
+    mutator_healed_bytes_.fetch_add(healed->size_bytes, std::memory_order_relaxed);
+    // Keep a racing store's newer value: a failed CAS means the slot no
+    // longer holds the from-space pointer we loaded.
+    slot->compare_exchange_strong(v, healed, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed);
+    // Remembered set for the healed reference (region-coarse, so the slot's
+    // region stands in for the containing object). Roots live outside the
+    // heap and need no remset.
+    if (regions.Contains(slot)) {
+      Region* sr = regions.RegionFor(slot);
+      Region* hr = regions.RegionFor(healed);
+      if (sr != hr && !(sr->IsYoung() && hr->IsYoung())) {
+        hr->RemsetAddRegion(sr->index());
+      }
+    }
+    return healed;
+  }
+  // Self-forwarded in place (exhaustion/cancel): the slot value stays valid.
+  return v;
 }
 
 }  // namespace rolp

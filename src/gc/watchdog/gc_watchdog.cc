@@ -27,6 +27,8 @@ const char* GcPhaseName(GcPhase phase) {
       return "verify";
     case GcPhase::kProfilerMerge:
       return "profiler-merge";
+    case GcPhase::kConcurrentEvac:
+      return "concurrent-evac";
   }
   return "?";
 }
@@ -38,7 +40,21 @@ WatchdogConfig WatchdogConfig::FromEnv() {
   config.phase_deadline_ms = deadline > 0 ? static_cast<uint64_t>(deadline) : 5000;
   int64_t stall = EnvInt64("ROLP_GC_WORKER_STALL_MS", 0);
   config.worker_stall_ms = stall > 0 ? static_cast<uint64_t>(stall) : 0;
+  int64_t conc = EnvInt64("ROLP_GC_CONCURRENT_DEADLINE_MS", 0);
+  config.concurrent_deadline_ms = conc > 0 ? static_cast<uint64_t>(conc) : 0;
   return config;
+}
+
+uint64_t WatchdogConfig::EffectiveConcurrentDeadlineMs() const {
+  if (concurrent_deadline_ms != 0) {
+    return concurrent_deadline_ms;
+  }
+  return phase_deadline_ms * 4;
+}
+
+uint64_t WatchdogConfig::DeadlineMsFor(GcPhase phase) const {
+  return phase == GcPhase::kConcurrentEvac ? EffectiveConcurrentDeadlineMs()
+                                           : phase_deadline_ms;
 }
 
 uint64_t WatchdogConfig::EffectiveWorkerStallMs() const {
@@ -79,7 +95,7 @@ GcWatchdog::GcWatchdog(const WatchdogConfig& config, WorkerPool* pool)
                                      phase_ == GcPhase::kIdle
                                          ? 0.0
                                          : NsToMs(NowNs() - phase_start_ns_),
-                                     (unsigned long long)config_.phase_deadline_ms,
+                                     (unsigned long long)config_.DeadlineMsFor(phase_),
                                      (unsigned long long)stats_.overruns_detected,
                                      (unsigned long long)stats_.phases_cancelled,
                                      (unsigned long long)stats_.worker_stalls_detected,
@@ -145,7 +161,7 @@ void GcWatchdog::EscalateLocked(uint64_t now_ns) {
   // exported via the "gc-watchdog" crash-context section if we later abort).
   ROLP_LOG_ERROR("GcWatchdog: GC phase '%s' overran deadline (%.1f ms > %llu ms)",
                  GcPhaseName(phase_), NsToMs(elapsed),
-                 (unsigned long long)config_.phase_deadline_ms);
+                 (unsigned long long)config_.DeadlineMsFor(phase_));
   for (const WorkerActivity& a : pool_->SnapshotWorkerActivity()) {
     ROLP_LOG_ERROR("GcWatchdog:   worker alive=%d item=%lld heartbeat=%llu", a.alive ? 1 : 0,
                    (long long)a.current_item, (unsigned long long)a.heartbeat);
@@ -179,7 +195,6 @@ void GcWatchdog::EscalateLocked(uint64_t now_ns) {
 
 void GcWatchdog::MonitorLoop() {
   const auto poll = std::chrono::milliseconds(config_.EffectivePollIntervalMs());
-  const uint64_t deadline_ns = MsToNs(static_cast<double>(config_.phase_deadline_ms));
   const uint64_t stall_ns = MsToNs(static_cast<double>(config_.EffectiveWorkerStallMs()));
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
@@ -228,7 +243,8 @@ void GcWatchdog::MonitorLoop() {
       }
     }
 
-    if (!escalated_ && now - phase_start_ns_ > deadline_ns) {
+    if (!escalated_ &&
+        now - phase_start_ns_ > MsToNs(static_cast<double>(config_.DeadlineMsFor(phase_)))) {
       EscalateLocked(now);
     }
   }

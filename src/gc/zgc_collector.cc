@@ -45,7 +45,7 @@ char* ZgcCollector::AllocToSpace(size_t bytes) {
   return fresh->AtomicBumpAlloc(bytes);
 }
 
-Object* ZgcCollector::Relocate(Object* obj) {
+Object* ZgcCollector::Relocate(Object* obj, bool* copied_here) {
   while (true) {
     uint64_t m = obj->mark.load(std::memory_order_acquire);
     if (markword::IsForwarded(m)) {
@@ -65,6 +65,9 @@ Object* ZgcCollector::Relocate(Object* obj) {
                                           std::memory_order_acq_rel)) {
       relocated_bytes_.fetch_add(size, std::memory_order_relaxed);
       metrics_.AddBytesCopied(size);
+      if (copied_here != nullptr) {
+        *copied_here = true;
+      }
       return copy;
     }
     // Lost the race; the duplicate copy in to-space stays as (walkable) dead
@@ -83,7 +86,9 @@ Object* ZgcCollector::LoadBarrier(std::atomic<Object*>* slot) {
     if (r->in_cset()) {
       Object* healed = Relocate(v);
       if (healed != v) {
-        slot->compare_exchange_strong(v, healed, std::memory_order_acq_rel);
+        if (slot->compare_exchange_strong(v, healed, std::memory_order_acq_rel)) {
+          barrier_healed_slots_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       return healed;
     }
@@ -231,6 +236,15 @@ void ZgcCollector::MarkSlice(size_t budget_bytes) {
 }
 
 void ZgcCollector::ConcurrentWork(MutatorContext* ctx, size_t budget_bytes) {
+  // Relocation shards by per-region claim CAS, so every caller helps in
+  // parallel — no work_lock_. Mark and remap slices still serialize behind it
+  // (shared mark stack / remap cursor).
+  if (phase_.load(std::memory_order_acquire) == Phase::kRelocating) {
+    uint64_t r0 = NowNs();
+    RelocateSlice(budget_bytes);
+    metrics_.AddConcurrentWorkNs(NowNs() - r0);
+    return;
+  }
   if (!work_lock_.try_lock()) {
     return;
   }
@@ -255,7 +269,8 @@ void ZgcCollector::ConcurrentWork(MutatorContext* ctx, size_t budget_bytes) {
       break;
     }
     case Phase::kRelocating:
-      RelocateSlice(budget_bytes);
+      // Raced from kMarking/kIdle into relocation; next call takes the
+      // lock-free path above.
       break;
     case Phase::kRemapping:
       RemapSlice(budget_bytes);
@@ -374,8 +389,8 @@ bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
   for (Region* r : relocation_set_) {
     r->set_in_cset(true);
   }
-  relocate_cursor_ = 0;
-  relocate_scan_ = relocation_set_.empty() ? nullptr : relocation_set_[0]->begin();
+  relocate_claim_.store(0, std::memory_order_relaxed);
+  relocate_done_.store(0, std::memory_order_relaxed);
   remap_cursor_ = 0;
   // Freeze allocation buffers: regions created from here on are remapped in
   // the final pause instead of concurrently (see remap_snapshot_).
@@ -427,30 +442,41 @@ bool ZgcCollector::RemarkAndSelect(MutatorContext* ctx) {
 }
 
 void ZgcCollector::RelocateSlice(size_t budget_bytes) {
+  // Sharded: claim a region, relocate it end to end, repeat until the byte
+  // budget runs out. Claim granularity is a whole region — acceptable because
+  // the relocation set only admits sparse regions (live ratio capped), so a
+  // single claim stays small. The claimant never abandons a region mid-way,
+  // which keeps the done counter's meaning simple: done == size(set) iff
+  // every live object had Relocate() attempted on it.
+  const size_t n = relocation_set_.size();
   size_t done = 0;
-  while (done < budget_bytes && relocate_cursor_ < relocation_set_.size()) {
-    Region* r = relocation_set_[relocate_cursor_];
+  while (done < budget_bytes) {
+    size_t idx = relocate_claim_.fetch_add(1, std::memory_order_acq_rel);
+    if (idx >= n) {
+      return;  // all regions claimed; stragglers are finishing them
+    }
+    Region* r = relocation_set_[idx];
+    char* scan = r->begin();
     char* top = r->top();
-    if (relocate_scan_ == nullptr) {
-      relocate_scan_ = r->begin();
+    while (scan < top) {
+      Object* obj = reinterpret_cast<Object*>(scan);
+      scan += obj->size_bytes;
+      done += obj->size_bytes;
+      if (bitmap_.IsMarked(obj)) {
+        bool copied = false;
+        Relocate(obj, &copied);
+        if (copied) {
+          gc_relocated_objects_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
-    if (relocate_scan_ >= top) {
-      relocate_cursor_++;
-      relocate_scan_ = relocate_cursor_ < relocation_set_.size()
-                           ? relocation_set_[relocate_cursor_]->begin()
-                           : nullptr;
-      continue;
+    if (relocate_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      // Last region retired: advance the phase exactly once. CAS guards
+      // against a concurrent DoFull having already reset the cycle.
+      Phase expected = Phase::kRelocating;
+      phase_.compare_exchange_strong(expected, Phase::kRemapping,
+                                     std::memory_order_acq_rel);
     }
-    Object* obj = reinterpret_cast<Object*>(relocate_scan_);
-    relocate_scan_ += obj->size_bytes;
-    done += obj->size_bytes;
-    if (bitmap_.IsMarked(obj)) {
-      Relocate(obj);
-    }
-  }
-  if (relocate_cursor_ >= relocation_set_.size()) {
-    remap_cursor_ = 0;
-    phase_.store(Phase::kRemapping, std::memory_order_release);
   }
 }
 

@@ -48,6 +48,16 @@ class ZgcCollector : public Collector {
 
   uint64_t relocated_bytes() const { return relocated_bytes_.load(std::memory_order_relaxed); }
   uint64_t cycles_completed() const { return cycles_completed_.load(std::memory_order_relaxed); }
+  // Slots healed by the mutator load barrier (reference found pointing into a
+  // relocating region during a read) vs. objects proactively copied by the
+  // GC's relocation slices. Their ratio shows how much relocation work the
+  // barrier absorbs versus the allocation-paced background sweep.
+  uint64_t barrier_healed_slots() const {
+    return barrier_healed_slots_.load(std::memory_order_relaxed);
+  }
+  uint64_t gc_relocated_objects() const {
+    return gc_relocated_objects_.load(std::memory_order_relaxed);
+  }
 
  private:
   bool StartCycle(MutatorContext* ctx);        // STW mark-start
@@ -60,8 +70,9 @@ class ZgcCollector : public Collector {
   void DoFull(MutatorContext* ctx);            // allocation-stall fallback
 
   // Copies an object out of a relocating region; safe to race with other
-  // healers (CAS forwarding).
-  Object* Relocate(Object* obj);
+  // healers (CAS forwarding). When this call performed the winning copy,
+  // *copied_here is set (callers use it to attribute the copy).
+  Object* Relocate(Object* obj, bool* copied_here = nullptr);
   char* AllocToSpace(size_t bytes);
 
   double Occupancy() const;
@@ -71,15 +82,20 @@ class ZgcCollector : public Collector {
 
   SpinLock gray_lock_;
   std::vector<Object*> gray_queue_;
-  SpinLock work_lock_;                 // one concurrent worker at a time
+  SpinLock work_lock_;                 // serializes mark and remap slices
   std::vector<Object*> mark_stack_;
 
   SpinLock to_space_lock_;
   Region* to_space_region_ = nullptr;
 
   std::vector<Region*> relocation_set_;
-  size_t relocate_cursor_ = 0;         // region index into relocation_set_
-  char* relocate_scan_ = nullptr;      // next object within current region
+  // Relocation is sharded by whole region: each thread claims the next
+  // unclaimed region with a fetch_add and relocates it end to end, so any
+  // number of mutators push relocation forward in parallel without taking
+  // work_lock_. The done counter advances the phase exactly once when the
+  // last claimed region retires (the set itself only mutates under STW).
+  std::atomic<size_t> relocate_claim_{0};
+  std::atomic<size_t> relocate_done_{0};
   // Concurrent remap only walks regions that existed (with frozen tops) at
   // the relocate-start pause; regions created after it (fresh TLABs,
   // to-space) are remapped inside the final STW pause, where their tops are
@@ -89,6 +105,8 @@ class ZgcCollector : public Collector {
 
   std::atomic<uint64_t> relocated_bytes_{0};
   std::atomic<uint64_t> cycles_completed_{0};
+  std::atomic<uint64_t> barrier_healed_slots_{0};
+  std::atomic<uint64_t> gc_relocated_objects_{0};
 };
 
 class ZBarrierSet : public BarrierSet {

@@ -54,6 +54,7 @@ class Region {
     kind_.store(RegionKind::kFree, std::memory_order_relaxed);
     gen_.store(0, std::memory_order_relaxed);
     in_cset_ = false;
+    evacuating_.store(false, std::memory_order_relaxed);
     evac_failed_ = false;
     quarantined_.store(false, std::memory_order_relaxed);
     quarantine_walkable_ = false;
@@ -99,6 +100,16 @@ class Region {
 
   bool in_cset() const { return in_cset_; }
   void set_in_cset(bool v) { in_cset_ = v; }
+
+  // Concurrent-evacuation source state ("kEvacuating"): set on collection-set
+  // regions inside the arming pause and cleared in the final remap pause.
+  // Unlike in_cset_ (GC-private, only touched while the world is stopped or
+  // by GC workers synchronized through the pause), this flag is read by every
+  // mutator load barrier while the cycle runs, so it is atomic. A set flag
+  // tells the barrier the object must be healed (copied on first touch)
+  // before the mutator may use it.
+  bool evacuating() const { return evacuating_.load(std::memory_order_relaxed); }
+  void set_evacuating(bool v) { evacuating_.store(v, std::memory_order_relaxed); }
 
   // Set by RestoreSelfForwarded (serial, after evacuation workers join) on
   // regions holding self-forwarded survivors; read and cleared by the
@@ -228,6 +239,7 @@ class Region {
   std::atomic<RegionKind> kind_{RegionKind::kFree};
   std::atomic<uint8_t> gen_{0};
   bool in_cset_ = false;
+  std::atomic<bool> evacuating_{false};
   bool evac_failed_ = false;
   std::atomic<bool> quarantined_{false};
   bool quarantine_walkable_ = false;

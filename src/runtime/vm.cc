@@ -143,6 +143,10 @@ VM::VM(const VmConfig& config) : config_(config) {
   jit_ = std::make_unique<JitEngine>(config_.jit, config_.filter);
 
   GcConfig gcfg = config_.gc_config;
+  // Concurrent evacuation for the regional collectors (DESIGN.md §14): copy
+  // the cset outside the pause behind a healing load barrier; off keeps the
+  // classic fully-STW evacuation pause. CMS/ZGC ignore the knob.
+  gcfg.concurrent_evac = EnvBool("ROLP_CONCURRENT_EVAC", false);
   switch (config_.gc) {
     case GcKind::kG1:
       gcfg.use_dynamic_gens = false;
@@ -292,8 +296,28 @@ void VM::RegisterMetrics() {
   m.Gauge("gc.pause.evac_ns", [&gm] { return static_cast<double>(gm.PauseEvacNs()); });
   m.Gauge("gc.pause.profiler_ns",
           [&gm] { return static_cast<double>(gm.PauseProfilerNs()); });
+  m.Gauge("gc.pause.remap_ns", [&gm] { return static_cast<double>(gm.PauseRemapNs()); });
+  m.Gauge("gc.evac_cpu_ns", [&gm] { return static_cast<double>(gm.EvacCpuNs()); });
+  m.Gauge("gc.remap_cpu_ns", [&gm] { return static_cast<double>(gm.RemapCpuNs()); });
   m.Gauge("gc.concurrent_work_ns",
           [&gm] { return static_cast<double>(gm.ConcurrentWorkNs()); });
+  if (config_.gc == GcKind::kG1 || config_.gc == GcKind::kNg2c ||
+      config_.gc == GcKind::kRolp) {
+    auto* rc = static_cast<RegionalCollector*>(collector_.get());
+    m.Gauge("gc.concurrent.mutator_healed_objects",
+            [rc] { return static_cast<double>(rc->mutator_healed_objects()); });
+    m.Gauge("gc.concurrent.mutator_healed_bytes",
+            [rc] { return static_cast<double>(rc->mutator_healed_bytes()); });
+    m.Gauge("gc.concurrent.whole_regions_reclaimed",
+            [rc] { return static_cast<double>(rc->whole_regions_reclaimed()); });
+  }
+  if (config_.gc == GcKind::kZgc) {
+    auto* z = static_cast<ZgcCollector*>(collector_.get());
+    m.Gauge("zgc.healed_slots",
+            [z] { return static_cast<double>(z->barrier_healed_slots()); });
+    m.Gauge("zgc.gc_relocated",
+            [z] { return static_cast<double>(z->gc_relocated_objects()); });
+  }
   m.Histogram("gc.pause_ns",
               [&gm] { return SnapshotLogHistogram(gm.PauseHistogramSnapshot()); });
 

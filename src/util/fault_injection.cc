@@ -43,6 +43,9 @@ const std::vector<FaultInjection::CatalogEntry>& FaultInjection::Catalog() {
       {"gc.pause.inflate", "pause bookkeeping inflates the recorded time"},
       {"gc.phase.mark.stall", "marking worker stalls mid-trace"},
       {"gc.phase.evacuate.stall", "evacuation worker stalls mid-copy"},
+      {"gc.concurrent_evac.stall", "concurrent-evacuation copy worker stalls off-pause"},
+      {"gc.concurrent_evac.cancel", "concurrent evacuation cancels itself mid-flight"},
+      {"gc.concurrent_evac.copy_fail", "concurrent-evacuation to-space allocation fails"},
       {"gc.phase.compact.stall", "full-compaction phase stalls"},
       {"gc.verify.stall", "in-pause heap verification stalls"},
       {"gc.worker.stall", "GC pool worker stalls inside a task"},

@@ -9,9 +9,11 @@
 //     one relaxed store per task step when enabled, one relaxed load when not).
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <unordered_map>
 
 #include "src/gc/regional_collector.h"
+#include "src/heap/region_manager.h"
 #include "src/gc/worker_pool.h"
 #include "src/heap/heap.h"
 #include "src/rolp/alloc_buffer.h"
@@ -223,6 +225,62 @@ void BM_AllocProfiled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AllocProfiled);
+
+// Region-allocation contention: N threads alloc/free regions against one
+// RegionManager carved into `arenas` arenas, each thread pinned to a home
+// arena round-robin. On a single-CPU host the wall clock barely moves with
+// thread count; the observable scaling signal is lock_stall_ns_per_op — CPU
+// time burned inside contended arena-lock acquisitions. One arena serializes
+// every thread on one lock; four arenas give each thread its own.
+std::unique_ptr<RegionManager> g_contention_mgr;
+uint64_t g_contention_stall0 = 0;
+uint64_t g_contention_acq0 = 0;
+
+void RegionContentionSetup(const benchmark::State& state) {
+  HeapArenaOptions opts;
+  opts.arenas = static_cast<size_t>(state.range(0));
+  g_contention_mgr =
+      std::make_unique<RegionManager>(64ull << 20, 1ull << 20, opts);
+  g_contention_stall0 = g_contention_mgr->lock_stall_ns();
+  g_contention_acq0 = g_contention_mgr->lock_acquisitions();
+}
+
+void RegionContentionTeardown(const benchmark::State&) {
+  g_contention_mgr.reset();
+}
+
+void BM_RegionAllocContention(benchmark::State& state) {
+  RegionManager& mgr = *g_contention_mgr;
+  RegionManager::SetHomeArenaForTest(
+      static_cast<int>(state.thread_index() % static_cast<int>(mgr.num_arenas())));
+  for (auto _ : state) {
+    Region* r = mgr.AllocateRegion(RegionKind::kEden);
+    if (r != nullptr) {
+      mgr.FreeRegion(r);
+    }
+  }
+  RegionManager::SetHomeArenaForTest(-1);
+  if (state.thread_index() == 0) {
+    double total_ops =
+        static_cast<double>(state.iterations()) * state.threads();
+    state.counters["lock_stall_ns_per_op"] =
+        static_cast<double>(mgr.lock_stall_ns() - g_contention_stall0) /
+        total_ops;
+    state.counters["lock_acq_per_op"] =
+        static_cast<double>(mgr.lock_acquisitions() - g_contention_acq0) /
+        total_ops;
+  }
+}
+BENCHMARK(BM_RegionAllocContention)
+    ->ArgName("arenas")
+    ->Arg(1)
+    ->Arg(4)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Setup(RegionContentionSetup)
+    ->Teardown(RegionContentionTeardown)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace rolp

@@ -20,7 +20,9 @@
 #include "src/gc/regional_collector.h"
 #include "src/heap/heap.h"
 #include "src/rolp/profiler.h"
+#include "src/service/sharded.h"
 #include "src/util/clock.h"
+#include "src/workloads/kvstore.h"
 
 namespace rolp {
 namespace {
@@ -321,6 +323,46 @@ BENCHMARK(BM_VerifyPauseOverhead)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(16);
+
+// End-to-end smoke of the sharded front end (DESIGN.md section 15): arg =
+// shard count, a short fixed-rate open-loop run over per-shard kvstore VMs.
+// Timed manually over the whole run (duration is fixed, so the time column is
+// flat by construction); the counters are the signal — merged tail lateness,
+// the completion rate, and per-op GC phase CPU summed across shard VMs.
+void BM_ShardedServiceSmoke(benchmark::State& state) {
+  for (auto _ : state) {
+    VmConfig cfg;
+    cfg.heap_mb = 64;
+    cfg.gc = GcKind::kRolp;
+    KvStoreOptions kv;
+    kv.num_keys = 8000;
+    kv.memtable_flush_rows = 4000;
+    ShardedServiceOptions opt;
+    opt.shards = static_cast<int>(state.range(0));
+    opt.service.workers = 1;
+    opt.service.duration_s = 2.0;
+    opt.service.rate_rps = 2000.0;
+    opt.service.calibrate_s = 0.0;
+    opt.service.drain_grace_s = 0.5;
+    uint64_t t0 = NowNs();
+    ShardedServiceResult r = RunShardedService(
+        cfg, [&kv](int) { return std::make_unique<KvStoreWorkload>(kv); }, opt);
+    state.SetIterationTime(static_cast<double>(NowNs() - t0) * 1e-9);
+    state.counters["offered"] = static_cast<double>(r.offered);
+    state.counters["ok_rate"] =
+        r.offered > 0 ? static_cast<double>(r.slo.ok) / static_cast<double>(r.offered)
+                      : 0.0;
+    state.counters["p99_ms"] = r.slo.alltime.p99_ms;
+    state.counters["slo_pass"] = r.slo_pass ? 1.0 : 0.0;
+  }
+}
+BENCHMARK(BM_ShardedServiceSmoke)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace rolp

@@ -13,9 +13,12 @@
 // as-fast-as-possible bench loop.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "src/service/open_loop.h"
+#include "src/service/sharded.h"
+#include "src/util/env.h"
 #include "src/workloads/driver.h"
 #include "src/workloads/kvstore.h"
 
@@ -75,6 +78,28 @@ int RunOpen(const VmConfig& config, KvStoreWorkload& workload, double seconds,
   return r.survived ? 0 : 1;
 }
 
+int RunSharded(const VmConfig& config, const KvStoreOptions& options, double seconds,
+               const std::string& gc_name) {
+  ShardedServiceOptions sharded = ShardedServiceOptions::FromEnv();
+  sharded.service.duration_s = seconds;
+
+  std::printf("running kvstore for %.0fs under %s across %d VM shards (open loop, %s)...\n",
+              seconds, gc_name.c_str(), sharded.shards,
+              sharded.service.rate_rps > 0
+                  ? "fixed rate"
+                  : "calibrating capacity, then deliberate overload");
+  ShardedServiceResult r = RunShardedService(
+      config, [&options](int) { return std::make_unique<KvStoreWorkload>(options); },
+      sharded);
+
+  std::printf("\n");
+  PrintShardedReport(stdout, r);
+  // Machine-readable gate line (scripts/check_slo.py parses this). The merged
+  // verdict carries "shards":N plus the RSS settle watch results.
+  std::printf("SLO_VERDICT %s\n", r.verdict_json.c_str());
+  return r.survived ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,9 +120,9 @@ int main(int argc, char** argv) {
   KvStoreOptions options;
   options.write_fraction = 0.75;  // the paper's write-intensive YCSB mix
   options.memtable_flush_rows = 24000;
-  KvStoreWorkload workload(options);
 
   if (mode == "closed") {
+    KvStoreWorkload workload(options);
     return RunClosed(config, workload, seconds, gc_name);
   }
   if (mode != "open") {
@@ -105,5 +130,9 @@ int main(int argc, char** argv) {
                  mode.c_str(), argv[0]);
     return 1;
   }
+  if (EnvInt64("ROLP_SHARDS", 1) > 1) {
+    return RunSharded(config, options, seconds, gc_name);
+  }
+  KvStoreWorkload workload(options);
   return RunOpen(config, workload, seconds, gc_name);
 }

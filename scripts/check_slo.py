@@ -31,6 +31,12 @@ def main():
                         help="explicit all-time p99.9 lateness gate (ms)")
     parser.add_argument("--require-shed", action="store_true",
                         help="fail unless the run rejected or shed load")
+    parser.add_argument("--require-shards", type=int, default=None,
+                        help="fail unless the verdict is a merged sharded one "
+                             "with exactly this many shards")
+    parser.add_argument("--min-rss-drop", type=float, default=None,
+                        help="fail unless the post-load RSS settle watch saw "
+                             "at least this fractional drop (e.g. 0.25)")
     args = parser.parse_args()
 
     verdict = None
@@ -68,9 +74,28 @@ def main():
         fail("overload run neither rejected nor shed anything; "
              "the system was not actually saturated")
 
+    if args.require_shards is not None:
+        shards = v.get("shards")
+        if shards != args.require_shards:
+            fail(f"expected a merged verdict over {args.require_shards} shards, "
+                 f"got shards={shards}")
+
+    rss_note = ""
+    if args.min_rss_drop is not None:
+        drop = v.get("rss_drop")
+        if drop is None:
+            fail("verdict has no rss_drop (RSS settle watch did not run; "
+                 "is ROLP_HEAP_UNCOMMIT_MS set?)")
+        if drop < args.min_rss_drop:
+            fail(f"RSS dropped only {drop:.1%} after load stopped "
+                 f"(need >= {args.min_rss_drop:.1%}); uncommit is not "
+                 f"returning idle regions to the OS "
+                 f"(load={v.get('rss_load_bytes')} settled={v.get('rss_settled_bytes')})")
+        rss_note = f" rss_drop={drop:.1%}"
+
     print(f"SLO ok [{v['collector']}]: p99.9={p999:.1f}ms (limit {limit:.1f}ms) "
           f"ok={counts.get('ok')} rejected={counts.get('rejected')} "
-          f"shed={counts.get('shed')} survived=true")
+          f"shed={counts.get('shed')} survived=true{rss_note}")
     return 0
 
 

@@ -43,11 +43,12 @@ if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
   echo "=== bench regression check"
   if [ -f BENCH_micro.json ] && [ -x build/bench/bench_micro ]; then
     build/bench/bench_micro \
-      --benchmark_filter='BM_AllocProfiled|BM_AllocUnprofiled' \
+      --benchmark_filter='BM_AllocProfiled|BM_AllocUnprofiled|BM_RegionAllocContention' \
       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
       --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_micro.json >/dev/null
     python3 scripts/check_bench_regression.py BENCH_micro.json /tmp/ci_bench_micro.json \
-      --threshold 0.25 --require 'BM_AllocProfiled'
+      --threshold 0.25 --require 'BM_AllocProfiled' \
+      --require 'BM_RegionAllocContention'
   fi
   if [ -f BENCH_pause.json ] && [ -x build/bench/bench_pause ]; then
     build/bench/bench_pause \
@@ -98,6 +99,22 @@ if [ "${ROLP_OVERLOAD_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
   python3 scripts/check_slo.py /tmp/ci_overload.txt --require-shed
 fi
 
+# Sharded-service smoke (DESIGN.md §15): four VM shards behind one open-loop
+# generator with per-shard heap arenas and the uncommit sweeper armed. Gates:
+# the *merged* SLO verdict passes with zero aborts across all shard VMs, the
+# verdict really covers 4 shards, and process RSS drops >= 25% within
+# 2 x ROLP_HEAP_UNCOMMIT_MS once load stops (idle regions actually returned
+# to the OS, not just to the free lists). ROLP_SHARDED_CHECK=0 skips.
+if [ "${ROLP_SHARDED_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
+   && [ -x build/examples/kvstore_service ]; then
+  echo "=== sharded service smoke"
+  ROLP_SHARDS=4 ROLP_HEAP_UNCOMMIT_MS=1000 ROLP_SERVICE_RATE=14000 \
+    build/examples/kvstore_service rolp 8 open \
+    | tee /tmp/ci_sharded.txt | tail -3
+  python3 scripts/check_slo.py /tmp/ci_sharded.txt \
+    --require-shards 4 --min-rss-drop 0.25
+fi
+
 # Chaos smoke (DESIGN.md §12): fixed-seed campaigns over the kvstore workload
 # with in-pause verification on. Every injected-fault outcome must be
 # survivable (quarantined / degraded / watchdog-fallback / recovered / clean);
@@ -136,6 +153,15 @@ if [ "${ROLP_CHAOS_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
   ROLP_CONCURRENT_EVAC=on build/tests/chaos_campaign --seconds=1 --sample=1 \
     --faults='gc.concurrent_evac.cancel=once:2' \
     | tail -1 | grep -q '^CHAOS_RESULT '
+  # Region commit-lifecycle chaos: arenas + a fast uncommit sweeper armed
+  # while heap.region.* faults fire — commit failure (simulated ENOMEM on
+  # recommit) must roll back to a recoverable OOM, uncommit failure must
+  # leave the region committed, and recommitted regions must read back as
+  # zero (in-pause verification would flag stale bytes as corruption).
+  ROLP_HEAP_ARENAS=2 ROLP_HEAP_UNCOMMIT_MS=25 python3 scripts/chaos.py \
+    --seeds "$CHAOS_SEEDS" --seconds "$CHAOS_SECONDS" \
+    --rate 0.05 --points 'heap.region.*' --verify pause --sample 1 \
+    --out /tmp/ci_chaos_region_report.json
 fi
 
 # Verifier-enabled kvstore smoke under the sanitizer build: the quarantine

@@ -35,7 +35,12 @@ REQUIRED_GAUGES = [
     "gc.cycles",
     "gc.pauses",
     "gc.pause.p99_ns",
+    "gc.phase_cpu_ns.mark",
+    "gc.phase_cpu_ns.evacuate",
+    "heap.arenas",
+    "heap.region_lock.acquisitions",
     "vm.allocations",
+    "vm.rss_bytes",
     "rolp.inferences",
     "rolp.old_table.occupied",
     "watchdog.overruns",
@@ -87,6 +92,9 @@ def check_metrics(path):
     if gauges["gc.cycles"] <= 0:
         fail(f"{path}: gc.cycles is {gauges['gc.cycles']}; the workload run "
              "recorded no GC activity")
+    if gauges["vm.rss_bytes"] <= 0:
+        fail(f"{path}: vm.rss_bytes is {gauges['vm.rss_bytes']}; the "
+             "/proc/self/statm reader returned nothing")
     print(f"  metrics ok: {len(data['counters'])} counters, "
           f"{len(gauges)} gauges, {len(data['histograms'])} histograms")
 

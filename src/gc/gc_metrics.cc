@@ -143,6 +143,9 @@ void GcMetrics::Reset() {
   for (uint32_t w = 0; w < kMaxTrackedWorkers; w++) {
     worker_copied_bytes_[w].store(0, std::memory_order_relaxed);
   }
+  for (size_t p = 0; p < kNumGcPhaseSlots; p++) {
+    phase_cpu_ns_[p].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace rolp

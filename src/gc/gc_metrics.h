@@ -113,6 +113,22 @@ class GcMetrics {
   void AddRemapCpuNs(uint64_t n) { remap_cpu_ns_.fetch_add(n, std::memory_order_relaxed); }
   uint64_t RemapCpuNs() const { return remap_cpu_ns_.load(std::memory_order_relaxed); }
 
+  // Per-phase thread-CPU-time totals, indexed by GcPhase (gc_watchdog.h).
+  // WatchdogPhaseScope feeds these with CLOCK_THREAD_CPUTIME_ID deltas from
+  // whichever thread brackets the phase, for every collector — the
+  // generalization of evac_cpu/remap_cpu above (which stay, as the
+  // worker-summed evacuation counters the pause bench gates on). Sized with
+  // slack so gc_watchdog.h need not be included here.
+  static constexpr size_t kNumGcPhaseSlots = 16;
+  void AddPhaseCpuNs(size_t phase, uint64_t n) {
+    if (phase < kNumGcPhaseSlots) {
+      phase_cpu_ns_[phase].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  uint64_t PhaseCpuNs(size_t phase) const {
+    return phase < kNumGcPhaseSlots ? phase_cpu_ns_[phase].load(std::memory_order_relaxed) : 0;
+  }
+
   // Per-worker evacuation copy volume: the work-balance signal. With static
   // striding one worker can absorb a dense remset region (max share -> ~1.0);
   // with stealing the shares even out regardless of input skew.
@@ -154,6 +170,7 @@ class GcMetrics {
   std::atomic<uint64_t> evac_cpu_ns_{0};
   std::atomic<uint64_t> remap_cpu_ns_{0};
   std::atomic<uint64_t> worker_copied_bytes_[kMaxTrackedWorkers] = {};
+  std::atomic<uint64_t> phase_cpu_ns_[kNumGcPhaseSlots] = {};
 };
 
 }  // namespace rolp

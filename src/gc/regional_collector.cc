@@ -246,7 +246,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
     Marker marker(heap_, &bitmap_);
     CancellationToken mark_cancel;
     {
-      WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kMark, &mark_cancel);
+      WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kMark, &mark_cancel, &metrics_);
       ROLP_TRACE_SCOPE("gc", "gc.phase.mark");
       marker.MarkFromRoots(safepoints_, workers_.get(), &mark_cancel);
     }
@@ -272,7 +272,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   if (mixed && verify_options_.enabled()) {
     uint64_t verify_t0 = NowNs();
     CancellationToken verify_cancel;
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
     HeapVerifier verifier(heap_, safepoints_);
     HeapVerifier::Report report = verifier.VerifyPostMark(
@@ -299,7 +299,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   std::vector<Region*> scrub_list;
   const uint32_t n = workers_->size();
   {
-    WatchdogPhaseScope scan_scope(watchdog_.get(), GcPhase::kScan, nullptr);
+    WatchdogPhaseScope scan_scope(watchdog_.get(), GcPhase::kScan, nullptr, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.scan");
     struct ScanPartial {
       size_t used[kNumDynamicGens + 1] = {};
@@ -525,7 +525,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   pool.AddOutstanding(static_cast<int64_t>(total_units));
   std::atomic<size_t> unit_cursor{0};
   {
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &evac_cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &evac_cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.evacuate");
     workers_->RunTask([&](uint32_t w) {
       // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
@@ -583,7 +583,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   }
 
   if (!scrub_list.empty()) {
-    WatchdogPhaseScope scrub_scope(watchdog_.get(), GcPhase::kEvacuate, nullptr);
+    WatchdogPhaseScope scrub_scope(watchdog_.get(), GcPhase::kEvacuate, nullptr, &metrics_);
     workers_->ParallelFor(scrub_list.size(), 1, [&](uint32_t w, size_t begin, size_t end) {
       for (size_t i = begin; i < end; i++) {
         workers_->Heartbeat(w);
@@ -618,7 +618,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   if (verify_options_.enabled() && !doomed.empty()) {
     uint64_t verify_t0 = NowNs();
     CancellationToken verify_cancel;
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
     HeapVerifier verifier(heap_, safepoints_);
     HeapVerifier::Report report = verifier.VerifyCollectionSet(
@@ -642,7 +642,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   if (verify_options_.enabled()) {
     uint64_t verify_t0 = NowNs();
     CancellationToken verify_cancel;
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
     HeapVerifier verifier(heap_, safepoints_);
     HeapVerifier::Report report = verifier.VerifySampledWalk(
@@ -683,7 +683,7 @@ void RegionalCollector::DoYoungOrMixed(MutatorContext* ctx) {
   Trace::EmitComplete("gc", "gc.pause", rec.start_ns, rec.duration_ns,
                       static_cast<uint64_t>(rec.kind));
   if (profiler_ != nullptr) {
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.profiler-merge");
     uint64_t prof_t0 = NowNs();
     profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});
@@ -736,7 +736,7 @@ void RegionalCollector::StartConcurrentEvacuation(std::vector<Region*> cset,
     // a heap slot — which its load barrier heals. Copies made here land on
     // eworkers[0]'s deque (the pause thread owns it until worker 0 starts)
     // for the off-pause workers to scan.
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &c.cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, &c.cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.evacuate");
     for (std::atomic<Object*>* slot : roots) {
       c.eworkers[0].ProcessRootSlot(slot, nullptr);
@@ -773,7 +773,7 @@ void RegionalCollector::ConcurrentDriver() {
     c.cancel.Cancel();  // chaos: the cycle self-forwards everything it meets
   }
   {
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kConcurrentEvac, &c.cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kConcurrentEvac, &c.cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.concurrent-evac");
     workers_->RunTask([&](uint32_t w) {
       // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
@@ -857,7 +857,7 @@ void RegionalCollector::FinishConcurrentCycle() {
   PreparePause();
 
   {
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, nullptr);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kEvacuate, nullptr, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.remap");
     // Drain objects injected after the workers exited, then re-heal the
     // roots: handles created during the window already hold healed values
@@ -903,7 +903,7 @@ void RegionalCollector::FinishConcurrentCycle() {
   if (verify_options_.enabled() && !doomed.empty()) {
     uint64_t verify_t0 = NowNs();
     CancellationToken verify_cancel;
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
     HeapVerifier verifier(heap_, safepoints_);
     HeapVerifier::Report report = verifier.VerifyCollectionSet(
@@ -923,7 +923,7 @@ void RegionalCollector::FinishConcurrentCycle() {
   if (verify_options_.enabled()) {
     uint64_t verify_t0 = NowNs();
     CancellationToken verify_cancel;
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kVerify, &verify_cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
     HeapVerifier verifier(heap_, safepoints_);
     HeapVerifier::Report report = verifier.VerifySampledWalk(
@@ -966,7 +966,7 @@ void RegionalCollector::FinishConcurrentCycle() {
   Trace::EmitComplete("gc", "gc.pause", rec.start_ns, rec.duration_ns,
                       static_cast<uint64_t>(rec.kind));
   if (profiler_ != nullptr) {
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.profiler-merge");
     uint64_t prof_t0 = NowNs();
     profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});
@@ -998,7 +998,7 @@ void RegionalCollector::DoFull(uint64_t t0) {
   {
     // The STW fallback is not cancellable (no token): it must finish. The
     // watchdog still times it — repeated overruns here abort (ladder rung 5).
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kCompact, nullptr);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kCompact, nullptr, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.compact");
     // Stall-only fail point: a delay:<ms> arm sleeps here and returns false.
     (void)ROLP_FAULT_POINT("gc.phase.compact.stall");
@@ -1012,7 +1012,7 @@ void RegionalCollector::DoFull(uint64_t t0) {
     uint64_t verify_t0 = NowNs();
     RegionManager& regions = heap_->regions();
     CancellationToken verify_cancel;
-    WatchdogPhaseScope vscope(watchdog_.get(), GcPhase::kVerify, &verify_cancel);
+    WatchdogPhaseScope vscope(watchdog_.get(), GcPhase::kVerify, &verify_cancel, &metrics_);
     ROLP_TRACE_SCOPE("gc", "gc.phase.verify");
     HeapVerifier verifier(heap_, safepoints_);
     HeapVerifier::Report report = verifier.VerifySampledWalk(
@@ -1037,7 +1037,7 @@ void RegionalCollector::DoFull(uint64_t t0) {
   Trace::EmitComplete("gc", "gc.pause", rec.start_ns, rec.duration_ns,
                       static_cast<uint64_t>(rec.kind));
   if (profiler_ != nullptr) {
-    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr);
+    WatchdogPhaseScope scope(watchdog_.get(), GcPhase::kProfilerMerge, nullptr, &metrics_);
     profiler_->OnGcEnd({metrics_.GcCycles(), rec.duration_ns, rec.kind, workers_.get()});
   }
   ReportOverrunToProfiler();

@@ -29,8 +29,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/gc/gc_metrics.h"
 #include "src/gc/watchdog/cancellation.h"
 #include "src/gc/worker_pool.h"
+#include "src/util/clock.h"
 #include "src/util/crash_context.h"
 
 namespace rolp {
@@ -138,16 +140,27 @@ class GcWatchdog {
   std::thread monitor_;  // last member: joined in dtor before state dies
 };
 
-// Null-safe RAII phase bracket: no-op when `watchdog` is null (disabled).
+// Null-safe RAII phase bracket: the watchdog half is a no-op when `watchdog`
+// is null (disabled). When `metrics` is given, the scope also charges the
+// bracketing thread's CPU time (CLOCK_THREAD_CPUTIME_ID delta) to the phase's
+// GcMetrics::PhaseCpuNs slot — independent of whether the watchdog exists, so
+// per-phase CPU attribution works with ROLP_WATCHDOG=0 too.
 class WatchdogPhaseScope {
  public:
-  WatchdogPhaseScope(GcWatchdog* watchdog, GcPhase phase, CancellationToken* token)
-      : watchdog_(watchdog) {
+  WatchdogPhaseScope(GcWatchdog* watchdog, GcPhase phase, CancellationToken* token,
+                     GcMetrics* metrics = nullptr)
+      : watchdog_(watchdog), metrics_(metrics), phase_(phase) {
     if (watchdog_ != nullptr) {
       watchdog_->BeginPhase(phase, token);
     }
+    if (metrics_ != nullptr) {
+      cpu_start_ns_ = ThreadCpuNs();
+    }
   }
   ~WatchdogPhaseScope() {
+    if (metrics_ != nullptr) {
+      metrics_->AddPhaseCpuNs(static_cast<size_t>(phase_), ThreadCpuNs() - cpu_start_ns_);
+    }
     if (watchdog_ != nullptr) {
       watchdog_->EndPhase();
     }
@@ -158,6 +171,9 @@ class WatchdogPhaseScope {
 
  private:
   GcWatchdog* watchdog_;
+  GcMetrics* metrics_;
+  GcPhase phase_;
+  uint64_t cpu_start_ns_ = 0;
 };
 
 }  // namespace rolp

@@ -8,7 +8,8 @@
 namespace rolp {
 
 Heap::Heap(const HeapConfig& config) : config_(config) {
-  regions_ = std::make_unique<RegionManager>(config.heap_bytes, config.region_bytes);
+  regions_ = std::make_unique<RegionManager>(config.heap_bytes, config.region_bytes,
+                                             config.arenas);
   if (config.evac_reserve_regions > 0 &&
       config.evac_reserve_regions < regions_->num_regions() / 2) {
     regions_->set_evac_reserve(config.evac_reserve_regions);

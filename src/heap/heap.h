@@ -28,6 +28,10 @@ struct HeapConfig {
   // copying never starves under mutator pressure. 0 disables. The VM sizes
   // this from ROLP_GOV_EVAC_RESERVE.
   size_t evac_reserve_regions = 0;
+  // Arena-layer policy (sharded free lists, THP, NUMA, uncommit). The VM
+  // fills this from the environment (HeapArenaOptions::FromEnv); the default
+  // keeps the historical single-arena behavior.
+  HeapArenaOptions arenas;
 };
 
 // Reference access barriers. The default implementation records cross-region

@@ -1,10 +1,17 @@
-// Reserves the heap with one mmap call and manages the region table.
+// Reserves the heap with one 2MB-aligned mmap call and manages the region
+// table, carved into N per-shard arenas (DESIGN.md section 15). Each arena
+// owns an extent of the reservation, its own free list + lock, and (when
+// enabled) a NUMA-node binding, THP advice, and an uncommit lifecycle that
+// returns idle regions' RSS to the OS.
 #ifndef SRC_HEAP_REGION_MANAGER_H_
 #define SRC_HEAP_REGION_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/heap/region.h"
@@ -12,11 +19,38 @@
 
 namespace rolp {
 
+// Arena-layer policy knobs. Defaults reproduce the pre-arena behavior exactly:
+// one arena, no THP advice, no NUMA binding, never uncommit.
+struct HeapArenaOptions {
+  // Number of independent arenas the reservation is carved into. Clamped to
+  // [1, num_regions / 4] at construction so every arena holds useful regions.
+  size_t arenas = 1;
+  // madvise(MADV_HUGEPAGE) the reservation (ROLP_HEAP_THP=on).
+  bool thp = false;
+  // Bind each arena's extent to a NUMA node round-robin via mbind
+  // (ROLP_NUMA=on). Silently falls back to first-touch when the box has one
+  // node or the syscall is unavailable.
+  bool numa = false;
+  // Regions continuously free for longer than this are uncommitted with
+  // MADV_DONTNEED by a background sweeper (0 disables). Recommit on next
+  // allocation is implicit: anonymous memory reads back as zero.
+  int64_t uncommit_ms = 0;
+  // Soft minimum of committed free regions retained heap-wide; the sweeper
+  // never uncommits below max(soft_min_regions, evac_reserve).
+  size_t soft_min_regions = 2;
+
+  // Reads ROLP_HEAP_ARENAS (default ROLP_SHARDS, default 1), ROLP_HEAP_THP,
+  // ROLP_NUMA, ROLP_HEAP_UNCOMMIT_MS, ROLP_HEAP_SOFT_MIN_REGIONS.
+  static HeapArenaOptions FromEnv();
+};
+
 class RegionManager {
  public:
   // heap_bytes rounded up to a multiple of region_bytes; region_bytes must be
-  // a power of two.
-  RegionManager(size_t heap_bytes, size_t region_bytes);
+  // a power of two. The default-constructed HeapArenaOptions keeps the
+  // historical single-arena behavior for direct users (tests).
+  RegionManager(size_t heap_bytes, size_t region_bytes,
+                const HeapArenaOptions& arena_opts = HeapArenaOptions());
   ~RegionManager();
 
   RegionManager(const RegionManager&) = delete;
@@ -30,11 +64,14 @@ class RegionManager {
   // get a destination region self-forwards and the failed region is retired or
   // quarantined, which under sustained pressure cascades toward full-heap
   // quarantine. The reserve keeps copying alive while mutators are shed.
+  // The reserve is a single heap-wide guarantee (enforced on the global free
+  // counter), never multiplied per-arena. Allocation prefers the calling
+  // thread's home arena and steals from the others when it drains.
   Region* AllocateRegion(RegionKind kind, uint8_t gen = 0, bool gc_internal = false);
 
   // Allocates ceil(bytes / region_size) contiguous regions for one humongous
-  // object. Returns the head region or nullptr. Mutator-sourced (never dips
-  // into the evacuation reserve).
+  // object. The run never straddles an arena boundary. Returns the head region
+  // or nullptr. Mutator-sourced (never dips into the evacuation reserve).
   Region* AllocateHumongous(size_t object_bytes);
 
   // Regions held back from mutator allocation so GC evacuation always has
@@ -82,7 +119,9 @@ class RegionManager {
   const char* heap_base() const { return base_; }
   size_t region_bytes() const { return region_bytes_; }
   size_t num_regions() const { return num_regions_; }
-  size_t free_regions() const;
+  size_t free_regions() const {
+    return total_free_.load(std::memory_order_relaxed);
+  }
   size_t committed_bytes() const { return num_regions_ * region_bytes_; }
 
   // Regions currently in a tenured kind (old, dynamic gen, humongous head or
@@ -119,17 +158,94 @@ class RegionManager {
   };
   Usage ComputeUsage() const;
 
+  // --- Arena layer ----------------------------------------------------------
+  size_t num_arenas() const { return arenas_.size(); }
+  // Arena that owns region index `idx`.
+  size_t ArenaOf(size_t idx) const { return arena_of_[idx]; }
+  // Free regions currently in arena `a`'s list (approximate under load).
+  size_t ArenaFreeRegions(size_t a) const;
+
+  // One MADV_DONTNEED pass: uncommits regions continuously free since before
+  // `now_ns - uncommit_ms`, respecting the soft-min retained pool. Returns the
+  // number of regions uncommitted. Called by the background sweeper when
+  // ROLP_HEAP_UNCOMMIT_MS > 0; public so tests can drive it deterministically.
+  size_t UncommitIdleRegions(uint64_t now_ns);
+  size_t uncommitted_regions() const {
+    return uncommitted_now_.load(std::memory_order_relaxed);
+  }
+  uint64_t region_commits() const { return commits_.load(std::memory_order_relaxed); }
+  uint64_t region_uncommits() const { return uncommits_.load(std::memory_order_relaxed); }
+
+  // Region-lock contention counters, summed across arenas: total lock
+  // acquisitions on the allocation/free paths, and CPU-visible wait time spent
+  // in contended acquisitions (the 1-CPU-container-proof scaling signal).
+  uint64_t lock_acquisitions() const {
+    return lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+  uint64_t lock_stall_ns() const { return lock_stall_ns_.load(std::memory_order_relaxed); }
+
+  // Pins the calling thread's home arena (-1 restores round-robin assignment).
+  // Test hook: lets single-threaded tests target a specific arena.
+  static void SetHomeArenaForTest(int arena);
+
  private:
+  struct Arena {
+    uint32_t first_region = 0;  // inclusive
+    uint32_t end_region = 0;    // exclusive
+    mutable SpinLock lock;
+    std::vector<uint32_t> free_list;  // guarded by lock
+    int numa_node = -1;               // -1: unbound
+  };
+
+  size_t HomeArena() const;
+  // Pops one free region from arena `a` (committing it if needed) or returns
+  // nullptr. The caller must already hold a unit of total_free_ entitlement.
+  Region* PopFromArena(Arena& a);
+  // Timed lock acquisition feeding the contention counters.
+  void LockArena(Arena& a) const;
+  void UncommitThreadBody();
+
   char* base_ = nullptr;
+  size_t map_size_ = 0;  // full aligned reservation released in the dtor
   size_t region_bytes_ = 0;
   size_t num_regions_ = 0;
   std::unique_ptr<Region[]> regions_;
-  mutable SpinLock lock_;
-  std::vector<uint32_t> free_list_;
+  HeapArenaOptions opts_;
+
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::vector<uint8_t> arena_of_;  // region index -> arena index
+  // Global free-region count. Allocation first claims an entitlement here
+  // (CAS-decrement that respects the evacuation reserve), then scans arenas
+  // for an actual entry; frees push first, then increment. The invariant
+  // "list entries >= outstanding entitlements" makes the scan's retry loop
+  // terminate, and keeps the reserve a heap-wide guarantee independent of how
+  // free regions are distributed across arenas.
+  std::atomic<size_t> total_free_{0};
   size_t evac_reserve_ = 0;
+
+  // Commit lifecycle state. committed_[i] / free_since_ns_[i] are only
+  // touched by a region's exclusive owner (the allocator that popped it, or
+  // the sweeper while it holds the region out of the free list), so plain
+  // bytes suffice.
+  std::vector<uint8_t> committed_;
+  std::vector<uint64_t> free_since_ns_;
+  std::atomic<size_t> uncommitted_now_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> uncommits_{0};
+
+  mutable std::atomic<uint64_t> lock_acquisitions_{0};
+  mutable std::atomic<uint64_t> lock_stall_ns_{0};
+
   std::atomic<size_t> tenured_regions_{0};
   std::atomic<size_t> quarantined_regions_{0};
-  std::vector<uint32_t> unscannable_quarantined_;  // guarded by lock_
+  mutable SpinLock quarantine_lock_;
+  std::vector<uint32_t> unscannable_quarantined_;  // guarded by quarantine_lock_
+
+  // Background uncommit sweeper (runs when opts_.uncommit_ms > 0).
+  std::thread uncommit_thread_;
+  std::mutex uncommit_mu_;
+  std::condition_variable uncommit_cv_;
+  bool uncommit_stop_ = false;
 };
 
 }  // namespace rolp

@@ -14,6 +14,7 @@
 #include "src/util/env.h"
 #include "src/util/fault_injection.h"
 #include "src/util/log.h"
+#include "src/util/proc_stats.h"
 #include "src/util/trace.h"
 
 namespace rolp {
@@ -138,6 +139,10 @@ VM::VM(const VmConfig& config) : config_(config) {
   size_t total_regions = hc.heap_bytes / hc.region_bytes;
   hc.evac_reserve_regions = static_cast<size_t>(
       EnvInt64("ROLP_GOV_EVAC_RESERVE", total_regions >= 64 ? 2 : 0));
+  // Arena layer (DESIGN.md §15): ROLP_HEAP_ARENAS / ROLP_HEAP_THP /
+  // ROLP_NUMA / ROLP_HEAP_UNCOMMIT_MS. The default is one arena, no THP, no
+  // uncommit — identical to the pre-arena heap.
+  hc.arenas = HeapArenaOptions::FromEnv();
   heap_ = std::make_unique<Heap>(hc);
 
   jit_ = std::make_unique<JitEngine>(config_.jit, config_.filter);
@@ -281,6 +286,7 @@ VM::~VM() {
 
 void VM::RegisterMetrics() {
   ScopedMetrics& m = metrics_publisher_;
+  m.set_prefix(config_.metrics_prefix);
   GcMetrics& gm = collector_->metrics();
   m.Gauge("gc.cycles", [&gm] { return static_cast<double>(gm.GcCycles()); });
   m.Gauge("gc.pauses", [&gm] { return static_cast<double>(gm.PauseCount()); });
@@ -364,6 +370,35 @@ void VM::RegisterMetrics() {
   m.Gauge("heap.evac_reserve_regions",
           [h] { return static_cast<double>(h->regions().evac_reserve()); });
   m.Gauge("gc.pause.verify_ns", [&gm] { return static_cast<double>(gm.PauseVerifyNs()); });
+
+  // Arena layer (DESIGN.md §15): shard count, free-pool and uncommit state,
+  // and the region-lock contention counters — the CPU-time scaling signal the
+  // 1-CPU bench container can still measure.
+  m.Gauge("heap.arenas", [h] { return static_cast<double>(h->regions().num_arenas()); });
+  m.Gauge("heap.free_regions",
+          [h] { return static_cast<double>(h->regions().free_regions()); });
+  m.Gauge("heap.uncommitted_regions",
+          [h] { return static_cast<double>(h->regions().uncommitted_regions()); });
+  m.Gauge("heap.region.commits",
+          [h] { return static_cast<double>(h->regions().region_commits()); });
+  m.Gauge("heap.region.uncommits",
+          [h] { return static_cast<double>(h->regions().region_uncommits()); });
+  m.Gauge("heap.region_lock.acquisitions",
+          [h] { return static_cast<double>(h->regions().lock_acquisitions()); });
+  m.Gauge("heap.region_lock.stall_ns",
+          [h] { return static_cast<double>(h->regions().lock_stall_ns()); });
+  // Whole-process RSS: the live view of what uncommit returns to the OS.
+  m.Gauge("vm.rss_bytes", [] { return static_cast<double>(CurrentRssBytes()); });
+
+  // Per-phase thread-CPU totals (WatchdogPhaseScope deltas), one gauge per
+  // GcPhase that can actually run — kIdle excluded.
+  for (GcPhase phase : {GcPhase::kMark, GcPhase::kScan, GcPhase::kEvacuate,
+                        GcPhase::kCompact, GcPhase::kVerify, GcPhase::kProfilerMerge,
+                        GcPhase::kConcurrentEvac}) {
+    size_t slot = static_cast<size_t>(phase);
+    m.Gauge(std::string("gc.phase_cpu_ns.") + GcPhaseName(phase),
+            [&gm, slot] { return static_cast<double>(gm.PhaseCpuNs(slot)); });
+  }
 
   // Sampled through the collector so ROLP_WATCHDOG=0 (null watchdog) reads 0.
   Collector* c = collector_.get();

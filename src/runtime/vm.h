@@ -40,6 +40,10 @@ struct VmConfig {
   // the thread stack state (fault injection; repaired at GC end).
   double osr_corruption_rate = 0.0;
   uint64_t seed = 0x5eed;
+  // Prepended to every metric this VM registers ("shard0." etc.) so multiple
+  // VMs in one process publish disjoint names. Empty for the common 1-VM case
+  // keeps the historical names.
+  std::string metrics_prefix;
 
   // Parses JVM-style flags:
   //   -Xmx<N>m            heap size

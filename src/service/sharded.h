@@ -1,0 +1,90 @@
+// Sharded multi-VM service front end (DESIGN.md section 15): N independent VM
+// shards behind one open-loop generator. Keys route to shards by consistent
+// hashing, each shard runs its own admission/queue/workers/SLO sub-window,
+// and the per-shard reporters merge into one verdict at the end — the
+// multi-socket deployment shape ROLP targets, scaled down to one process.
+#ifndef SRC_SERVICE_SHARDED_H_
+#define SRC_SERVICE_SHARDED_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/service/open_loop.h"
+
+namespace rolp {
+
+// Consistent-hash ring: `vnodes` points per shard on a 64-bit ring, lookups
+// by binary search. Stable under shard-count changes in the usual
+// consistent-hashing sense (only ~1/N of keys move), which is what a real
+// front end needs for shard scale-out; here it also guarantees every key maps
+// to exactly one shard — the routing-conservation property the tests check.
+class ConsistentHashRouter {
+ public:
+  explicit ConsistentHashRouter(int shards, int vnodes = 64);
+
+  int ShardFor(uint64_t key) const;
+  int shards() const { return shards_; }
+
+ private:
+  int shards_;
+  std::vector<std::pair<uint64_t, int>> ring_;  // (point, shard), sorted
+};
+
+struct ShardedServiceOptions {
+  int shards = 1;  // ROLP_SHARDS
+  // Per-run knobs; `workers` is per shard, and the calibrated rate scales by
+  // the shard count (each shard contributes capacity).
+  ServiceOptions service;
+  int vnodes = 64;
+  // After the last arrival drains, run one full collection per shard and
+  // watch process RSS settle for up to 2 x ROLP_HEAP_UNCOMMIT_MS (0 skips the
+  // watch). The observed drop lands in the verdict JSON.
+  int64_t uncommit_ms = 0;
+
+  // service from ServiceOptions::FromEnv, shards from ROLP_SHARDS, uncommit
+  // watch from ROLP_HEAP_UNCOMMIT_MS.
+  static ShardedServiceOptions FromEnv();
+};
+
+struct ShardedServiceResult {
+  struct ShardStats {
+    uint64_t routed = 0;  // fresh arrivals routed to this shard
+    uint64_t completed_ok = 0;
+    uint64_t deadline_miss = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t retries = 0;
+    // Per-shard sub-window verdict (same shape as the merged one).
+    bool slo_pass = false;
+    std::string verdict_json;
+  };
+
+  std::vector<ShardStats> shards;
+  uint64_t offered = 0;  // fresh arrivals generated (== sum of routed)
+  double offered_rps = 0.0;
+  double calibrated_rps = 0.0;  // per-shard capacity probe (0 = rate given)
+  bool survived = true;
+  bool slo_pass = false;          // merged verdict
+  std::string verdict_json;       // merged SLO_VERDICT payload
+  SloReporter::Snapshot slo;      // merged windows/segments/counts
+
+  // RSS settle watch (0 when the watch was skipped).
+  uint64_t rss_load_bytes = 0;     // at load stop
+  uint64_t rss_settled_bytes = 0;  // minimum observed within the watch window
+};
+
+// Runs `factory(shard)`-built workloads across `options.shards` VM shards
+// under one open-loop arrival schedule. Prints nothing.
+ShardedServiceResult RunShardedService(
+    const VmConfig& vm_config,
+    const std::function<std::unique_ptr<Workload>(int shard)>& factory,
+    const ShardedServiceOptions& options);
+
+void PrintShardedReport(std::FILE* out, const ShardedServiceResult& result);
+
+}  // namespace rolp
+
+#endif  // SRC_SERVICE_SHARDED_H_

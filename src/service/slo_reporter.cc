@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "src/util/check.h"
 #include "src/util/clock.h"
 #include "src/util/env.h"
 
@@ -193,9 +194,38 @@ void SloReporter::PrintReport(std::FILE* out, const std::string& collector,
   print_segment("respond", s.seg_respond);
 }
 
+void SloReporter::MergeFrom(SloReporter& other, uint64_t now_ns) {
+  ROLP_CHECK(epoch_ns_ == other.epoch_ns_);
+  std::lock_guard<SpinLock> guard(mu_);
+  std::lock_guard<SpinLock> other_guard(other.mu_);
+  // Advancing both rings to the same now pins cur_slot to the same absolute
+  // index on both sides, so slot i here and slot i there cover the same
+  // wall-clock interval.
+  auto merge_ring = [now_ns](SlotRing& dst, SlotRing& src) {
+    dst.Advance(now_ns);
+    src.Advance(now_ns);
+    for (size_t i = 0; i < dst.slots.size(); i++) {
+      dst.slots[i].Merge(src.slots[i]);
+    }
+  };
+  merge_ring(ring_1min_, other.ring_1min_);
+  merge_ring(ring_15min_, other.ring_15min_);
+  lateness_alltime_.Merge(other.lateness_alltime_);
+  seg_sched_to_enqueue_.Merge(other.seg_sched_to_enqueue_);
+  seg_queue_wait_.Merge(other.seg_queue_wait_);
+  seg_execute_.Merge(other.seg_execute_);
+  seg_respond_.Merge(other.seg_respond_);
+  ok_ += other.ok_;
+  deadline_miss_ += other.deadline_miss_;
+  rejected_ += other.rejected_;
+  shed_ += other.shed_;
+  failed_ += other.failed_;
+  retries_ += other.retries_;
+}
+
 SloReporter::Verdict SloReporter::Evaluate(const std::string& collector,
                                            const SloThresholds& th, bool survived,
-                                           uint64_t now_ns) {
+                                           uint64_t now_ns, const std::string& extra_json) {
   Snapshot s = Collect(now_ns);
   bool p50_ok = s.alltime.p50_ms <= th.p50_ms;
   bool p95_ok = s.alltime.p95_ms <= th.p95_ms;
@@ -234,6 +264,9 @@ SloReporter::Verdict SloReporter::Evaluate(const std::string& collector,
       p999_ok ? "true" : "false", error_ok ? "true" : "false",
       survived ? "true" : "false");
   v.json = buf;
+  if (!extra_json.empty()) {
+    v.json.insert(v.json.size() - 1, "," + extra_json);
+  }
   return v;
 }
 

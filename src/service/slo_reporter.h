@@ -118,8 +118,17 @@ class SloReporter {
   // Evaluates the all-time lateness distribution against `thresholds`.
   // `survived` is the zero-abort bit the caller asserts (the process being
   // alive to call this is most of the proof); it is AND-ed into pass.
+  // `extra_json` (e.g. "\"shards\":4,\"rss_settled_bytes\":123") is spliced
+  // into the verdict object verbatim, for harnesses that carry extra facts.
   Verdict Evaluate(const std::string& collector, const SloThresholds& thresholds,
-                   bool survived, uint64_t now_ns);
+                   bool survived, uint64_t now_ns, const std::string& extra_json = "");
+
+  // Folds `other`'s state into this reporter: rings slot-by-slot, all-time
+  // and segment histograms, and outcome counters. Both reporters must share
+  // the same epoch (the sharded harness constructs all of them from one
+  // start_ns), so their ring slots line up on the same absolute time grid.
+  // Call after `other` stops receiving records.
+  void MergeFrom(SloReporter& other, uint64_t now_ns);
 
  private:
   // Fixed ring of log histograms, one per time slot; Merged() covers the

@@ -38,6 +38,8 @@ const std::vector<FaultInjection::CatalogEntry>& FaultInjection::Catalog() {
       {"heap.region.oom", "region allocation reports heap exhaustion"},
       {"heap.humongous.oom", "no contiguous run for a humongous allocation"},
       {"heap.tlab.alloc", "TLAB refill fails, forcing the slow path"},
+      {"heap.region.commit", "recommitting an uncommitted region fails (mmap ENOMEM)"},
+      {"heap.region.uncommit", "uncommit sweep's madvise(MADV_DONTNEED) fails"},
       {"heap.remset.drop", "write barrier skips a remembered-set insert"},
       {"gc.collect.skip", "a requested collection is skipped"},
       {"gc.pause.inflate", "pause bookkeeping inflates the recorded time"},

@@ -129,15 +129,21 @@ class ScopedMetrics {
   ScopedMetrics(const ScopedMetrics&) = delete;
   ScopedMetrics& operator=(const ScopedMetrics&) = delete;
 
+  // All names registered after this call get `prefix` prepended. Sharded
+  // services label each shard's VM metrics this way ("shard0." etc.) so N
+  // shards in one process do not clobber each other's registrations.
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+
   void Gauge(const std::string& name, MetricsRegistry::GaugeFn fn) {
-    ids_.push_back(registry_->RegisterGauge(name, std::move(fn)));
+    ids_.push_back(registry_->RegisterGauge(prefix_ + name, std::move(fn)));
   }
   void Histogram(const std::string& name, MetricsRegistry::HistogramFn fn) {
-    ids_.push_back(registry_->RegisterHistogram(name, std::move(fn)));
+    ids_.push_back(registry_->RegisterHistogram(prefix_ + name, std::move(fn)));
   }
 
  private:
   MetricsRegistry* registry_;
+  std::string prefix_;
   std::vector<int> ids_;
 };
 

@@ -1,0 +1,33 @@
+// Process self-statistics read from /proc. Header-only: the one consumer-hot
+// call (RSS for the vm.rss_bytes gauge) is a single read of a tiny procfs
+// file, no caching.
+#ifndef SRC_UTIL_PROC_STATS_H_
+#define SRC_UTIL_PROC_STATS_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+
+namespace rolp {
+
+// Resident-set size of the current process in bytes (field 2 of
+// /proc/self/statm, in pages). Returns 0 when /proc is unavailable.
+inline uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "re");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long long vm_pages = 0;
+  unsigned long long rss_pages = 0;
+  int n = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2) {
+    return 0;
+  }
+  return static_cast<uint64_t>(rss_pages) * static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_PROC_STATS_H_

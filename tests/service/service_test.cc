@@ -4,9 +4,12 @@
 // into a small VM must shed/reject load and finish without aborting.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/rolp/profiler.h"
 #include "src/service/admission.h"
 #include "src/service/open_loop.h"
+#include "src/service/sharded.h"
 #include "src/service/slo_reporter.h"
 #include "src/workloads/kvstore.h"
 
@@ -185,6 +188,101 @@ TEST(SloReporterTest, VerdictGatesOnLatenessThresholdsAndSurvival) {
     EXPECT_FALSE(v.pass);
     EXPECT_NE(v.json.find("\"p50\":false"), std::string::npos);
   }
+}
+
+TEST(SloReporterTest, MergeFromFoldsShardSubWindowsIntoOneVerdict) {
+  // The sharded harness builds all reporters from one epoch and merges them
+  // at the end: counts add, and the merged distribution spans both inputs.
+  SloReporter a(0);
+  SloReporter b(0);
+  for (uint64_t i = 0; i < 50; i++) {
+    a.Record(AtTime(i, kSec, kSec + 2 * kMs), RequestOutcome::kOk);
+    b.Record(AtTime(100 + i, kSec, kSec + 40 * kMs), RequestOutcome::kOk);
+  }
+  b.Record(AtTime(999, kSec, kSec + kMs), RequestOutcome::kShed);
+  b.CountRetry();
+
+  SloReporter merged(0);
+  merged.MergeFrom(a, 2 * kSec);
+  merged.MergeFrom(b, 2 * kSec);
+  SloReporter::Snapshot s = merged.Collect(2 * kSec);
+  EXPECT_EQ(s.total, 101u);
+  EXPECT_EQ(s.ok, 100u);
+  EXPECT_EQ(s.shed, 1u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_EQ(s.alltime.count, 101u);
+  EXPECT_EQ(s.win_1min.count, 101u);
+  // Half the samples at 2ms, half at 40ms: the merged p50 sits between the
+  // two shard medians — impossible if either shard's histogram were dropped.
+  EXPECT_GT(s.alltime.p95_ms, 20.0);
+  EXPECT_LT(s.alltime.p50_ms, 20.0);
+}
+
+TEST(ConsistentHashRouterTest, EveryKeyRoutesToExactlyOneValidShard) {
+  ConsistentHashRouter router(4);
+  std::vector<uint64_t> counts(4, 0);
+  for (uint64_t key = 0; key < 20000; key++) {
+    int s = router.ShardFor(key);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    // Routing is a pure function of the key: same key, same shard.
+    ASSERT_EQ(router.ShardFor(key), s);
+    counts[s]++;
+  }
+  // Near-uniform spread: no shard starves or hogs (vnodes smooth the ring).
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 20000u / 4 / 3) << "shard starved";
+    EXPECT_LT(c, 20000u * 2 / 4) << "shard hogged";
+  }
+}
+
+TEST(ConsistentHashRouterTest, ScaleOutMovesOnlyAFractionOfKeys) {
+  ConsistentHashRouter four(4);
+  ConsistentHashRouter five(5);
+  uint64_t moved = 0;
+  for (uint64_t key = 0; key < 10000; key++) {
+    if (four.ShardFor(key) != five.ShardFor(key)) {
+      moved++;
+    }
+  }
+  // Consistent hashing: adding a shard remaps ~1/5 of keys, not all of them.
+  EXPECT_LT(moved, 10000u / 2);
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(ShardedServiceTest, RoutesConserveRequestsAcrossShards) {
+  // Two VM shards under one open-loop schedule: every fresh arrival lands on
+  // exactly one shard, the per-shard counters sum to the offered count, and
+  // the merged reporter saw every terminal decision exactly once.
+  VmConfig cfg;
+  cfg.heap_mb = 48;
+  cfg.gc = GcKind::kG1;
+  KvStoreOptions kv;
+  kv.num_keys = 4000;
+  kv.memtable_flush_rows = 1000;
+  ShardedServiceOptions opt;
+  opt.shards = 2;
+  opt.service.workers = 1;
+  opt.service.duration_s = 1.0;
+  opt.service.rate_rps = 2000.0;
+  opt.service.calibrate_s = 0.0;
+  opt.service.drain_grace_s = 0.5;
+  ShardedServiceResult r = RunShardedService(
+      cfg, [&kv](int) { return std::make_unique<KvStoreWorkload>(kv); }, opt);
+
+  EXPECT_TRUE(r.survived);
+  ASSERT_EQ(r.shards.size(), 2u);
+  uint64_t routed_sum = 0;
+  for (const auto& shard : r.shards) {
+    EXPECT_GT(shard.routed, 0u) << "router starved a shard";
+    routed_sum += shard.routed;
+  }
+  EXPECT_EQ(routed_sum, r.offered);
+  EXPECT_GT(r.offered, 500u);
+  // The merged reporter recorded one terminal decision per offered request.
+  EXPECT_EQ(r.slo.total, r.offered);
+  EXPECT_FALSE(r.verdict_json.empty());
+  EXPECT_NE(r.verdict_json.find("\"shards\":2"), std::string::npos);
 }
 
 TEST(ProfilerHeapPressureTest, DegradesUnderPressureAndReArmsOnlyAfterItClears) {

@@ -20,6 +20,7 @@
 #include "src/rolp/old_table.h"
 #include "src/runtime/frame.h"
 #include "src/runtime/vm.h"
+#include "src/util/slab_pool.h"
 #include "src/util/trace.h"
 
 namespace rolp {
@@ -225,6 +226,43 @@ void BM_AllocProfiled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AllocProfiled);
+
+// Ingest-pipeline allocation paths (DESIGN.md §16): the per-event allocation
+// cost the market-data arms differ by. The pooled arm pays a slab-pool
+// acquire/release; the VM arms pay a profiled instance allocation inside a
+// method frame. CI gates both (check_bench_regression.py --require
+// 'BM_IngestAllocPath') so a slow-path regression in either arm's hot loop
+// shows up before it smears the INGEST_VERDICT tail.
+struct BenchOrder {  // same footprint as the pooled book's order cell
+  uint64_t order_id;
+  uint64_t price;
+  uint32_t size;
+  uint32_t symbol;
+};
+
+void BM_IngestAllocPathPooled(benchmark::State& state) {
+  SlabPool<BenchOrder>::Options opt;
+  opt.objects_per_slab = 1024;
+  SlabPool<BenchOrder> pool(opt);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    BenchOrder* o = pool.Acquire();
+    o->order_id = id++;
+    benchmark::DoNotOptimize(o);
+    pool.Release(o);
+  }
+}
+BENCHMARK(BM_IngestAllocPathPooled);
+
+void BM_IngestAllocPathVm(benchmark::State& state) {
+  VmFixture f(ProfilingLevel::kReal, false);
+  HandleScope scope(*f.thread);
+  for (auto _ : state) {
+    MethodFrame frame(*f.thread, f.cs);
+    benchmark::DoNotOptimize(f.thread->AllocateInstance(f.site, f.cls));
+  }
+}
+BENCHMARK(BM_IngestAllocPathVm);
 
 // Region-allocation contention: N threads alloc/free regions against one
 // RegionManager carved into `arenas` arenas, each thread pinned to a home

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate CI on the market-data ingest verdict (DESIGN.md §16).
+
+Usage: check_ingest.py RUN_OUTPUT.txt [--arms a,b,..] [--require-rolp-tail]
+
+Reads the last `INGEST_VERDICT {...}` line from a captured
+marketdata_pipeline run and fails unless:
+  * the verdict's own pass bit is set (every arm survived),
+  * every required arm is present, survived, and analyzed exactly the
+    scheduled event count (nothing silently dropped or wedged),
+  * every arm's offered rate is within --rate-tolerance of the target —
+    the open-loop pacing guarantee the absolute-deadline Pacer exists for;
+    a drifting generator makes the latency numbers meaningless,
+  * with --require-rolp-tail: the ROLP arm's p99.9 beat (or tied) the G1
+    arm's, the paper's headline claim on this workload.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("output", help="captured run output containing INGEST_VERDICT")
+    parser.add_argument("--arms", default="pooled,g1,rolp,zgc",
+                        help="comma-separated arms that must be present")
+    parser.add_argument("--rate-tolerance", type=float, default=0.02,
+                        help="max fractional offered-rate error per arm")
+    parser.add_argument("--require-rolp-tail", action="store_true",
+                        help="fail unless rolp p99.9 <= g1 p99.9")
+    args = parser.parse_args()
+
+    verdict = None
+    with open(args.output) as f:
+        for line in f:
+            if line.startswith("INGEST_VERDICT "):
+                verdict = line[len("INGEST_VERDICT "):].strip()
+    if verdict is None:
+        fail(f"{args.output}: no INGEST_VERDICT line found")
+    try:
+        v = json.loads(verdict)
+    except json.JSONDecodeError as e:
+        fail(f"{args.output}: INGEST_VERDICT is not valid JSON: {e}")
+
+    for key in ("workload", "events", "rate_eps", "arms", "rolp_tail_ok", "pass"):
+        if key not in v:
+            fail(f"INGEST_VERDICT missing '{key}': {verdict}")
+    if not v["pass"]:
+        fail("verdict pass bit is false (an arm did not survive)")
+
+    events = v["events"]
+    rate = v["rate_eps"]
+    required = [a for a in args.arms.split(",") if a]
+    for arm in required:
+        if arm not in v["arms"]:
+            fail(f"required arm '{arm}' missing from verdict")
+        a = v["arms"][arm]
+        if not a["survived"]:
+            fail(f"arm '{arm}' did not survive")
+        if a["analyzed"] != events:
+            fail(f"arm '{arm}' analyzed {a['analyzed']} of {events} events "
+                 f"(drops={a.get('drops')})")
+        err = abs(a["offered_eps"] - rate) / rate
+        if err > args.rate_tolerance:
+            fail(f"arm '{arm}' offered {a['offered_eps']:.0f} eps vs target "
+                 f"{rate:.0f} ({err:.1%} drift > {args.rate_tolerance:.1%}): "
+                 f"open-loop pacing is broken")
+
+    if args.require_rolp_tail and not v["rolp_tail_ok"]:
+        g1 = v["arms"].get("g1", {}).get("p999_us")
+        rolp = v["arms"].get("rolp", {}).get("p999_us")
+        fail(f"rolp p99.9 ({rolp}us) did not beat g1 p99.9 ({g1}us)")
+
+    arms_summary = " ".join(
+        f"{name}:p99.9={a['p999_us']:.0f}us" for name, a in v["arms"].items())
+    print(f"OK: ingest verdict passed ({events} events @ {rate:.0f} eps) {arms_summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,12 +43,13 @@ if [ "${ROLP_BENCH_CHECK:-1}" != "0" ] && command -v python3 >/dev/null; then
   echo "=== bench regression check"
   if [ -f BENCH_micro.json ] && [ -x build/bench/bench_micro ]; then
     build/bench/bench_micro \
-      --benchmark_filter='BM_AllocProfiled|BM_AllocUnprofiled|BM_RegionAllocContention' \
+      --benchmark_filter='BM_AllocProfiled|BM_AllocUnprofiled|BM_RegionAllocContention|BM_IngestAllocPath' \
       --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
       --benchmark_out_format=json --benchmark_out=/tmp/ci_bench_micro.json >/dev/null
     python3 scripts/check_bench_regression.py BENCH_micro.json /tmp/ci_bench_micro.json \
       --threshold 0.25 --require 'BM_AllocProfiled' \
-      --require 'BM_RegionAllocContention'
+      --require 'BM_RegionAllocContention' \
+      --require 'BM_IngestAllocPath'
   fi
   if [ -f BENCH_pause.json ] && [ -x build/bench/bench_pause ]; then
     build/bench/bench_pause \
@@ -113,6 +114,34 @@ if [ "${ROLP_SHARDED_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
     | tee /tmp/ci_sharded.txt | tail -3
   python3 scripts/check_slo.py /tmp/ci_sharded.txt \
     --require-shards 4 --min-rss-drop 0.25
+fi
+
+# Ingest smoke (DESIGN.md §16): the market-data pipeline at the default
+# open-loop schedule (300k events @ 100k eps), all four memory arms in one
+# invocation. check_ingest.py gates the single INGEST_VERDICT: every arm
+# survived and analyzed every event, offered rate within 2% of target (the
+# absolute-deadline pacing guarantee), and — because this repo's reason to
+# exist is the tail — the ROLP arm's p99.9 at or under the G1 arm's. The
+# gate runs at the full default event count on purpose: shorter runs see too
+# few post-warmup collections for the arm comparison to be stable.
+# ROLP_INGEST_CHECK=0 skips.
+if [ "${ROLP_INGEST_CHECK:-1}" != "0" ] && command -v python3 >/dev/null \
+   && [ -x build/examples/marketdata_pipeline ]; then
+  echo "=== ingest smoke"
+  build/examples/marketdata_pipeline all \
+    | tee /tmp/ci_ingest.txt | tail -2
+  python3 scripts/check_ingest.py /tmp/ci_ingest.txt --require-rolp-tail
+  # Chaos leg: 6 fixed seeds over the ingest.* fault points (wire corruption,
+  # queue stalls, allocation spikes, pool exhaustion, analytics spikes) on a
+  # short pooled+VM run. Faults may cost drops — that is their job — so the
+  # gate here is only "no crash": the pipeline must degrade, not die.
+  for s in 1 2 3 4 5 6; do
+    ROLP_CHAOS="seed:$s,rate:0.001,points:ingest.*" \
+    ROLP_INGEST_EVENTS=30000 ROLP_INGEST_RATE=1000000 \
+      build/examples/marketdata_pipeline pooled,g1 >/dev/null \
+      || { status=$?; [ "$status" -le 1 ] || { echo "ingest chaos seed $s crashed (exit $status)"; exit 1; }; }
+  done
+  echo "ingest chaos: 6 seeds survived"
 fi
 
 # Chaos smoke (DESIGN.md §12): fixed-seed campaigns over the kvstore workload

@@ -105,6 +105,7 @@ ServiceOptions ServiceOptions::FromEnv() {
   o.admission = AdmissionConfig::FromEnv();
   o.retry = RetryPolicy::FromEnv();
   o.slo = SloThresholds::FromEnv();
+  o.pacing = PacerOptions::FromEnv();
   return o;
 }
 
@@ -270,6 +271,7 @@ ServiceResult RunService(const VmConfig& vm_config, Workload& workload,
     double mean_gap_ns = 1e9 / rate;
     uint64_t next_arrival = start_ns;
     uint64_t next_id = 0;
+    Pacer pacer(options.pacing);
     while (true) {
       uint64_t evt = next_arrival;
       bool is_retry = false;
@@ -285,8 +287,14 @@ ServiceResult RunService(const VmConfig& vm_config, Workload& workload,
       }
       uint64_t now = NowNs();
       if (evt > now) {
-        uint64_t wait = std::min<uint64_t>(evt - now, 1000 * 1000);
-        std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+        // Absolute-deadline pacing (see pacer.h for the drift analysis of
+        // the relative sleep this replaces). The wake target stays capped at
+        // 1 ms out so a retry landing in the queue cannot be starved behind
+        // a long inter-arrival gap; the cap wake is a coarse re-check
+        // (precise=false — no spin), only the real arrival edge pays the
+        // spin finish.
+        uint64_t wake = std::min<uint64_t>(evt, now + 1000 * 1000);
+        pacer.WaitUntil(wake, /*precise=*/wake == evt);
         continue;
       }
       Request req;

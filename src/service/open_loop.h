@@ -23,6 +23,7 @@
 
 #include "src/service/admission.h"
 #include "src/service/slo_reporter.h"
+#include "src/util/pacer.h"
 #include "src/workloads/driver.h"
 #include "src/workloads/workload.h"
 
@@ -49,6 +50,7 @@ struct ServiceOptions {
   RetryPolicy retry;              // RetryPolicy::FromEnv() by default
   double retry_ratio = 0.1;       // ROLP_SVC_RETRY_RATIO: retries per request
   SloThresholds slo;              // SloThresholds::FromEnv() by default
+  PacerOptions pacing;            // PacerOptions::FromEnv() via FromEnv()
 
   // Fills rate/admission/retry/slo knobs from the environment
   // (ROLP_SERVICE_RATE, ROLP_SERVICE_OVERLOAD_FACTOR, ROLP_SVC_*, ROLP_SLO_*).

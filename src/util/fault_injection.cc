@@ -62,6 +62,11 @@ const std::vector<FaultInjection::CatalogEntry>& FaultInjection::Catalog() {
       {"service.admit.reject", "admission control rejects an admissible request"},
       {"service.alloc.throttle", "allocation slow path pays a governor-style stall"},
       {"service.arrival.burst", "open-loop generator schedules an arrival burst"},
+      {"ingest.parse.corrupt", "feed parser sees a corrupt wire message (dropped)"},
+      {"ingest.queue.stall", "pipeline stage stalls before a ring hand-off"},
+      {"ingest.book.alloc", "order-book update allocation fails (event dropped)"},
+      {"ingest.pool.exhausted", "slab pool reports exhaustion to the pooled arm"},
+      {"ingest.analytics.spike", "analytics stage pays a work spike on one event"},
   };
   return *catalog;
 }

@@ -1,6 +1,7 @@
 #include "src/util/histogram.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "src/util/check.h"
@@ -58,7 +59,22 @@ uint64_t LogHistogram::Percentile(double p) const {
     return 0;
   }
   ROLP_CHECK(p >= 0.0 && p <= 100.0);
-  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total_count_) + 0.5);
+  // Nearest-rank with ceil, not round: the percentile value is the smallest
+  // recorded value v such that at least p% of samples are <= v, which is
+  // rank ceil(p/100 * count). Rounding the rank down (the old `+ 0.5`
+  // truncation) sat one rank low whenever p/100*count had a fraction below
+  // one half — e.g. count=667, p=99.9 gives 666.33: round picked rank 666
+  // and silently dropped the max-tail bucket that rank 667 lands in. In the
+  // sub-millisecond ingest regime that under-reported exactly the tail the
+  // verdict gates on.
+  // The relative epsilon strips floating-point dust before the ceil:
+  // 99.9/100 * 1000 evaluates to 999.0000000000001, and ceiling *that* would
+  // skip to rank 1000 — overshooting on exactly the boundary ranks this
+  // function exists to hit. A few-ulp error is relative, so the guard is
+  // relative too; a true fractional rank is >= 1/count above its floor,
+  // orders of magnitude larger than 1e-13 of any representable rank.
+  double rank = p / 100.0 * static_cast<double>(total_count_);
+  uint64_t target = static_cast<uint64_t>(std::ceil(rank * (1.0 - 1e-13)));
   if (target == 0) {
     target = 1;
   }

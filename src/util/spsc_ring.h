@@ -1,0 +1,99 @@
+// Bounded single-producer / single-consumer ring queue for the ingest
+// pipeline stages (DESIGN.md §16). Wait-free on both sides: one producer
+// thread calls TryPush, one consumer thread calls TryPop, and the only
+// synchronization is an acquire/release pair per side — no CAS, no locks,
+// no fences beyond what the indices carry.
+//
+// Layout discipline: the producer-owned index (tail_) and the consumer-owned
+// index (head_) live on their own cache lines so the two threads never
+// false-share, and each side keeps a *cached* copy of the other side's index
+// so the common case (queue neither full nor empty) touches only its own
+// line. The foreign index is re-read (acquire) only when the cached value
+// says the ring might be full/empty — the classic Lamport queue with
+// index caching.
+//
+// Capacity is rounded up to a power of two so wraparound is a mask, and the
+// indices are free-running 64-bit counters (they never wrap in practice;
+// at 10^9 ops/s that is ~584 years), so full/empty are exact:
+//   size = tail - head;  full  <=> size == capacity;  empty <=> size == 0.
+#ifndef SRC_UTIL_SPSC_RING_H_
+#define SRC_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace rolp {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(size_t capacity)
+      : capacity_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Producer side only. Returns false if the ring is full.
+  bool TryPush(const T& value) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) {
+        return false;
+      }
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side only. Returns false if the ring is empty.
+  bool TryPop(T* out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return false;
+      }
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate: exact only when called from the producer or consumer thread
+  // (the other side may be mid-publish). Used for metrics, never for control.
+  size_t SizeApprox() const {
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+ private:
+  const size_t capacity_;
+  const uint64_t mask_;
+  std::vector<T> slots_;
+
+  // Consumer line: head_ is written by the consumer; tail_cache_ is the
+  // consumer's private copy of the producer index.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t tail_cache_ = 0;
+
+  // Producer line: tail_ is written by the producer; head_cache_ is the
+  // producer's private copy of the consumer index.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t head_cache_ = 0;
+};
+
+}  // namespace rolp
+
+#endif  // SRC_UTIL_SPSC_RING_H_

@@ -1,0 +1,550 @@
+#include "src/workloads/marketdata/book.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/heap/heap.h"
+#include "src/runtime/frame.h"
+#include "src/runtime/thread.h"
+#include "src/runtime/vm.h"
+#include "src/util/check.h"
+#include "src/util/clock.h"
+#include "src/util/fault_injection.h"
+#include "src/util/slab_pool.h"
+#include "src/workloads/workload.h"
+
+namespace rolp {
+namespace marketdata {
+
+namespace {
+
+// Shared update semantics helpers, so the two memory arms cannot drift.
+
+inline uint64_t FoldChecksum(uint64_t checksum, const ParsedEvent& ev,
+                             uint64_t level_agg_after) {
+  return checksum ^ Mix64(ev.order_id + (level_agg_after << 8) + ev.price +
+                          (static_cast<uint64_t>(ev.symbol) << 48));
+}
+
+inline size_t LevelIndex(const BookOptions& opt, const ParsedEvent& ev) {
+  return (static_cast<size_t>(ev.symbol) * 2 + ev.side) * opt.price_levels +
+         (ev.price - 1);
+}
+
+// Per-symbol analytics accumulators: plain arithmetic state, touched only by
+// the analytics stage.
+struct SymbolAnalytics {
+  double vwap_num = 0.0;
+  double vwap_den = 0.0;
+  int64_t imbalance = 0;  // bid minus ask flow
+};
+
+class AnalyticsCore {
+ public:
+  explicit AnalyticsCore(uint32_t symbols) : per_symbol_(symbols) {}
+
+  void Accumulate(const ParsedEvent& ev) {
+    SymbolAnalytics& a = per_symbol_[ev.symbol % per_symbol_.size()];
+    if (ev.type == MsgType::kTrade) {
+      a.vwap_num += static_cast<double>(ev.price) * ev.size;
+      a.vwap_den += ev.size;
+    }
+    a.imbalance += ev.side == 0 ? static_cast<int64_t>(ev.size)
+                                : -static_cast<int64_t>(ev.size);
+    if (ROLP_FAULT_POINT("ingest.analytics.spike")) {
+      // Injected work spike: a burst of extra arithmetic on one event, the
+      // analytics-stage analogue of a slow downstream consumer.
+      volatile double sink = 0.0;
+      for (int i = 0; i < 50000; i++) {
+        sink = sink + static_cast<double>(i) * 1e-9;
+      }
+    }
+  }
+
+ private:
+  std::vector<SymbolAnalytics> per_symbol_;
+};
+
+// ---------------------------------------------------------------------------
+// Pooled-manual arm
+// ---------------------------------------------------------------------------
+
+struct PoolOrder {
+  uint64_t id = 0;
+  uint32_t price = 0;
+  uint32_t size = 0;
+  PoolOrder* next = nullptr;
+};
+
+struct PoolLevel {
+  uint64_t agg_size = 0;
+  uint64_t count = 0;
+};
+
+class PooledBook : public OrderBook {
+ public:
+  explicit PooledBook(const BookOptions& options)
+      : options_(options),
+        buckets_(options.order_buckets, nullptr),
+        levels_(static_cast<size_t>(options.symbols) * 2 * options.price_levels,
+                nullptr),
+        analytics_(options.symbols),
+        scratch_(options.tick_bytes, 0) {}
+
+  ~PooledBook() override {
+    // Tear down resting state through the pools so the conservation law
+    // (outstanding == 0 after teardown) is checkable by tests.
+    for (PoolOrder*& head : buckets_) {
+      while (head != nullptr) {
+        PoolOrder* next = head->next;
+        order_pool_.Release(head);
+        head = next;
+      }
+    }
+    for (PoolLevel*& lvl : levels_) {
+      if (lvl != nullptr) {
+        level_pool_.Release(lvl);
+        lvl = nullptr;
+      }
+    }
+  }
+
+  bool Apply(RuntimeThread*, const ParsedEvent& ev) override {
+    uint64_t agg_after = 0;
+    switch (ev.type) {
+      case MsgType::kAdd: {
+        if (ROLP_FAULT_POINT("ingest.book.alloc") ||
+            ROLP_FAULT_POINT("ingest.pool.exhausted")) {
+          stats_.drops++;
+          return false;
+        }
+        PoolOrder* order;
+        {
+          ScopedTimerNs timer(&stats_.alloc_ns);
+          order = order_pool_.Acquire();
+          stats_.alloc_ops++;
+        }
+        if (order == nullptr) {
+          stats_.drops++;
+          return false;
+        }
+        order->id = ev.order_id;
+        order->price = ev.price;
+        order->size = ev.size;
+        size_t b = Bucket(ev.order_id);
+        order->next = buckets_[b];
+        buckets_[b] = order;
+        PoolLevel*& lvl = levels_[LevelIndex(options_, ev)];
+        if (lvl == nullptr) {
+          {
+            ScopedTimerNs timer(&stats_.alloc_ns);
+            lvl = level_pool_.Acquire();
+            stats_.alloc_ops++;
+          }
+          if (lvl == nullptr) {
+            stats_.drops++;
+            return false;
+          }
+          stats_.live_levels++;
+        }
+        lvl->agg_size += ev.size;
+        lvl->count++;
+        agg_after = lvl->agg_size;
+        stats_.adds++;
+        stats_.resting_orders++;
+        break;
+      }
+      case MsgType::kModify: {
+        PoolOrder* order = Find(ev.order_id);
+        if (order == nullptr) {
+          stats_.stale++;
+          break;
+        }
+        PoolLevel* lvl = levels_[LevelIndex(options_, ev)];
+        lvl->agg_size += ev.size;
+        lvl->agg_size -= order->size;
+        order->size = ev.size;
+        agg_after = lvl->agg_size;
+        stats_.modifies++;
+        break;
+      }
+      case MsgType::kCancel: {
+        PoolOrder* order = Remove(ev.order_id);
+        if (order == nullptr) {
+          stats_.stale++;
+          break;
+        }
+        PoolLevel*& lvl = levels_[LevelIndex(options_, ev)];
+        lvl->agg_size -= order->size;
+        lvl->count--;
+        if (lvl->count == 0) {
+          ScopedTimerNs timer(&stats_.alloc_ns);
+          level_pool_.Release(lvl);
+          lvl = nullptr;
+          stats_.live_levels--;
+        } else {
+          agg_after = lvl->agg_size;
+        }
+        {
+          ScopedTimerNs timer(&stats_.alloc_ns);
+          order_pool_.Release(order);
+          stats_.alloc_ops++;
+        }
+        stats_.cancels++;
+        stats_.resting_orders--;
+        break;
+      }
+      case MsgType::kTrade: {
+        PoolOrder* order = Find(ev.order_id);
+        if (order == nullptr) {
+          stats_.stale++;
+          break;
+        }
+        uint32_t red = ev.size < order->size ? ev.size : order->size;
+        order->size -= red;
+        PoolLevel* lvl = levels_[LevelIndex(options_, ev)];
+        lvl->agg_size -= red;
+        agg_after = lvl->agg_size;
+        stats_.trades++;
+        break;
+      }
+    }
+    stats_.applied++;
+    stats_.checksum = FoldChecksum(stats_.checksum, ev, agg_after);
+    return true;
+  }
+
+  void Analyze(RuntimeThread*, const ParsedEvent& ev) override {
+    // The pooled arm's "tick" is a reused scratch buffer: zero allocation on
+    // the analytics path, exactly what a no-GC shop ships.
+    for (size_t i = 0; i < scratch_.size(); i += 64) {
+      scratch_[i] = static_cast<char>(ev.seq + i);
+    }
+    analytics_.Accumulate(ev);
+  }
+
+  BookStats stats() const override {
+    BookStats s = stats_;
+    s.pool_orders_outstanding = order_pool_.outstanding();
+    s.pool_levels_outstanding = level_pool_.outstanding();
+    return s;
+  }
+
+ private:
+  size_t Bucket(uint64_t id) const { return Mix64(id) & (options_.order_buckets - 1); }
+
+  PoolOrder* Find(uint64_t id) {
+    for (PoolOrder* o = buckets_[Bucket(id)]; o != nullptr; o = o->next) {
+      if (o->id == id) {
+        return o;
+      }
+    }
+    return nullptr;
+  }
+
+  PoolOrder* Remove(uint64_t id) {
+    PoolOrder** link = &buckets_[Bucket(id)];
+    while (*link != nullptr) {
+      if ((*link)->id == id) {
+        PoolOrder* o = *link;
+        *link = o->next;
+        return o;
+      }
+      link = &(*link)->next;
+    }
+    return nullptr;
+  }
+
+  BookOptions options_;
+  SlabPool<PoolOrder> order_pool_;
+  SlabPool<PoolLevel> level_pool_;
+  std::vector<PoolOrder*> buckets_;
+  std::vector<PoolLevel*> levels_;
+  AnalyticsCore analytics_;
+  std::vector<char> scratch_;
+  BookStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// VM-heap arm (G1 / ROLP+NG2C / ZGC — collector chosen by the VM config)
+// ---------------------------------------------------------------------------
+
+// md.Order payload: [0] next ref, [8] order id, [16] price, [20] size.
+constexpr uint32_t kOrderNext = 0;
+constexpr uint32_t kOrderId = 8;
+constexpr uint32_t kOrderPrice = 16;
+constexpr uint32_t kOrderSize = 20;
+
+// md.Level payload: [0] agg size, [8] resting count, [16] price|side (debug).
+constexpr uint32_t kLevelAgg = 0;
+constexpr uint32_t kLevelCount = 8;
+constexpr uint32_t kLevelTag = 16;
+
+// Book objects are touched only by their owning stage thread, so plain
+// payload access is well-defined; objects may still *move* at safepoints,
+// which is why every helper takes the Object* freshly loaded after the last
+// possible allocation.
+inline uint64_t RawU64(Object* o, uint32_t off) {
+  uint64_t v;
+  std::memcpy(&v, o->payload() + off, sizeof(v));
+  return v;
+}
+inline void SetRawU64(Object* o, uint32_t off, uint64_t v) {
+  std::memcpy(o->payload() + off, &v, sizeof(v));
+}
+inline uint32_t RawU32(Object* o, uint32_t off) {
+  uint32_t v;
+  std::memcpy(&v, o->payload() + off, sizeof(v));
+  return v;
+}
+inline void SetRawU32(Object* o, uint32_t off, uint32_t v) {
+  std::memcpy(o->payload() + off, &v, sizeof(v));
+}
+
+class VmBook : public OrderBook {
+ public:
+  VmBook(VM& vm, RuntimeThread& setup, const BookOptions& options)
+      : vm_(&vm), options_(options), analytics_(options.symbols) {
+    ClassRegistry& classes = vm.heap().classes();
+    order_cls_ = classes.RegisterInstance("md.book.Order", 24, {kOrderNext});
+    level_cls_ = classes.RegisterInstance("md.book.Level", 24, {});
+
+    JitEngine& jit = vm.jit();
+    m_poll_ = jit.RegisterMethod("md.feed.Decoder::poll", 140);
+    m_apply_ = jit.RegisterMethod("md.book.OrderBook::apply", 260);
+    m_order_new_ = jit.RegisterMethod("md.book.Order::create", 48);
+    m_level_new_ = jit.RegisterMethod("md.book.Level::create", 52);
+    m_tick_ = jit.RegisterMethod("md.analytics.Vwap::onTick", 120);
+
+    // NG2C oracle hints (consulted only in NG2C mode; ROLP learns the same
+    // facts from the profile): resting orders are middle-lived, price levels
+    // effectively permanent, analytics ticks unhinted ephemera.
+    site_order_ = jit.RegisterAllocSite(m_order_new_, /*ng2c_hint=*/2);
+    site_level_ = jit.RegisterAllocSite(m_level_new_, /*ng2c_hint=*/kOldGenId);
+    site_tick_ = jit.RegisterAllocSite(m_tick_, 0);
+
+    cs_poll_apply_ = jit.RegisterCallSite(m_poll_, m_apply_);
+    cs_apply_order_ = jit.RegisterCallSite(m_apply_, m_order_new_);
+    cs_apply_level_ = jit.RegisterCallSite(m_apply_, m_level_new_);
+    cs_poll_tick_ = jit.RegisterCallSite(m_poll_, m_tick_);
+
+    // Cold framework surface so profiled-site density is realistic.
+    RegisterBackgroundCode(jit, "md.net", 800, 2, 3);
+    RegisterBackgroundCode(jit, "md.codec", 600, 2, 3);
+
+    HandleScope scope(setup);
+    Object* buckets = setup.AllocateRefArray(RuntimeThread::kNoSite, options.order_buckets);
+    ROLP_CHECK(buckets != nullptr);
+    buckets_ = vm.NewGlobalRoot(buckets);
+    Object* levels = setup.AllocateRefArray(
+        RuntimeThread::kNoSite,
+        static_cast<uint64_t>(options.symbols) * 2 * options.price_levels);
+    ROLP_CHECK(levels != nullptr);
+    levels_ = vm.NewGlobalRoot(levels);
+  }
+
+  bool Apply(RuntimeThread* t, const ParsedEvent& ev) override {
+    HandleScope scope(*t);
+    MethodFrame frame(*t, cs_poll_apply_);
+    uint64_t agg_after = 0;
+    switch (ev.type) {
+      case MsgType::kAdd: {
+        if (ROLP_FAULT_POINT("ingest.book.alloc")) {
+          stats_.drops++;
+          return false;
+        }
+        Local order;
+        {
+          MethodFrame f(*t, cs_apply_order_);
+          ScopedTimerNs timer(&stats_.alloc_ns);
+          order = t->NewLocal(t->AllocateInstance(site_order_, order_cls_));
+          stats_.alloc_ops++;
+        }
+        if (order.get() == nullptr) {
+          stats_.drops++;
+          return false;
+        }
+        SetRawU64(order.get(), kOrderId, ev.order_id);
+        SetRawU32(order.get(), kOrderPrice, ev.price);
+        SetRawU32(order.get(), kOrderSize, ev.size);
+
+        size_t li = LevelIndex(options_, ev);
+        Object* levels = vm_->LoadGlobal(levels_);
+        Object* lvl = t->LoadElem(levels, li);
+        if (lvl == nullptr) {
+          Local nl;
+          {
+            MethodFrame f(*t, cs_apply_level_);
+            ScopedTimerNs timer(&stats_.alloc_ns);
+            nl = t->NewLocal(t->AllocateInstance(site_level_, level_cls_));
+            stats_.alloc_ops++;
+          }
+          if (nl.get() == nullptr) {
+            stats_.drops++;
+            return false;
+          }
+          SetRawU32(nl.get(), kLevelTag, ev.price | (ev.side << 24));
+          levels = vm_->LoadGlobal(levels_);  // allocation may have moved it
+          t->StoreElem(levels, li, nl.get());
+          lvl = nl.get();
+          stats_.live_levels++;
+        }
+        SetRawU64(lvl, kLevelAgg, RawU64(lvl, kLevelAgg) + ev.size);
+        SetRawU64(lvl, kLevelCount, RawU64(lvl, kLevelCount) + 1);
+        agg_after = RawU64(lvl, kLevelAgg);
+
+        // Wire the order into its hash chain; no allocations from here on,
+        // so the raw pointers stay put.
+        Object* buckets = vm_->LoadGlobal(buckets_);
+        uint64_t b = Mix64(ev.order_id) & (options_.order_buckets - 1);
+        t->StoreField(order.get(), kOrderNext, t->LoadElem(buckets, b));
+        t->StoreElem(buckets, b, order.get());
+        stats_.adds++;
+        stats_.resting_orders++;
+        break;
+      }
+      case MsgType::kModify: {
+        Object* order = Find(*t, ev.order_id);
+        if (order == nullptr) {
+          stats_.stale++;
+          break;
+        }
+        Object* lvl = t->LoadElem(vm_->LoadGlobal(levels_), LevelIndex(options_, ev));
+        uint64_t agg = RawU64(lvl, kLevelAgg) + ev.size - RawU32(order, kOrderSize);
+        SetRawU64(lvl, kLevelAgg, agg);
+        SetRawU32(order, kOrderSize, ev.size);
+        agg_after = agg;
+        stats_.modifies++;
+        break;
+      }
+      case MsgType::kCancel: {
+        Object* order = Remove(*t, ev.order_id);
+        if (order == nullptr) {
+          stats_.stale++;
+          break;
+        }
+        size_t li = LevelIndex(options_, ev);
+        Object* levels = vm_->LoadGlobal(levels_);
+        Object* lvl = t->LoadElem(levels, li);
+        SetRawU64(lvl, kLevelAgg, RawU64(lvl, kLevelAgg) - RawU32(order, kOrderSize));
+        uint64_t count = RawU64(lvl, kLevelCount) - 1;
+        SetRawU64(lvl, kLevelCount, count);
+        if (count == 0) {
+          t->StoreElem(levels, li, nullptr);  // level dies; GC reclaims it
+          stats_.live_levels--;
+        } else {
+          agg_after = RawU64(lvl, kLevelAgg);
+        }
+        stats_.cancels++;
+        stats_.resting_orders--;  // order object itself dies unreferenced
+        break;
+      }
+      case MsgType::kTrade: {
+        Object* order = Find(*t, ev.order_id);
+        if (order == nullptr) {
+          stats_.stale++;
+          break;
+        }
+        uint32_t size = RawU32(order, kOrderSize);
+        uint32_t red = ev.size < size ? ev.size : size;
+        SetRawU32(order, kOrderSize, size - red);
+        Object* lvl = t->LoadElem(vm_->LoadGlobal(levels_), LevelIndex(options_, ev));
+        SetRawU64(lvl, kLevelAgg, RawU64(lvl, kLevelAgg) - red);
+        agg_after = RawU64(lvl, kLevelAgg);
+        stats_.trades++;
+        break;
+      }
+    }
+    stats_.applied++;
+    stats_.checksum = FoldChecksum(stats_.checksum, ev, agg_after);
+    return true;
+  }
+
+  void Analyze(RuntimeThread* t, const ParsedEvent& ev) override {
+    // Per-event ephemeral tick: allocated, written, read once, dropped —
+    // the microsecond-lifetime garbage that pressures the young generation.
+    HandleScope scope(*t);
+    Local tick;
+    {
+      MethodFrame f(*t, cs_poll_tick_);
+      ScopedTimerNs timer(&tick_alloc_ns_);
+      tick = t->NewLocal(t->AllocateDataArray(site_tick_, options_.tick_bytes));
+      stats_.tick_allocs++;
+    }
+    if (tick.get() != nullptr) {
+      char* bytes = tick.get()->DataArrayBytes();
+      for (uint32_t i = 0; i < options_.tick_bytes; i += 64) {
+        bytes[i] = static_cast<char>(ev.seq + i);
+      }
+    }
+    analytics_.Accumulate(ev);
+  }
+
+  BookStats stats() const override {
+    BookStats s = stats_;
+    s.alloc_ns += tick_alloc_ns_;
+    s.alloc_ops += s.tick_allocs;
+    return s;
+  }
+
+ private:
+  Object* Find(RuntimeThread& t, uint64_t id) {
+    Object* buckets = vm_->LoadGlobal(buckets_);
+    Object* o = t.LoadElem(buckets, Mix64(id) & (options_.order_buckets - 1));
+    while (o != nullptr) {
+      if (RawU64(o, kOrderId) == id) {
+        return o;
+      }
+      o = t.LoadField(o, kOrderNext);
+    }
+    return nullptr;
+  }
+
+  Object* Remove(RuntimeThread& t, uint64_t id) {
+    Object* buckets = vm_->LoadGlobal(buckets_);
+    uint64_t b = Mix64(id) & (options_.order_buckets - 1);
+    Object* prev = nullptr;
+    Object* o = t.LoadElem(buckets, b);
+    while (o != nullptr) {
+      Object* next = t.LoadField(o, kOrderNext);
+      if (RawU64(o, kOrderId) == id) {
+        if (prev == nullptr) {
+          t.StoreElem(buckets, b, next);
+        } else {
+          t.StoreField(prev, kOrderNext, next);
+        }
+        return o;
+      }
+      prev = o;
+      o = next;
+    }
+    return nullptr;
+  }
+
+  VM* vm_;
+  BookOptions options_;
+  ClassId order_cls_ = 0;
+  ClassId level_cls_ = 0;
+  MethodId m_poll_ = 0, m_apply_ = 0, m_order_new_ = 0, m_level_new_ = 0, m_tick_ = 0;
+  uint32_t site_order_ = 0, site_level_ = 0, site_tick_ = 0;
+  uint32_t cs_poll_apply_ = 0, cs_apply_order_ = 0, cs_apply_level_ = 0, cs_poll_tick_ = 0;
+  GlobalRef buckets_;
+  GlobalRef levels_;
+  AnalyticsCore analytics_;
+  BookStats stats_;
+  uint64_t tick_alloc_ns_ = 0;  // analytics thread's side; folded in stats()
+};
+
+}  // namespace
+
+std::unique_ptr<OrderBook> MakePooledBook(const BookOptions& options) {
+  return std::make_unique<PooledBook>(options);
+}
+
+std::unique_ptr<OrderBook> MakeVmBook(VM& vm, RuntimeThread& setup,
+                                      const BookOptions& options) {
+  return std::make_unique<VmBook>(vm, setup, options);
+}
+
+}  // namespace marketdata
+}  // namespace rolp

@@ -1,0 +1,98 @@
+// Order-book state for the market-data ingest pipeline: one book semantics,
+// two memory disciplines (DESIGN.md §16).
+//
+//   * PooledBook — the no-GC baseline: native structs from SlabPool slabs
+//     (order_pool / level_pool), intrusive hash chains, O(1) acquire/release.
+//     This is the hand-tuned-C++ floor the managed arms are measured against.
+//   * VmBook — the same book built from VM heap objects behind the chosen
+//     collector, with JIT-registered allocation/call sites so the ROLP
+//     profiler sees real contexts. Resting orders are middle-lived, price
+//     levels long-lived, analytics ticks ephemeral — the bimodal mix the
+//     paper targets.
+//
+// Both books apply an identical deterministic update semantics and fold the
+// post-event level aggregate into a running checksum, so a pooled arm and a
+// VM arm fed the same stream must end with bit-identical (checksum,
+// resting_orders, live_levels) — the cross-arm parity oracle in
+// tests/workloads/marketdata_test.cc.
+#ifndef SRC_WORKLOADS_MARKETDATA_BOOK_H_
+#define SRC_WORKLOADS_MARKETDATA_BOOK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/workloads/marketdata/feed.h"
+
+namespace rolp {
+
+class VM;
+class RuntimeThread;
+
+namespace marketdata {
+
+struct BookStats {
+  uint64_t applied = 0;
+  uint64_t adds = 0;
+  uint64_t modifies = 0;
+  uint64_t cancels = 0;
+  uint64_t trades = 0;
+  uint64_t stale = 0;   // event referenced an order the book no longer holds
+  uint64_t drops = 0;   // allocation failure (injected or real OOM)
+  uint64_t resting_orders = 0;
+  uint64_t live_levels = 0;
+  uint64_t checksum = 0;  // arm-independent state fold
+  // Time spent strictly inside allocation/release paths (pool acquire or VM
+  // allocation, including any GC stall the allocation absorbed) — the
+  // "allocation-path ns/event" the INGEST_VERDICT reports.
+  uint64_t alloc_ns = 0;
+  uint64_t alloc_ops = 0;
+  uint64_t tick_allocs = 0;  // ephemeral analytics allocations
+  // Pooled arm only: live objects the pools think are outstanding. The
+  // conservation law the tests assert: pool_orders_outstanding ==
+  // resting_orders and pool_levels_outstanding == live_levels.
+  uint64_t pool_orders_outstanding = 0;
+  uint64_t pool_levels_outstanding = 0;
+};
+
+struct BookOptions {
+  uint32_t symbols = 16;
+  uint32_t price_levels = 256;
+  uint32_t order_buckets = 1 << 15;  // hash-chain buckets (power of two)
+  uint32_t tick_bytes = 512;         // ephemeral analytics scratch per event
+};
+
+// One book instance serves one pipeline: Apply is called only from the book
+// stage thread and Analyze only from the analytics stage thread, so the two
+// methods may not share mutable state (they don't: Analyze touches only
+// per-symbol analytics accumulators and ephemeral scratch).
+class OrderBook {
+ public:
+  virtual ~OrderBook() = default;
+
+  // Book-stage update. Returns false when the event was dropped on an
+  // allocation failure (ingest.book.alloc / ingest.pool.exhausted faults, a
+  // real recoverable OOM, or pool exhaustion). `t` is the book stage's
+  // mutator thread for VM books, nullptr for the pooled book.
+  virtual bool Apply(RuntimeThread* t, const ParsedEvent& ev) = 0;
+
+  // Analytics-stage derived work: per-symbol VWAP/imbalance accumulation
+  // plus the per-event ephemeral scratch allocation (VM arms) or scratch
+  // reuse (pooled arm).
+  virtual void Analyze(RuntimeThread* t, const ParsedEvent& ev) = 0;
+
+  // Safe to call after the pipeline threads have joined.
+  virtual BookStats stats() const = 0;
+};
+
+std::unique_ptr<OrderBook> MakePooledBook(const BookOptions& options);
+
+// Registers the md.* classes, methods, and allocation/call sites on `vm`
+// and allocates the book's global structures with `setup`. The VM must
+// outlive the returned book.
+std::unique_ptr<OrderBook> MakeVmBook(VM& vm, RuntimeThread& setup,
+                                      const BookOptions& options);
+
+}  // namespace marketdata
+}  // namespace rolp
+
+#endif  // SRC_WORKLOADS_MARKETDATA_BOOK_H_

@@ -1,0 +1,192 @@
+// Market-data feed: deterministic wire-message generator and parser for the
+// streaming-ingest workload (DESIGN.md §16).
+//
+// The feed models an exchange multicast stream: fixed-size binary messages
+// (add / modify / cancel / trade) over a small symbol universe. Generation
+// is a pure function of the seed and the message sequence, so two runs — or
+// two memory arms of the same run — see byte-identical streams, which is
+// what makes the cross-arm book-state parity test possible.
+//
+// The generator keeps a bounded live-order window so every cancel/modify
+// references an order that is actually resting: the resulting book has the
+// bimodal lifetime mix ROLP targets — resting orders and price levels live
+// for thousands of events (old-gen material), while the per-message parse
+// and analytics scratch dies in microseconds.
+#ifndef SRC_WORKLOADS_MARKETDATA_FEED_H_
+#define SRC_WORKLOADS_MARKETDATA_FEED_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace rolp {
+namespace marketdata {
+
+enum class MsgType : uint8_t { kAdd = 0, kModify = 1, kCancel = 2, kTrade = 3 };
+
+// Fixed 32-byte wire image. The parser validates magic and checksum so the
+// ingest.parse.corrupt fault point has a real malformed-input path to model.
+struct RawMsg {
+  static constexpr uint16_t kMagic = 0x4d44;  // "MD"
+  uint16_t magic = kMagic;
+  uint8_t type = 0;
+  uint8_t side = 0;        // 0 = bid, 1 = ask
+  uint32_t symbol = 0;
+  uint64_t order_id = 0;
+  uint32_t price = 0;      // ticks
+  uint32_t size = 0;
+  uint64_t checksum = 0;   // Mix64 over the payload words
+};
+static_assert(sizeof(RawMsg) == 32, "wire image must stay 32 bytes");
+
+// Parsed, validated event plus the open-loop timing the pipeline charges
+// latency against. POD by design: it is copied through the SPSC rings.
+struct ParsedEvent {
+  uint64_t seq = 0;
+  uint64_t scheduled_ns = 0;  // open-loop schedule slot (fixed in advance)
+  uint64_t issue_ns = 0;      // when the feed stage actually issued it
+  uint64_t book_done_ns = 0;  // when the book stage finished the update
+  uint64_t order_id = 0;
+  uint32_t symbol = 0;
+  uint32_t price = 0;
+  uint32_t size = 0;
+  MsgType type = MsgType::kAdd;
+  uint8_t side = 0;
+  uint8_t halt = 0;  // sentinel: pipeline shutdown marker, not a feed message
+};
+
+inline uint64_t WireChecksum(const RawMsg& m) {
+  uint64_t w0;
+  std::memcpy(&w0, &m, 8);  // magic/type/side/symbol
+  return Mix64(w0 ^ Mix64(m.order_id) ^ (static_cast<uint64_t>(m.price) << 32 | m.size));
+}
+
+// Returns false (corrupt message) on magic or checksum mismatch.
+inline bool ParseMsg(const RawMsg& raw, ParsedEvent* out) {
+  if (raw.magic != RawMsg::kMagic || raw.checksum != WireChecksum(raw)) {
+    return false;
+  }
+  out->order_id = raw.order_id;
+  out->symbol = raw.symbol;
+  out->price = raw.price;
+  out->size = raw.size;
+  out->type = static_cast<MsgType>(raw.type);
+  out->side = raw.side;
+  out->halt = 0;
+  return true;
+}
+
+struct FeedOptions {
+  uint32_t symbols = 16;
+  uint32_t price_levels = 256;      // tick range per symbol
+  uint32_t max_live_orders = 16384; // resting-order window (long-lived state)
+};
+
+class FeedGenerator {
+ public:
+  using Options = FeedOptions;
+
+  explicit FeedGenerator(uint64_t seed, Options options = Options())
+      : options_(options), rng_(seed ^ 0x6d646665656421ULL) {
+    live_.reserve(options_.max_live_orders);
+  }
+
+  // Produces the next wire message. Deterministic in (seed, call count).
+  void Next(RawMsg* out) {
+    uint64_t u = SplitMix64(&rng_);
+    uint32_t roll = static_cast<uint32_t>(u % 100);
+    // Mix: 50% add, 20% cancel, 20% modify, 10% trade — adds outnumber
+    // cancels until the live window fills, then the window caps resting
+    // state by converting overflow adds into cancels of the oldest orders.
+    RawMsg m;
+    if (!live_.empty() && (roll < 20 || live_.size() >= options_.max_live_orders)) {
+      m = CancelOldest();
+    } else if (!live_.empty() && roll < 40) {
+      m = ModifyRandom(u);
+    } else if (!live_.empty() && roll < 50) {
+      m = TradeRandom(u);
+    } else {
+      m = Add(u);
+    }
+    m.checksum = WireChecksum(m);
+    *out = m;
+  }
+
+  size_t live_orders() const { return live_.size(); }
+
+ private:
+  struct LiveOrder {
+    uint64_t id;
+    uint32_t symbol;
+    uint32_t price;
+    uint32_t size;
+    uint8_t side;
+  };
+
+  RawMsg Add(uint64_t u) {
+    RawMsg m;
+    m.type = static_cast<uint8_t>(MsgType::kAdd);
+    m.side = static_cast<uint8_t>((u >> 8) & 1);
+    m.symbol = static_cast<uint32_t>((u >> 16) % options_.symbols);
+    m.order_id = next_order_id_++;
+    m.price = static_cast<uint32_t>(1 + (u >> 24) % options_.price_levels);
+    m.size = static_cast<uint32_t>(1 + (u >> 40) % 1000);
+    live_.push_back({m.order_id, m.symbol, m.price, m.size, m.side});
+    return m;
+  }
+
+  RawMsg CancelOldest() {
+    // FIFO cancellation keeps resting lifetimes long and uniform — the
+    // old-gen material the pretenuring arms should learn.
+    LiveOrder o = live_[cancel_cursor_ % live_.size()];
+    live_[cancel_cursor_ % live_.size()] = live_.back();
+    live_.pop_back();
+    cancel_cursor_++;
+    RawMsg m;
+    m.type = static_cast<uint8_t>(MsgType::kCancel);
+    m.side = o.side;
+    m.symbol = o.symbol;
+    m.order_id = o.id;
+    m.price = o.price;
+    m.size = o.size;
+    return m;
+  }
+
+  RawMsg ModifyRandom(uint64_t u) {
+    LiveOrder& o = live_[(u >> 13) % live_.size()];
+    o.size = static_cast<uint32_t>(1 + (u >> 33) % 1000);
+    RawMsg m;
+    m.type = static_cast<uint8_t>(MsgType::kModify);
+    m.side = o.side;
+    m.symbol = o.symbol;
+    m.order_id = o.id;
+    m.price = o.price;
+    m.size = o.size;
+    return m;
+  }
+
+  RawMsg TradeRandom(uint64_t u) {
+    const LiveOrder& o = live_[(u >> 17) % live_.size()];
+    RawMsg m;
+    m.type = static_cast<uint8_t>(MsgType::kTrade);
+    m.side = o.side;
+    m.symbol = o.symbol;
+    m.order_id = o.id;
+    m.price = o.price;
+    m.size = static_cast<uint32_t>(1 + (u >> 37) % o.size);
+    return m;
+  }
+
+  Options options_;
+  uint64_t rng_;
+  uint64_t next_order_id_ = 1;
+  uint64_t cancel_cursor_ = 0;
+  std::vector<LiveOrder> live_;
+};
+
+}  // namespace marketdata
+}  // namespace rolp
+
+#endif  // SRC_WORKLOADS_MARKETDATA_FEED_H_

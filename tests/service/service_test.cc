@@ -142,6 +142,61 @@ TEST(SloReporterTest, WindowsRotateOutOldSamplesButAlltimeKeepsThem) {
   EXPECT_EQ(s.alltime.count, 100u);
 }
 
+TEST(SloReporterTest, RotationEvictsSlotBySlotNotWholesale) {
+  // Golden rotation sequence for the 1-minute ring (30 slots x 2 s): samples
+  // in distinct slots must rotate out one slot at a time as the clock walks
+  // forward, never in bulk and never early.
+  SloReporter rep(/*epoch_ns=*/0);
+  // One sample at t=1s (slot 0) and one at t=5s (slot 2).
+  rep.Record(AtTime(1, 1 * kSec, 1 * kSec + kMs), RequestOutcome::kOk);
+  rep.Record(AtTime(2, 5 * kSec, 5 * kSec + kMs), RequestOutcome::kOk);
+
+  // At t=59s both are inside the trailing 60s window.
+  EXPECT_EQ(rep.Collect(59 * kSec).win_1min.count, 2u);
+  // Slot 0 covers [0,2s): it leaves the 30-slot ring when the clock enters
+  // slot 30, i.e. at t=60s. Slot 2 survives until t=64s.
+  EXPECT_EQ(rep.Collect(61 * kSec).win_1min.count, 1u);
+  EXPECT_EQ(rep.Collect(63 * kSec).win_1min.count, 1u);
+  EXPECT_EQ(rep.Collect(65 * kSec).win_1min.count, 0u);
+  // All-time is immune to rotation.
+  EXPECT_EQ(rep.Collect(65 * kSec).alltime.count, 2u);
+}
+
+TEST(SloReporterTest, RotationSurvivesClockJumpFarPastTheRing) {
+  // A jump many multiples of the ring span must clear every slot exactly
+  // once (the reset loop is bounded by ring size) and leave the ring usable.
+  SloReporter rep(0);
+  rep.Record(AtTime(1, kSec, kSec + kMs), RequestOutcome::kOk);
+  SloReporter::Snapshot s = rep.Collect(3600 * kSec);  // 1 hour later
+  EXPECT_EQ(s.win_1min.count, 0u);
+  EXPECT_EQ(s.win_15min.count, 0u);
+  EXPECT_EQ(s.alltime.count, 1u);
+  // The ring still records correctly after the jump.
+  rep.Record(AtTime(2, 3600 * kSec, 3600 * kSec + 2 * kMs), RequestOutcome::kOk);
+  s = rep.Collect(3601 * kSec);
+  EXPECT_EQ(s.win_1min.count, 1u);
+  EXPECT_NEAR(s.win_1min.p50_ms, 2.0, 0.5);
+}
+
+TEST(SloReporterTest, SubMillisecondLatenessGoldenValues) {
+  // The ingest pipeline reports in the 1-100us regime; the ms doubles coming
+  // out of Collect must not truncate to zero and must respect nearest-rank.
+  SloReporter rep(0);
+  // 999 samples at 10us, one at 100us: p99.9 over 1000 = rank 999 -> 10us,
+  // p100 -> 100us (ceil-rank golden values; bucket bound adds <= ~4%).
+  for (uint64_t i = 0; i < 999; i++) {
+    rep.Record(AtTime(i, kSec, kSec + 10 * 1000), RequestOutcome::kOk);
+  }
+  rep.Record(AtTime(999, kSec, kSec + 100 * 1000), RequestOutcome::kOk);
+  SloReporter::Snapshot s = rep.Collect(2 * kSec);
+  EXPECT_EQ(s.alltime.count, 1000u);
+  EXPECT_GE(s.alltime.p50_ms, 0.010);
+  EXPECT_LE(s.alltime.p50_ms, 0.0105);
+  EXPECT_GE(s.alltime.p999_ms, 0.010);   // rank 999 lands on the 10us mass
+  EXPECT_LE(s.alltime.p999_ms, 0.0105);  // ...not on the 100us outlier
+  EXPECT_NEAR(s.alltime.max_ms, 0.100, 1e-9);  // max is exact, no truncation
+}
+
 TEST(SloReporterTest, CountsOutcomesAndErrorRate) {
   SloReporter rep(0);
   rep.Record(AtTime(1, kSec, kSec + kMs), RequestOutcome::kOk);

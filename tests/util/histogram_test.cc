@@ -178,6 +178,58 @@ TEST(LinearHistogramTest, MergeRequiresSameBoundsAndAdds) {
   EXPECT_EQ(a.Count(), 3u);
 }
 
+// Golden-value regressions for the nearest-rank ceil fix. The old
+// implementation computed the target rank with round-nearest
+// (p/100*count + 0.5 truncated), which sat one rank low whenever the
+// fractional part was below one half — precisely the p99.9 ranks short
+// sub-millisecond ingest runs produce.
+TEST(LogHistogramTest, PercentileRankUsesCeilAtBoundary) {
+  // 667 samples: rank(99.9) = ceil(666.333) = 667, the last sample. The old
+  // round-based rank picked 666 and reported the second-from-max bucket.
+  LogHistogram h;
+  for (int i = 0; i < 666; i++) {
+    h.Record(1000);  // 1 us in ns
+  }
+  h.Record(100000);  // one 100 us outlier: the true p99.9 tail
+  ASSERT_EQ(h.Count(), 667u);
+  EXPECT_GE(h.Percentile(99.9), 100000u / 2)
+      << "p99.9 missed the max-tail bucket: rank truncated instead of ceiled";
+  EXPECT_EQ(h.Percentile(99.9), h.Percentile(100));
+}
+
+TEST(LogHistogramTest, PercentileGoldenValuesMicrosecondRegime) {
+  // The 1-100 us regime the ingest verdict reports in: 100 samples at 1 us
+  // steps (in ns). Nearest-rank percentiles of this set are exact ranks, and
+  // the log-bucket upper bound adds at most ~3%.
+  LogHistogram h;
+  for (uint64_t us = 1; us <= 100; us++) {
+    h.Record(us * 1000);
+  }
+  struct Golden {
+    double p;
+    uint64_t exact_ns;  // nearest-rank value of the underlying set
+  };
+  // rank = ceil(p/100 * 100) -> value = rank * 1000ns.
+  const Golden golden[] = {
+      {1, 1000},    {50, 50000},  {90, 90000},
+      {99, 99000},  {99.9, 100000}, {100, 100000},
+  };
+  for (const Golden& g : golden) {
+    uint64_t got = h.Percentile(g.p);
+    EXPECT_GE(got, g.exact_ns) << "p" << g.p << " below nearest-rank value";
+    EXPECT_LE(static_cast<double>(got), static_cast<double>(g.exact_ns) * 1.04)
+        << "p" << g.p << " above bucket upper-bound envelope";
+  }
+}
+
+TEST(LogHistogramTest, PercentileZeroReturnsMinBucket) {
+  LogHistogram h;
+  h.Record(7);
+  h.Record(9000);
+  // p=0 clamps the rank to 1 (the smallest sample), never to rank 0.
+  EXPECT_LE(h.Percentile(0), 7u);
+}
+
 class LogHistogramPercentileProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(LogHistogramPercentileProperty, UpperBoundWithinRelativeError) {

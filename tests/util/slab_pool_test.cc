@@ -1,0 +1,114 @@
+// Slab pool: reuse, exhaustion, and the exact outstanding-object
+// conservation law (outstanding == acquired - released, always).
+#include "src/util/slab_pool.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rolp {
+namespace {
+
+struct Tracked {
+  static int live;
+  uint64_t payload = 0;
+  Tracked() { live++; }
+  ~Tracked() { live--; }
+};
+int Tracked::live = 0;
+
+TEST(SlabPoolTest, AcquireConstructsReleaseDestructs) {
+  Tracked::live = 0;
+  SlabPool<Tracked> pool({/*objects_per_slab=*/4, /*max_slabs=*/0});
+  Tracked* a = pool.Acquire();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(Tracked::live, 1);
+  a->payload = 42;
+  pool.Release(a);
+  EXPECT_EQ(Tracked::live, 0);
+  // Freed storage is recycled, and Acquire default-constructs: the stale
+  // payload from the previous tenant must not leak through.
+  Tracked* b = pool.Acquire();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b, a);  // LIFO free list reuses the hottest cell
+  EXPECT_EQ(b->payload, 0u);
+  pool.Release(b);
+}
+
+TEST(SlabPoolTest, ExhaustionReturnsNullAndCounts) {
+  SlabPool<Tracked> pool({/*objects_per_slab=*/2, /*max_slabs=*/2});
+  std::vector<Tracked*> held;
+  for (int i = 0; i < 4; i++) {
+    Tracked* t = pool.Acquire();
+    ASSERT_NE(t, nullptr) << i;
+    held.push_back(t);
+  }
+  EXPECT_EQ(pool.slabs(), 2u);
+  EXPECT_EQ(pool.capacity(), 4u);
+  // Fifth acquire: both slabs carved, free list empty -> exhaustion, no abort.
+  EXPECT_EQ(pool.Acquire(), nullptr);
+  EXPECT_EQ(pool.Acquire(), nullptr);
+  EXPECT_EQ(pool.exhausted(), 2u);
+  // Releasing one object un-exhausts the pool.
+  pool.Release(held.back());
+  held.pop_back();
+  Tracked* again = pool.Acquire();
+  EXPECT_NE(again, nullptr);
+  held.push_back(again);
+  for (Tracked* t : held) {
+    pool.Release(t);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(SlabPoolTest, OutstandingConservationAcrossReuse) {
+  SlabPool<Tracked> pool({/*objects_per_slab=*/8, /*max_slabs=*/0});
+  std::vector<Tracked*> held;
+  uint64_t rng = 0x5eed;
+  uint64_t my_acquires = 0, my_releases = 0;
+  for (int step = 0; step < 5000; step++) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    bool acquire = held.empty() || (rng >> 33) % 3 != 0;
+    if (acquire) {
+      Tracked* t = pool.Acquire();
+      ASSERT_NE(t, nullptr);
+      held.push_back(t);
+      my_acquires++;
+    } else {
+      size_t idx = (rng >> 17) % held.size();
+      pool.Release(held[idx]);
+      held[idx] = held.back();
+      held.pop_back();
+      my_releases++;
+    }
+    // The conservation law holds at every quiescent point, not just the end.
+    ASSERT_EQ(pool.acquired(), my_acquires);
+    ASSERT_EQ(pool.released(), my_releases);
+    ASSERT_EQ(pool.outstanding(), held.size());
+    ASSERT_EQ(static_cast<uint64_t>(Tracked::live), held.size());
+  }
+  for (Tracked* t : held) {
+    pool.Release(t);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.exhausted(), 0u);
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(SlabPoolTest, NoDuplicateCellsHandedOut) {
+  SlabPool<uint64_t> pool({/*objects_per_slab=*/16, /*max_slabs=*/0});
+  std::set<uint64_t*> seen;
+  for (int i = 0; i < 64; i++) {
+    uint64_t* p = pool.Acquire();
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(seen.insert(p).second) << "cell handed out twice while live";
+  }
+  for (uint64_t* p : seen) {
+    pool.Release(p);
+  }
+}
+
+}  // namespace
+}  // namespace rolp
